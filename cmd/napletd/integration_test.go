@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freePort reserves an ephemeral port and releases it for the daemon.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// logBuf is a concurrency-safe output sink.
+type logBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *logBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *logBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestTwoProcessDeployment builds the daemon and runs a real two-process
+// deployment: host h1 carries the name server and an echo agent; host h2
+// launches a roaming agent that migrates h2 → h1 → h2 while keeping its
+// connection to the echo agent — the full cross-process gob + docking +
+// connection-migration path.
+func TestTwoProcessDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bin := filepath.Join(t.TempDir(), "napletd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building napletd: %v\n%s", err, out)
+	}
+
+	ns := freePort(t)
+	dock1 := freePort(t)
+	dock2 := freePort(t)
+
+	var out1, out2 logBuf
+	h1 := exec.Command(bin,
+		"-name", "h1", "-nameserver-listen", ns, "-dock", dock1,
+		"-launch", "echoer:echo",
+	)
+	h1.Stdout, h1.Stderr = &out1, &out1
+	if err := h1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		h1.Process.Kill()
+		h1.Wait()
+	}()
+
+	// Give the name server a moment to come up.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out1.String(), "location service listening") {
+		if time.Now().After(deadline) {
+			t.Fatalf("h1 never started:\n%s", out1.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	h2 := exec.Command(bin,
+		"-name", "h2", "-nameserver", ns, "-dock", dock2,
+		"-launch", fmt.Sprintf("walker:roamer:target=echoer,docks=%s;%s,msgs=2", dock1, dock2),
+	)
+	h2.Stdout, h2.Stderr = &out2, &out2
+	if err := h2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		h2.Process.Kill()
+		h2.Wait()
+	}()
+
+	// The walker starts on h2, migrates to h1 (appearing in h1's log), then
+	// back to h2 where it finishes.
+	deadline = time.Now().Add(30 * time.Second)
+	for !strings.Contains(out2.String(), "itinerary done") {
+		if time.Now().After(deadline) {
+			t.Fatalf("walker never finished.\n--- h1 ---\n%s\n--- h2 ---\n%s", out1.String(), out2.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !strings.Contains(out1.String(), "[walker@h1] roamer: echo") {
+		t.Fatalf("walker never ran on h1:\n%s", out1.String())
+	}
+	if !strings.Contains(out2.String(), "[walker@h2] roamer: echo") {
+		t.Fatalf("walker never ran on h2:\n%s", out2.String())
+	}
+}

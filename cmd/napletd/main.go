@@ -1,0 +1,184 @@
+// Command napletd runs one Naplet agent server: a docking host, a
+// NapletSocket controller, and (optionally) a post office, joined to a
+// deployment through a shared location service. One napletd can also host
+// the location service for the others.
+//
+// A two-host demo on one machine:
+//
+//	# terminal 1: host h1, runs the name server and an echo agent
+//	napletd -name h1 -nameserver-listen 127.0.0.1:7000 \
+//	        -dock 127.0.0.1:7001 -launch echoer:echo
+//
+//	# terminal 2: host h2, joins and launches a roaming client that
+//	# migrates to h1 and back while talking to the echo agent
+//	napletd -name h2 -nameserver 127.0.0.1:7000 -dock 127.0.0.1:7002 \
+//	        -launch walker:roamer:target=echoer,docks=127.0.0.1:7001;127.0.0.1:7002
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"naplet"
+	"naplet/internal/behaviors"
+	"naplet/internal/naming"
+)
+
+type launchList []string
+
+func (l *launchList) String() string     { return strings.Join(*l, " ") }
+func (l *launchList) Set(v string) error { *l = append(*l, v); return nil }
+
+var (
+	name       = flag.String("name", "host", "host name")
+	dock       = flag.String("dock", "127.0.0.1:0", "docking listener address")
+	control    = flag.String("control", "127.0.0.1:0", "control channel (UDP) address")
+	data       = flag.String("data", "127.0.0.1:0", "redirector (TCP) address")
+	mail       = flag.String("mail", "127.0.0.1:0", "post office (UDP) address")
+	nsListen   = flag.String("nameserver-listen", "", "also host the location service on this address")
+	nsAddr     = flag.String("nameserver", "", "address of the deployment's location service")
+	postoffice = flag.Bool("postoffice", true, "run a post office on this host")
+	insecure   = flag.Bool("insecure", false, "disable security (the paper's w/o-security mode)")
+	clusterKey = flag.String("cluster-secret", "", "shared secret authenticating the docking channel between hosts")
+	launches   launchList
+)
+
+func main() {
+	flag.Var(&launches, "launch", "agent to launch, as <id>:<kind>[:<k>=<v>[,<k>=<v>...]]; kinds: echo, pinger, roamer, maillog (repeatable)")
+	flag.Parse()
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	log.SetPrefix("napletd: ")
+
+	cfg := naplet.Config{
+		Name:           *name,
+		DockAddr:       *dock,
+		ControlAddr:    *control,
+		DataAddr:       *data,
+		MailAddr:       *mail,
+		Insecure:       *insecure,
+		WithPostOffice: *postoffice,
+		Logf:           log.Printf,
+	}
+	if *clusterKey != "" {
+		cfg.ClusterSecret = []byte(*clusterKey)
+	}
+
+	// Location service: hosted locally, or a client of a remote one.
+	switch {
+	case *nsListen != "":
+		svc := naming.NewService()
+		srv, err := naming.NewServer(svc, *nsListen)
+		if err != nil {
+			log.Fatalf("starting name server: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("location service listening on %s", srv.Addr())
+		cli, err := naming.NewClient(srv.Addr())
+		if err != nil {
+			log.Fatalf("connecting to own name server: %v", err)
+		}
+		defer cli.Close()
+		cfg.Directory = cli
+	case *nsAddr != "":
+		cli, err := naming.NewClient(*nsAddr)
+		if err != nil {
+			log.Fatalf("connecting to name server %s: %v", *nsAddr, err)
+		}
+		defer cli.Close()
+		cfg.Directory = cli
+	default:
+		log.Fatal("one of -nameserver or -nameserver-listen is required")
+	}
+
+	reg := naplet.NewRegistry()
+	behaviors.RegisterAll(reg)
+	cfg.Registry = reg
+
+	node, err := naplet.NewNode(cfg)
+	if err != nil {
+		log.Fatalf("starting node: %v", err)
+	}
+	defer node.Close()
+	log.Printf("host %s up: dock=%s", node.Name(), node.DockAddr())
+
+	for _, spec := range launches {
+		id, b, err := parseLaunch(spec)
+		if err != nil {
+			log.Fatalf("-launch %q: %v", spec, err)
+		}
+		if err := node.Launch(id, b); err != nil {
+			log.Fatalf("launching %s: %v", id, err)
+		}
+		log.Printf("launched agent %s", id)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+}
+
+// parseLaunch parses <id>:<kind>[:<k>=<v>[,...]].
+func parseLaunch(spec string) (string, naplet.Behavior, error) {
+	parts := strings.SplitN(spec, ":", 3)
+	if len(parts) < 2 {
+		return "", nil, fmt.Errorf("want <id>:<kind>[:<args>]")
+	}
+	id, kind := parts[0], parts[1]
+	args := map[string]string{}
+	if len(parts) == 3 {
+		for _, kv := range strings.Split(parts[2], ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return "", nil, fmt.Errorf("bad argument %q", kv)
+			}
+			args[k] = v
+		}
+	}
+	atoi := func(s string, def int) int {
+		if s == "" {
+			return def
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return def
+		}
+		return n
+	}
+	switch kind {
+	case "echo":
+		return id, &behaviors.Echo{MaxConns: atoi(args["maxconns"], 0)}, nil
+	case "pinger":
+		if args["target"] == "" {
+			return "", nil, fmt.Errorf("pinger needs target=<agent>")
+		}
+		return id, &behaviors.Pinger{
+			Target:     args["target"],
+			Count:      atoi(args["count"], 5),
+			IntervalMs: atoi(args["interval"], 0),
+		}, nil
+	case "roamer":
+		if args["target"] == "" {
+			return "", nil, fmt.Errorf("roamer needs target=<agent>")
+		}
+		var docks []string
+		if args["docks"] != "" {
+			docks = strings.Split(args["docks"], ";")
+		}
+		return id, &behaviors.Roamer{
+			Target:     args["target"],
+			Docks:      docks,
+			MsgsPerHop: atoi(args["msgs"], 3),
+		}, nil
+	case "maillog":
+		return id, &behaviors.MailLogger{Expect: atoi(args["expect"], 0)}, nil
+	default:
+		return "", nil, fmt.Errorf("unknown behaviour kind %q", kind)
+	}
+}

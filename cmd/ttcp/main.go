@@ -1,0 +1,111 @@
+// Command ttcp is the Test-TCP throughput tool of Section 4.3, usable in
+// three ways:
+//
+//	ttcp -serve :9000                 # raw TCP sink (receiver)
+//	ttcp -to host:9000 -size 8192     # raw TCP sender against a sink
+//	ttcp -pair -kind naplet           # in-process pair over NapletSocket
+//
+// The -pair mode measures a sender/sink pair in one process over either a
+// plain TCP connection or an established NapletSocket connection — the
+// Figure 9 workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"naplet/internal/experiments"
+	"naplet/internal/ttcp"
+)
+
+var (
+	serve = flag.String("serve", "", "listen address: run as a raw TCP sink")
+	to    = flag.String("to", "", "sink address: run as a raw TCP sender")
+	pair  = flag.Bool("pair", false, "run an in-process sender/sink pair")
+	kind  = flag.String("kind", "tcp", "connection kind for -pair: tcp or naplet")
+	size  = flag.Int("size", 8192, "message size in bytes")
+	total = flag.Int64("total", 64<<20, "total bytes to transfer")
+)
+
+func main() {
+	flag.Parse()
+	switch {
+	case *serve != "":
+		if err := runSink(*serve); err != nil {
+			fatal(err)
+		}
+	case *to != "":
+		if err := runSender(*to); err != nil {
+			fatal(err)
+		}
+	case *pair:
+		if err := runPair(); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ttcp:", err)
+	os.Exit(1)
+}
+
+func runSink(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("ttcp: sink listening on %s\n", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			res, err := ttcp.Receive(conn, 64<<10, *total)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ttcp: receive: %v\n", err)
+				return
+			}
+			fmt.Println("ttcp: received", res)
+		}()
+	}
+}
+
+func runSender(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	res, err := ttcp.Send(conn, *size, *total)
+	if err != nil {
+		return err
+	}
+	fmt.Println("ttcp: sent", res)
+	return nil
+}
+
+func runPair() error {
+	res, err := experiments.RunFig9([]int{*size}, *total)
+	if err != nil {
+		return err
+	}
+	p := res.Points[0]
+	switch *kind {
+	case "tcp":
+		fmt.Printf("ttcp: tcp pair: %.2f Mbit/s (msg %dB)\n", p.TCPMbps, p.MsgSize)
+	case "naplet":
+		fmt.Printf("ttcp: naplet pair: %.2f Mbit/s (msg %dB)\n", p.NapletMbps, p.MsgSize)
+	default:
+		fmt.Printf("ttcp: tcp %.2f Mbit/s, naplet %.2f Mbit/s (msg %dB)\n", p.TCPMbps, p.NapletMbps, p.MsgSize)
+	}
+	return nil
+}

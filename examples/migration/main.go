@@ -1,0 +1,138 @@
+// Migration: the paper's Figure 7 scenario as an application.
+//
+// A stationary agent streams numbered messages to a mobile agent that
+// migrates twice mid-stream. The mobile agent re-attaches to its connection
+// after each hop and verifies that every message arrives in order, exactly
+// once — messages caught in flight cross inside the NapletSocket buffer and
+// are delivered from it after landing.
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"naplet"
+)
+
+const totalMessages = 30
+
+// streamer keeps sending numbered messages to the mover as fast as the
+// connection accepts them (writes block transparently during migrations).
+type streamer struct{}
+
+func (streamer) Run(ctx *naplet.Context) error {
+	conn, err := naplet.Dial(ctx, "mover")
+	if err != nil {
+		return err
+	}
+	for i := uint64(1); i <= totalMessages; i++ {
+		var msg [8]byte
+		binary.BigEndian.PutUint64(msg[:], i)
+		if err := conn.WriteMsg(msg[:]); err != nil {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Leave the connection open; the mover closes when done.
+	<-ctx.Done()
+	return nil
+}
+
+// mover accepts the stream and reads it across two migrations, verifying
+// in-order exactly-once delivery. Its state carries the verification
+// cursor and the remaining itinerary.
+type mover struct {
+	Docks []string
+	Conn  string
+	Next  uint64 // next expected counter
+}
+
+func (m *mover) Run(ctx *naplet.Context) error {
+	var conn *naplet.Socket
+	var err error
+	if m.Conn == "" {
+		ss, lerr := naplet.Listen(ctx)
+		if lerr != nil {
+			return lerr
+		}
+		if conn, err = ss.Accept(ctx.StdContext()); err != nil {
+			return err
+		}
+		m.Conn = conn.ID().String()
+		m.Next = 1
+	} else {
+		id, perr := naplet.ParseConnID(m.Conn)
+		if perr != nil {
+			return perr
+		}
+		if conn, err = naplet.Attach(ctx, id); err != nil {
+			return err
+		}
+	}
+
+	buffered := 0
+	conn.SetObserver(func(seq uint64, payload []byte, fromBuffer bool) {
+		if fromBuffer {
+			buffered++
+		}
+	})
+
+	for m.Next <= totalMessages {
+		msg, err := conn.ReadMsg()
+		if errors.Is(err, naplet.ErrMigrated) {
+			return nil // cannot happen: we initiate our own hops below
+		}
+		if err != nil {
+			return err
+		}
+		got := binary.BigEndian.Uint64(msg)
+		if got != m.Next {
+			return fmt.Errorf("message %d arrived, expected %d: ordering/duplication broken", got, m.Next)
+		}
+		ctx.Logf("message %2d on %s", got, ctx.HostName())
+		m.Next++
+		// Migrate after each third of the stream: at message 10 and 20.
+		if len(m.Docks) > 0 && m.Next == uint64(totalMessages/3*(3-len(m.Docks))) {
+			next := m.Docks[0]
+			m.Docks = m.Docks[1:]
+			ctx.Logf("migrating after message %d (%d deliveries were from the migrated buffer so far)", got, buffered)
+			return ctx.MigrateTo(next)
+		}
+	}
+	ctx.Logf("all %d messages in order, exactly once (%d from migrated buffers on this host)", totalMessages, buffered)
+	return conn.Close()
+}
+
+func main() {
+	log.SetFlags(0)
+	nw := naplet.NewNetwork(naplet.WithLogf(log.Printf))
+	defer nw.Close()
+	nw.Register("example.streamer", streamer{})
+	nw.Register("example.mover", &mover{})
+
+	for _, h := range []string{"h1", "h2", "h3", "h4"} {
+		if _, err := nw.AddHost(h); err != nil {
+			log.Fatal(err)
+		}
+	}
+	itinerary := []string{nw.DockOf("h3"), nw.DockOf("h4")}
+	if err := nw.Node("h2").Launch("mover", &mover{Docks: itinerary}); err != nil {
+		log.Fatal(err)
+	}
+	if err := nw.Node("h1").Launch("streamer", streamer{}); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := nw.Await(ctx, "mover"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("migration example: reliable delivery held across 2 migrations")
+}

@@ -1,0 +1,144 @@
+// Multiconn: concurrent migration of both endpoints with multiple
+// connections — the Section 3.2 scenario of the paper (its Figure 5).
+//
+// Two agents, ying and yang, hold two NapletSocket connections between
+// them (one opened by each side). Both agents migrate at the same time,
+// repeatedly. The controllers serialize the concurrent connection
+// migrations with the ACK_WAIT / SUS_RES / RESUME_WAIT protocol driven by
+// the hash-based agent priority; the application just keeps exchanging
+// messages on both connections and never notices.
+//
+//	go run ./examples/multiconn
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"naplet"
+)
+
+const rounds = 3
+
+// duet is both agents' behaviour: the Lead side opens connection A and
+// accepts connection B; the other side does the reverse. Each round, each
+// agent sends one message on each connection and reads one from each, then
+// both migrate simultaneously.
+type duet struct {
+	Peer  string
+	Lead  bool
+	Docks []string
+	Round int
+	ConnA string // the connection this side dialed (or accepted, for !Lead)
+	ConnB string
+}
+
+func (d *duet) Run(ctx *naplet.Context) error {
+	var a, b *naplet.Socket
+	var err error
+	if d.ConnA == "" {
+		// First hop: establish both connections. The lead dials first and
+		// then accepts, the peer the other way around, so the two opens
+		// cannot deadlock.
+		if d.Lead {
+			if a, err = naplet.Dial(ctx, d.Peer); err != nil {
+				return err
+			}
+			ss, lerr := naplet.Listen(ctx)
+			if lerr != nil {
+				return lerr
+			}
+			if b, err = ss.Accept(ctx.StdContext()); err != nil {
+				return err
+			}
+		} else {
+			ss, lerr := naplet.Listen(ctx)
+			if lerr != nil {
+				return lerr
+			}
+			if a, err = ss.Accept(ctx.StdContext()); err != nil {
+				return err
+			}
+			if b, err = naplet.Dial(ctx, d.Peer); err != nil {
+				return err
+			}
+		}
+		d.ConnA, d.ConnB = a.ID().String(), b.ID().String()
+	} else {
+		idA, perr := naplet.ParseConnID(d.ConnA)
+		if perr != nil {
+			return perr
+		}
+		idB, perr := naplet.ParseConnID(d.ConnB)
+		if perr != nil {
+			return perr
+		}
+		if a, err = naplet.Attach(ctx, idA); err != nil {
+			return err
+		}
+		if b, err = naplet.Attach(ctx, idB); err != nil {
+			return err
+		}
+	}
+
+	// One synchronized exchange on each connection.
+	for i, conn := range []*naplet.Socket{a, b} {
+		msg := fmt.Sprintf("%s r%d conn%d @%s", ctx.AgentID(), d.Round, i, ctx.HostName())
+		if err := conn.WriteMsg([]byte(msg)); err != nil {
+			return err
+		}
+		got, err := conn.ReadMsg()
+		if err != nil {
+			return err
+		}
+		ctx.Logf("conn%d <- %q", i, got)
+	}
+
+	d.Round++
+	if d.Round >= rounds || len(d.Docks) == 0 {
+		ctx.Logf("done after %d rounds", d.Round)
+		if d.Lead {
+			a.Close()
+			b.Close()
+		}
+		return nil
+	}
+	next := d.Docks[0]
+	d.Docks = d.Docks[1:]
+	ctx.Logf("round %d done; migrating (concurrently with %s)", d.Round-1, d.Peer)
+	return ctx.MigrateTo(next)
+}
+
+func main() {
+	log.SetFlags(0)
+	nw := naplet.NewNetwork(naplet.WithLogf(log.Printf))
+	defer nw.Close()
+	nw.Register("example.duet", &duet{})
+
+	for _, h := range []string{"h1", "h2", "h3", "h4"} {
+		if _, err := nw.AddHost(h); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Both agents migrate after every round — at the same time.
+	yingDocks := []string{nw.DockOf("h3"), nw.DockOf("h1")}
+	yangDocks := []string{nw.DockOf("h4"), nw.DockOf("h2")}
+	if err := nw.Node("h1").Launch("ying", &duet{Peer: "yang", Lead: true, Docks: yingDocks}); err != nil {
+		log.Fatal(err)
+	}
+	if err := nw.Node("h2").Launch("yang", &duet{Peer: "ying", Docks: yangDocks}); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, agent := range []string{"ying", "yang"} {
+		if err := nw.Await(ctx, agent); err != nil {
+			log.Fatalf("awaiting %s: %v", agent, err)
+		}
+	}
+	fmt.Printf("multiconn: %d rounds over 2 connections with both agents migrating concurrently\n", rounds)
+}

@@ -1,0 +1,194 @@
+// Parallelsync: the paper's motivating workload — mobile agents doing
+// parallel computing with frequent synchronization (Section 1 cites
+// mobile-agent-based parallel computation as the case where asynchronous
+// mailbox messaging is not enough and a synchronous transient channel is
+// needed).
+//
+// A coordinator agent and N worker agents estimate π by numerical
+// integration of 4/(1+x²) over [0,1]. The interval is split into rounds;
+// each round, every worker computes its slice's partial sum and
+// synchronizes with the coordinator over its NapletSocket connection
+// (send partial, block for the next assignment) — a barrier per round.
+// Between rounds the workers migrate to other hosts, modelling load
+// balancing; their connections to the coordinator migrate with them and the
+// barrier protocol never notices.
+//
+//	go run ./examples/parallelsync
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"naplet"
+)
+
+const (
+	workers       = 3
+	rounds        = 4
+	slicesPerUnit = 200000
+)
+
+// f is the integrand: ∫₀¹ 4/(1+x²) dx = π.
+func f(x float64) float64 { return 4 / (1 + x*x) }
+
+func putF64(v float64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	return b[:]
+}
+
+func getF64(b []byte) float64 {
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+// coordinator accepts one connection per worker and runs the round barrier:
+// collect all partials, accumulate, release the workers into the next
+// round.
+type coordinator struct {
+	// Result reports the final value on the launch host. The coordinator
+	// is stationary, so this never needs to be serialized.
+	Result chan<- float64
+}
+
+func (c *coordinator) Run(ctx *naplet.Context) error {
+	ss, err := naplet.Listen(ctx)
+	if err != nil {
+		return err
+	}
+	conns := make([]*naplet.Socket, workers)
+	for i := range conns {
+		if conns[i], err = ss.Accept(ctx.StdContext()); err != nil {
+			return err
+		}
+		ctx.Logf("worker %s joined", conns[i].RemoteAgent())
+	}
+	total := 0.0
+	for round := 0; round < rounds; round++ {
+		// Barrier: collect one partial from every worker...
+		for _, conn := range conns {
+			part, err := conn.ReadMsg()
+			if err != nil {
+				return err
+			}
+			total += getF64(part)
+		}
+		ctx.Logf("round %d complete, running total %.9f", round, total)
+		// ...then release them all into the next round.
+		for _, conn := range conns {
+			if err := conn.WriteMsg([]byte{byte(round + 1)}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+	if c.Result != nil {
+		c.Result <- total
+	}
+	return nil
+}
+
+// worker computes its slice of each round, synchronizes, and migrates
+// between rounds.
+type worker struct {
+	Index int
+	Docks []string // itinerary: one hop per barrier
+	Round int
+	Conn  string
+}
+
+func (w *worker) Run(ctx *naplet.Context) error {
+	var conn *naplet.Socket
+	var err error
+	if w.Conn == "" {
+		if conn, err = naplet.Dial(ctx, "coordinator"); err != nil {
+			return err
+		}
+		w.Conn = conn.ID().String()
+	} else {
+		id, perr := naplet.ParseConnID(w.Conn)
+		if perr != nil {
+			return perr
+		}
+		if conn, err = naplet.Attach(ctx, id); err != nil {
+			return err
+		}
+	}
+
+	for ; w.Round < rounds; w.Round++ {
+		// This worker's slice of this round: the round splits [round/rounds,
+		// (round+1)/rounds) among the workers.
+		part := 0.0
+		lo := (float64(w.Round)*float64(workers) + float64(w.Index)) / float64(rounds*workers)
+		hi := lo + 1.0/float64(rounds*workers)
+		n := slicesPerUnit / (rounds * workers)
+		h := (hi - lo) / float64(n)
+		for i := 0; i < n; i++ {
+			x := lo + (float64(i)+0.5)*h
+			part += f(x) * h
+		}
+		// Synchronize: send the partial, block until the whole round is
+		// assembled.
+		if err := conn.WriteMsg(putF64(part)); err != nil {
+			return err
+		}
+		if _, err := conn.ReadMsg(); err != nil {
+			return err
+		}
+		ctx.Logf("finished round %d on %s", w.Round, ctx.HostName())
+		// Migrate before the next round, if the itinerary says so.
+		if len(w.Docks) > 0 {
+			next := w.Docks[0]
+			w.Docks = w.Docks[1:]
+			w.Round++
+			return ctx.MigrateTo(next)
+		}
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	nw := naplet.NewNetwork(naplet.WithLogf(log.Printf))
+	defer nw.Close()
+	result := make(chan float64, 1)
+	nw.Register("example.coordinator", &coordinator{})
+	nw.Register("example.worker", &worker{})
+
+	hostNames := []string{"h1", "h2", "h3", "h4"}
+	for _, h := range hostNames {
+		if _, err := nw.AddHost(h); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := nw.Node("h1").Launch("coordinator", &coordinator{Result: result}); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < workers; i++ {
+		home := hostNames[1+i%3]
+		// Each worker hops to a different host after every round.
+		var docks []string
+		for r := 1; r < rounds; r++ {
+			docks = append(docks, nw.DockOf(hostNames[1+(i+r)%3]))
+		}
+		if err := nw.Node(home).Launch(fmt.Sprintf("worker-%d", i), &worker{Index: i, Docks: docks}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	select {
+	case pi := <-result:
+		fmt.Printf("parallelsync: %d workers × %d rounds (migrating between rounds)\n", workers, rounds)
+		fmt.Printf("π ≈ %.9f (error %.2e)\n", pi, math.Abs(pi-math.Pi))
+	case <-ctx.Done():
+		log.Fatal("timed out waiting for the computation")
+	}
+}

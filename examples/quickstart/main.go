@@ -1,0 +1,53 @@
+// Quickstart: two agents on two hosts talk over a NapletSocket connection.
+//
+// An echo agent listens on host h1; a pinger on host h2 resolves it through
+// the location service, opens a secure NapletSocket connection through the
+// controller proxy (authentication, policy check, Diffie-Hellman session
+// key, redirector handoff), and exchanges a few messages.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"naplet"
+	"naplet/internal/behaviors"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// One in-process deployment: a shared location service plus two hosts.
+	nw := naplet.NewNetwork(naplet.WithLogf(log.Printf))
+	defer nw.Close()
+	behaviors.RegisterAll(nw.Registry)
+
+	h1, err := nw.AddHost("h1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	h2, err := nw.AddHost("h2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The echo agent serves one connection; the pinger dials it by agent
+	// id — no addresses or ports anywhere in application code.
+	if err := h1.Launch("echoer", &behaviors.Echo{MaxConns: 1}); err != nil {
+		log.Fatal(err)
+	}
+	if err := h2.Launch("pinger", &behaviors.Pinger{Target: "echoer", Count: 5}); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := nw.Await(ctx, "pinger"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("quickstart: pinger finished; 5 round trips over one NapletSocket connection")
+}

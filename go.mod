@@ -1,0 +1,3 @@
+module naplet
+
+go 1.22

@@ -1,0 +1,83 @@
+package agent
+
+import (
+	"context"
+	"log"
+
+	"naplet/internal/security"
+)
+
+// Context is the execution environment a behaviour sees on one host. A
+// fresh Context is built for every hop; values that must survive a hop
+// belong in the behaviour's own (gob-encoded) state.
+type Context struct {
+	host    *Host
+	agentID string
+	epoch   uint64
+	cred    [security.CredentialSize]byte
+
+	// migrateDest holds the destination dock address after MigrateTo.
+	migrateDest string
+
+	// ctx is cancelled when the host shuts down or the agent is killed.
+	ctx context.Context
+}
+
+// AgentID returns the agent's globally unique id.
+func (c *Context) AgentID() string { return c.agentID }
+
+// HostName returns the name of the host the agent currently resides on.
+func (c *Context) HostName() string { return c.host.Name() }
+
+// Epoch returns the agent's hop count: 1 on the launch host, incremented by
+// each migration. It doubles as the location-service epoch.
+func (c *Context) Epoch() uint64 { return c.epoch }
+
+// Credential returns the security credential this host issued to the agent;
+// it accompanies every proxy request to the NapletSocket controller.
+func (c *Context) Credential() [security.CredentialSize]byte { return c.cred }
+
+// Done returns a channel closed when the agent must stop (host shutdown or
+// kill). Long-running behaviours should select on it.
+func (c *Context) Done() <-chan struct{} { return c.ctx.Done() }
+
+// StdContext returns the agent's lifetime as a context.Context, for passing
+// to APIs that take one.
+func (c *Context) StdContext() context.Context { return c.ctx }
+
+// Logf logs a message tagged with the agent and host.
+func (c *Context) Logf(format string, args ...any) {
+	if c.host.cfg.Logf != nil {
+		c.host.cfg.Logf("[%s@%s] "+format, append([]any{c.agentID, c.host.Name()}, args...)...)
+	}
+}
+
+// MigrateTo requests migration to the host whose docking address is
+// destDock. It returns ErrMigrate, which Run must propagate:
+//
+//	return ctx.MigrateTo(next)
+//
+// The runtime then suspends the agent's connections, ships the behaviour,
+// and re-enters Run on the destination.
+func (c *Context) MigrateTo(destDock string) error {
+	c.migrateDest = destDock
+	return ErrMigrate
+}
+
+// Extension returns the host service registered under name (for example
+// the NapletSocket controller), or nil. Typed accessors live in the public
+// naplet package.
+func (c *Context) Extension(name string) any { return c.host.Extension(name) }
+
+// Host returns the host the agent resides on. It is exposed for the
+// middleware layers (controller proxy); behaviours should not need it.
+func (c *Context) Host() *Host { return c.host }
+
+// logf is the host-level logger fallback.
+func logf(cfg Config, format string, args ...any) {
+	if cfg.Logf != nil {
+		cfg.Logf(format, args...)
+	} else {
+		log.Printf(format, args...)
+	}
+}

@@ -1,0 +1,164 @@
+package agent
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDockSurvivesGarbage throws malformed bundles at the dock listener
+// and checks the host keeps working.
+func TestDockSurvivesGarbage(t *testing.T) {
+	env := newEnv(t, "h1")
+	h := env.host("h1")
+
+	junk := [][]byte{
+		{},
+		{0x01},
+		{0xff, 0xff, 0xff, 0xff}, // oversize length prefix
+		append([]byte{0, 0, 0, 4}, []byte("junk")...),
+		append([]byte{0, 0, 0, 1}, 0x00),
+	}
+	for _, j := range junk {
+		conn, err := net.Dial("tcp", h.DockAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write(j)
+		conn.Close()
+	}
+	// A half-open connection that sends nothing (the dock read deadline
+	// must reap it without wedging the accept loop).
+	idle, err := net.Dial("tcp", h.DockAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+
+	// The host still launches and finishes agents.
+	if err := h.Launch("after-junk", &hopper{}); err != nil {
+		t.Fatal(err)
+	}
+	env.awaitGone(t, "after-junk")
+}
+
+// TestDockRejectsBundleWithoutBehavior sends a structurally valid but
+// incomplete bundle and expects a rejection string back.
+func TestDockRejectsBundleWithoutBehavior(t *testing.T) {
+	env := newEnv(t, "h1")
+	h := env.host("h1")
+
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&bundle{AgentID: "ghost", Epoch: 2}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", h.DockAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(payload.Len()))
+	conn.Write(lenb[:])
+	conn.Write(payload.Bytes())
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, lenb[:]); err != nil {
+		t.Fatal(err)
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n == 0 {
+		t.Fatal("incomplete bundle accepted")
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(conn, msg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(msg, []byte("missing")) {
+		t.Fatalf("rejection = %q", msg)
+	}
+}
+
+// TestMigrationDelayModelsTransferCost checks the configured delay is
+// actually spent during a hop.
+func TestMigrationDelayModelsTransferCost(t *testing.T) {
+	// Two hosts with a 60ms migration delay.
+	shared := newEnv(t, "d1", "d2")
+	for _, name := range []string{"d1", "d2"} {
+		shared.host(name).cfg.MigrationDelay = 60 * time.Millisecond
+	}
+	start := time.Now()
+	if err := shared.host("d1").Launch("slowpoke", &hopper{Docks: []string{shared.host("d2").DockAddr()}}); err != nil {
+		t.Fatal(err)
+	}
+	shared.awaitGone(t, "slowpoke")
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("hop took %v, migration delay not applied", elapsed)
+	}
+}
+
+// TestWaitLocalUnknownAgent covers the error path.
+func TestWaitLocalUnknownAgent(t *testing.T) {
+	env := newEnv(t, "h1")
+	if _, err := env.host("h1").WaitLocal(context.Background(), "ghost"); err == nil {
+		t.Fatal("WaitLocal on absent agent succeeded")
+	}
+}
+
+// TestLocationRecord checks the advertised location is fully populated.
+func TestLocationRecord(t *testing.T) {
+	env := newEnv(t, "h1")
+	h := env.host("h1")
+	loc := h.Location()
+	if loc.Host != "h1" || loc.DockAddr == "" {
+		t.Fatalf("location = %+v", loc)
+	}
+}
+
+// TestClusterSecretAuthenticatesDock checks that hosts sharing a secret
+// exchange agents, hosts with mismatched secrets refuse them, and a
+// rejected migration re-arrives locally.
+func TestClusterSecretAuthenticatesDock(t *testing.T) {
+	env := newEnv(t, "c1", "c2", "c3")
+	secret := []byte("deployment-secret")
+	env.host("c1").cfg.ClusterSecret = secret
+	env.host("c2").cfg.ClusterSecret = secret
+	env.host("c3").cfg.ClusterSecret = []byte("different-secret")
+
+	// Matching secrets: migration succeeds.
+	if err := env.host("c1").Launch("ok-agent", &hopper{Docks: []string{env.host("c2").DockAddr()}}); err != nil {
+		t.Fatal(err)
+	}
+	env.awaitGone(t, "ok-agent")
+	got := visits("ok-agent")
+	if len(got) != 2 || got[1] != "c2#2" {
+		t.Fatalf("visits = %v", got)
+	}
+
+	// Mismatched secret: the destination refuses, the agent re-arrives
+	// locally and finishes on its origin host.
+	if err := env.host("c1").Launch("refused-agent", &hopper{Docks: []string{env.host("c3").DockAddr()}}); err != nil {
+		t.Fatal(err)
+	}
+	env.awaitGone(t, "refused-agent")
+	got = visits("refused-agent")
+	if len(got) != 2 || got[1] != "c1#1" {
+		t.Fatalf("visits = %v (agent should have stayed on c1)", got)
+	}
+
+	// No secret at all against a secured host: refused too.
+	env.host("c2").cfg.ClusterSecret = nil
+	if err := env.host("c2").Launch("untagged", &hopper{Docks: []string{env.host("c1").DockAddr()}}); err != nil {
+		t.Fatal(err)
+	}
+	env.awaitGone(t, "untagged")
+	got = visits("untagged")
+	if len(got) != 2 || got[1] != "c2#1" {
+		t.Fatalf("visits = %v (untagged bundle should be refused)", got)
+	}
+}

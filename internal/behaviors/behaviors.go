@@ -1,0 +1,190 @@
+// Package behaviors provides a small library of ready-made mobile agent
+// behaviours used by the example programs and the napletd daemon: an echo
+// server, a pinging client, a roaming client that keeps its connection
+// across migrations, and mailbox-based counterparts. Every napletd process
+// of a deployment must register the same behaviours (RegisterAll), since
+// agents are shipped between processes by behaviour type.
+package behaviors
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"naplet"
+)
+
+// RegisterAll registers every behaviour of this package with a network's
+// registry (or any registry).
+func RegisterAll(reg interface{ Register(string, naplet.Behavior) }) {
+	reg.Register("behaviors.Echo", &Echo{})
+	reg.Register("behaviors.Pinger", &Pinger{})
+	reg.Register("behaviors.Roamer", &Roamer{})
+	reg.Register("behaviors.MailLogger", &MailLogger{})
+}
+
+// Echo is a stationary agent that accepts NapletSocket connections and
+// echoes every message back. It serves until its host shuts down. MaxConns
+// bounds how many connections it serves (0 = unlimited).
+type Echo struct {
+	MaxConns int
+}
+
+// Run implements naplet.Behavior.
+func (e *Echo) Run(ctx *naplet.Context) error {
+	ss, err := naplet.Listen(ctx)
+	if err != nil {
+		return err
+	}
+	ctx.Logf("echo: listening")
+	var served sync.WaitGroup
+	for n := 0; e.MaxConns == 0 || n < e.MaxConns; n++ {
+		conn, err := ss.Accept(ctx.StdContext())
+		if err != nil {
+			if errors.Is(err, naplet.ErrClosed) || ctx.StdContext().Err() != nil {
+				break
+			}
+			return err
+		}
+		served.Add(1)
+		go func(conn *naplet.Socket) {
+			defer served.Done()
+			for {
+				msg, err := conn.ReadMsg()
+				if err != nil {
+					return
+				}
+				if err := conn.WriteMsg(msg); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+	// With a connection budget, serve every accepted connection to its end
+	// (peer close) before terminating — termination closes our endpoints.
+	served.Wait()
+	return nil
+}
+
+// Pinger dials a target agent, exchanges Count messages, logs the
+// round-trip times, and terminates.
+type Pinger struct {
+	Target string
+	Count  int
+	// IntervalMs paces the pings; zero means back-to-back.
+	IntervalMs int
+}
+
+// Run implements naplet.Behavior.
+func (p *Pinger) Run(ctx *naplet.Context) error {
+	if p.Count <= 0 {
+		p.Count = 5
+	}
+	conn, err := naplet.Dial(ctx, p.Target)
+	if err != nil {
+		return fmt.Errorf("pinger: dialing %s: %w", p.Target, err)
+	}
+	defer conn.Close()
+	for i := 0; i < p.Count; i++ {
+		start := time.Now()
+		if err := conn.WriteMsg([]byte(fmt.Sprintf("ping-%d", i))); err != nil {
+			return err
+		}
+		reply, err := conn.ReadMsg()
+		if err != nil {
+			return err
+		}
+		ctx.Logf("pinger: %s -> rtt %v", reply, time.Since(start).Round(time.Microsecond))
+		if p.IntervalMs > 0 {
+			select {
+			case <-time.After(time.Duration(p.IntervalMs) * time.Millisecond):
+			case <-ctx.Done():
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Roamer dials a target agent once, then walks an itinerary of docking
+// addresses, exchanging MsgsPerHop messages with the target at every host
+// over the same NapletSocket connection — the paper's headline scenario.
+// The connection id is carried in the behaviour state and re-attached
+// after each hop.
+type Roamer struct {
+	Target     string
+	Docks      []string
+	MsgsPerHop int
+	// Conn carries the connection id across hops (managed by Run).
+	Conn string
+}
+
+// Run implements naplet.Behavior.
+func (r *Roamer) Run(ctx *naplet.Context) error {
+	if r.MsgsPerHop <= 0 {
+		r.MsgsPerHop = 3
+	}
+	var conn *naplet.Socket
+	var err error
+	if r.Conn == "" {
+		if conn, err = naplet.Dial(ctx, r.Target); err != nil {
+			return fmt.Errorf("roamer: dialing %s: %w", r.Target, err)
+		}
+		r.Conn = conn.ID().String()
+	} else {
+		id, perr := naplet.ParseConnID(r.Conn)
+		if perr != nil {
+			return perr
+		}
+		if conn, err = naplet.Attach(ctx, id); err != nil {
+			return fmt.Errorf("roamer: re-attaching: %w", err)
+		}
+	}
+	for i := 0; i < r.MsgsPerHop; i++ {
+		msg := fmt.Sprintf("hop%d/%s #%d", ctx.Epoch(), ctx.HostName(), i)
+		if err := conn.WriteMsg([]byte(msg)); err != nil {
+			return err
+		}
+		reply, err := conn.ReadMsg()
+		if err != nil {
+			return err
+		}
+		ctx.Logf("roamer: echo %q", reply)
+	}
+	if len(r.Docks) == 0 {
+		ctx.Logf("roamer: itinerary done, closing")
+		return conn.Close()
+	}
+	next := r.Docks[0]
+	r.Docks = r.Docks[1:]
+	ctx.Logf("roamer: migrating to %s", next)
+	return ctx.MigrateTo(next)
+}
+
+// MailLogger drains its PostOffice mailbox, logging each message, until
+// Expect messages arrive (0 = until the host shuts down).
+type MailLogger struct {
+	Expect int
+	Got    int
+}
+
+// Run implements naplet.Behavior.
+func (m *MailLogger) Run(ctx *naplet.Context) error {
+	box, err := naplet.MailboxOf(ctx)
+	if err != nil {
+		return err
+	}
+	for m.Expect == 0 || m.Got < m.Expect {
+		msg, err := box.Receive(ctx.StdContext())
+		if err != nil {
+			if ctx.StdContext().Err() != nil {
+				return nil
+			}
+			return err
+		}
+		m.Got++
+		ctx.Logf("mail from %s: %q", msg.From, msg.Body)
+	}
+	return nil
+}

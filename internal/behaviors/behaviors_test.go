@@ -1,0 +1,106 @@
+package behaviors
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"naplet"
+)
+
+func newNet(t *testing.T, hosts int, opts ...naplet.NetworkOption) *naplet.Network {
+	t.Helper()
+	nw := naplet.NewNetwork(opts...)
+	t.Cleanup(func() { nw.Close() })
+	RegisterAll(nw.Registry)
+	for i := 0; i < hosts; i++ {
+		if _, err := nw.AddHost(hostName(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+func hostName(i int) string { return string(rune('a'+i)) + "-host" }
+
+func await(t *testing.T, nw *naplet.Network, agents ...string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, a := range agents {
+		if err := nw.Await(ctx, a); err != nil {
+			t.Fatalf("awaiting %s: %v", a, err)
+		}
+	}
+}
+
+func TestEchoAndPinger(t *testing.T) {
+	nw := newNet(t, 2)
+	if err := nw.Node(hostName(0)).Launch("echoer", &Echo{MaxConns: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Node(hostName(1)).Launch("pinger", &Pinger{Target: "echoer", Count: 4}); err != nil {
+		t.Fatal(err)
+	}
+	await(t, nw, "pinger", "echoer")
+}
+
+func TestRoamerWalksItinerary(t *testing.T) {
+	nw := newNet(t, 3)
+	if err := nw.Node(hostName(0)).Launch("anchor", &Echo{MaxConns: 1}); err != nil {
+		t.Fatal(err)
+	}
+	docks := []string{nw.DockOf(hostName(2)), nw.DockOf(hostName(1))}
+	if err := nw.Node(hostName(1)).Launch("walker", &Roamer{Target: "anchor", Docks: docks, MsgsPerHop: 2}); err != nil {
+		t.Fatal(err)
+	}
+	await(t, nw, "walker", "anchor")
+	// The walker's trace in the location service shows 3 hops (launch + 2
+	// migrations).
+	tr := nw.Service.Trace("walker")
+	if len(tr) != 3 {
+		t.Fatalf("trace = %d entries, want 3", len(tr))
+	}
+}
+
+func TestMailLoggerReceivesCount(t *testing.T) {
+	nw := newNet(t, 2, naplet.WithPostOffices())
+	if err := nw.Node(hostName(0)).Launch("logger", &MailLogger{Expect: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Node(hostName(1)).Launch("writer", &mailWriter{To: "logger", N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	await(t, nw, "logger", "writer")
+}
+
+// mailWriter is a test-only behaviour sending N mails.
+type mailWriter struct {
+	To string
+	N  int
+}
+
+func (m *mailWriter) Run(ctx *naplet.Context) error {
+	for i := 0; i < m.N; i++ {
+		if err := naplet.Send(ctx, m.To, []byte{byte(i)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestEchoUnlimitedServesManyClients(t *testing.T) {
+	nw := newNet(t, 2)
+	if err := nw.Node(hostName(0)).Launch("echoer", &Echo{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		id := "p" + string(rune('0'+i))
+		if err := nw.Node(hostName(1)).Launch(id, &Pinger{Target: "echoer", Count: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		await(t, nw, "p"+string(rune('0'+i)))
+	}
+}

@@ -1,0 +1,749 @@
+package core
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"naplet/internal/dhkx"
+	"naplet/internal/fsm"
+	"naplet/internal/wire"
+)
+
+// Limits of the per-connection buffers.
+const (
+	// maxRecvBuffer bounds the receive-side message buffer; when full, the
+	// reader goroutine stops pulling from the socket so TCP flow control
+	// pushes back on the sender. The bound is ignored while draining for a
+	// suspend — everything in flight must be captured.
+	maxRecvBuffer = 4 << 20
+	// maxSendLog bounds the retransmission log kept for failure recovery.
+	// A graceful suspend clears the log (the drain handshake proves
+	// delivery); the cap only matters between suspends.
+	maxSendLog = 4 << 20
+)
+
+// Errors returned by Socket operations.
+var (
+	// ErrClosed reports use of a closed connection.
+	ErrClosed = errors.New("napletsocket: connection closed")
+	// ErrUnrecoverable reports a failure-recovery gap: frames needed for
+	// retransmission were evicted from the bounded send log.
+	ErrUnrecoverable = errors.New("napletsocket: unrecoverable data loss after failure")
+	// ErrMigrated reports use of a Socket object whose agent has migrated
+	// away: the connection lives on, but this handle is dead — re-attach at
+	// the new host with Controller.AgentSocket.
+	ErrMigrated = errors.New("napletsocket: connection migrated with its agent; re-attach via AgentSocket")
+)
+
+// bufEntry is one frame held in the receive buffer or send log.
+type bufEntry struct {
+	Seq     uint64
+	Payload []byte
+	// ViaBuffer marks receive-buffer entries that crossed a migration in
+	// the buffer (the light dots of Figure 7).
+	ViaBuffer bool
+}
+
+// Observer receives a callback for every message delivered to the
+// application, for the Figure 7 instrumentation. fromBuffer is true when
+// the message was served from the migrated NapletInputStream buffer.
+type Observer func(seq uint64, payload []byte, fromBuffer bool)
+
+// Socket is one endpoint of a NapletSocket connection: the agent-oriented,
+// location-independent socket of the paper. It is created by
+// Controller.Open (client side) or ServerSocket.Accept (server side), and
+// remains usable across any number of migrations of either agent.
+//
+// Read and Write are safe for one reader and one writer concurrently (plus
+// the control plane); both block transparently while the connection is
+// suspended for a migration.
+type Socket struct {
+	ctrl *Controller
+	id   wire.ConnID
+	// localAgent and remoteAgent are fixed for the connection's lifetime.
+	localAgent, remoteAgent string
+	// highPriority is true when the local agent wins the hash-based
+	// migration priority of Section 3.1.
+	highPriority bool
+	sessionKey   []byte
+	auth         *dhkx.Authenticator
+	m            *fsm.Machine
+
+	// suspendOpMu serializes local suspend/resume/close operations.
+	suspendOpMu sync.Mutex
+	// drainMu makes drainAndClose single-entry: a second caller blocks
+	// until the first teardown finishes, then sees the socket gone.
+	drainMu sync.Mutex
+	// writeMu serializes frame writes (application data, retransmits, and
+	// the pre-suspend flush).
+	writeMu sync.Mutex
+
+	// mu guards everything below; cond is signalled on any change readers,
+	// writers, or waiters might care about.
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	sock net.Conn
+	fw   *wire.FrameWriter
+	// gen counts data-socket generations, so a stale reader goroutine's
+	// exit is ignored.
+	gen int
+
+	// Receive side (the NapletInputStream of Section 3.1).
+	recvBuf      []bufEntry
+	recvBytes    int
+	leftover     []byte
+	leftoverBuf  bool // provenance of leftover bytes
+	lastEnqueued uint64
+	// Drain bookkeeping during suspend.
+	suspending    bool
+	peerFlushSeen bool
+	peerFlushSeq  uint64
+	drained       bool
+
+	// Send side.
+	nextSendSeq uint64
+	sendLog     []bufEntry
+	sendLogSize int
+
+	// Peer addressing; updated by RESUME/SUS_RES messages when the peer
+	// moves.
+	peerControlAddr string
+	peerDataAddr    string
+
+	// Authentication counters.
+	sendNonce     uint64
+	lastPeerNonce uint64
+
+	// Concurrent-migration bookkeeping (Sections 3.1–3.2).
+	remoteSuspended bool
+	localSuspended  bool
+	owesSusRes      bool
+	parkedSuspend   bool
+	// susResReceived latches a SUS_RES that arrives before the local
+	// suspend has parked, so the release cannot be lost to the race.
+	susResReceived bool
+	// peerResumeParked records that we answered the peer's RESUME with
+	// RESUME_WAIT: the peer is pinned in RESUME_WAIT until we land and
+	// resume toward it, so a local suspend on this connection is already
+	// satisfied (Fig 5).
+	peerResumeParked bool
+
+	// Establishment bookkeeping (server side).
+	idReceived    bool
+	sockInstalled bool
+	accepted      bool
+
+	closed   bool
+	closeErr error
+	failing  bool
+
+	observer Observer
+}
+
+// agentPriority computes the deadlock-breaking migration priority of
+// Section 3.1: FNV-64a over the agent id, ties broken lexicographically.
+func agentPriority(local, remote string) bool {
+	hl, hr := fnv.New64a(), fnv.New64a()
+	hl.Write([]byte(local))
+	hr.Write([]byte(remote))
+	a, b := hl.Sum64(), hr.Sum64()
+	if a != b {
+		return a > b
+	}
+	return local > remote
+}
+
+func newSocket(ctrl *Controller, id wire.ConnID, local, remote string, key []byte, start fsm.State) (*Socket, error) {
+	auth, err := dhkx.NewAuthenticator(key)
+	if err != nil {
+		return nil, err
+	}
+	s := &Socket{
+		ctrl:         ctrl,
+		id:           id,
+		localAgent:   local,
+		remoteAgent:  remote,
+		highPriority: agentPriority(local, remote),
+		sessionKey:   append([]byte(nil), key...),
+		auth:         auth,
+		m:            fsm.NewMachine(start),
+		nextSendSeq:  1,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// ID returns the connection id shared by both endpoints; it is the stable
+// handle an agent can use to re-attach to the connection after a migration
+// (Controller.AgentSocket).
+func (s *Socket) ID() wire.ConnID { return s.id }
+
+// LocalAgent returns the agent id of this endpoint.
+func (s *Socket) LocalAgent() string { return s.localAgent }
+
+// RemoteAgent returns the agent id of the peer endpoint.
+func (s *Socket) RemoteAgent() string { return s.remoteAgent }
+
+// State returns the connection's protocol state.
+func (s *Socket) State() fsm.State { return s.m.State() }
+
+// Info is a point-in-time snapshot of a connection endpoint, for
+// monitoring, debugging, and tests.
+type Info struct {
+	ID                      wire.ConnID
+	LocalAgent, RemoteAgent string
+	// State is the protocol state name (Table 1 of the paper).
+	State string
+	// HighPriority reports whether the local agent wins the migration
+	// priority (Section 3.1).
+	HighPriority bool
+	// NextSendSeq and LastEnqueued are the data-stream cursors: the next
+	// outgoing frame number and the highest received frame number.
+	NextSendSeq, LastEnqueued uint64
+	// RecvBufferedBytes and RecvBufferedMsgs describe the NapletInputStream
+	// buffer contents.
+	RecvBufferedBytes, RecvBufferedMsgs int
+	// SendLogBytes is the retained retransmission log size.
+	SendLogBytes int
+	// PeerControlAddr and PeerDataAddr are the last known peer endpoints.
+	PeerControlAddr, PeerDataAddr string
+	// Closed reports a finalized connection.
+	Closed bool
+}
+
+// Info returns a snapshot of the endpoint.
+func (s *Socket) Info() Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Info{
+		ID:                s.id,
+		LocalAgent:        s.localAgent,
+		RemoteAgent:       s.remoteAgent,
+		State:             s.m.State().String(),
+		HighPriority:      s.highPriority,
+		NextSendSeq:       s.nextSendSeq,
+		LastEnqueued:      s.lastEnqueued,
+		RecvBufferedBytes: s.recvBytes + len(s.leftover),
+		RecvBufferedMsgs:  len(s.recvBuf),
+		SendLogBytes:      s.sendLogSize,
+		PeerControlAddr:   s.peerControlAddr,
+		PeerDataAddr:      s.peerDataAddr,
+		Closed:            s.closed,
+	}
+}
+
+// KillDataSocket forcibly closes the underlying data socket without any
+// protocol exchange — fault injection for the failure-recovery extension
+// (tests, ablations). The connection degrades to SUSPENDED and, unless
+// failure resume is disabled, heals automatically.
+func (s *Socket) KillDataSocket() {
+	s.mu.Lock()
+	sock := s.sock
+	s.mu.Unlock()
+	if sock != nil {
+		sock.Close()
+	}
+}
+
+// SetObserver installs a delivery observer (Figure 7 instrumentation).
+func (s *Socket) SetObserver(o Observer) {
+	s.mu.Lock()
+	s.observer = o
+	s.mu.Unlock()
+}
+
+// step drives the state machine, logging illegal transitions; callers pass
+// events they have already validated against the current state under mu.
+func (s *Socket) step(e fsm.Event) error {
+	_, err := s.m.Step(e)
+	if err != nil {
+		s.ctrl.logf("conn %s (%s<->%s): %v", s.id, s.localAgent, s.remoteAgent, err)
+	}
+	return err
+}
+
+// ---- data plane ----
+
+// installSocket adopts a fresh data socket: retransmits anything the peer
+// reports missing, recreates the framed streams, and starts the reader.
+// Callers transition the state machine afterwards.
+func (s *Socket) installSocket(sock net.Conn, peerHasUpTo uint64) error {
+	if wrap := s.ctrl.cfg.WrapData; wrap != nil {
+		sock = wrap(sock)
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+
+	s.mu.Lock()
+	// Trim acknowledged frames, then collect what the peer is missing.
+	s.trimSendLogLocked(peerHasUpTo)
+	var missing []bufEntry
+	if len(s.sendLog) > 0 && s.sendLog[0].Seq > peerHasUpTo+1 {
+		s.mu.Unlock()
+		sock.Close()
+		return fmt.Errorf("%w: peer has up to %d, log starts at %d",
+			ErrUnrecoverable, peerHasUpTo, s.sendLog[0].Seq)
+	}
+	missing = append(missing, s.sendLog...)
+	s.mu.Unlock()
+
+	bw := bufio.NewWriter(sock)
+	for _, e := range missing {
+		if err := wire.WriteFrame(bw, wire.Frame{Seq: e.Seq, Flags: wire.FlagData, Payload: e.Payload}); err != nil {
+			sock.Close()
+			return fmt.Errorf("napletsocket: retransmitting frame %d: %w", e.Seq, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		sock.Close()
+		return fmt.Errorf("napletsocket: flushing retransmits: %w", err)
+	}
+
+	s.mu.Lock()
+	s.sock = sock
+	s.gen++
+	gen := s.gen
+	s.fw = wire.NewFrameWriter(sock, s.nextSendSeq)
+	s.suspending = false
+	s.peerFlushSeen = false
+	s.drained = false
+	s.failing = false
+	s.localSuspended = false
+	s.remoteSuspended = false
+	s.susResReceived = false
+	s.peerResumeParked = false
+	s.sockInstalled = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	go s.readerLoop(sock, gen)
+	return nil
+}
+
+// readerLoop pulls frames off one data-socket generation into the receive
+// buffer until the socket ends — gracefully (peer flushed for a suspend) or
+// not (failure).
+func (s *Socket) readerLoop(sock net.Conn, gen int) {
+	br := bufio.NewReader(sock)
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			s.readerExit(gen, err)
+			return
+		}
+		switch {
+		case f.IsFlush():
+			s.mu.Lock()
+			if gen == s.gen {
+				s.peerFlushSeen = true
+				s.peerFlushSeq = f.Seq
+			}
+			s.mu.Unlock()
+		case f.IsData():
+			s.mu.Lock()
+			if gen != s.gen {
+				s.mu.Unlock()
+				return
+			}
+			// Flow control: hold off when the application is behind —
+			// except while draining for a suspend, when everything in
+			// flight must be captured into the buffer.
+			for s.recvBytes > maxRecvBuffer && !s.suspending && !s.closed && gen == s.gen {
+				s.cond.Wait()
+			}
+			if gen != s.gen || s.closed {
+				s.mu.Unlock()
+				return
+			}
+			// Sequence-number dedup makes redelivery idempotent.
+			if f.Seq > s.lastEnqueued {
+				s.recvBuf = append(s.recvBuf, bufEntry{Seq: f.Seq, Payload: f.Payload, ViaBuffer: s.suspending})
+				s.recvBytes += len(f.Payload)
+				s.lastEnqueued = f.Seq
+				s.cond.Broadcast()
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// readerExit classifies the end of a socket generation: a completed
+// suspend drain, a close, or a failure.
+func (s *Socket) readerExit(gen int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gen != s.gen || s.closed {
+		return
+	}
+	st := s.m.State()
+	// The peer's orderly teardown (flush marker then half-close) during any
+	// suspend or close in progress is a completed drain — even if our own
+	// drainAndClose has not started yet (its ACK may still be in flight).
+	orderly := s.peerFlushSeen && s.lastEnqueued >= s.peerFlushSeq
+	tearingDown := s.suspending || st != fsm.Established
+	if orderly && tearingDown {
+		s.drained = true
+		s.cond.Broadcast()
+		return
+	}
+	if st == fsm.CloseSent || st == fsm.CloseAcked || st == fsm.Closed {
+		// A close is in progress; EOF is expected, not a failure.
+		s.drained = true
+		s.cond.Broadcast()
+		return
+	}
+	// Unexpected end while established (or a botched drain): degrade to
+	// SUSPENDED and let failure recovery re-resume (extension; fsm Fail).
+	s.failLocked(err)
+}
+
+// failLocked moves an established connection to SUSPENDED after a data
+// socket failure and schedules recovery. Caller holds mu.
+func (s *Socket) failLocked(cause error) {
+	if s.failing || s.closed {
+		return
+	}
+	if s.m.State() != fsm.Established {
+		// Failures in other states are handled by the ops that own them.
+		s.cond.Broadcast()
+		return
+	}
+	s.failing = true
+	s.step(fsm.Fail)
+	if s.sock != nil {
+		s.sock.Close()
+		s.sock = nil
+		s.fw = nil
+	}
+	s.sockInstalled = false
+	s.cond.Broadcast()
+	s.ctrl.logf("conn %s: data socket failed (%v); degraded to SUSPENDED", s.id, cause)
+	if s.ctrl.cfg.DisableFailureResume {
+		return
+	}
+	delay := s.ctrl.cfg.failureResumeDelay(s.highPriority)
+	go s.failureResume(delay)
+}
+
+// failureResume re-resumes a connection that degraded to SUSPENDED. The
+// high-priority side fires first; the low-priority side is a late fallback,
+// and the resume-race rules sort out collisions.
+func (s *Socket) failureResume(delay time.Duration) {
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-s.ctrl.done:
+		return
+	}
+	s.mu.Lock()
+	stillDown := s.failing && !s.closed && s.m.State() == fsm.Suspended
+	migrating := s.ctrl.isMigrating(s.localAgent)
+	s.mu.Unlock()
+	if !stillDown || migrating {
+		return
+	}
+	if err := s.Resume(); err != nil && !errors.Is(err, ErrClosed) {
+		s.ctrl.logf("conn %s: failure resume: %v", s.id, err)
+	}
+}
+
+// Read reads application bytes, serving the migrated buffer before the live
+// socket. It blocks transparently across suspensions and returns io.EOF
+// once the connection is closed and the buffer is empty.
+func (s *Socket) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.leftover) > 0 {
+			n := copy(p, s.leftover)
+			s.leftover = s.leftover[n:]
+			return n, nil
+		}
+		if len(s.recvBuf) > 0 {
+			e := s.recvBuf[0]
+			s.recvBuf = s.recvBuf[1:]
+			s.recvBytes -= len(e.Payload)
+			s.cond.Broadcast() // reader may be flow-controlled
+			if obs := s.observer; obs != nil {
+				obs(e.Seq, e.Payload, e.ViaBuffer)
+			}
+			n := copy(p, e.Payload)
+			s.leftover = e.Payload[n:]
+			s.leftoverBuf = e.ViaBuffer
+			return n, nil
+		}
+		if s.closed {
+			if s.closeErr != nil {
+				return 0, s.closeErr
+			}
+			return 0, io.EOF
+		}
+		s.cond.Wait()
+	}
+}
+
+// ReadMsg reads one whole message (one writer-side WriteMsg / Write call's
+// frame), preserving message boundaries. It must not be mixed with Read on
+// the same socket.
+func (s *Socket) ReadMsg() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.recvBuf) > 0 {
+			e := s.recvBuf[0]
+			s.recvBuf = s.recvBuf[1:]
+			s.recvBytes -= len(e.Payload)
+			s.cond.Broadcast()
+			if obs := s.observer; obs != nil {
+				obs(e.Seq, e.Payload, e.ViaBuffer)
+			}
+			return e.Payload, nil
+		}
+		if s.closed {
+			if s.closeErr != nil {
+				return nil, s.closeErr
+			}
+			return nil, io.EOF
+		}
+		s.cond.Wait()
+	}
+}
+
+// Write sends application bytes, splitting them into sequence-numbered
+// frames. It blocks transparently while the connection is suspended and
+// returns only after every frame is handed to the transport.
+func (s *Socket) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		chunk := p
+		if len(chunk) > wire.MaxFramePayload {
+			chunk = chunk[:wire.MaxFramePayload]
+		}
+		if err := s.writeFrame(chunk); err != nil {
+			return total, err
+		}
+		total += len(chunk)
+		p = p[len(chunk):]
+	}
+	return total, nil
+}
+
+// WriteMsg sends one payload as exactly one frame, preserving message
+// boundaries for ReadMsg.
+func (s *Socket) WriteMsg(p []byte) error {
+	if len(p) > wire.MaxFramePayload {
+		return fmt.Errorf("napletsocket: message of %d bytes exceeds frame limit %d", len(p), wire.MaxFramePayload)
+	}
+	return s.writeFrame(p)
+}
+
+// writeFrame sends one frame, waiting out suspensions and retrying across
+// failures; the frame's sequence number is fixed on first attempt so a
+// retry after a failure cannot duplicate delivery.
+func (s *Socket) writeFrame(p []byte) error {
+	for {
+		// Wait until the connection is writable.
+		s.mu.Lock()
+		for !(s.m.State() == fsm.Established && s.sock != nil && !s.suspending) {
+			if s.closed {
+				err := s.closedErrLocked()
+				s.mu.Unlock()
+				return err
+			}
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+
+		s.writeMu.Lock()
+		s.mu.Lock()
+		writable := s.m.State() == fsm.Established && s.sock != nil && !s.suspending
+		if s.closed {
+			err := s.closedErrLocked()
+			s.mu.Unlock()
+			s.writeMu.Unlock()
+			return err
+		}
+		if !writable {
+			s.mu.Unlock()
+			s.writeMu.Unlock()
+			continue
+		}
+		fw := s.fw
+		s.mu.Unlock()
+
+		seq, err := fw.WriteData(p)
+		if err == nil {
+			s.mu.Lock()
+			s.nextSendSeq = seq + 1
+			s.appendSendLogLocked(seq, p)
+			s.mu.Unlock()
+			s.writeMu.Unlock()
+			return nil
+		}
+		s.writeMu.Unlock()
+		// The socket died under us: degrade and retry after recovery. The
+		// peer dedups by sequence number, so rewriting is safe.
+		s.mu.Lock()
+		s.failLocked(err)
+		s.mu.Unlock()
+	}
+}
+
+func (s *Socket) appendSendLogLocked(seq uint64, p []byte) {
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	s.sendLog = append(s.sendLog, bufEntry{Seq: seq, Payload: cp})
+	s.sendLogSize += len(cp)
+	for s.sendLogSize > maxSendLog && len(s.sendLog) > 1 {
+		s.sendLogSize -= len(s.sendLog[0].Payload)
+		s.sendLog = s.sendLog[1:]
+	}
+}
+
+// trimSendLogLocked drops frames the peer confirmed receiving.
+func (s *Socket) trimSendLogLocked(peerHasUpTo uint64) {
+	i := 0
+	for i < len(s.sendLog) && s.sendLog[i].Seq <= peerHasUpTo {
+		s.sendLogSize -= len(s.sendLog[i].Payload)
+		i++
+	}
+	s.sendLog = s.sendLog[i:]
+}
+
+// drainAndClose executes the suspend-side teardown of the data socket:
+// flush marker, half-close, drain the inbound direction to EOF into the
+// buffer, then close. It is idempotent; a second call while suspended is a
+// no-op. On a drain timeout the socket is failed rather than suspended
+// cleanly (the send log covers the gap at resume).
+func (s *Socket) drainAndClose() {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	s.mu.Lock()
+	if s.sock == nil {
+		s.mu.Unlock()
+		return
+	}
+	s.suspending = true
+	sock := s.sock
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	// Write the flush marker after any in-flight application frame.
+	s.writeMu.Lock()
+	s.mu.Lock()
+	fw := s.fw
+	s.mu.Unlock()
+	var flushErr error
+	if fw != nil {
+		flushErr = fw.WriteFlush()
+	}
+	s.writeMu.Unlock()
+	if flushErr == nil {
+		if cw, ok := sock.(interface{ CloseWrite() error }); ok {
+			flushErr = cw.CloseWrite()
+		}
+	}
+
+	// Wait for the reader to drain the peer's flush; bound the wait so a
+	// dead peer cannot wedge a migration.
+	deadline := time.Now().Add(s.ctrl.cfg.drainTimeout())
+	s.mu.Lock()
+	for !s.drained && !s.closed && s.sock != nil && flushErr == nil {
+		if time.Now().After(deadline) {
+			break
+		}
+		waitCond(s.cond, 20*time.Millisecond)
+	}
+	graceful := s.drained
+	if s.sock != nil {
+		s.sock.Close()
+		s.sock = nil
+		s.fw = nil
+	}
+	s.sockInstalled = false
+	s.suspending = false
+	s.drained = false
+	s.peerFlushSeen = false
+	if graceful {
+		// Drain handshake proves the peer received everything we sent.
+		s.sendLog = nil
+		s.sendLogSize = 0
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// waitCond waits on c with a timeout, implemented with a helper timer
+// because sync.Cond has no native timed wait.
+func waitCond(c *sync.Cond, d time.Duration) {
+	done := make(chan struct{})
+	t := time.AfterFunc(d, func() {
+		c.L.Lock()
+		select {
+		case <-done:
+		default:
+			c.Broadcast()
+		}
+		c.L.Unlock()
+	})
+	c.Wait()
+	close(done)
+	t.Stop()
+}
+
+// closedErrLocked reports why the connection is unusable. Caller holds mu.
+func (s *Socket) closedErrLocked() error {
+	if s.closeErr != nil {
+		return s.closeErr
+	}
+	return ErrClosed
+}
+
+// markClosedLocked finalizes the connection. Caller holds mu.
+func (s *Socket) markClosedLocked(err error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.closeErr = err
+	if s.sock != nil {
+		s.sock.Close()
+		s.sock = nil
+		s.fw = nil
+	}
+	s.cond.Broadcast()
+}
+
+// waitState blocks until the machine is in one of the wanted states, the
+// connection closes, or the timeout passes. It reports the final state.
+func (s *Socket) waitState(timeout time.Duration, wanted ...fsm.State) (fsm.State, error) {
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		cur := s.m.State()
+		for _, w := range wanted {
+			if cur == w {
+				return cur, nil
+			}
+		}
+		if s.closed {
+			return cur, ErrClosed
+		}
+		if time.Now().After(deadline) {
+			return cur, fmt.Errorf("napletsocket: timeout waiting for state %v (at %s)", wanted, cur)
+		}
+		waitCond(s.cond, 20*time.Millisecond)
+	}
+}

@@ -1,0 +1,833 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"naplet/internal/agent"
+	"naplet/internal/dhkx"
+	"naplet/internal/fsm"
+	"naplet/internal/metrics"
+	"naplet/internal/naming"
+	"naplet/internal/rudp"
+	"naplet/internal/security"
+	"naplet/internal/wire"
+)
+
+// Locator is the read side of the agent location service the controller
+// needs: agent id to current location.
+type Locator interface {
+	Lookup(ctx context.Context, agentID string) (naming.Record, error)
+}
+
+// Config configures a Controller.
+type Config struct {
+	// HostName names the host this controller serves.
+	HostName string
+	// ControlAddr is the UDP control-channel bind address ("" for an
+	// ephemeral loopback port); DataAddr likewise for the redirector.
+	ControlAddr string
+	DataAddr    string
+	// Guard enforces agent-oriented access control (required).
+	Guard *security.Guard
+	// Locator resolves agents at connection setup (required).
+	Locator Locator
+	// Insecure disables the Diffie-Hellman key exchange and the
+	// authentication/authorization checks at setup — the paper's
+	// "NapletSocket w/o security" configuration. Control messages are
+	// still tagged under a connection-id-derived key so the protocol shape
+	// is unchanged. Both hosts of a connection must agree on this setting.
+	Insecure bool
+	// DisableFailureResume turns off the fault-tolerance extension
+	// (automatic re-resume after a data socket failure).
+	DisableFailureResume bool
+	// OpTimeout bounds each control exchange; ParkTimeout bounds waits on
+	// peer migrations (SUSPEND_WAIT / RESUME_WAIT / resume retries).
+	// Defaults: 5s and 60s.
+	OpTimeout   time.Duration
+	ParkTimeout time.Duration
+	// DrainTimeout bounds the pre-suspend drain. Default 5s.
+	DrainTimeout time.Duration
+	// OpenBreakdown, when non-nil, accumulates the Figure 8 phase timings
+	// of every Open issued through this controller.
+	OpenBreakdown *metrics.Breakdown
+	// ControlSendDelay applies emulated one-way latency to outgoing control
+	// packets (forwarded to the reliable-UDP endpoint).
+	ControlSendDelay time.Duration
+	// WrapData, when non-nil, wraps every data socket as it is installed —
+	// the hook for network emulation (internal/netem) or transport
+	// security. The wrapper should preserve CloseWrite when the underlying
+	// connection supports it, or the pre-suspend drain degrades to the
+	// ungraceful (send-log) path.
+	WrapData func(net.Conn) net.Conn
+	// Logf, when non-nil, receives diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) opTimeout() time.Duration {
+	if c.OpTimeout > 0 {
+		return c.OpTimeout
+	}
+	return 5 * time.Second
+}
+
+func (c Config) parkTimeout() time.Duration {
+	if c.ParkTimeout > 0 {
+		return c.ParkTimeout
+	}
+	return 60 * time.Second
+}
+
+func (c Config) drainTimeout() time.Duration {
+	if c.DrainTimeout > 0 {
+		return c.DrainTimeout
+	}
+	return 5 * time.Second
+}
+
+func (c Config) failureResumeDelay(highPriority bool) time.Duration {
+	if highPriority {
+		return 50 * time.Millisecond
+	}
+	return time.Second
+}
+
+// Controller is the per-host NapletSocket manager of Section 2.1: it owns
+// the control channel and redirector shared by all connections, performs
+// the security-checked connection setup on behalf of agents (the proxy
+// service of Section 3.3), executes the state machine for every resident
+// connection, and acts as the migration hook that suspends and resumes an
+// agent's connections around each hop.
+type Controller struct {
+	cfg Config
+	ep  *rudp.Endpoint
+	red *redirector
+	rv  *rendezvous
+
+	mu        sync.Mutex
+	conns     map[connKey]*Socket
+	byAgent   map[string]map[wire.ConnID]*Socket
+	listeners map[string]*ServerSocket
+	migrating map[string]bool
+	closed    bool
+
+	// closing silences diagnostics once Close begins (the logger may be a
+	// testing.T that must not be used after the test ends).
+	closing atomic.Bool
+
+	done chan struct{}
+}
+
+// NewController starts a controller: the control endpoint and redirector
+// are live when it returns.
+func NewController(cfg Config) (*Controller, error) {
+	if cfg.Guard == nil || cfg.Locator == nil {
+		return nil, errors.New("napletsocket: Config requires Guard and Locator")
+	}
+	ctrl := &Controller{
+		cfg:       cfg,
+		rv:        newRendezvous(),
+		conns:     make(map[connKey]*Socket),
+		byAgent:   make(map[string]map[wire.ConnID]*Socket),
+		listeners: make(map[string]*ServerSocket),
+		migrating: make(map[string]bool),
+		done:      make(chan struct{}),
+	}
+	ep, err := rudp.Listen(cfg.ControlAddr, ctrl.handleControl, rudp.Config{SendDelay: cfg.ControlSendDelay})
+	if err != nil {
+		return nil, err
+	}
+	ctrl.ep = ep
+	red, err := newRedirector(ctrl, cfg.DataAddr)
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	ctrl.red = red
+	return ctrl, nil
+}
+
+// ControlAddr returns the control channel's UDP address.
+func (ctrl *Controller) ControlAddr() string { return ctrl.ep.Addr().String() }
+
+// DataAddr returns the redirector's TCP address.
+func (ctrl *Controller) DataAddr() string { return ctrl.red.addr() }
+
+// ControlStats exposes the control channel's counters.
+func (ctrl *Controller) ControlStats() rudp.Stats { return ctrl.ep.Stats() }
+
+// Stats is a snapshot of the controller's load.
+type Stats struct {
+	// Connections is the number of resident connection endpoints.
+	Connections int
+	// ByState counts resident connections per protocol state name.
+	ByState map[string]int
+	// Listeners is the number of open server sockets.
+	Listeners int
+	// MigratingAgents counts agents currently in their suspend phase.
+	MigratingAgents int
+}
+
+// Stats returns a snapshot of the controller's load, for monitoring and
+// tests.
+func (ctrl *Controller) Stats() Stats {
+	ctrl.mu.Lock()
+	conns := make([]*Socket, 0, len(ctrl.conns))
+	for _, s := range ctrl.conns {
+		conns = append(conns, s)
+	}
+	st := Stats{
+		Connections: len(ctrl.conns),
+		ByState:     make(map[string]int),
+		Listeners:   len(ctrl.listeners),
+	}
+	for range ctrl.migrating {
+		st.MigratingAgents++
+	}
+	ctrl.mu.Unlock()
+	for _, s := range conns {
+		st.ByState[s.State().String()]++
+	}
+	return st
+}
+
+// Close shuts the controller down; open connections are torn down locally.
+func (ctrl *Controller) Close() error {
+	ctrl.mu.Lock()
+	if ctrl.closed {
+		ctrl.mu.Unlock()
+		return nil
+	}
+	ctrl.closed = true
+	ctrl.closing.Store(true)
+	conns := make([]*Socket, 0, len(ctrl.conns))
+	for _, s := range ctrl.conns {
+		conns = append(conns, s)
+	}
+	ctrl.mu.Unlock()
+	close(ctrl.done)
+	for _, s := range conns {
+		s.mu.Lock()
+		s.markClosedLocked(nil)
+		s.mu.Unlock()
+	}
+	err := ctrl.red.close()
+	if eerr := ctrl.ep.Close(); err == nil {
+		err = eerr
+	}
+	return err
+}
+
+func (ctrl *Controller) logf(format string, args ...any) {
+	if ctrl.closing.Load() {
+		return
+	}
+	if ctrl.cfg.Logf != nil {
+		ctrl.cfg.Logf(format, args...)
+	} else {
+		log.Printf(format, args...)
+	}
+}
+
+func (ctrl *Controller) isMigrating(agentID string) bool {
+	ctrl.mu.Lock()
+	defer ctrl.mu.Unlock()
+	return ctrl.migrating[agentID]
+}
+
+// registerConn adds a socket to the controller's tables.
+func (ctrl *Controller) registerConn(s *Socket) {
+	ctrl.mu.Lock()
+	defer ctrl.mu.Unlock()
+	ctrl.conns[connKey{id: s.id, agent: s.localAgent}] = s
+	agents := ctrl.byAgent[s.localAgent]
+	if agents == nil {
+		agents = make(map[wire.ConnID]*Socket)
+		ctrl.byAgent[s.localAgent] = agents
+	}
+	agents[s.id] = s
+}
+
+// dropConn removes a socket from the tables.
+func (ctrl *Controller) dropConn(s *Socket) {
+	ctrl.mu.Lock()
+	defer ctrl.mu.Unlock()
+	delete(ctrl.conns, connKey{id: s.id, agent: s.localAgent})
+	if agents := ctrl.byAgent[s.localAgent]; agents != nil {
+		delete(agents, s.id)
+		if len(agents) == 0 {
+			delete(ctrl.byAgent, s.localAgent)
+		}
+	}
+	ctrl.rv.disarm(connKey{id: s.id, agent: s.localAgent})
+}
+
+// connByKey fetches a resident connection endpoint by id and local agent.
+func (ctrl *Controller) connByKey(id wire.ConnID, localAgent string) (*Socket, bool) {
+	ctrl.mu.Lock()
+	defer ctrl.mu.Unlock()
+	s, ok := ctrl.conns[connKey{id: id, agent: localAgent}]
+	return s, ok
+}
+
+// AgentSocket re-attaches an agent to one of its connections by id — the
+// post-migration handle, since live Socket values cannot travel inside a
+// gob-encoded behaviour.
+func (ctrl *Controller) AgentSocket(agentID string, id wire.ConnID) (*Socket, error) {
+	ctrl.mu.Lock()
+	defer ctrl.mu.Unlock()
+	s, ok := ctrl.byAgent[agentID][id]
+	if !ok {
+		return nil, fmt.Errorf("napletsocket: agent %s has no connection %s here", agentID, id)
+	}
+	return s, nil
+}
+
+// AgentSockets lists an agent's resident connections.
+func (ctrl *Controller) AgentSockets(agentID string) []*Socket {
+	ctrl.mu.Lock()
+	defer ctrl.mu.Unlock()
+	out := make([]*Socket, 0, len(ctrl.byAgent[agentID]))
+	for _, s := range ctrl.byAgent[agentID] {
+		out = append(out, s)
+	}
+	return out
+}
+
+// sessionKeyFor derives the connection's session key: from the DH shared
+// secret normally, or from the connection id alone in insecure mode (keeps
+// the tagging machinery uniform without the key exchange cost).
+func (ctrl *Controller) sessionKeyFor(id wire.ConnID, secret []byte) []byte {
+	if ctrl.cfg.Insecure {
+		return dhkx.DeriveSessionKey(id[:], id[:])
+	}
+	return dhkx.DeriveSessionKey(secret, id[:])
+}
+
+// ---- control-channel dispatch ----
+
+func (ctrl *Controller) handleControl(_ *net.UDPAddr, req []byte) []byte {
+	m, err := wire.DecodeControlMsg(req)
+	if err != nil {
+		ctrl.logf("control %s: %v", ctrl.cfg.HostName, err)
+		return rejectReply(wire.ZeroConnID, "malformed control message")
+	}
+	switch m.Type {
+	case wire.MsgConnect:
+		return ctrl.handleConnect(m)
+	case wire.MsgHeartbeat:
+		return (&wire.ControlReply{Verdict: wire.VerdictAck, ConnID: m.ConnID}).Encode()
+	}
+	s, ok := ctrl.connByKey(m.ConnID, m.To)
+	if !ok {
+		return rejectReply(m.ConnID, reasonUnknownConn)
+	}
+	if err := s.checkAuth(m); err != nil {
+		ctrl.logf("control %s: %v", ctrl.cfg.HostName, err)
+		return rejectReply(m.ConnID, "authentication failed")
+	}
+	switch m.Type {
+	case wire.MsgIDExchange:
+		return s.handleIDExchange(m)
+	case wire.MsgSuspend:
+		return s.handleSuspend(m)
+	case wire.MsgSusRes:
+		return s.handleSusRes(m)
+	case wire.MsgResume:
+		return s.handleResume(m)
+	case wire.MsgClose:
+		return s.handleClose(m)
+	default:
+		return rejectReply(m.ConnID, fmt.Sprintf("unsupported message %s", m.Type))
+	}
+}
+
+// rejectReply builds an unsigned rejection (no session context).
+func rejectReply(id wire.ConnID, reason string) []byte {
+	return (&wire.ControlReply{Verdict: wire.VerdictReject, ConnID: id, Reason: reason}).Encode()
+}
+
+// authorizeHandoff validates an arriving data socket's handoff header
+// against the connection it claims (Section 3.3: only the holders of the
+// session key can attach a socket to a connection).
+func (ctrl *Controller) authorizeHandoff(hdr *wire.HandoffHeader) error {
+	s, ok := ctrl.connByKey(hdr.ConnID, hdr.TargetAgent)
+	if !ok {
+		return fmt.Errorf("unknown connection %s", hdr.ConnID)
+	}
+	if !s.auth.Verify(hdr.SigningBytes(), hdr.Token) {
+		return errors.New("bad handoff token")
+	}
+	if hdr.FromAgent != s.remoteAgent {
+		return errors.New("handoff agent mismatch")
+	}
+	return nil
+}
+
+// ---- connection establishment (Sections 2.2 and 3.4) ----
+
+// Open establishes a NapletSocket connection from a resident agent to the
+// named remote agent, through the controller's proxy service: the agent is
+// authenticated and checked against policy, the target located, a session
+// key agreed, and the data socket delivered by the target's redirector
+// (socket handoff, saving the port-query round trip of Section 3.4).
+func (ctrl *Controller) Open(actx *agent.Context, target string) (*Socket, error) {
+	return ctrl.OpenAs(actx.AgentID(), actx.Credential(), target)
+}
+
+// OpenAs is Open with explicit agent identity, for callers outside a
+// behaviour context (tests, tools).
+func (ctrl *Controller) OpenAs(agentID string, cred [security.CredentialSize]byte, target string) (*Socket, error) {
+	bd := ctrl.cfg.OpenBreakdown
+	ctx, cancel := context.WithTimeout(context.Background(), ctrl.cfg.opTimeout())
+	defer cancel()
+
+	// Security check: authenticate the requesting agent and verify policy
+	// (skipped in the paper's "w/o security" configuration).
+	if !ctrl.cfg.Insecure {
+		start := time.Now()
+		err := ctrl.cfg.Guard.Check(agentID, cred, security.Permission{
+			Action: security.ActionConnect, Resource: target,
+		})
+		bd.Add(metrics.PhaseSecurityCheck, time.Since(start))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Management: allocate the connection id and locate the target agent.
+	start := time.Now()
+	id, err := wire.NewConnID()
+	if err != nil {
+		return nil, err
+	}
+	rec, err := ctrl.cfg.Locator.Lookup(ctx, target)
+	bd.Add(metrics.PhaseManagement, time.Since(start))
+	if err != nil {
+		return nil, fmt.Errorf("napletsocket: locating agent %q: %w", target, err)
+	}
+	if rec.Loc.ControlAddr == "" || rec.Loc.DataAddr == "" {
+		return nil, fmt.Errorf("napletsocket: agent %q's host has no NapletSocket service", target)
+	}
+
+	// Key exchange, client half: generate the ephemeral key pair.
+	var kp *dhkx.KeyPair
+	if !ctrl.cfg.Insecure {
+		start = time.Now()
+		kp, err = dhkx.GenerateKeyPair()
+		bd.Add(metrics.PhaseKeyExchange, time.Since(start))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Handshake: CONNECT carrying our public value and redirector address.
+	m := &wire.ControlMsg{
+		Type:        wire.MsgConnect,
+		ConnID:      id,
+		From:        agentID,
+		To:          target,
+		DataAddr:    ctrl.DataAddr(),
+		ControlAddr: ctrl.ControlAddr(),
+	}
+	if kp != nil {
+		m.Payload = kp.PublicBytes()
+	}
+	start = time.Now()
+	raw, err := ctrl.ep.Request(ctx, rec.Loc.ControlAddr, m.Encode())
+	bd.Add(metrics.PhaseHandshaking, time.Since(start))
+	if err != nil {
+		return nil, fmt.Errorf("napletsocket: CONNECT to %q: %w", target, err)
+	}
+	reply, err := wire.DecodeControlReply(raw)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Verdict != wire.VerdictAck {
+		return nil, fmt.Errorf("napletsocket: connection to %q refused: %s", target, reply.Reason)
+	}
+
+	// Key exchange, client half: derive the session key.
+	var key []byte
+	if ctrl.cfg.Insecure {
+		key = ctrl.sessionKeyFor(id, nil)
+	} else {
+		start = time.Now()
+		secret, serr := kp.SharedSecret(reply.Payload)
+		if serr == nil {
+			key = ctrl.sessionKeyFor(id, secret)
+		}
+		bd.Add(metrics.PhaseKeyExchange, time.Since(start))
+		if serr != nil {
+			return nil, fmt.Errorf("napletsocket: key exchange with %q: %w", target, serr)
+		}
+	}
+
+	s, err := newSocket(ctrl, id, agentID, target, key, fsm.Closed)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.step(fsm.AppOpen) // -> CONNECT_SENT
+	s.peerControlAddr = rec.Loc.ControlAddr
+	s.peerDataAddr = rec.Loc.DataAddr
+	s.mu.Unlock()
+	ctrl.registerConn(s)
+
+	fail := func(err error) (*Socket, error) {
+		ctrl.dropConn(s)
+		s.mu.Lock()
+		s.markClosedLocked(err)
+		s.mu.Unlock()
+		return nil, err
+	}
+
+	// Open socket: dial the target's redirector and hand ourselves off.
+	start = time.Now()
+	err = s.dialConnect(target)
+	bd.Add(metrics.PhaseOpenSocket, time.Since(start))
+	if err != nil {
+		return fail(err)
+	}
+
+	// Final handshake: report our socket id (the ID message of Fig 3).
+	start = time.Now()
+	idReply, err := s.request(ctx, wire.MsgIDExchange, nil)
+	bd.Add(metrics.PhaseHandshaking, time.Since(start))
+	if err != nil {
+		return fail(fmt.Errorf("napletsocket: ID exchange with %q: %w", target, err))
+	}
+	if idReply.Verdict != wire.VerdictAck {
+		return fail(fmt.Errorf("napletsocket: ID exchange with %q refused: %s", target, idReply.Reason))
+	}
+	s.mu.Lock()
+	if s.m.State() == fsm.ConnectSent {
+		s.step(fsm.RecvConnectAck) // -> ESTABLISHED
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// dialConnect performs the connect-time socket handoff.
+func (s *Socket) dialConnect(target string) error {
+	s.mu.Lock()
+	addr := s.peerDataAddr
+	s.sendNonce++
+	hdr := &wire.HandoffHeader{
+		Purpose:     wire.HandoffConnect,
+		ConnID:      s.id,
+		TargetAgent: target,
+		FromAgent:   s.localAgent,
+		Nonce:       s.sendNonce,
+	}
+	s.mu.Unlock()
+	hdr.Token = s.auth.Sign(hdr.SigningBytes())
+
+	sock, err := net.DialTimeout("tcp", addr, s.ctrl.cfg.opTimeout())
+	if err != nil {
+		return err
+	}
+	sock.SetDeadline(time.Now().Add(s.ctrl.cfg.opTimeout()))
+	if err := hdr.Write(sock); err != nil {
+		sock.Close()
+		return err
+	}
+	status, err := wire.ReadHandoffStatus(sock)
+	if err != nil {
+		sock.Close()
+		return err
+	}
+	if status != wire.HandoffOK {
+		sock.Close()
+		return errors.New("napletsocket: connect handoff denied")
+	}
+	sock.SetDeadline(time.Time{})
+	return s.installSocket(sock, 0)
+}
+
+// handleConnect serves a CONNECT request on the server side: policy check,
+// key agreement, connection creation, and redirector arming. The reply
+// carries our DH public value; establishment completes when both the data
+// socket (via the redirector) and the client's ID message arrive.
+func (ctrl *Controller) handleConnect(m *wire.ControlMsg) []byte {
+	target := m.To
+	ctrl.mu.Lock()
+	ss := ctrl.listeners[target]
+	closed := ctrl.closed
+	ctrl.mu.Unlock()
+	if closed {
+		return rejectReply(m.ConnID, "host closing")
+	}
+	if ss == nil || ss.isClosed() {
+		return rejectReply(m.ConnID, fmt.Sprintf("%s: agent %q is not listening here", reasonRetry, target))
+	}
+	if m.ConnID.IsZero() || m.From == "" {
+		return rejectReply(m.ConnID, "malformed CONNECT")
+	}
+	if _, dup := ctrl.connByKey(m.ConnID, target); dup {
+		return rejectReply(m.ConnID, "duplicate connection id")
+	}
+
+	// Server-side security check: the listening agent's policy must accept
+	// connections (checked against the dialing agent as resource).
+	bd := ctrl.cfg.OpenBreakdown
+	if !ctrl.cfg.Insecure {
+		start := time.Now()
+		err := ctrl.cfg.Guard.Check(target, ss.cred, security.Permission{
+			Action: security.ActionListen, Resource: m.From,
+		})
+		bd.Add(metrics.PhaseSecurityCheck, time.Since(start))
+		if err != nil {
+			return rejectReply(m.ConnID, "refused by policy")
+		}
+	}
+
+	// Key agreement, server half.
+	var key, pub []byte
+	if ctrl.cfg.Insecure {
+		key = ctrl.sessionKeyFor(m.ConnID, nil)
+	} else {
+		start := time.Now()
+		kp, err := dhkx.GenerateKeyPair()
+		if err != nil {
+			return rejectReply(m.ConnID, "key generation failed")
+		}
+		secret, err := kp.SharedSecret(m.Payload)
+		if err != nil {
+			bd.Add(metrics.PhaseKeyExchange, time.Since(start))
+			return rejectReply(m.ConnID, "invalid client public key")
+		}
+		key = ctrl.sessionKeyFor(m.ConnID, secret)
+		pub = kp.PublicBytes()
+		bd.Add(metrics.PhaseKeyExchange, time.Since(start))
+	}
+
+	s, err := newSocket(ctrl, m.ConnID, target, m.From, key, fsm.Listen)
+	if err != nil {
+		return rejectReply(m.ConnID, "internal error")
+	}
+	s.mu.Lock()
+	s.step(fsm.RecvConnect) // -> CONNECT_ACKED
+	s.peerControlAddr = m.ControlAddr
+	s.peerDataAddr = m.DataAddr
+	s.mu.Unlock()
+	ctrl.registerConn(s)
+
+	// Await the handoff socket; establishment completes in
+	// completeEstablishment once the ID message has arrived too.
+	ch := ctrl.rv.arm(connKey{id: s.id, agent: s.localAgent})
+	go func() {
+		t := time.NewTimer(ctrl.cfg.opTimeout())
+		defer t.Stop()
+		select {
+		case sock := <-ch:
+			if err := s.installSocket(sock, 0); err != nil {
+				ctrl.logf("conn %s: installing accepted socket: %v", s.id, err)
+				ctrl.dropConn(s)
+				return
+			}
+			s.completeEstablishment(ss)
+		case <-t.C:
+			ctrl.rv.disarm(connKey{id: s.id, agent: s.localAgent})
+			ctrl.dropConn(s)
+			s.mu.Lock()
+			s.markClosedLocked(errors.New("napletsocket: connect handoff never arrived"))
+			s.mu.Unlock()
+		case <-ctrl.done:
+		}
+	}()
+
+	r := &wire.ControlReply{Verdict: wire.VerdictAck, ConnID: m.ConnID, Payload: pub}
+	r.Tag = s.auth.Sign(r.SigningBytes())
+	return r.Encode()
+}
+
+// handleIDExchange completes establishment on the server side (the client's
+// socket-id confirmation of Fig 3).
+func (s *Socket) handleIDExchange(_ *wire.ControlMsg) []byte {
+	s.mu.Lock()
+	s.idReceived = true
+	s.mu.Unlock()
+	s.ctrl.mu.Lock()
+	ss := s.ctrl.listeners[s.localAgent]
+	s.ctrl.mu.Unlock()
+	if ss == nil {
+		return s.reply(wire.VerdictReject, func(r *wire.ControlReply) { r.Reason = reasonUnknownConn })
+	}
+	s.completeEstablishment(ss)
+	return s.reply(wire.VerdictAck, nil)
+}
+
+// completeEstablishment fires when both the data socket and the ID message
+// are in: the connection becomes ESTABLISHED and is queued for Accept.
+func (s *Socket) completeEstablishment(ss *ServerSocket) {
+	s.mu.Lock()
+	ready := s.idReceived && s.sockInstalled && s.m.State() == fsm.ConnectAcked
+	if ready {
+		s.step(fsm.RecvID) // -> ESTABLISHED
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	if ready {
+		ss.push(s)
+	}
+}
+
+// ---- server sockets ----
+
+// ServerSocket is the NapletServerSocket of the paper: the agent-oriented
+// accept endpoint. An agent has at most one per host; connections arrive
+// already established and security-checked.
+type ServerSocket struct {
+	ctrl    *Controller
+	agentID string
+	cred    [security.CredentialSize]byte
+
+	mu      sync.Mutex
+	queue   []*Socket
+	arrival chan struct{}
+	closed  bool
+}
+
+// Listen creates (or returns) the resident agent's server socket, after a
+// security check through the proxy service.
+func (ctrl *Controller) Listen(actx *agent.Context) (*ServerSocket, error) {
+	return ctrl.ListenAs(actx.AgentID(), actx.Credential())
+}
+
+// ListenAs is Listen with explicit agent identity.
+func (ctrl *Controller) ListenAs(agentID string, cred [security.CredentialSize]byte) (*ServerSocket, error) {
+	if !ctrl.cfg.Insecure {
+		if err := ctrl.cfg.Guard.Check(agentID, cred, security.Permission{
+			Action: security.ActionListen, Resource: "*",
+		}); err != nil {
+			return nil, err
+		}
+	}
+	ctrl.mu.Lock()
+	defer ctrl.mu.Unlock()
+	if ss, ok := ctrl.listeners[agentID]; ok && !ss.isClosed() {
+		return ss, nil
+	}
+	ss := &ServerSocket{ctrl: ctrl, agentID: agentID, cred: cred, arrival: make(chan struct{})}
+	ctrl.listeners[agentID] = ss
+	return ss, nil
+}
+
+func (ss *ServerSocket) isClosed() bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.closed
+}
+
+func (ss *ServerSocket) push(s *Socket) {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		s.Close()
+		return
+	}
+	ss.queue = append(ss.queue, s)
+	close(ss.arrival)
+	ss.arrival = make(chan struct{})
+	ss.mu.Unlock()
+}
+
+// Accept returns the next established connection, blocking until one
+// arrives or ctx is done.
+func (ss *ServerSocket) Accept(ctx context.Context) (*Socket, error) {
+	for {
+		ss.mu.Lock()
+		if len(ss.queue) > 0 {
+			s := ss.queue[0]
+			ss.queue = ss.queue[1:]
+			ss.mu.Unlock()
+			s.mu.Lock()
+			s.accepted = true
+			s.mu.Unlock()
+			return s, nil
+		}
+		if ss.closed {
+			ss.mu.Unlock()
+			return nil, ErrClosed
+		}
+		arrival := ss.arrival
+		ss.mu.Unlock()
+		select {
+		case <-arrival:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ss.ctrl.done:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close stops accepting; queued, unaccepted connections are closed.
+func (ss *ServerSocket) Close() error {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return nil
+	}
+	ss.closed = true
+	pending := ss.queue
+	ss.queue = nil
+	close(ss.arrival)
+	ss.arrival = make(chan struct{})
+	ss.mu.Unlock()
+
+	ss.ctrl.mu.Lock()
+	if ss.ctrl.listeners[ss.agentID] == ss {
+		delete(ss.ctrl.listeners, ss.agentID)
+	}
+	ss.ctrl.mu.Unlock()
+	for _, s := range pending {
+		s.Close()
+	}
+	return nil
+}
+
+// AgentID returns the owning agent.
+func (ss *ServerSocket) AgentID() string { return ss.agentID }
+
+// openRetry wraps OpenAs with retries for targets that are still launching
+// or mid-migration.
+func (ctrl *Controller) openRetry(agentID string, cred [security.CredentialSize]byte, target string, deadline time.Time) (*Socket, error) {
+	backoff := 10 * time.Millisecond
+	for {
+		s, err := ctrl.OpenAs(agentID, cred, target)
+		if err == nil {
+			return s, nil
+		}
+		retriable := errors.Is(err, naming.ErrNotFound) ||
+			strings.Contains(err.Error(), reasonRetry) ||
+			errors.Is(err, rudp.ErrTimeout)
+		if !retriable || time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(backoff)
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// Dial opens a connection to target, retrying while the target agent is
+// launching or migrating, up to the park timeout.
+func (ctrl *Controller) Dial(actx *agent.Context, target string) (*Socket, error) {
+	return ctrl.openRetry(actx.AgentID(), actx.Credential(), target, time.Now().Add(ctrl.cfg.parkTimeout()))
+}
+
+// DialAs is Dial with explicit agent identity.
+func (ctrl *Controller) DialAs(agentID string, cred [security.CredentialSize]byte, target string) (*Socket, error) {
+	return ctrl.openRetry(agentID, cred, target, time.Now().Add(ctrl.cfg.parkTimeout()))
+}

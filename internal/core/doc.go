@@ -1,0 +1,34 @@
+// Package core implements NapletSocket, the paper's primary contribution: a
+// session-layer connection migration mechanism giving mobile agents a
+// synchronous transient communication channel that survives migration of
+// either — or both — endpoints, with exactly-once in-order delivery of all
+// transmitted data and agent-oriented security.
+//
+// # Architecture (Section 2.1 of the paper)
+//
+// Each host runs one Controller, which owns the reliable-UDP control channel
+// and the redirector (the data-plane TCP listener that hands arriving
+// sockets to the right NapletSocket). A Socket is one endpoint of a logical
+// connection; under it sits a plain TCP "data socket" that is torn down
+// before each migration and re-established afterwards. A per-connection
+// buffered input stream (the NapletInputStream of Section 3.1) catches data
+// drained at suspend time; its contents migrate with the agent and are
+// served before any bytes from the new data socket, which — combined with
+// per-frame sequence numbers — yields exactly-once delivery.
+//
+// # Protocol
+//
+// Connection state follows the fourteen-state machine of internal/fsm.
+// Suspend/resume/close are request/verdict exchanges on the control channel,
+// authenticated by an HMAC under a Diffie-Hellman session key established at
+// setup (Section 3.3). Concurrent migrations of both endpoints are
+// serialized with the ACK_WAIT / SUS_RES / RESUME_WAIT protocol of Sections
+// 3.1–3.2, with deadlock freedom from a fixed hash-based agent priority.
+//
+// Beyond the paper, the implementation recovers from resume messages racing
+// an agent's next hop (the mover re-resolves the peer through the location
+// service and retries) and from data-socket failures while established (the
+// connection degrades to SUSPENDED and is re-resumed, with lost in-flight
+// frames retransmitted from a bounded send log) — the fault-tolerance
+// extension the paper lists as future work.
+package core

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"naplet/internal/fsm"
+	"naplet/internal/wire"
+)
+
+// This file makes the Controller an agent migration hook (agent.Hook,
+// satisfied structurally): before an agent departs, all of its connections
+// are suspended — per the multi-connection rules of Section 3.2 — and
+// serialized, including every buffered undelivered byte; after it lands,
+// the connections are reconstructed and resumed from the new host.
+
+// connState is the serialized form of one connection endpoint. The
+// buffered data inside RecvBuf is the migrating NapletInputStream of
+// Section 3.1 — the paper's guarantee that data in transmission moves with
+// the agent.
+type connState struct {
+	ID                        [16]byte
+	LocalAgent, RemoteAgent   string
+	SessionKey                []byte
+	NextSendSeq, LastEnqueued uint64
+	RecvBuf                   []bufEntry
+	Leftover                  []byte
+	SendLog                   []bufEntry
+	PeerControlAddr           string
+	PeerDataAddr              string
+	SendNonce, LastPeerNonce  uint64
+	OwesSusRes                bool
+	Accepted                  bool
+}
+
+// hookBlob is the controller's contribution to a migration bundle.
+type hookBlob struct {
+	Conns       []connState
+	HasListener bool
+	// Backlog lists queued-but-unaccepted connection ids, to repopulate
+	// the restored server socket's accept queue.
+	Backlog [][16]byte
+}
+
+// HookName keys the controller's blob in migration bundles.
+func (ctrl *Controller) HookName() string { return "napletsocket" }
+
+// PreDepart suspends and serializes all of the departing agent's
+// connections. Connections whose suspend cannot complete are closed rather
+// than blocking the migration forever.
+func (ctrl *Controller) PreDepart(agentID string) ([]byte, error) {
+	ctrl.mu.Lock()
+	ctrl.migrating[agentID] = true
+	conns := make([]*Socket, 0, len(ctrl.byAgent[agentID]))
+	for _, s := range ctrl.byAgent[agentID] {
+		conns = append(conns, s)
+	}
+	ss := ctrl.listeners[agentID]
+	ctrl.mu.Unlock()
+	defer func() {
+		ctrl.mu.Lock()
+		delete(ctrl.migrating, agentID)
+		ctrl.mu.Unlock()
+	}()
+
+	// Deterministic suspend order, so multi-connection concurrent
+	// migrations interleave the way Section 3.2 analyzes.
+	sort.Slice(conns, func(i, j int) bool {
+		return bytes.Compare(conns[i].id[:], conns[j].id[:]) < 0
+	})
+
+	blob := hookBlob{}
+	for _, s := range conns {
+		if err := s.Suspend(); err != nil {
+			if err == ErrClosed {
+				ctrl.dropConn(s)
+				continue
+			}
+			ctrl.logf("conn %s: suspend for migration of %s failed (%v); dropping connection", s.id, agentID, err)
+			s.Close()
+			continue
+		}
+		blob.Conns = append(blob.Conns, s.serialize())
+		ctrl.dropConn(s)
+	}
+
+	if ss != nil && !ss.isClosed() {
+		blob.HasListener = true
+		ss.mu.Lock()
+		for _, pending := range ss.queue {
+			blob.Backlog = append(blob.Backlog, pending.id)
+		}
+		ss.mu.Unlock()
+		// The listener itself stays behind only as a tombstone; remove it
+		// so new CONNECTs are answered with a retry verdict until the
+		// agent lands.
+		ctrl.mu.Lock()
+		if ctrl.listeners[agentID] == ss {
+			delete(ctrl.listeners, agentID)
+		}
+		ctrl.mu.Unlock()
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&blob); err != nil {
+		return nil, fmt.Errorf("napletsocket: serializing connections of %s: %w", agentID, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// serialize captures the suspended connection's full state and detaches
+// the local object: its buffers are handed over to the serialized form and
+// the object is marked with ErrMigrated, so a stray reader can neither
+// hang on the dead handle nor double-deliver buffered data.
+func (s *Socket) serialize() connState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := connState{
+		ID:              s.id,
+		LocalAgent:      s.localAgent,
+		RemoteAgent:     s.remoteAgent,
+		SessionKey:      append([]byte(nil), s.sessionKey...),
+		NextSendSeq:     s.nextSendSeq,
+		LastEnqueued:    s.lastEnqueued,
+		Leftover:        append([]byte(nil), s.leftover...),
+		PeerControlAddr: s.peerControlAddr,
+		PeerDataAddr:    s.peerDataAddr,
+		SendNonce:       s.sendNonce,
+		LastPeerNonce:   s.lastPeerNonce,
+		OwesSusRes:      s.owesSusRes,
+		Accepted:        s.accepted,
+	}
+	// Everything still in the buffer crosses the migration in the buffer:
+	// mark it so post-resume deliveries are attributed correctly (Fig 7).
+	st.RecvBuf = make([]bufEntry, len(s.recvBuf))
+	for i, e := range s.recvBuf {
+		st.RecvBuf[i] = bufEntry{Seq: e.Seq, Payload: e.Payload, ViaBuffer: true}
+	}
+	st.SendLog = append([]bufEntry(nil), s.sendLog...)
+	s.recvBuf = nil
+	s.recvBytes = 0
+	s.leftover = nil
+	s.sendLog = nil
+	s.sendLogSize = 0
+	s.markClosedLocked(ErrMigrated)
+	return st
+}
+
+// PostArrive reconstructs the arriving agent's connections and kicks off
+// their resumption: a normal RESUME for most, a SUS_RES release for
+// connections whose low-priority peer is parked behind our migration
+// (overlapped concurrent migration, Fig 4(a)).
+func (ctrl *Controller) PostArrive(agentID string, blob []byte) error {
+	if len(blob) == 0 {
+		return nil
+	}
+	var hb hookBlob
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&hb); err != nil {
+		return fmt.Errorf("napletsocket: restoring connections of %s: %w", agentID, err)
+	}
+
+	var ss *ServerSocket
+	if hb.HasListener {
+		var err error
+		ss, err = ctrl.ListenAs(agentID, ctrl.cfg.Guard.IssueCredential(agentID))
+		if err != nil {
+			return fmt.Errorf("napletsocket: restoring listener of %s: %w", agentID, err)
+		}
+	}
+	backlog := make(map[[16]byte]bool, len(hb.Backlog))
+	for _, id := range hb.Backlog {
+		backlog[id] = true
+	}
+
+	for _, st := range hb.Conns {
+		s, err := newSocket(ctrl, st.ID, st.LocalAgent, st.RemoteAgent, st.SessionKey, fsm.Suspended)
+		if err != nil {
+			return fmt.Errorf("napletsocket: restoring connection %s: %w", wire.ConnID(st.ID), err)
+		}
+		s.mu.Lock()
+		s.nextSendSeq = st.NextSendSeq
+		s.lastEnqueued = st.LastEnqueued
+		s.recvBuf = st.RecvBuf
+		for _, e := range st.RecvBuf {
+			s.recvBytes += len(e.Payload)
+		}
+		s.leftover = st.Leftover
+		s.leftoverBuf = true
+		s.sendLog = st.SendLog
+		for _, e := range st.SendLog {
+			s.sendLogSize += len(e.Payload)
+		}
+		s.peerControlAddr = st.PeerControlAddr
+		s.peerDataAddr = st.PeerDataAddr
+		s.sendNonce = st.SendNonce
+		s.lastPeerNonce = st.LastPeerNonce
+		s.owesSusRes = st.OwesSusRes
+		s.accepted = st.Accepted
+		s.localSuspended = true
+		s.mu.Unlock()
+		ctrl.registerConn(s)
+
+		if ss != nil && !st.Accepted && backlog[st.ID] {
+			ss.push(s)
+		}
+
+		go func(s *Socket, owes bool) {
+			if owes {
+				// Release the parked peer; it migrates next and will
+				// resume toward us (Fig 4(a)).
+				if err := s.sendSusRes(); err != nil {
+					ctrl.logf("conn %s: SUS_RES after migration: %v", s.id, err)
+				}
+				return
+			}
+			if err := s.Resume(); err != nil && err != ErrClosed {
+				ctrl.logf("conn %s: resume after migration: %v", s.id, err)
+			}
+		}(s, st.OwesSusRes)
+	}
+	return nil
+}
+
+// OnTerminate closes a finished agent's connections and listener.
+func (ctrl *Controller) OnTerminate(agentID string) {
+	ctrl.mu.Lock()
+	conns := make([]*Socket, 0, len(ctrl.byAgent[agentID]))
+	for _, s := range ctrl.byAgent[agentID] {
+		conns = append(conns, s)
+	}
+	ss := ctrl.listeners[agentID]
+	ctrl.mu.Unlock()
+	for _, s := range conns {
+		s.Close()
+	}
+	if ss != nil {
+		ss.Close()
+	}
+}

@@ -1,0 +1,926 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"naplet/internal/fsm"
+	"naplet/internal/naming"
+	"naplet/internal/wire"
+)
+
+// This file implements the connection migration operations of Sections
+// 2.2–3.2 of the paper: the locally issued suspend / resume / close
+// transactions and the handlers for the corresponding control messages from
+// the peer, including both concurrent-migration protocols (overlapped with
+// ACK_WAIT + SUS_RES, non-overlapped with RESUME_WAIT) and the
+// local/remote-suspend priority rules for multiple connections.
+
+// reject reason fragments the retry logic keys on.
+const (
+	reasonUnknownConn = "unknown connection"
+	reasonRetry       = "retry later"
+	reasonResumeRace  = "resume race lost"
+)
+
+// request sends one authenticated control message to the peer controller
+// and returns its verified reply.
+func (s *Socket) request(ctx context.Context, typ wire.MsgType, build func(m *wire.ControlMsg)) (*wire.ControlReply, error) {
+	s.mu.Lock()
+	s.sendNonce++
+	m := &wire.ControlMsg{
+		Type:   typ,
+		ConnID: s.id,
+		From:   s.localAgent,
+		To:     s.remoteAgent,
+		Nonce:  s.sendNonce,
+	}
+	addr := s.peerControlAddr
+	s.mu.Unlock()
+	if build != nil {
+		build(m)
+	}
+	m.Tag = s.auth.Sign(m.SigningBytes())
+	raw, err := s.ctrl.ep.Request(ctx, addr, m.Encode())
+	if err != nil {
+		return nil, err
+	}
+	reply, err := wire.DecodeControlReply(raw)
+	if err != nil {
+		return nil, err
+	}
+	if !s.auth.Verify(reply.SigningBytes(), reply.Tag) {
+		// A controller that does not know the connection (the peer agent
+		// moved on, or its endpoint is travelling in a bundle) cannot sign:
+		// let unsigned rejections through as advisory — the worst a forger
+		// achieves is a retry, never a state change.
+		if reply.Verdict == wire.VerdictReject && reply.Tag == [wire.TagSize]byte{} {
+			return reply, nil
+		}
+		return nil, fmt.Errorf("napletsocket: unauthenticated %s reply on %s", typ, s.id)
+	}
+	return reply, nil
+}
+
+// reply builds a signed control reply.
+func (s *Socket) reply(v wire.Verdict, mutate func(r *wire.ControlReply)) []byte {
+	r := &wire.ControlReply{Verdict: v, ConnID: s.id}
+	if mutate != nil {
+		mutate(r)
+	}
+	r.Tag = s.auth.Sign(r.SigningBytes())
+	return r.Encode()
+}
+
+// checkAuth verifies a peer control message's tag and replay nonce.
+func (s *Socket) checkAuth(m *wire.ControlMsg) error {
+	if !s.auth.Verify(m.SigningBytes(), m.Tag) {
+		return fmt.Errorf("napletsocket: bad tag on %s for %s", m.Type, s.id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.Nonce <= s.lastPeerNonce {
+		return fmt.Errorf("napletsocket: replayed %s (nonce %d <= %d) on %s", m.Type, m.Nonce, s.lastPeerNonce, s.id)
+	}
+	s.lastPeerNonce = m.Nonce
+	return nil
+}
+
+// ---- suspend ----
+
+// Suspend suspends the connection ahead of a local migration (or under
+// explicit application control, per the paper's suspend() interface). It
+// returns once the connection is safely in SUSPENDED on this side — which,
+// under concurrent migration, may mean waiting for the higher-priority
+// peer's migration to finish (SUSPEND_WAIT).
+func (s *Socket) Suspend() error {
+	s.suspendOpMu.Lock()
+	defer s.suspendOpMu.Unlock()
+	return s.suspendLocked()
+}
+
+func (s *Socket) suspendLocked() error {
+	opTimeout := s.ctrl.cfg.opTimeout()
+	s.mu.Lock()
+	switch st := s.m.State(); st {
+	case fsm.Established:
+		s.step(fsm.AppSuspend) // -> SUS_SENT
+		s.mu.Unlock()
+		return s.suspendHandshake(opTimeout)
+
+	case fsm.Suspended:
+		if !s.remoteSuspended {
+			// Already locally suspended (idempotent).
+			s.mu.Unlock()
+			return nil
+		}
+		if s.peerResumeParked || s.susResReceived {
+			// The peer already parked its resume behind our migration (or
+			// released us with SUS_RES): the suspend is satisfied and the
+			// peer is pinned until we land.
+			s.susResReceived = false
+			s.localSuspended = true
+			s.mu.Unlock()
+			return nil
+		}
+		// Section 3.2: local suspend on a remotely suspended connection.
+		if s.highPriority {
+			// Finish without further action; the peer's migration pinned
+			// the connection and its RESUME will find us gone — it retries
+			// through the location service.
+			s.localSuspended = true
+			s.mu.Unlock()
+			return nil
+		}
+		// Low priority: park until the peer's RESUME (answered with
+		// RESUME_WAIT) or SUS_RES releases us.
+		s.step(fsm.AppSuspendBlocked) // -> SUSPEND_WAIT
+		s.parkedSuspend = true
+		s.mu.Unlock()
+		_, err := s.waitState(s.ctrl.cfg.parkTimeout(), fsm.Suspended)
+		if err != nil {
+			return fmt.Errorf("napletsocket: parked suspend on %s: %w", s.id, err)
+		}
+		s.mu.Lock()
+		s.localSuspended = true
+		s.mu.Unlock()
+		return nil
+
+	case fsm.SusAcked:
+		// A remote suspend is mid-drain; wait for it, then reclassify.
+		s.mu.Unlock()
+		if _, err := s.waitState(opTimeout, fsm.Suspended); err != nil {
+			return err
+		}
+		return s.suspendLocked()
+
+	case fsm.SuspendWait:
+		s.mu.Unlock()
+		_, err := s.waitState(s.ctrl.cfg.parkTimeout(), fsm.Suspended)
+		return err
+
+	case fsm.ResAcked, fsm.ResSent, fsm.ResumeWait:
+		// A resume is in flight — possibly peer-initiated (RES_ACKED does
+		// not hold the operation mutex while the handoff lands). Wait for
+		// it to settle, then reclassify; dropping the connection here
+		// would strand the peer on a live endpoint.
+		s.mu.Unlock()
+		if _, err := s.waitState(s.ctrl.cfg.parkTimeout(), fsm.Established, fsm.Suspended); err != nil {
+			return err
+		}
+		return s.suspendLocked()
+
+	case fsm.Closed, fsm.CloseSent, fsm.CloseAcked:
+		s.mu.Unlock()
+		return ErrClosed
+
+	default:
+		s.mu.Unlock()
+		return fmt.Errorf("napletsocket: cannot suspend %s in state %s", s.id, st)
+	}
+}
+
+// suspendHandshake runs the SUS exchange from SUS_SENT and completes the
+// local teardown per the verdict. Transient rejections (the peer is mid-
+// resume or mid-close on another front) are retried within the operation
+// timeout.
+func (s *Socket) suspendHandshake(opTimeout time.Duration) error {
+	deadline := time.Now().Add(s.ctrl.cfg.parkTimeout())
+	backoff := 5 * time.Millisecond
+retry:
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	defer cancel()
+	reply, err := s.request(ctx, wire.MsgSuspend, func(m *wire.ControlMsg) {
+		m.LastSeq = s.delivered()
+	})
+	if err != nil {
+		// Peer unreachable: suspend ungracefully; the send log covers any
+		// in-flight loss at resume time.
+		s.ctrl.logf("conn %s: SUS undeliverable (%v); suspending ungracefully", s.id, err)
+		s.drainAndClose()
+		s.mu.Lock()
+		if s.m.State() == fsm.SusSent {
+			s.step(fsm.Timeout) // -> SUSPENDED
+		}
+		s.localSuspended = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return nil
+	}
+	switch reply.Verdict {
+	case wire.VerdictAck:
+		s.drainAndClose()
+		s.mu.Lock()
+		if s.m.State() == fsm.SusSent {
+			s.step(fsm.RecvSuspendAck) // -> SUSPENDED
+		}
+		s.localSuspended = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return nil
+
+	case wire.VerdictAckWait:
+		// Overlapped concurrent migration, we are the low-priority side:
+		// drain now, then park until the peer's SUS_RES (Fig 4(a)). The
+		// SUS_RES may already have raced ahead of us — the latch catches it.
+		s.drainAndClose()
+		deadline := time.Now().Add(s.ctrl.cfg.parkTimeout())
+		parked := false
+		s.mu.Lock()
+		for {
+			if s.closed {
+				s.mu.Unlock()
+				return ErrClosed
+			}
+			// Let a concurrently granted remote suspend finish draining.
+			if s.m.State() == fsm.SusAcked {
+				waitCond(s.cond, 20*time.Millisecond)
+				continue
+			}
+			if s.susResReceived {
+				// The peer's migration already finished.
+				s.susResReceived = false
+				if s.m.State() == fsm.SusSent {
+					s.step(fsm.RecvSuspendAck) // -> SUSPENDED
+				}
+				if s.m.State() == fsm.SuspendWait {
+					s.step(fsm.RecvSusRes) // -> SUSPENDED
+				}
+				s.parkedSuspend = false
+				break
+			}
+			switch s.m.State() {
+			case fsm.SusSent:
+				s.step(fsm.RecvAckWait) // -> SUSPEND_WAIT
+				s.parkedSuspend = true
+				parked = true
+			case fsm.Suspended:
+				if parked {
+					// Released by the peer's SUS_RES or RESUME.
+					s.parkedSuspend = false
+				} else {
+					// The peer's SUS was granted concurrently; park from
+					// there.
+					s.step(fsm.RecvAckWait) // -> SUSPEND_WAIT
+					s.parkedSuspend = true
+					parked = true
+				}
+			case fsm.SuspendWait:
+				parked = true // already parked; wait for the release below
+			}
+			if s.m.State() == fsm.Suspended {
+				break
+			}
+			if time.Now().After(deadline) {
+				s.mu.Unlock()
+				return fmt.Errorf("napletsocket: waiting for SUS_RES on %s: timed out in %s", s.id, s.m.State())
+			}
+			waitCond(s.cond, 20*time.Millisecond)
+		}
+		s.localSuspended = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return nil
+
+	case wire.VerdictReject:
+		if strings.Contains(reply.Reason, reasonUnknownConn) {
+			// The peer's host does not know the connection — typically the
+			// peer agent is itself mid-migration and its endpoint is
+			// travelling in a bundle. Suspend ungracefully; our eventual
+			// resume chases the peer through the location service, and the
+			// send log covers anything lost in flight.
+			s.drainAndClose()
+			s.mu.Lock()
+			if s.m.State() == fsm.SusSent {
+				s.step(fsm.Timeout) // -> SUSPENDED
+			}
+			s.localSuspended = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return nil
+		}
+		if strings.Contains(reply.Reason, reasonRetry) && time.Now().Before(deadline) {
+			cancel()
+			time.Sleep(backoff)
+			if backoff < 100*time.Millisecond {
+				backoff *= 2
+			}
+			goto retry
+		}
+		return fmt.Errorf("napletsocket: peer rejected suspend on %s: %s", s.id, reply.Reason)
+
+	default:
+		return fmt.Errorf("napletsocket: unexpected suspend verdict %s on %s", reply.Verdict, s.id)
+	}
+}
+
+// delivered returns the receive high-water mark: every frame at or below it
+// is safely in our buffer (which migrates with us).
+func (s *Socket) delivered() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastEnqueued
+}
+
+// handleSuspend serves a peer's SUS request (Fig 3, recv:SUS paths).
+func (s *Socket) handleSuspend(m *wire.ControlMsg) []byte {
+	s.mu.Lock()
+	s.trimSendLogLocked(m.LastSeq)
+	// A resume completion may still be in flight on our side (the peer
+	// reaches ESTABLISHED from its half of the handoff before we step out
+	// of RES_SENT/RES_ACKED); let it settle instead of rejecting.
+	settleDeadline := time.Now().Add(s.ctrl.cfg.drainTimeout())
+	for !s.closed && time.Now().Before(settleDeadline) {
+		if st := s.m.State(); st != fsm.ResSent && st != fsm.ResAcked {
+			break
+		}
+		waitCond(s.cond, 5*time.Millisecond)
+	}
+	switch st := s.m.State(); st {
+	case fsm.Established:
+		s.step(fsm.RecvSuspend) // -> SUS_ACKED
+		s.remoteSuspended = true
+		s.mu.Unlock()
+		go func() {
+			s.drainAndClose()
+			s.mu.Lock()
+			if s.m.State() == fsm.SusAcked {
+				s.step(fsm.ExecSuspended) // -> SUSPENDED
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}()
+		return s.reply(wire.VerdictAck, func(r *wire.ControlReply) { r.LastSeq = s.delivered() })
+
+	case fsm.SusSent:
+		// Overlapped concurrent migration: both sides sent SUS.
+		if s.highPriority {
+			// Park the peer; we migrate first and owe it a SUS_RES from
+			// our new host (Fig 4(a), side B).
+			s.owesSusRes = true
+			s.mu.Unlock()
+			return s.reply(wire.VerdictAckWait, nil)
+		}
+		// Low priority always grants (Fig 4(a), side A).
+		s.step(fsm.RecvSuspend) // -> SUS_ACKED
+		s.remoteSuspended = true
+		s.mu.Unlock()
+		go func() {
+			s.drainAndClose()
+			s.mu.Lock()
+			if s.m.State() == fsm.SusAcked {
+				s.step(fsm.ExecSuspended)
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}()
+		return s.reply(wire.VerdictAck, func(r *wire.ControlReply) { r.LastSeq = s.delivered() })
+
+	case fsm.Suspended, fsm.SuspendWait, fsm.SusAcked:
+		// Already suspended; granting is idempotent (Section 3.2: "by
+		// default a suspend operation needs to do nothing for a suspended
+		// connection").
+		s.remoteSuspended = true
+		s.mu.Unlock()
+		return s.reply(wire.VerdictAck, func(r *wire.ControlReply) { r.LastSeq = s.delivered() })
+
+	case fsm.Closed, fsm.CloseSent, fsm.CloseAcked:
+		s.mu.Unlock()
+		return s.reply(wire.VerdictReject, func(r *wire.ControlReply) { r.Reason = reasonUnknownConn })
+
+	default:
+		s.mu.Unlock()
+		return s.reply(wire.VerdictReject, func(r *wire.ControlReply) {
+			r.Reason = fmt.Sprintf("%s: cannot suspend in state %s", reasonRetry, st)
+		})
+	}
+}
+
+// ---- SUS_RES ----
+
+// sendSusRes tells the parked low-priority peer that our migration is done
+// (Fig 4(a)); sent from the new host with our new addresses. It retries a
+// few times: a parked peer is pinned, but its host may be momentarily slow.
+func (s *Socket) sendSusRes() error {
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), s.ctrl.cfg.opTimeout())
+		reply, err := s.request(ctx, wire.MsgSusRes, func(m *wire.ControlMsg) {
+			m.ControlAddr = s.ctrl.ControlAddr()
+			m.DataAddr = s.ctrl.DataAddr()
+		})
+		cancel()
+		if err != nil {
+			lastErr = err
+			time.Sleep(time.Duration(attempt+1) * 20 * time.Millisecond)
+			continue
+		}
+		if reply.Verdict != wire.VerdictAck {
+			lastErr = fmt.Errorf("napletsocket: SUS_RES on %s got %s: %s", s.id, reply.Verdict, reply.Reason)
+			time.Sleep(time.Duration(attempt+1) * 20 * time.Millisecond)
+			continue
+		}
+		s.mu.Lock()
+		s.owesSusRes = false
+		s.mu.Unlock()
+		return nil
+	}
+	return lastErr
+}
+
+// handleSusRes serves the peer's SUS_RES: our parked suspend may complete.
+// Because the SUS_RES can arrive at any point of our own suspend (even
+// before we parked), every suspend-phase state latches it.
+func (s *Socket) handleSusRes(m *wire.ControlMsg) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.updatePeerAddrsLocked(m)
+	switch st := s.m.State(); st {
+	case fsm.SuspendWait:
+		s.step(fsm.RecvSusRes) // -> SUSPENDED
+		s.parkedSuspend = false
+		s.cond.Broadcast()
+		return s.reply(wire.VerdictAck, nil)
+	case fsm.Suspended, fsm.SusSent, fsm.SusAcked:
+		s.susResReceived = true
+		s.cond.Broadcast()
+		return s.reply(wire.VerdictAck, nil)
+	default:
+		return s.reply(wire.VerdictReject, func(r *wire.ControlReply) {
+			r.Reason = fmt.Sprintf("SUS_RES in state %s", st)
+		})
+	}
+}
+
+func (s *Socket) updatePeerAddrsLocked(m *wire.ControlMsg) {
+	if m.ControlAddr != "" {
+		s.peerControlAddr = m.ControlAddr
+	}
+	if m.DataAddr != "" {
+		s.peerDataAddr = m.DataAddr
+	}
+}
+
+// ---- resume ----
+
+// Resume re-establishes a suspended connection, typically after the local
+// agent lands on a new host. It retries through the location service when
+// the peer has itself moved, and parks in RESUME_WAIT when the peer has a
+// pending migration of its own (Fig 4(b)).
+func (s *Socket) Resume() error {
+	s.suspendOpMu.Lock()
+	defer s.suspendOpMu.Unlock()
+	return s.resumeLocked()
+}
+
+func (s *Socket) resumeLocked() error {
+	s.mu.Lock()
+	switch st := s.m.State(); st {
+	case fsm.Established:
+		s.mu.Unlock()
+		return nil
+	case fsm.ResAcked:
+		// A peer-initiated resume is mid-handoff; wait for it.
+		s.mu.Unlock()
+		_, err := s.waitState(s.ctrl.cfg.opTimeout(), fsm.Established)
+		return err
+	case fsm.Suspended:
+		s.step(fsm.AppResume) // -> RES_SENT
+		s.mu.Unlock()
+	case fsm.Closed, fsm.CloseSent, fsm.CloseAcked:
+		s.mu.Unlock()
+		return ErrClosed
+	default:
+		s.mu.Unlock()
+		return fmt.Errorf("napletsocket: cannot resume %s in state %s", s.id, st)
+	}
+
+	backoff := 10 * time.Millisecond
+	deadline := time.Now().Add(s.ctrl.cfg.parkTimeout())
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		st := s.m.State()
+		s.mu.Unlock()
+		switch st {
+		case fsm.Established:
+			return nil
+		case fsm.ResAcked:
+			_, err := s.waitState(s.ctrl.cfg.opTimeout(), fsm.Established)
+			return err
+		case fsm.ResSent:
+			// proceed below
+		default:
+			return fmt.Errorf("napletsocket: resume of %s interrupted in state %s", s.id, st)
+		}
+		done, err := s.resumeAttempt()
+		if done || err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			// The peer has been unreachable (or unwilling) for the whole
+			// park window: declare the connection dead so blocked readers
+			// and writers fail instead of waiting forever.
+			err := fmt.Errorf("%w: resume of %s timed out; peer unreachable", ErrClosed, s.id)
+			s.mu.Lock()
+			if s.m.State() == fsm.ResSent {
+				s.step(fsm.Timeout) // back to SUSPENDED (terminal here)
+			}
+			s.markClosedLocked(err)
+			s.mu.Unlock()
+			s.ctrl.dropConn(s)
+			return err
+		}
+		select {
+		case <-s.ctrl.done:
+			return ErrClosed
+		default:
+		}
+		// Re-resolve the peer: it may have moved (or not yet landed).
+		s.relookupPeer()
+		time.Sleep(backoff)
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// resumeAttempt sends one RES and processes the verdict. done=true means
+// the operation concluded (successfully unless err is set); done=false
+// asks the caller to retry.
+func (s *Socket) resumeAttempt() (done bool, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.ctrl.cfg.opTimeout())
+	defer cancel()
+	reply, rerr := s.request(ctx, wire.MsgResume, func(m *wire.ControlMsg) {
+		m.ControlAddr = s.ctrl.ControlAddr()
+		m.DataAddr = s.ctrl.DataAddr()
+		m.LastSeq = s.delivered()
+	})
+	if rerr != nil {
+		// Peer host unreachable (mid-migration or failed): retry.
+		return false, nil
+	}
+	switch reply.Verdict {
+	case wire.VerdictAck:
+		if err := s.dialAndInstall(reply.LastSeq); err != nil {
+			s.ctrl.logf("conn %s: resume handoff failed: %v", s.id, err)
+			return false, nil
+		}
+		s.mu.Lock()
+		if s.m.State() == fsm.ResSent {
+			s.step(fsm.RecvResumeAck) // -> ESTABLISHED
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return true, nil
+
+	case wire.VerdictResumeWait:
+		// Non-overlapped concurrent migration: the peer has a parked
+		// suspend to finish; our resume parks until the peer's RES reaches
+		// us (Fig 4(b), side A).
+		s.mu.Lock()
+		if s.m.State() == fsm.ResSent {
+			s.step(fsm.RecvResumeWait) // -> RESUME_WAIT
+		}
+		s.mu.Unlock()
+		if _, werr := s.waitState(s.ctrl.cfg.parkTimeout(), fsm.Established); werr != nil {
+			return true, fmt.Errorf("napletsocket: parked resume on %s: %w", s.id, werr)
+		}
+		return true, nil
+
+	case wire.VerdictReject:
+		switch {
+		case strings.Contains(reply.Reason, reasonResumeRace):
+			// The higher-priority peer is resuming toward us; its RES will
+			// land here and complete the connection.
+			if _, werr := s.waitState(s.ctrl.cfg.opTimeout(), fsm.Established); werr == nil {
+				return true, nil
+			}
+			return false, nil
+		case strings.Contains(reply.Reason, reasonUnknownConn), strings.Contains(reply.Reason, reasonRetry):
+			// The peer agent moved on (or has not landed); re-resolve and
+			// chase it through the location service.
+			return false, nil
+		default:
+			return true, fmt.Errorf("napletsocket: peer rejected resume on %s: %s", s.id, reply.Reason)
+		}
+
+	default:
+		return true, fmt.Errorf("napletsocket: unexpected resume verdict %s on %s", reply.Verdict, s.id)
+	}
+}
+
+// relookupPeer refreshes the peer's addresses from the location service.
+func (s *Socket) relookupPeer() {
+	ctx, cancel := context.WithTimeout(context.Background(), s.ctrl.cfg.opTimeout())
+	defer cancel()
+	rec, err := s.ctrl.cfg.Locator.Lookup(ctx, s.remoteAgent)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.applyLocationLocked(rec.Loc)
+	s.mu.Unlock()
+}
+
+func (s *Socket) applyLocationLocked(loc naming.Location) {
+	if loc.ControlAddr != "" {
+		s.peerControlAddr = loc.ControlAddr
+	}
+	if loc.DataAddr != "" {
+		s.peerDataAddr = loc.DataAddr
+	}
+}
+
+// dialAndInstall connects to the peer's redirector, performs the
+// authenticated resume handoff, and installs the new data socket.
+func (s *Socket) dialAndInstall(peerHasUpTo uint64) error {
+	s.mu.Lock()
+	addr := s.peerDataAddr
+	s.sendNonce++
+	hdr := &wire.HandoffHeader{
+		Purpose:     wire.HandoffResume,
+		ConnID:      s.id,
+		TargetAgent: s.remoteAgent,
+		FromAgent:   s.localAgent,
+		Nonce:       s.sendNonce,
+	}
+	s.mu.Unlock()
+	hdr.Token = s.auth.Sign(hdr.SigningBytes())
+
+	sock, err := net.DialTimeout("tcp", addr, s.ctrl.cfg.opTimeout())
+	if err != nil {
+		return err
+	}
+	sock.SetDeadline(time.Now().Add(s.ctrl.cfg.opTimeout()))
+	if err := hdr.Write(sock); err != nil {
+		sock.Close()
+		return err
+	}
+	status, err := wire.ReadHandoffStatus(sock)
+	if err != nil {
+		sock.Close()
+		return err
+	}
+	if status != wire.HandoffOK {
+		sock.Close()
+		return errors.New("napletsocket: handoff denied")
+	}
+	sock.SetDeadline(time.Time{})
+	return s.installSocket(sock, peerHasUpTo)
+}
+
+// handleResume serves a peer's RES request.
+func (s *Socket) handleResume(m *wire.ControlMsg) []byte {
+	s.mu.Lock()
+	s.updatePeerAddrsLocked(m)
+	// If a granted suspend is still draining, let it finish rather than
+	// bouncing the peer into a retry.
+	drainDeadline := time.Now().Add(s.ctrl.cfg.drainTimeout())
+	for s.m.State() == fsm.SusAcked && !s.closed && time.Now().Before(drainDeadline) {
+		waitCond(s.cond, 5*time.Millisecond)
+	}
+	switch st := s.m.State(); st {
+	case fsm.Suspended:
+		if s.ctrl.isMigrating(s.localAgent) {
+			// We are about to migrate ourselves: park the peer's resume
+			// (Fig 5, "side A sends back RESUME_WAIT ... because it is to
+			// migrate"). The latch also satisfies our own pending suspend
+			// of this connection.
+			s.peerResumeParked = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return s.reply(wire.VerdictResumeWait, nil)
+		}
+		s.step(fsm.RecvResume) // -> RES_ACKED
+		s.mu.Unlock()
+		return s.grantResume(m)
+
+	case fsm.SuspendWait:
+		// Our suspend is parked; the peer's RESUME both completes it and
+		// is itself parked (Fig 4(b), side B).
+		s.step(fsm.RecvResume) // -> SUSPENDED
+		s.parkedSuspend = false
+		s.peerResumeParked = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return s.reply(wire.VerdictResumeWait, nil)
+
+	case fsm.ResumeWait:
+		// Our earlier resume was parked; the peer has migrated and now
+		// resumes toward us.
+		s.step(fsm.RecvResume) // -> RES_ACKED
+		s.mu.Unlock()
+		return s.grantResume(m)
+
+	case fsm.ResSent:
+		// Both sides resumed at once (e.g. after both migrated, or dueling
+		// failure recoveries). The lower-priority side grants; the higher
+		// rejects and lets its own RES win.
+		if s.highPriority {
+			s.mu.Unlock()
+			return s.reply(wire.VerdictReject, func(r *wire.ControlReply) { r.Reason = reasonResumeRace })
+		}
+		s.step(fsm.RecvResume) // -> RES_ACKED
+		s.mu.Unlock()
+		return s.grantResume(m)
+
+	case fsm.Established:
+		// A stale or failure-racing RES; ask the peer to retry — if our
+		// socket is really dead our reader will degrade us to SUSPENDED
+		// shortly and the retry will be granted.
+		s.mu.Unlock()
+		return s.reply(wire.VerdictReject, func(r *wire.ControlReply) { r.Reason = reasonRetry })
+
+	case fsm.Closed, fsm.CloseSent, fsm.CloseAcked:
+		s.mu.Unlock()
+		return s.reply(wire.VerdictReject, func(r *wire.ControlReply) { r.Reason = reasonUnknownConn })
+
+	default:
+		s.mu.Unlock()
+		return s.reply(wire.VerdictReject, func(r *wire.ControlReply) {
+			r.Reason = fmt.Sprintf("%s: state %s", reasonRetry, st)
+		})
+	}
+}
+
+// grantResume arms the redirector rendezvous, acks the RES, and completes
+// establishment when the mover's handoff lands.
+func (s *Socket) grantResume(m *wire.ControlMsg) []byte {
+	ch := s.ctrl.rv.arm(connKey{id: s.id, agent: s.localAgent})
+	peerHasUpTo := m.LastSeq
+	go func() {
+		t := time.NewTimer(s.ctrl.cfg.opTimeout())
+		defer t.Stop()
+		select {
+		case sock := <-ch:
+			if err := s.installSocket(sock, peerHasUpTo); err != nil {
+				s.ctrl.logf("conn %s: installing resumed socket: %v", s.id, err)
+				s.mu.Lock()
+				if s.m.State() == fsm.ResAcked {
+					s.step(fsm.Timeout) // back to SUSPENDED
+				}
+				s.mu.Unlock()
+				return
+			}
+			s.mu.Lock()
+			if s.m.State() == fsm.ResAcked {
+				s.step(fsm.ExecResumed) // -> ESTABLISHED
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		case <-t.C:
+			s.ctrl.rv.disarm(connKey{id: s.id, agent: s.localAgent})
+			s.mu.Lock()
+			if s.m.State() == fsm.ResAcked {
+				s.step(fsm.Timeout) // back to SUSPENDED
+			}
+			s.mu.Unlock()
+		case <-s.ctrl.done:
+		}
+	}()
+	return s.reply(wire.VerdictAck, func(r *wire.ControlReply) { r.LastSeq = s.delivered() })
+}
+
+// ---- heartbeat ----
+
+// Ping measures one control-channel round trip to the peer agent's
+// controller (a HEARTBEAT exchange). It works in any state that has a peer
+// address — including SUSPENDED — and is the liveness probe of the
+// fault-tolerance extension.
+func (s *Socket) Ping(ctx context.Context) (time.Duration, error) {
+	s.mu.Lock()
+	if s.closed {
+		err := s.closedErrLocked()
+		s.mu.Unlock()
+		return 0, err
+	}
+	addr := s.peerControlAddr
+	s.mu.Unlock()
+	m := &wire.ControlMsg{Type: wire.MsgHeartbeat, ConnID: s.id, From: s.localAgent, To: s.remoteAgent}
+	start := time.Now()
+	raw, err := s.ctrl.ep.Request(ctx, addr, m.Encode())
+	if err != nil {
+		return 0, err
+	}
+	if _, err := wire.DecodeControlReply(raw); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// ---- close ----
+
+// Close actively closes the connection from ESTABLISHED or SUSPENDED (Fig
+// 3), notifying the peer with a CLS exchange. It is idempotent.
+func (s *Socket) Close() error {
+	s.suspendOpMu.Lock()
+	defer s.suspendOpMu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	st := s.m.State()
+	switch st {
+	case fsm.Established, fsm.Suspended:
+		s.step(fsm.AppClose) // -> CLOSE_SENT
+		s.mu.Unlock()
+	case fsm.Listen:
+		s.step(fsm.AppClose) // -> CLOSED
+		s.markClosedLocked(nil)
+		s.mu.Unlock()
+		return nil
+	case fsm.ResAcked, fsm.ResSent, fsm.ResumeWait, fsm.SusAcked, fsm.SusSent, fsm.SuspendWait:
+		// Mid-operation: let the in-flight suspend/resume settle so the
+		// peer gets a proper CLS instead of a silently dead endpoint.
+		s.mu.Unlock()
+		if _, err := s.waitState(s.ctrl.cfg.opTimeout(), fsm.Established, fsm.Suspended); err != nil {
+			s.mu.Lock()
+			s.markClosedLocked(nil)
+			s.mu.Unlock()
+			s.ctrl.dropConn(s)
+			return nil
+		}
+		s.mu.Lock()
+		if st := s.m.State(); st == fsm.Established || st == fsm.Suspended {
+			s.step(fsm.AppClose) // -> CLOSE_SENT
+			s.mu.Unlock()
+		} else {
+			s.markClosedLocked(nil)
+			s.mu.Unlock()
+			s.ctrl.dropConn(s)
+			return nil
+		}
+	default:
+		// Closing or closed already: tear down locally.
+		s.markClosedLocked(nil)
+		s.mu.Unlock()
+		s.ctrl.dropConn(s)
+		return nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.ctrl.cfg.opTimeout())
+	defer cancel()
+	reply, err := s.request(ctx, wire.MsgClose, nil)
+	// Drain before finalizing: the peer acked and is draining too, so all
+	// in-flight frames (ours and theirs) land in the buffers — the paper's
+	// exactly-once guarantee extends through a graceful close.
+	if err == nil && reply.Verdict == wire.VerdictAck {
+		s.drainAndClose()
+	}
+	s.mu.Lock()
+	if err == nil && reply.Verdict == wire.VerdictAck {
+		if s.m.State() == fsm.CloseSent {
+			s.step(fsm.RecvCloseAck) // -> CLOSED
+		}
+	} else if s.m.State() == fsm.CloseSent {
+		s.step(fsm.Timeout) // close anyway
+	}
+	s.markClosedLocked(nil)
+	s.mu.Unlock()
+	s.ctrl.dropConn(s)
+	return nil
+}
+
+// handleClose serves a peer's CLS request (passive close).
+func (s *Socket) handleClose(_ *wire.ControlMsg) []byte {
+	s.mu.Lock()
+	// Let a granted suspend finish draining before classifying the close.
+	drainDeadline := time.Now().Add(s.ctrl.cfg.drainTimeout())
+	for s.m.State() == fsm.SusAcked && !s.closed && time.Now().Before(drainDeadline) {
+		waitCond(s.cond, 5*time.Millisecond)
+	}
+	switch st := s.m.State(); st {
+	case fsm.Established, fsm.Suspended:
+		s.step(fsm.RecvClose) // -> CLOSE_ACKED
+		// Stop failure detection from misreading the closer's EOF, then
+		// drain asynchronously so in-flight data reaches the buffer before
+		// the connection finalizes.
+		s.suspending = true
+		s.mu.Unlock()
+		go func() {
+			s.drainAndClose()
+			s.mu.Lock()
+			if s.m.State() == fsm.CloseAcked {
+				s.step(fsm.ExecClosed) // -> CLOSED
+			}
+			s.markClosedLocked(nil)
+			s.mu.Unlock()
+			s.ctrl.dropConn(s)
+		}()
+		return s.reply(wire.VerdictAck, nil)
+	case fsm.Closed, fsm.CloseSent, fsm.CloseAcked:
+		s.mu.Unlock()
+		return s.reply(wire.VerdictAck, nil) // idempotent
+	default:
+		s.mu.Unlock()
+		return s.reply(wire.VerdictReject, func(r *wire.ControlReply) {
+			r.Reason = fmt.Sprintf("%s: close in state %s", reasonRetry, st)
+		})
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"naplet/internal/wire"
+)
+
+// rendezvous pairs arriving data sockets with the NapletSocket endpoints
+// waiting for them. Both sides — the redirector delivering a socket, and a
+// connection arming itself to receive one — meet on a per-connection
+// channel, whichever arrives first.
+// connKey identifies a connection endpoint on a host: both endpoints of a
+// connection can live on the same host, so the connection id alone is not
+// unique.
+type connKey struct {
+	id    wire.ConnID
+	agent string
+}
+
+type rendezvous struct {
+	mu    sync.Mutex
+	chans map[connKey]chan net.Conn
+}
+
+func newRendezvous() *rendezvous {
+	return &rendezvous{chans: make(map[connKey]chan net.Conn)}
+}
+
+func (r *rendezvous) channel(id connKey) chan net.Conn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch, ok := r.chans[id]
+	if !ok {
+		ch = make(chan net.Conn, 1)
+		r.chans[id] = ch
+	}
+	return ch
+}
+
+// arm returns the channel a waiting endpoint receives its socket on.
+func (r *rendezvous) arm(id connKey) <-chan net.Conn { return r.channel(id) }
+
+// deliver hands a socket to the endpoint armed for id, waiting up to
+// timeout for one to arm. It reports whether the socket was taken.
+func (r *rendezvous) deliver(id connKey, sock net.Conn, timeout time.Duration) bool {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case r.channel(id) <- sock:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// disarm discards the channel for id (endpoint no longer waiting). Any
+// socket already queued is closed.
+func (r *rendezvous) disarm(id connKey) {
+	r.mu.Lock()
+	ch, ok := r.chans[id]
+	delete(r.chans, id)
+	r.mu.Unlock()
+	if ok {
+		select {
+		case sock := <-ch:
+			sock.Close()
+		default:
+		}
+	}
+}
+
+// redirector is the host's data-plane listener (Section 3.4 of the paper):
+// every data socket — for a new connection or a resume — arrives here with
+// a handoff header naming its connection, is authenticated, and is handed
+// to the right NapletSocket. One redirector is shared by all connections of
+// the host.
+type redirector struct {
+	ctrl *Controller
+	ln   net.Listener
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func newRedirector(ctrl *Controller, addr string) (*redirector, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r := &redirector{ctrl: ctrl, ln: ln, done: make(chan struct{})}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+func (r *redirector) addr() string { return r.ln.Addr().String() }
+
+func (r *redirector) close() error {
+	close(r.done)
+	err := r.ln.Close()
+	r.wg.Wait()
+	return err
+}
+
+func (r *redirector) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		sock, err := r.ln.Accept()
+		if err != nil {
+			select {
+			case <-r.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			r.handle(sock)
+		}()
+	}
+}
+
+// handle authenticates one arriving data socket and delivers it. On any
+// failure the socket is refused and closed; on success ownership passes to
+// the receiving NapletSocket.
+func (r *redirector) handle(sock net.Conn) {
+	sock.SetDeadline(time.Now().Add(10 * time.Second))
+	hdr, err := wire.ReadHandoffHeader(sock)
+	if err != nil {
+		r.ctrl.logf("redirector %s: bad handoff: %v", r.ctrl.cfg.HostName, err)
+		sock.Close()
+		return
+	}
+	if err := r.ctrl.authorizeHandoff(hdr); err != nil {
+		r.ctrl.logf("redirector %s: refused %s handoff for %s: %v",
+			r.ctrl.cfg.HostName, hdr.Purpose, hdr.ConnID, err)
+		wire.WriteHandoffStatus(sock, wire.HandoffDenied)
+		sock.Close()
+		return
+	}
+	if err := wire.WriteHandoffStatus(sock, wire.HandoffOK); err != nil {
+		sock.Close()
+		return
+	}
+	sock.SetDeadline(time.Time{})
+	if !r.ctrl.rv.deliver(connKey{id: hdr.ConnID, agent: hdr.TargetAgent}, sock, 5*time.Second) {
+		r.ctrl.logf("redirector %s: no endpoint claimed %s handoff for %s",
+			r.ctrl.cfg.HostName, hdr.Purpose, hdr.ConnID)
+		sock.Close()
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAblationHandoffSavesRoundTrip(t *testing.T) {
+	res, err := RunAblationHandoff(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim (§3.4): the handoff saves one control round trip
+	// per setup. Both quantities must be real and the saved share sane.
+	if res.SavedRTTMs <= 0 {
+		t.Fatalf("saved RTT = %v ms", res.SavedRTTMs)
+	}
+	if res.OpenMs <= res.SavedRTTMs {
+		t.Fatalf("open cost %v ms not above one RTT %v ms", res.OpenMs, res.SavedRTTMs)
+	}
+	if share := res.SavedShare(); share <= 0 || share >= 0.5 {
+		t.Fatalf("saved share = %v", share)
+	}
+	if !strings.Contains(res.Table(), "socket handoff") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestAblationControlChannel(t *testing.T) {
+	res, err := RunAblationControl(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper chose UDP "from a performance perspective" (§3.5): one
+	// reliable-UDP request must beat a fresh TCP dial per request.
+	if res.RUDPMs >= res.TCPDialMs {
+		t.Fatalf("reliable UDP (%.3f ms) not faster than TCP-per-request (%.3f ms)",
+			res.RUDPMs, res.TCPDialMs)
+	}
+	if !strings.Contains(res.Table(), "reliable UDP") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestAblationFailureResume(t *testing.T) {
+	res, err := RunAblationFailure(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecoveryMs <= 0 || res.RecoveryMs > 5000 {
+		t.Fatalf("recovery time = %v ms", res.RecoveryMs)
+	}
+	if res.RecoveredWithOff {
+		t.Fatal("connection recovered with failure-resume disabled")
+	}
+	if !strings.Contains(res.Table(), "failure-resume on") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestMotivationSocketBeatsMailbox(t *testing.T) {
+	res, err := RunMotivation(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's motivating claim: the synchronous transient channel is
+	// markedly faster per interaction than the mailbox path (which pays a
+	// location lookup and office-to-office delivery each way).
+	if res.NapletRTTMs <= 0 || res.MailboxRTTMs <= 0 {
+		t.Fatalf("rtts = %v / %v", res.NapletRTTMs, res.MailboxRTTMs)
+	}
+	if res.MailboxRTTMs <= res.NapletRTTMs {
+		t.Fatalf("mailbox RTT %.3f ms not above socket RTT %.3f ms", res.MailboxRTTMs, res.NapletRTTMs)
+	}
+	if !strings.Contains(res.Table(), "NapletSocket") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestWANApproximatesPaperRegime(t *testing.T) {
+	res, err := RunWAN(5*time.Millisecond, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rttMs := 10.0 // 5ms one-way
+	// Suspend is a control exchange plus the drain: at least one RTT.
+	if res.SuspendMs < rttMs {
+		t.Fatalf("suspend %v ms under one RTT %v ms", res.SuspendMs, rttMs)
+	}
+	// Resume adds the handoff dial: at least one RTT too.
+	if res.ResumeMs < rttMs {
+		t.Fatalf("resume %v ms under one RTT %v ms", res.ResumeMs, rttMs)
+	}
+	// Open performs multiple exchanges (CONNECT, handoff, ID): more than
+	// suspend alone.
+	if res.OpenSecureMs <= res.SuspendMs {
+		t.Fatalf("open %v ms not above suspend %v ms", res.OpenSecureMs, res.SuspendMs)
+	}
+	// Everything still completes in a sane envelope.
+	if res.OpenSecureMs > 500 || res.SuspendMs > 500 || res.ResumeMs > 500 {
+		t.Fatalf("wan latencies out of envelope: %+v", res)
+	}
+	if !strings.Contains(res.Table(), "paper (ms)") {
+		t.Fatal("table rendering broken")
+	}
+}

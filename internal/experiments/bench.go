@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"naplet/internal/core"
+)
+
+// This file exports the small harness pieces the repository-level
+// benchmarks (bench_test.go) need, so each table/figure benchmark can set
+// up a live deployment without duplicating the wiring.
+
+// BenchPair is an established connection between two simulated agents on
+// two hosts, plus the handles needed to drive migrations.
+type BenchPair struct {
+	Client, Server *core.Socket
+	d              *deployment
+	// clientHost tracks the client agent's current host.
+	clientHost string
+	epoch      uint64
+}
+
+// NewBenchPair builds a two-host deployment (plus two spare hosts for
+// migrations) with one established connection. Close releases everything.
+func NewBenchPair(secure bool) (*BenchPair, error) {
+	opts := []deployOption{}
+	if !secure {
+		opts = append(opts, withInsecure())
+	}
+	d, err := newDeployment([]string{"h1", "h2", "h3", "h4"}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	client, server, err := d.pair("bench-client", "h1", "bench-server", "h2")
+	if err != nil {
+		d.close()
+		return nil, err
+	}
+	return &BenchPair{Client: client, Server: server, d: d, clientHost: "h1", epoch: 1}, nil
+}
+
+// Close tears the deployment down.
+func (p *BenchPair) Close() { p.d.close() }
+
+// OpenClose opens and closes one extra connection between the resident
+// agents — the Table 1 unit of work.
+func (p *BenchPair) OpenClose() error {
+	h := p.d.hosts[p.clientHost]
+	conn, err := h.ctrl.OpenAs("bench-client", h.cred("bench-client"), "bench-server")
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}
+
+// SuspendResume suspends and resumes the pair's connection once — the
+// Section 4.2 unit of work.
+func (p *BenchPair) SuspendResume() error {
+	if err := p.Client.Suspend(); err != nil {
+		return err
+	}
+	return p.Client.Resume()
+}
+
+// MigrateClient moves the client agent to the other spare host and back
+// alternately, carrying the established connection — one full connection
+// migration per call.
+func (p *BenchPair) MigrateClient() error {
+	next := "h3"
+	if p.clientHost == "h3" {
+		next = "h4"
+	}
+	p.epoch++
+	if err := p.d.migrate("bench-client", p.clientHost, next, p.epoch); err != nil {
+		return err
+	}
+	p.clientHost = next
+	sock, err := p.d.hosts[next].ctrl.AgentSocket("bench-client", p.Client.ID())
+	if err != nil {
+		return fmt.Errorf("re-attach after migration: %w", err)
+	}
+	p.Client = sock
+	// Wait until the connection is usable again.
+	if err := sock.WriteMsg([]byte("mig-probe")); err != nil {
+		return err
+	}
+	if _, err := p.Server.ReadMsg(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"naplet/internal/plot"
+)
+
+// Chart/CSV adapters: each figure result renders as an ASCII chart (for
+// the repro CLI) and exports CSV (for external plotting).
+
+// Chart renders Figure 9.
+func (r *Fig9Result) Chart() string {
+	c := &plot.Chart{
+		Title: "Figure 9: throughput vs message size (log x)", Width: 64, Height: 14,
+		XLabel: "message size (B)", YLabel: "Mb/s", LogX: true,
+	}
+	c.Add(r.series("TCP", func(p Fig9Point) float64 { return p.TCPMbps }))
+	c.Add(r.series("NapletSocket", func(p Fig9Point) float64 { return p.NapletMbps }))
+	return c.Render()
+}
+
+// CSV exports the Figure 9 data.
+func (r *Fig9Result) CSV() string {
+	return plot.CSV("msg_size_bytes",
+		r.series("tcp_mbps", func(p Fig9Point) float64 { return p.TCPMbps }),
+		r.series("naplet_mbps", func(p Fig9Point) float64 { return p.NapletMbps }),
+	)
+}
+
+func (r *Fig9Result) series(name string, y func(Fig9Point) float64) plot.Series {
+	s := plot.Series{Name: name}
+	for _, p := range r.Points {
+		s.X = append(s.X, float64(p.MsgSize))
+		s.Y = append(s.Y, y(p))
+	}
+	return s
+}
+
+// Chart renders Figure 10(a).
+func (r *Fig10aResult) Chart() string {
+	c := &plot.Chart{
+		Title: "Figure 10(a): effective throughput vs service time (log x)", Width: 64, Height: 14,
+		XLabel: "service time (ms)", YLabel: "Mb/s", LogX: true,
+	}
+	with, ceiling := r.serieses()
+	c.Add(with)
+	c.Add(ceiling)
+	return c.Render()
+}
+
+// CSV exports the Figure 10(a) data.
+func (r *Fig10aResult) CSV() string {
+	with, ceiling := r.serieses()
+	with.Name, ceiling.Name = "effective_mbps", "ceiling_mbps"
+	return plot.CSV("service_ms", with, ceiling)
+}
+
+func (r *Fig10aResult) serieses() (with, ceiling plot.Series) {
+	with = plot.Series{Name: "with migration"}
+	ceiling = plot.Series{Name: "no migration"}
+	for _, p := range r.Points {
+		ms := float64(p.Service.Milliseconds())
+		with.X = append(with.X, ms)
+		with.Y = append(with.Y, p.Mbps)
+		ceiling.X = append(ceiling.X, ms)
+		ceiling.Y = append(ceiling.Y, r.BaselineMbps)
+	}
+	return with, ceiling
+}
+
+// Chart renders Figure 10(b).
+func (r *Fig10bResult) Chart() string {
+	c := &plot.Chart{
+		Title: "Figure 10(b): effective throughput vs migration hops", Width: 64, Height: 14,
+		XLabel: "hops", YLabel: "Mb/s",
+	}
+	single, conc := r.serieses()
+	c.Add(single)
+	c.Add(conc)
+	return c.Render()
+}
+
+// CSV exports the Figure 10(b) data.
+func (r *Fig10bResult) CSV() string {
+	single, conc := r.serieses()
+	single.Name, conc.Name = "single_mbps", "concurrent_mbps"
+	return plot.CSV("hops", single, conc)
+}
+
+func (r *Fig10bResult) serieses() (single, conc plot.Series) {
+	single = plot.Series{Name: "single migration"}
+	conc = plot.Series{Name: "concurrent migration"}
+	for _, p := range r.Points {
+		single.X = append(single.X, float64(p.Hops))
+		single.Y = append(single.Y, p.SingleMbps)
+		conc.X = append(conc.X, float64(p.Hops))
+		conc.Y = append(conc.Y, p.ConcurrentMbps)
+	}
+	return single, conc
+}
+
+// ChartHigh and ChartLow render Figure 12(a) and 12(b).
+func (r *Fig12Result) ChartHigh() string { return r.chart(true) }
+
+// ChartLow renders Figure 12(b).
+func (r *Fig12Result) ChartLow() string { return r.chart(false) }
+
+func (r *Fig12Result) chart(high bool) string {
+	which, fig := "low-priority", "12(b)"
+	if high {
+		which, fig = "high-priority", "12(a)"
+	}
+	c := &plot.Chart{
+		Title: fmt.Sprintf("Figure %s: connection migration cost, %s agent", fig, which),
+		Width: 64, Height: 14,
+		XLabel: "mean service time of A (ms)", YLabel: "cost (ms)",
+		YMin: 30, YMax: 60, // the paper's y-axis
+	}
+	for _, s := range r.serieses(high) {
+		c.Add(s)
+	}
+	return c.Render()
+}
+
+// CSVHigh and CSVLow export the Figure 12 data.
+func (r *Fig12Result) CSVHigh() string { return plot.CSV("mean_service_a_ms", r.serieses(true)...) }
+
+// CSVLow exports the low-priority series.
+func (r *Fig12Result) CSVLow() string { return plot.CSV("mean_service_a_ms", r.serieses(false)...) }
+
+func (r *Fig12Result) serieses(high bool) []plot.Series {
+	out := make([]plot.Series, 0, len(r.Curves))
+	for _, curve := range r.Curves {
+		s := plot.Series{Name: fmt.Sprintf("ub/ua=%.2f", curve.Ratio)}
+		for i, mean := range r.MeansA {
+			v := curve.Points[i].MeanCostLow
+			if high {
+				v = curve.Points[i].MeanCostHigh
+			}
+			s.X = append(s.X, mean)
+			s.Y = append(s.Y, v)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Chart renders Figure 13.
+func (r *Fig13Result) Chart() string {
+	c := &plot.Chart{
+		Title: "Figure 13: connection migration overhead vs message exchange rate", Width: 64, Height: 14,
+		XLabel: "message exchange rate", YLabel: "overhead",
+		YMin: 0.01, YMax: 1,
+	}
+	for _, s := range r.serieses() {
+		c.Add(s)
+	}
+	return c.Render()
+}
+
+// CSV exports the Figure 13 data.
+func (r *Fig13Result) CSV() string { return plot.CSV("exchange_rate", r.serieses()...) }
+
+func (r *Fig13Result) serieses() []plot.Series {
+	out := make([]plot.Series, 0, len(r.Rs))
+	for si, rr := range r.Rs {
+		s := plot.Series{Name: fmt.Sprintf("r=%g", rr)}
+		for i, lambda := range r.Rates {
+			s.X = append(s.X, lambda)
+			s.Y = append(s.Y, r.Series[si][i])
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Sections 4 and 5). Each driver builds a live
+// deployment of NapletSocket controllers over loopback — the same code
+// paths as a distributed deployment — runs the paper's workload, and
+// returns a result that renders as the corresponding table or data series.
+//
+// Absolute numbers differ from the paper's 2004 Sun Blade / Fast Ethernet
+// testbed (and from the JVM); the experiments reproduce the *shape* of each
+// result: orderings, ratios, and crossover locations. EXPERIMENTS.md holds
+// the paper-vs-measured comparison.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"naplet/internal/core"
+	"naplet/internal/metrics"
+	"naplet/internal/naming"
+	"naplet/internal/security"
+)
+
+// host is one simulated agent server: a NapletSocket controller plus the
+// identity machinery, without the behaviour runtime (experiments drive
+// migration through the controller hooks directly, which is exactly what
+// the docking system does).
+type host struct {
+	name  string
+	ctrl  *core.Controller
+	guard *security.Guard
+}
+
+func (h *host) cred(agentID string) [security.CredentialSize]byte {
+	return h.guard.IssueCredential(agentID)
+}
+
+func (h *host) loc() naming.Location {
+	return naming.Location{
+		Host:        h.name,
+		ControlAddr: h.ctrl.ControlAddr(),
+		DataAddr:    h.ctrl.DataAddr(),
+	}
+}
+
+// deployment is a set of hosts sharing one location service.
+type deployment struct {
+	svc   *naming.Service
+	hosts map[string]*host
+	// migrationDelay models the agent transfer cost T_a-migrate between
+	// PreDepart and PostArrive.
+	migrationDelay time.Duration
+}
+
+type deployOption func(*deployConfig)
+
+type deployConfig struct {
+	insecure        bool
+	noFailureResume bool
+	breakdown       *metrics.Breakdown
+	breakdowns      map[string]*metrics.Breakdown
+	migrationDelay  time.Duration
+	// netemDelay applies one-way latency emulation to the data sockets and
+	// the control channel of every host.
+	netemDelay time.Duration
+}
+
+func withInsecure() deployOption { return func(c *deployConfig) { c.insecure = true } }
+
+// withNoFailureResume disables the fault-tolerance extension.
+func withNoFailureResume() deployOption {
+	return func(c *deployConfig) { c.noFailureResume = true }
+}
+
+func withBreakdown(b *metrics.Breakdown) deployOption {
+	return func(c *deployConfig) { c.breakdown = b }
+}
+
+// withBreakdowns installs a separate phase breakdown per host, so client-
+// and server-side contributions to an open can be told apart.
+func withBreakdowns(m map[string]*metrics.Breakdown) deployOption {
+	return func(c *deployConfig) { c.breakdowns = m }
+}
+
+func withMigrationDelay(d time.Duration) deployOption {
+	return func(c *deployConfig) { c.migrationDelay = d }
+}
+
+func newDeployment(names []string, opts ...deployOption) (*deployment, error) {
+	var cfg deployConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d := &deployment{
+		svc:            naming.NewService(),
+		hosts:          make(map[string]*host),
+		migrationDelay: cfg.migrationDelay,
+	}
+	for _, name := range names {
+		guard, err := security.NewGuard(security.NewStore(security.AllowAgentAll()...))
+		if err != nil {
+			d.close()
+			return nil, err
+		}
+		bd := cfg.breakdown
+		if cfg.breakdowns != nil {
+			bd = cfg.breakdowns[name]
+		}
+		ccfg := core.Config{
+			HostName:             name,
+			Guard:                guard,
+			Locator:              d.svc,
+			Insecure:             cfg.insecure,
+			DisableFailureResume: cfg.noFailureResume,
+			OpenBreakdown:        bd,
+			OpTimeout:            5 * time.Second,
+			ParkTimeout:          30 * time.Second,
+			DrainTimeout:         5 * time.Second,
+			Logf:                 func(string, ...any) {},
+		}
+		if cfg.netemDelay > 0 {
+			ccfg.WrapData = wrapDelay(cfg.netemDelay)
+			ccfg.ControlSendDelay = cfg.netemDelay
+		}
+		ctrl, err := core.NewController(ccfg)
+		if err != nil {
+			d.close()
+			return nil, err
+		}
+		d.hosts[name] = &host{name: name, ctrl: ctrl, guard: guard}
+	}
+	return d, nil
+}
+
+func (d *deployment) close() {
+	for _, h := range d.hosts {
+		h.ctrl.Close()
+	}
+}
+
+func (d *deployment) place(agentID, hostName string) error {
+	return d.svc.Register(agentID, d.hosts[hostName].loc())
+}
+
+// pair establishes one connection between two (simulated) agents.
+func (d *deployment) pair(clientAgent, hostC, serverAgent, hostS string) (client, server *core.Socket, err error) {
+	hc, hs := d.hosts[hostC], d.hosts[hostS]
+	if err := d.place(clientAgent, hostC); err != nil {
+		return nil, nil, err
+	}
+	if err := d.place(serverAgent, hostS); err != nil {
+		return nil, nil, err
+	}
+	ss, err := hs.ctrl.ListenAs(serverAgent, hs.cred(serverAgent))
+	if err != nil {
+		return nil, nil, err
+	}
+	type res struct {
+		s   *core.Socket
+		err error
+	}
+	acceptCh := make(chan res, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		s, err := ss.Accept(ctx)
+		acceptCh <- res{s, err}
+	}()
+	client, err = hc.ctrl.OpenAs(clientAgent, hc.cred(clientAgent), serverAgent)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := <-acceptCh
+	if r.err != nil {
+		client.Close()
+		return nil, nil, r.err
+	}
+	return client, r.s, nil
+}
+
+// migrate moves an agent between hosts, exactly as the docking system does:
+// PreDepart (suspend + serialize), transfer (modelled by migrationDelay),
+// location update, PostArrive (restore + resume).
+func (d *deployment) migrate(agentID, from, to string, epoch uint64) error {
+	blob, err := d.hosts[from].ctrl.PreDepart(agentID)
+	if err != nil {
+		return fmt.Errorf("predepart %s: %w", agentID, err)
+	}
+	if d.migrationDelay > 0 {
+		time.Sleep(d.migrationDelay)
+	}
+	if err := d.svc.Update(agentID, d.hosts[to].loc(), epoch); err != nil {
+		return fmt.Errorf("relocating %s: %w", agentID, err)
+	}
+	if err := d.hosts[to].ctrl.PostArrive(agentID, blob); err != nil {
+		return fmt.Errorf("postarrive %s: %w", agentID, err)
+	}
+	return nil
+}
+
+// ---- rendering helpers ----
+
+// table renders rows of columns with a header, tab-separated — the format
+// every experiment prints.
+func table(header []string, rows [][]string) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(header, "\t"))
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		sb.WriteString(strings.Join(r, "\t"))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// sortedPhases returns breakdown phases in presentation order with any
+// extras appended alphabetically.
+func sortedPhases(snap map[metrics.Phase]time.Duration) []metrics.Phase {
+	known := metrics.OpenPhases()
+	seen := make(map[metrics.Phase]bool, len(known))
+	out := make([]metrics.Phase, 0, len(snap))
+	for _, p := range known {
+		if _, ok := snap[p]; ok {
+			out = append(out, p)
+			seen[p] = true
+		}
+	}
+	var extra []metrics.Phase
+	for p := range snap {
+		if !seen[p] {
+			extra = append(extra, p)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	return append(out, extra...)
+}

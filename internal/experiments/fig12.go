@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"naplet/internal/model"
+)
+
+// Fig12Curve is one µ_b/µ_a ratio's cost-versus-service-time series.
+type Fig12Curve struct {
+	Ratio  float64
+	Points []model.SimResult
+}
+
+// Fig12Result reproduces Figure 12: simulated connection migration cost as
+// a function of agent A's mean service time, for the high-priority agent
+// (12a) and the low-priority agent (12b), across µ_b/µ_a ratios.
+type Fig12Result struct {
+	Params model.Params
+	MeansA []float64
+	Curves []Fig12Curve
+}
+
+// DefaultFig12Means is the paper's x-axis: 0–2000 ms mean service time.
+func DefaultFig12Means() []float64 {
+	return []float64{25, 50, 100, 200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000}
+}
+
+// DefaultFig12Ratios are the paper's curves: µ_b/µ_a ∈ {1, 3, 1/3}.
+func DefaultFig12Ratios() []float64 { return []float64{1, 3, 1.0 / 3} }
+
+// RunFig12 sweeps the simulation over service times and ratios.
+func RunFig12(means []float64, ratios []float64, migrations int, seed int64) *Fig12Result {
+	if len(means) == 0 {
+		means = DefaultFig12Means()
+	}
+	if len(ratios) == 0 {
+		ratios = DefaultFig12Ratios()
+	}
+	if migrations <= 0 {
+		migrations = 20000
+	}
+	res := &Fig12Result{Params: model.PaperParams(), MeansA: means}
+	for _, ratio := range ratios {
+		res.Curves = append(res.Curves, Fig12Curve{
+			Ratio:  ratio,
+			Points: model.Sweep(res.Params, ratio, means, migrations, seed),
+		})
+	}
+	return res
+}
+
+// TableHigh renders Figure 12(a): the high-priority agent's cost.
+func (r *Fig12Result) TableHigh() string { return r.render(true) }
+
+// TableLow renders Figure 12(b): the low-priority agent's cost.
+func (r *Fig12Result) TableLow() string { return r.render(false) }
+
+func (r *Fig12Result) render(high bool) string {
+	header := []string{"mean service A (ms)"}
+	for _, c := range r.Curves {
+		header = append(header, fmt.Sprintf("µb/µa=%.2f (ms)", c.Ratio))
+	}
+	rows := make([][]string, len(r.MeansA))
+	for i, mean := range r.MeansA {
+		row := []string{f1(mean)}
+		for _, c := range r.Curves {
+			v := c.Points[i].MeanCostLow
+			if high {
+				v = c.Points[i].MeanCostHigh
+			}
+			row = append(row, f1(v))
+		}
+		rows[i] = row
+	}
+	return table(header, rows)
+}
+
+// Fig13Result reproduces Figure 13: connection migration overhead (control
+// messages relative to data messages) against the message exchange rate,
+// for several relative rates r = λ/µ.
+type Fig13Result struct {
+	Params model.Params
+	Rates  []float64 // message exchange rates λ (x-axis)
+	Rs     []float64 // relative rates r (curves)
+	Series [][]float64
+}
+
+// DefaultFig13Rates is the paper's x-axis: exchange rate 1–100.
+func DefaultFig13Rates() []float64 {
+	return []float64{1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+}
+
+// DefaultFig13Rs are the paper's curves: r ∈ {1, 2, 5, 10, 20}.
+func DefaultFig13Rs() []float64 { return []float64{1, 2, 5, 10, 20} }
+
+// RunFig13 evaluates the overhead model over the grid.
+func RunFig13(rates, rs []float64) *Fig13Result {
+	if len(rates) == 0 {
+		rates = DefaultFig13Rates()
+	}
+	if len(rs) == 0 {
+		rs = DefaultFig13Rs()
+	}
+	p := model.PaperParams()
+	res := &Fig13Result{Params: p, Rates: rates, Rs: rs}
+	for _, r := range rs {
+		series := make([]float64, len(rates))
+		for i, lambda := range rates {
+			series[i] = p.Overhead(lambda, r)
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res
+}
+
+// Table renders the Figure 13 grid.
+func (r *Fig13Result) Table() string {
+	header := []string{"exchange rate λ"}
+	for _, rr := range r.Rs {
+		header = append(header, fmt.Sprintf("r=%g", rr))
+	}
+	rows := make([][]string, len(r.Rates))
+	for i, lambda := range r.Rates {
+		row := []string{f1(lambda)}
+		for s := range r.Rs {
+			row = append(row, f3(r.Series[s][i]))
+		}
+		rows[i] = row
+	}
+	return table(header, rows)
+}

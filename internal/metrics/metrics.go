@@ -1,0 +1,224 @@
+// Package metrics provides the lightweight phase timers and aggregate
+// statistics used to reproduce the paper's cost breakdowns: Table 1 (open
+// and close latency), Figure 8 (where the time of a secure open goes), and
+// the suspend/resume costs feeding the Section 5 model.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase names one stage of a composite operation. The open-connection
+// phases mirror Figure 8 of the paper.
+type Phase string
+
+// Phases of a NapletSocket open, per Figure 8.
+const (
+	// PhaseManagement covers connection bookkeeping: id allocation, agent
+	// location lookup, connection table updates.
+	PhaseManagement Phase = "management"
+	// PhaseHandshaking covers the control-channel message exchanges.
+	PhaseHandshaking Phase = "handshaking"
+	// PhaseSecurityCheck covers authentication and authorization.
+	PhaseSecurityCheck Phase = "security-check"
+	// PhaseKeyExchange covers Diffie-Hellman key generation and derivation.
+	PhaseKeyExchange Phase = "key-exchange"
+	// PhaseOpenSocket covers TCP dial plus redirector handoff.
+	PhaseOpenSocket Phase = "open-socket"
+)
+
+// OpenPhases lists the Figure 8 phases in presentation order.
+func OpenPhases() []Phase {
+	return []Phase{PhaseManagement, PhaseHandshaking, PhaseSecurityCheck, PhaseKeyExchange, PhaseOpenSocket}
+}
+
+// Breakdown accumulates elapsed time per phase. It is safe for concurrent
+// use.
+type Breakdown struct {
+	mu sync.Mutex
+	d  map[Phase]time.Duration
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{d: make(map[Phase]time.Duration)}
+}
+
+// Add accumulates d into phase.
+func (b *Breakdown) Add(p Phase, d time.Duration) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.d[p] += d
+	b.mu.Unlock()
+}
+
+// Time runs fn, charging its elapsed time to phase.
+func (b *Breakdown) Time(p Phase, fn func()) {
+	start := time.Now()
+	fn()
+	b.Add(p, time.Since(start))
+}
+
+// Get returns the accumulated time of one phase.
+func (b *Breakdown) Get(p Phase) time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.d[p]
+}
+
+// Total returns the sum over all phases.
+func (b *Breakdown) Total() time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var t time.Duration
+	for _, d := range b.d {
+		t += d
+	}
+	return t
+}
+
+// Snapshot returns a copy of the per-phase durations.
+func (b *Breakdown) Snapshot() map[Phase]time.Duration {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[Phase]time.Duration, len(b.d))
+	for p, d := range b.d {
+		out[p] = d
+	}
+	return out
+}
+
+// String renders phases sorted by descending share.
+func (b *Breakdown) String() string {
+	snap := b.Snapshot()
+	type row struct {
+		p Phase
+		d time.Duration
+	}
+	rows := make([]row, 0, len(snap))
+	for p, d := range snap {
+		rows = append(rows, row{p, d})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
+	total := b.Total()
+	var sb strings.Builder
+	for i, r := range rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.d) / float64(total)
+		}
+		fmt.Fprintf(&sb, "%s=%v (%.0f%%)", r.p, r.d, pct)
+	}
+	return sb.String()
+}
+
+// Series accumulates scalar samples and reports summary statistics. It is
+// safe for concurrent use.
+type Series struct {
+	mu sync.Mutex
+	v  []float64
+}
+
+// NewSeries returns an empty series.
+func NewSeries() *Series { return &Series{} }
+
+// Add appends a sample.
+func (s *Series) Add(x float64) {
+	s.mu.Lock()
+	s.v = append(s.v, x)
+	s.mu.Unlock()
+}
+
+// AddDuration appends a duration sample in milliseconds.
+func (s *Series) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the sample count.
+func (s *Series) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.v)
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.v) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.v {
+		sum += x
+	}
+	return sum / float64(len(s.v))
+}
+
+// Stddev returns the sample standard deviation, or 0 for fewer than two
+// samples.
+func (s *Series) Stddev() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.v) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.v {
+		sum += x
+	}
+	mean := sum / float64(len(s.v))
+	var ss float64
+	for _, x := range s.v {
+		ss += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(ss / float64(len(s.v)-1))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank,
+// or 0 for an empty series.
+func (s *Series) Percentile(p float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.v) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.v...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Min returns the smallest sample, or 0 for an empty series.
+func (s *Series) Min() float64 { return s.Percentile(0) }
+
+// Max returns the largest sample, or 0 for an empty series.
+func (s *Series) Max() float64 { return s.Percentile(100) }

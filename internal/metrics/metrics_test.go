@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakdownAccumulates(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(PhaseKeyExchange, 10*time.Millisecond)
+	b.Add(PhaseKeyExchange, 5*time.Millisecond)
+	b.Add(PhaseHandshaking, 2*time.Millisecond)
+	if got := b.Get(PhaseKeyExchange); got != 15*time.Millisecond {
+		t.Fatalf("key-exchange = %v", got)
+	}
+	if got := b.Total(); got != 17*time.Millisecond {
+		t.Fatalf("total = %v", got)
+	}
+}
+
+func TestBreakdownTime(t *testing.T) {
+	b := NewBreakdown()
+	b.Time(PhaseOpenSocket, func() { time.Sleep(time.Millisecond) })
+	if b.Get(PhaseOpenSocket) < time.Millisecond {
+		t.Fatalf("timed phase = %v", b.Get(PhaseOpenSocket))
+	}
+}
+
+func TestNilBreakdownSafe(t *testing.T) {
+	var b *Breakdown
+	b.Add(PhaseManagement, time.Second)
+	if b.Get(PhaseManagement) != 0 || b.Total() != 0 || b.Snapshot() != nil {
+		t.Fatal("nil breakdown misbehaved")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(PhaseKeyExchange, 80*time.Millisecond)
+	b.Add(PhaseHandshaking, 20*time.Millisecond)
+	s := b.String()
+	if !strings.Contains(s, "key-exchange") || !strings.Contains(s, "80%") {
+		t.Fatalf("String() = %q", s)
+	}
+	// Largest phase first.
+	if strings.Index(s, "key-exchange") > strings.Index(s, "handshaking") {
+		t.Fatalf("phases not sorted by share: %q", s)
+	}
+}
+
+func TestBreakdownConcurrent(t *testing.T) {
+	b := NewBreakdown()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Add(PhaseManagement, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Get(PhaseManagement); got != 1600*time.Microsecond {
+		t.Fatalf("concurrent total = %v", got)
+	}
+}
+
+func TestOpenPhasesOrder(t *testing.T) {
+	p := OpenPhases()
+	if len(p) != 5 || p[0] != PhaseManagement || p[4] != PhaseOpenSocket {
+		t.Fatalf("OpenPhases() = %v", p)
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	s := NewSeries()
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := s.Stddev(); math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", got)
+	}
+	if got := s.Min(); got != 2 {
+		t.Fatalf("min = %v", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := s.Percentile(50); got != 4 {
+		t.Fatalf("p50 = %v", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries()
+	if s.Mean() != 0 || s.Stddev() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty series stats non-zero")
+	}
+}
+
+func TestSeriesAddDuration(t *testing.T) {
+	s := NewSeries()
+	s.AddDuration(1500 * time.Microsecond)
+	if got := s.Mean(); got != 1.5 {
+		t.Fatalf("mean = %v ms, want 1.5", got)
+	}
+}
+
+func TestSeriesPercentileBounds(t *testing.T) {
+	s := NewSeries()
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(-5); got != 1 {
+		t.Fatalf("p<0 = %v", got)
+	}
+	if got := s.Percentile(200); got != 100 {
+		t.Fatalf("p>100 = %v", got)
+	}
+	if got := s.Percentile(99); got != 99 {
+		t.Fatalf("p99 = %v", got)
+	}
+}

@@ -1,0 +1,279 @@
+// Package model implements the analytical performance model of Section 5
+// of the paper and the discrete-event simulation built on it: the cost of a
+// connection migration (equations (1)–(4)) as a function of agent migration
+// concurrency, and the control-message overhead of maintaining a persistent
+// connection relative to its data traffic (Figure 13).
+//
+// All durations are in milliseconds, matching the paper's presentation.
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Params are the model's cost constants. The paper's Section 5.2 settings
+// come from the measurements of Section 4.2.
+type Params struct {
+	// TControl is the one-way latency of a control message (ms).
+	TControl float64
+	// TSuspend is the cost of an uncontended suspend operation (ms).
+	TSuspend float64
+	// TResume is the cost of an uncontended resume operation (ms).
+	TResume float64
+	// TAMigrate is the agent migration cost (code + state transfer, ms).
+	TAMigrate float64
+}
+
+// PaperParams returns the constants used in the paper's simulations:
+// T_control = 10 ms, T_suspend = 27.8 ms, T_resume = 16.9 ms,
+// T_a-migrate = 220 ms.
+func PaperParams() Params {
+	return Params{TControl: 10, TSuspend: 27.8, TResume: 16.9, TAMigrate: 220}
+}
+
+// Kind classifies one connection migration episode (Section 5.1).
+type Kind int
+
+const (
+	// Single: the peer was not migrating concurrently.
+	Single Kind = iota
+	// Overlapped: both suspends were issued before either was
+	// acknowledged (τ < T_control).
+	Overlapped
+	// NonOverlapped: the second suspend was issued after the first was
+	// acknowledged but before it finished (T_control ≤ τ < T_suspend).
+	NonOverlapped
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Single:
+		return "single"
+	case Overlapped:
+		return "overlapped"
+	case NonOverlapped:
+		return "non-overlapped"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Classify determines the episode kind from the suspend-issue interval
+// τ = |t_a − t_b| (ms): the paper's Section 5.1 case analysis. τ at least
+// T_suspend means the first suspend completed before the second was issued
+// — a single migration.
+func (p Params) Classify(tau float64) Kind {
+	tau = math.Abs(tau)
+	switch {
+	case tau < p.TControl:
+		return Overlapped
+	case tau < p.TSuspend:
+		return NonOverlapped
+	default:
+		return Single
+	}
+}
+
+// SingleCost is equation (1): T_c-migrate = T_suspend + T_resume.
+func (p Params) SingleCost() float64 { return p.TSuspend + p.TResume }
+
+// OverlappedHighCost is the connection migration cost of the
+// higher-priority agent under overlapped concurrent migration — the same
+// as the single pattern (Section 5.1).
+func (p Params) OverlappedHighCost() float64 { return p.SingleCost() }
+
+// OverlappedLowCost is the cost of the lower-priority agent under
+// overlapped concurrent migration: its suspend completes only after the
+// peer's SUS_RES, per equation (3), T_suspend^a = T_control + T_suspend^b
+// + τ, plus its own resume.
+func (p Params) OverlappedLowCost(tau float64) float64 {
+	return p.TControl + p.TSuspend + math.Abs(tau) + p.TResume
+}
+
+// NonOverlappedSecondCost is equation (4): the second mover's suspend is
+// absorbed into the first mover's migration window, so its connection
+// migration costs T_resume + T_control + τ.
+func (p Params) NonOverlappedSecondCost(tau float64) float64 {
+	return p.TResume + p.TControl + math.Abs(tau)
+}
+
+// Cost returns the episode cost for one endpoint given the classification,
+// whether this endpoint holds the migration priority, whether it issued
+// its suspend second, and the issue interval τ.
+func (p Params) Cost(kind Kind, highPriority, issuedSecond bool, tau float64) float64 {
+	switch kind {
+	case Overlapped:
+		if highPriority {
+			return p.OverlappedHighCost()
+		}
+		return p.OverlappedLowCost(tau)
+	case NonOverlapped:
+		if issuedSecond {
+			return p.NonOverlappedSecondCost(tau)
+		}
+		return p.SingleCost()
+	default:
+		return p.SingleCost()
+	}
+}
+
+// Overhead is the Figure 13 model: the fraction of control messages among
+// all messages of one connection migration cycle. Each migration costs a
+// fixed handshake budget (SUS/ACK + RES/ACK) plus the keepalive traffic of
+// holding the connection open between migrations; the data traffic per
+// cycle is r = λ/µ messages.
+//
+// lambda is the data message exchange rate (messages per unit time) and r
+// the relative rate λ/µ with respect to the migration frequency µ.
+func (p Params) Overhead(lambda, r float64) float64 {
+	if lambda <= 0 || r <= 0 {
+		return 1
+	}
+	const handshakePerMigration = 4.0 // SUS+ACK and RES+ACK
+	const keepalivePerUnitTime = 1.0
+	mu := lambda / r
+	ctrl := handshakePerMigration + keepalivePerUnitTime/mu
+	return ctrl / (ctrl + r)
+}
+
+// ---- discrete-event simulation (Figure 12) ----
+
+// SimConfig configures one simulation run of two connected agents, A and B,
+// migrating independently with exponentially distributed service times. B
+// is assumed to hold the migration priority, as in the paper.
+type SimConfig struct {
+	Params
+	// MeanServiceA and MeanServiceB are the agents' mean per-host service
+	// times (ms), the paper's 1/µ_a and 1/µ_b.
+	MeanServiceA float64
+	MeanServiceB float64
+	// Migrations is how many migrations of each agent to simulate.
+	Migrations int
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// SimResult aggregates one run.
+type SimResult struct {
+	// MeanCostHigh and MeanCostLow are the mean connection migration costs
+	// (ms) of the high-priority (B) and low-priority (A) agents — the
+	// Figure 12(a) and 12(b) y-values.
+	MeanCostHigh float64
+	MeanCostLow  float64
+	// Episode counts by classification, summed over both agents.
+	Singles, Overlapped, NonOverlapped int
+}
+
+// Simulate runs the two-agent migration model and reports mean connection
+// migration costs per priority class.
+func Simulate(cfg SimConfig) SimResult {
+	if cfg.Migrations <= 0 {
+		cfg.Migrations = 10000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	exp := func(mean float64) float64 {
+		if mean <= 0 {
+			return 0
+		}
+		return rng.ExpFloat64() * mean
+	}
+
+	// Issue times of the next suspend of each agent.
+	tA := exp(cfg.MeanServiceA)
+	tB := exp(cfg.MeanServiceB)
+	var sumLow, sumHigh float64
+	var nLow, nHigh int
+	res := SimResult{}
+
+	record := func(cost float64, high bool) {
+		if high {
+			sumHigh += cost
+			nHigh++
+		} else {
+			sumLow += cost
+			nLow++
+		}
+	}
+
+	// hop advances an agent's clock past one migration episode.
+	hop := func(t, connCost, service float64) float64 {
+		return t + connCost + cfg.TAMigrate + service
+	}
+
+	for nLow < cfg.Migrations || nHigh < cfg.Migrations {
+		tau := math.Abs(tA - tB)
+		kind := cfg.Classify(tau)
+		switch kind {
+		case Single:
+			// Only the earlier migration is uncontended this round; the
+			// later one is re-examined against the earlier agent's *next*
+			// migration.
+			if tA <= tB {
+				cost := cfg.SingleCost()
+				record(cost, false)
+				tA = hop(tA, cost, exp(cfg.MeanServiceA))
+			} else {
+				cost := cfg.SingleCost()
+				record(cost, true)
+				tB = hop(tB, cost, exp(cfg.MeanServiceB))
+			}
+			res.Singles++
+		case Overlapped:
+			costHigh := cfg.OverlappedHighCost()
+			costLow := cfg.OverlappedLowCost(tau)
+			record(costHigh, true)
+			record(costLow, false)
+			// The low-priority agent's hop is serialized behind the high-
+			// priority one's.
+			tB = hop(tB, costHigh, exp(cfg.MeanServiceB))
+			tA = hop(math.Max(tA, tB), costLow, exp(cfg.MeanServiceA))
+			res.Overlapped += 2
+		case NonOverlapped:
+			first, second := tA, tB
+			firstHigh := false
+			if tB < tA {
+				first, second = tB, tA
+				firstHigh = true
+			}
+			costFirst := cfg.SingleCost()
+			costSecond := cfg.NonOverlappedSecondCost(tau)
+			record(costFirst, firstHigh)
+			record(costSecond, !firstHigh)
+			if firstHigh {
+				tB = hop(first, costFirst, exp(cfg.MeanServiceB))
+				tA = hop(math.Max(second, tB), costSecond, exp(cfg.MeanServiceA))
+			} else {
+				tA = hop(first, costFirst, exp(cfg.MeanServiceA))
+				tB = hop(math.Max(second, tA), costSecond, exp(cfg.MeanServiceB))
+			}
+			res.NonOverlapped += 2
+		}
+	}
+	if nHigh > 0 {
+		res.MeanCostHigh = sumHigh / float64(nHigh)
+	}
+	if nLow > 0 {
+		res.MeanCostLow = sumLow / float64(nLow)
+	}
+	return res
+}
+
+// Sweep runs Simulate over a range of mean service times for agent A with
+// the given ratio µ_b/µ_a (so B's mean service time is A's divided by the
+// ratio), reproducing one curve of Figure 12.
+func Sweep(p Params, ratio float64, meansA []float64, migrations int, seed int64) []SimResult {
+	out := make([]SimResult, len(meansA))
+	for i, mean := range meansA {
+		out[i] = Simulate(SimConfig{
+			Params:       p,
+			MeanServiceA: mean,
+			MeanServiceB: mean / ratio,
+			Migrations:   migrations,
+			Seed:         seed + int64(i),
+		})
+	}
+	return out
+}

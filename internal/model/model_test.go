@@ -1,0 +1,207 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperParams(t *testing.T) {
+	p := PaperParams()
+	if p.TControl != 10 || p.TSuspend != 27.8 || p.TResume != 16.9 || p.TAMigrate != 220 {
+		t.Fatalf("params = %+v", p)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	p := PaperParams()
+	cases := []struct {
+		tau  float64
+		want Kind
+	}{
+		{0, Overlapped},
+		{5, Overlapped},
+		{9.99, Overlapped},
+		{10, NonOverlapped},
+		{20, NonOverlapped},
+		{27.79, NonOverlapped},
+		{27.8, Single},
+		{1000, Single},
+		{-5, Overlapped}, // |τ| is what matters
+	}
+	for _, c := range cases {
+		if got := p.Classify(c.tau); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.tau, got, c.want)
+		}
+	}
+}
+
+func TestCostEquations(t *testing.T) {
+	p := PaperParams()
+	if got := p.SingleCost(); got != 44.7 {
+		t.Fatalf("single = %v", got)
+	}
+	if got := p.OverlappedHighCost(); got != p.SingleCost() {
+		t.Fatal("high-priority overlapped cost must equal single cost")
+	}
+	// Equation (3): T_control + T_suspend + τ (+ resume).
+	if got := p.OverlappedLowCost(5); math.Abs(got-(10+27.8+5+16.9)) > 1e-9 {
+		t.Fatalf("overlapped low = %v", got)
+	}
+	// Equation (4): T_resume + T_control + τ.
+	if got := p.NonOverlappedSecondCost(15); math.Abs(got-(16.9+10+15)) > 1e-9 {
+		t.Fatalf("non-overlapped second = %v", got)
+	}
+	// The non-overlapped second mover can beat the single cost — the dip
+	// the paper highlights in Figure 12.
+	if p.NonOverlappedSecondCost(10) >= p.SingleCost() {
+		t.Fatal("no dip: eq (4) at τ=T_control should undercut single cost")
+	}
+}
+
+func TestCostDispatch(t *testing.T) {
+	p := PaperParams()
+	if got := p.Cost(Single, true, false, 0); got != p.SingleCost() {
+		t.Fatal("single dispatch")
+	}
+	if got := p.Cost(Overlapped, true, false, 3); got != p.OverlappedHighCost() {
+		t.Fatal("overlapped high dispatch")
+	}
+	if got := p.Cost(Overlapped, false, true, 3); got != p.OverlappedLowCost(3) {
+		t.Fatal("overlapped low dispatch")
+	}
+	if got := p.Cost(NonOverlapped, false, true, 12); got != p.NonOverlappedSecondCost(12) {
+		t.Fatal("non-overlapped second dispatch")
+	}
+	if got := p.Cost(NonOverlapped, false, false, 12); got != p.SingleCost() {
+		t.Fatal("non-overlapped first dispatch")
+	}
+}
+
+func TestOverheadShape(t *testing.T) {
+	p := PaperParams()
+	// r = 1: overhead stays above 0.8 at every exchange rate (the paper's
+	// Figure 13 observation).
+	for _, lambda := range []float64{1, 5, 10, 50, 100} {
+		if got := p.Overhead(lambda, 1); got < 0.8 {
+			t.Errorf("overhead(λ=%v, r=1) = %v, want >= 0.8", lambda, got)
+		}
+	}
+	// Overhead decreases with the exchange rate for fixed r.
+	prev := 2.0
+	for _, lambda := range []float64{1, 2, 5, 10, 20, 50, 100} {
+		got := p.Overhead(lambda, 10)
+		if got >= prev {
+			t.Fatalf("overhead not decreasing at λ=%v: %v >= %v", lambda, got, prev)
+		}
+		prev = got
+	}
+	// Overhead decreases with r for fixed λ: more data amortizes control.
+	prev = 2.0
+	for _, r := range []float64{1, 2, 5, 10, 20} {
+		got := p.Overhead(50, r)
+		if got >= prev {
+			t.Fatalf("overhead not decreasing at r=%v: %v >= %v", r, got, prev)
+		}
+		prev = got
+	}
+	// Degenerate inputs saturate at 1.
+	if p.Overhead(0, 5) != 1 || p.Overhead(5, 0) != 1 {
+		t.Fatal("degenerate overhead not 1")
+	}
+}
+
+func TestOverheadBounds(t *testing.T) {
+	p := PaperParams()
+	f := func(lr, rr uint16) bool {
+		lambda := 0.1 + float64(lr%1000)
+		r := 0.1 + float64(rr%100)
+		o := p.Overhead(lambda, r)
+		return o > 0 && o < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := SimConfig{Params: PaperParams(), MeanServiceA: 500, MeanServiceB: 500, Migrations: 2000, Seed: 7}
+	a := Simulate(cfg)
+	b := Simulate(cfg)
+	if a != b {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSimulateHighPriorityNearSingleCost(t *testing.T) {
+	// The paper: "the cost for connection migration remains unchanged for
+	// the high priority agent" — its mean must stay near T_sus + T_res.
+	p := PaperParams()
+	for _, mean := range []float64{100, 500, 1000, 2000} {
+		res := Simulate(SimConfig{Params: p, MeanServiceA: mean, MeanServiceB: mean, Migrations: 5000, Seed: 1})
+		if math.Abs(res.MeanCostHigh-p.SingleCost()) > 3 {
+			t.Errorf("mean service %v: high cost %v, want ~%v", mean, res.MeanCostHigh, p.SingleCost())
+		}
+	}
+}
+
+func TestSimulateLowPriorityElevatedAtHighMigrationRates(t *testing.T) {
+	// Fast migration (small service time) → more concurrent episodes → the
+	// low-priority agent pays more than at slow migration.
+	p := PaperParams()
+	fast := Simulate(SimConfig{Params: p, MeanServiceA: 50, MeanServiceB: 50, Migrations: 8000, Seed: 2})
+	slow := Simulate(SimConfig{Params: p, MeanServiceA: 2000, MeanServiceB: 2000, Migrations: 8000, Seed: 2})
+	if fast.MeanCostLow <= slow.MeanCostLow {
+		t.Fatalf("low-priority cost fast=%v <= slow=%v", fast.MeanCostLow, slow.MeanCostLow)
+	}
+	// At slow rates nearly everything is single migration.
+	if slow.Singles == 0 || slow.Overlapped > slow.Singles/10 {
+		t.Fatalf("slow-rate mix: %+v", slow)
+	}
+	// At fast rates concurrency shows up.
+	if fast.Overlapped+fast.NonOverlapped == 0 {
+		t.Fatalf("fast-rate mix has no concurrency: %+v", fast)
+	}
+}
+
+func TestSimulateConvergesToSingleAtLargeServiceTimes(t *testing.T) {
+	p := PaperParams()
+	res := Simulate(SimConfig{Params: p, MeanServiceA: 5000, MeanServiceB: 5000, Migrations: 4000, Seed: 3})
+	if math.Abs(res.MeanCostLow-p.SingleCost()) > 2 {
+		t.Fatalf("low cost at large service time = %v, want ~%v", res.MeanCostLow, p.SingleCost())
+	}
+}
+
+func TestSweep(t *testing.T) {
+	p := PaperParams()
+	means := []float64{100, 500, 1000}
+	out := Sweep(p, 3, means, 1000, 9)
+	if len(out) != len(means) {
+		t.Fatalf("sweep results = %d", len(out))
+	}
+	for i, r := range out {
+		if r.MeanCostHigh <= 0 || r.MeanCostLow <= 0 {
+			t.Fatalf("sweep[%d] = %+v", i, r)
+		}
+	}
+}
+
+func TestFasterPeerIncreasesConcurrencyForLowPriority(t *testing.T) {
+	// Given A's rate, increasing µ_b/µ_a (B migrates faster) gives A's
+	// suspends more chances to meet an ongoing one — the paper's
+	// observation on the ratio plots.
+	p := PaperParams()
+	slowPeer := Simulate(SimConfig{Params: p, MeanServiceA: 400, MeanServiceB: 1200, Migrations: 8000, Seed: 4})
+	fastPeer := Simulate(SimConfig{Params: p, MeanServiceA: 400, MeanServiceB: 133, Migrations: 8000, Seed: 4})
+	concSlow := float64(slowPeer.Overlapped+slowPeer.NonOverlapped) / float64(slowPeer.Singles+1)
+	concFast := float64(fastPeer.Overlapped+fastPeer.NonOverlapped) / float64(fastPeer.Singles+1)
+	if concFast <= concSlow {
+		t.Fatalf("concurrency ratio fast=%v <= slow=%v", concFast, concSlow)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Single.String() != "single" || Overlapped.String() != "overlapped" || NonOverlapped.String() != "non-overlapped" {
+		t.Fatal("kind names wrong")
+	}
+}

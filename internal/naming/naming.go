@@ -1,0 +1,213 @@
+// Package naming implements the Naplet agent location service (Section 2.1
+// of the paper): a registry mapping agent ids to their current physical
+// location, ensuring location-transparent communication between agents. The
+// service is consulted only at connection setup — once a NapletSocket
+// connection is established, all traffic flows over the connection itself
+// and no further lookups are needed.
+//
+// The registry also keeps per-agent movement traces (Section 3.4 mentions
+// keeping records of agent traces), which double as a debugging aid and as
+// the data source for migration-pattern statistics.
+package naming
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Location is the set of addresses at which an agent's current host can be
+// reached.
+type Location struct {
+	// Host is the human-readable host (agent server) name.
+	Host string
+	// ControlAddr is the host's reliable-UDP control endpoint.
+	ControlAddr string
+	// DataAddr is the host's redirector TCP address (data-plane handoff).
+	DataAddr string
+	// DockAddr is the host's agent docking TCP address.
+	DockAddr string
+	// MailAddr is the host's post office UDP address (asynchronous
+	// persistent communication); empty when the host runs no post office.
+	MailAddr string
+}
+
+// IsZero reports whether the location is unset.
+func (l Location) IsZero() bool { return l == Location{} }
+
+// Record is a registry entry for one agent.
+type Record struct {
+	AgentID string
+	Loc     Location
+	// Epoch increases by one on every migration; stale updates (an old host
+	// reporting after the agent already moved on) are rejected by epoch.
+	Epoch     uint64
+	UpdatedAt time.Time
+}
+
+// Move is one entry of an agent's movement trace.
+type Move struct {
+	When  time.Time
+	Loc   Location
+	Epoch uint64
+}
+
+// Errors returned by the service.
+var (
+	// ErrNotFound reports a lookup for an unregistered agent.
+	ErrNotFound = errors.New("naming: agent not found")
+	// ErrStale reports an update carrying an epoch not newer than the
+	// registered one.
+	ErrStale = errors.New("naming: stale location update")
+	// ErrExists reports a duplicate registration.
+	ErrExists = errors.New("naming: agent already registered")
+)
+
+// Resolver is the read side of the location service, all that connection
+// setup needs.
+type Resolver interface {
+	Lookup(ctx context.Context, agentID string) (Record, error)
+}
+
+// maxTrace bounds each agent's retained movement history.
+const maxTrace = 256
+
+// Service is the in-memory location registry. It is safe for concurrent
+// use and implements Resolver.
+type Service struct {
+	mu      sync.RWMutex
+	records map[string]*Record
+	traces  map[string][]Move
+	// watchers wake blocked WaitFor calls when an agent (re)appears.
+	watchers map[string][]chan struct{}
+}
+
+// NewService returns an empty registry.
+func NewService() *Service {
+	return &Service{
+		records:  make(map[string]*Record),
+		traces:   make(map[string][]Move),
+		watchers: make(map[string][]chan struct{}),
+	}
+}
+
+// Register adds a new agent at loc with epoch 1.
+func (s *Service) Register(agentID string, loc Location) error {
+	if agentID == "" {
+		return errors.New("naming: empty agent id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.records[agentID]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, agentID)
+	}
+	now := time.Now()
+	s.records[agentID] = &Record{AgentID: agentID, Loc: loc, Epoch: 1, UpdatedAt: now}
+	s.appendTraceLocked(agentID, Move{When: now, Loc: loc, Epoch: 1})
+	s.notifyLocked(agentID)
+	return nil
+}
+
+// Update records a migration: the agent now lives at loc with the given
+// epoch, which must be exactly one greater than the registered epoch.
+func (s *Service) Update(agentID string, loc Location, epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.records[agentID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, agentID)
+	}
+	if epoch <= rec.Epoch {
+		return fmt.Errorf("%w: have epoch %d, update carries %d", ErrStale, rec.Epoch, epoch)
+	}
+	rec.Loc = loc
+	rec.Epoch = epoch
+	rec.UpdatedAt = time.Now()
+	s.appendTraceLocked(agentID, Move{When: rec.UpdatedAt, Loc: loc, Epoch: epoch})
+	s.notifyLocked(agentID)
+	return nil
+}
+
+// Deregister removes an agent (terminated or lost). The trace is retained.
+func (s *Service) Deregister(agentID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.records[agentID]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, agentID)
+	}
+	delete(s.records, agentID)
+	return nil
+}
+
+// Lookup implements Resolver.
+func (s *Service) Lookup(_ context.Context, agentID string) (Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.records[agentID]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %q", ErrNotFound, agentID)
+	}
+	return *rec, nil
+}
+
+// WaitFor blocks until agentID is registered (or ctx is done) and returns
+// its record. It exists so a client can dial an agent that is still being
+// launched or is mid-migration.
+func (s *Service) WaitFor(ctx context.Context, agentID string) (Record, error) {
+	for {
+		s.mu.Lock()
+		if rec, ok := s.records[agentID]; ok {
+			r := *rec
+			s.mu.Unlock()
+			return r, nil
+		}
+		ch := make(chan struct{})
+		s.watchers[agentID] = append(s.watchers[agentID], ch)
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return Record{}, ctx.Err()
+		}
+	}
+}
+
+// Trace returns a copy of the agent's movement history, oldest first.
+func (s *Service) Trace(agentID string) []Move {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.traces[agentID]
+	out := make([]Move, len(t))
+	copy(out, t)
+	return out
+}
+
+// Agents returns the ids of all registered agents, sorted.
+func (s *Service) Agents() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.records))
+	for id := range s.records {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Service) appendTraceLocked(agentID string, m Move) {
+	t := append(s.traces[agentID], m)
+	if len(t) > maxTrace {
+		t = t[len(t)-maxTrace:]
+	}
+	s.traces[agentID] = t
+}
+
+func (s *Service) notifyLocked(agentID string) {
+	for _, ch := range s.watchers[agentID] {
+		close(ch)
+	}
+	delete(s.watchers, agentID)
+}

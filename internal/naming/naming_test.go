@@ -1,0 +1,313 @@
+package naming
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func loc(host string) Location {
+	return Location{
+		Host:        host,
+		ControlAddr: host + ":7001",
+		DataAddr:    host + ":7002",
+		DockAddr:    host + ":7003",
+	}
+}
+
+func TestRegisterLookup(t *testing.T) {
+	s := NewService()
+	if err := s.Register("a", loc("h1")); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Lookup(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Loc.Host != "h1" || rec.Epoch != 1 {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	s := NewService()
+	if _, err := s.Lookup(context.Background(), "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDuplicateRegister(t *testing.T) {
+	s := NewService()
+	if err := s.Register("a", loc("h1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("a", loc("h2")); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v, want ErrExists", err)
+	}
+}
+
+func TestEmptyAgentIDRejected(t *testing.T) {
+	s := NewService()
+	if err := s.Register("", loc("h1")); err == nil {
+		t.Fatal("empty id accepted")
+	}
+}
+
+func TestUpdateEpochOrdering(t *testing.T) {
+	s := NewService()
+	if err := s.Register("a", loc("h1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update("a", loc("h2"), 2); err != nil {
+		t.Fatal(err)
+	}
+	// A stale update from the old host must be rejected.
+	if err := s.Update("a", loc("h1"), 2); !errors.Is(err, ErrStale) {
+		t.Fatalf("err = %v, want ErrStale", err)
+	}
+	if err := s.Update("a", loc("h1"), 1); !errors.Is(err, ErrStale) {
+		t.Fatalf("err = %v, want ErrStale", err)
+	}
+	rec, _ := s.Lookup(context.Background(), "a")
+	if rec.Loc.Host != "h2" || rec.Epoch != 2 {
+		t.Fatalf("record after stale updates = %+v", rec)
+	}
+}
+
+func TestUpdateUnknown(t *testing.T) {
+	s := NewService()
+	if err := s.Update("ghost", loc("h1"), 2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	s := NewService()
+	s.Register("a", loc("h1"))
+	if err := s.Deregister("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Lookup(context.Background(), "a"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("agent still resolvable after deregister")
+	}
+	if err := s.Deregister("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double deregister: err = %v", err)
+	}
+	// Trace survives deregistration.
+	if tr := s.Trace("a"); len(tr) != 1 {
+		t.Fatalf("trace = %v", tr)
+	}
+}
+
+func TestTraceAccumulates(t *testing.T) {
+	s := NewService()
+	s.Register("a", loc("h1"))
+	for i := 2; i <= 5; i++ {
+		if err := s.Update("a", loc(fmt.Sprintf("h%d", i)), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := s.Trace("a")
+	if len(tr) != 5 {
+		t.Fatalf("trace length = %d, want 5", len(tr))
+	}
+	for i, m := range tr {
+		want := fmt.Sprintf("h%d", i+1)
+		if m.Loc.Host != want || m.Epoch != uint64(i+1) {
+			t.Fatalf("trace[%d] = %+v, want host %s epoch %d", i, m, want, i+1)
+		}
+	}
+}
+
+func TestTraceBounded(t *testing.T) {
+	s := NewService()
+	s.Register("a", loc("h0"))
+	for i := 2; i <= maxTrace+50; i++ {
+		if err := s.Update("a", loc("h"), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(s.Trace("a")); n != maxTrace {
+		t.Fatalf("trace length = %d, want %d", n, maxTrace)
+	}
+}
+
+func TestAgentsSorted(t *testing.T) {
+	s := NewService()
+	for _, id := range []string{"c", "a", "b"} {
+		s.Register(id, loc("h"))
+	}
+	got := s.Agents()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Agents() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWaitForBlocksUntilRegister(t *testing.T) {
+	s := NewService()
+	done := make(chan Record, 1)
+	go func() {
+		rec, err := s.WaitFor(context.Background(), "late")
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rec
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("WaitFor returned before registration")
+	default:
+	}
+	s.Register("late", loc("h9"))
+	select {
+	case rec := <-done:
+		if rec.Loc.Host != "h9" {
+			t.Fatalf("record = %+v", rec)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("WaitFor did not wake up")
+	}
+}
+
+func TestWaitForContextCancel(t *testing.T) {
+	s := NewService()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := s.WaitFor(ctx, "never"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentRegistryAccess(t *testing.T) {
+	s := NewService()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("agent-%d", i)
+			if err := s.Register(id, loc("h1")); err != nil {
+				t.Error(err)
+				return
+			}
+			for e := uint64(2); e <= 10; e++ {
+				if err := s.Update(id, loc("h2"), e); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Lookup(context.Background(), id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(s.Agents()) != 32 {
+		t.Fatalf("agents = %d, want 32", len(s.Agents()))
+	}
+}
+
+func TestRemoteClientServer(t *testing.T) {
+	svc := NewService()
+	srv, err := NewServer(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := NewClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	if err := cli.Register(ctx, "a", loc("h1")); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := cli.Lookup(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Loc.Host != "h1" || rec.Epoch != 1 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if err := cli.Update(ctx, "a", loc("h2"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Update(ctx, "a", loc("h2"), 2); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale over RPC: err = %v", err)
+	}
+	tr, err := cli.Trace(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 2 || tr[1].Loc.Host != "h2" {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if _, err := cli.Lookup(ctx, "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("remote not-found: err = %v", err)
+	}
+	if err := cli.Deregister(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Lookup(ctx, "a"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("agent resolvable after remote deregister")
+	}
+	if err := cli.Register(ctx, "a", loc("h3")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteWaitFor(t *testing.T) {
+	svc := NewService()
+	srv, err := NewServer(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := NewClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	// Registration lands while the wait is pending.
+	done := make(chan Record, 1)
+	errs := make(chan error, 1)
+	go func() {
+		rec, err := cli.WaitFor(ctx, "late", 10*time.Second)
+		if err != nil {
+			errs <- err
+			return
+		}
+		done <- rec
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if err := svc.Register("late", loc("h7")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case rec := <-done:
+		if rec.Loc.Host != "h7" {
+			t.Fatalf("record = %+v", rec)
+		}
+	case err := <-errs:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("remote WaitFor never returned")
+	}
+
+	// A wait on a never-registered agent expires with ErrNotFound.
+	if _, err := cli.WaitFor(ctx, "never", 400*time.Millisecond); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package netem provides network emulation for experiments: wrapping a
+// connection so every write is delivered after a configurable one-way
+// delay. Wrapping both endpoints of a loopback connection with delay d
+// emulates a network with RTT 2d, which lets the latency experiments run
+// in the paper's absolute regime (their Fast Ethernet testbed) instead of
+// loopback's microseconds.
+package netem
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClosed reports a write on a closed delayed connection.
+var ErrClosed = errors.New("netem: connection closed")
+
+// closeWriter is the half-close capability the suspend drain needs.
+type closeWriter interface {
+	CloseWrite() error
+}
+
+// delayed is one queued write.
+type delayed struct {
+	due  time.Time
+	data []byte
+	// closeWrite marks the end-of-stream marker instead of data.
+	closeWrite bool
+}
+
+// Conn delays every write by a fixed duration while passing reads through.
+// Writes retain their order. Close and CloseWrite flush queued writes
+// first, so no bytes are lost to the emulation itself.
+type Conn struct {
+	net.Conn
+	delay time.Duration
+
+	mu     sync.Mutex
+	queue  []delayed
+	kick   chan struct{}
+	werr   error
+	closed bool
+	// drained is signalled whenever the queue empties.
+	drained *sync.Cond
+
+	wg sync.WaitGroup
+}
+
+// Delay wraps conn so its writes are delivered after d. A non-positive d
+// returns conn unchanged.
+func Delay(conn net.Conn, d time.Duration) net.Conn {
+	if d <= 0 {
+		return conn
+	}
+	c := &Conn{Conn: conn, delay: d, kick: make(chan struct{}, 1)}
+	c.drained = sync.NewCond(&c.mu)
+	c.wg.Add(1)
+	go c.pump()
+	return c
+}
+
+// Write queues p for delivery after the configured delay.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, ErrClosed
+	}
+	if c.werr != nil {
+		return 0, c.werr
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	c.queue = append(c.queue, delayed{due: time.Now().Add(c.delay), data: cp})
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	return len(p), nil
+}
+
+// CloseWrite flushes queued writes (after their delays) and then
+// half-closes the underlying connection.
+func (c *Conn) CloseWrite() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.queue = append(c.queue, delayed{due: time.Now().Add(c.delay), closeWrite: true})
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Close flushes queued writes, then closes the underlying connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	// Wait for the queue to drain (bounded by delay × queue length, which
+	// the pump works through on its own schedule).
+	for len(c.queue) > 0 && c.werr == nil {
+		c.drained.Wait()
+	}
+	c.mu.Unlock()
+	err := c.Conn.Close()
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	c.wg.Wait()
+	return err
+}
+
+// pump delivers queued writes at their due times, in order.
+func (c *Conn) pump() {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 {
+			if c.closed {
+				c.mu.Unlock()
+				return
+			}
+			c.mu.Unlock()
+			<-c.kick
+			c.mu.Lock()
+		}
+		item := c.queue[0]
+		c.mu.Unlock()
+
+		if wait := time.Until(item.due); wait > 0 {
+			time.Sleep(wait)
+		}
+
+		var err error
+		if item.closeWrite {
+			if cw, ok := c.Conn.(closeWriter); ok {
+				err = cw.CloseWrite()
+			}
+		} else {
+			_, err = c.Conn.Write(item.data)
+		}
+
+		c.mu.Lock()
+		c.queue = c.queue[1:]
+		if err != nil && c.werr == nil {
+			c.werr = err
+		}
+		if len(c.queue) == 0 {
+			c.drained.Broadcast()
+		}
+		closedAndDone := c.closed && len(c.queue) == 0
+		c.mu.Unlock()
+		if closedAndDone {
+			return
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package netem
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func pipePair(t *testing.T, delay time.Duration) (a, b net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	acc := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			acc <- c
+		}
+	}()
+	dialed, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := <-acc
+	a, b = Delay(dialed, delay), Delay(accepted, delay)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	const d = 30 * time.Millisecond
+	a, b := pipePair(t, d)
+	start := time.Now()
+	if _, err := a.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("one-way latency %v, want >= %v", elapsed, d)
+	}
+	// Round trip takes ~2d.
+	start = time.Now()
+	if _, err := b.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("pin2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*d {
+		t.Fatalf("round trip %v, want >= %v", elapsed, 2*d)
+	}
+}
+
+func TestDelayPreservesOrderAndContent(t *testing.T) {
+	a, b := pipePair(t, 5*time.Millisecond)
+	var want bytes.Buffer
+	for i := 0; i < 50; i++ {
+		chunk := bytes.Repeat([]byte{byte(i)}, 1+i%7)
+		want.Write(chunk)
+		if _, err := a.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]byte, want.Len())
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("delayed stream reordered or corrupted")
+	}
+}
+
+func TestCloseFlushesQueuedWrites(t *testing.T) {
+	a, b := pipePair(t, 20*time.Millisecond)
+	if _, err := a.Write([]byte("last words")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 10)
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatalf("queued write lost at close: %v", err)
+	}
+	if string(got) != "last words" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCloseWriteDeliversEOFAfterData(t *testing.T) {
+	a, b := pipePair(t, 15*time.Millisecond)
+	if _, err := a.Write([]byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	cw, ok := a.(interface{ CloseWrite() error })
+	if !ok {
+		t.Fatal("delayed conn lost CloseWrite")
+	}
+	if err := cw.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "bye" {
+		t.Fatalf("got %q", data)
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	a, _ := pipePair(t, 5*time.Millisecond)
+	a.Close()
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+	// Double close is fine.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroDelayPassthrough(t *testing.T) {
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	go func() {
+		c, _ := ln.Accept()
+		if c != nil {
+			c.Close()
+		}
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if got := Delay(raw, 0); got != raw {
+		t.Fatal("zero delay should return the original connection")
+	}
+}

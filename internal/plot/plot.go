@@ -1,0 +1,268 @@
+// Package plot renders small ASCII line charts for the figure-reproducing
+// CLI: each paper figure can be eyeballed directly in the terminal next to
+// its data table, and the CSV emitters feed external plotting tools.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers distinguish overlapping series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart is an ASCII line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot area dimensions in characters;
+	// defaults 60×16.
+	Width, Height int
+	// LogX plots the x axis on a log10 scale.
+	LogX bool
+	// YMin/YMax fix the y range; when both zero the range is computed
+	// from the data with a small margin.
+	YMin, YMax float64
+
+	series []Series
+}
+
+// Add appends a series. X and Y must have equal length.
+func (c *Chart) Add(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+	}
+	c.series = append(c.series, s)
+	return nil
+}
+
+func (c *Chart) dims() (w, h int) {
+	w, h = c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	return w, h
+}
+
+func (c *Chart) xTransform(x float64) float64 {
+	if c.LogX {
+		if x <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Log10(x)
+	}
+	return x
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.dims()
+	// Data ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.series {
+		for i := range s.X {
+			x := c.xTransform(s.X[i])
+			if math.IsInf(x, -1) {
+				continue
+			}
+			points++
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+	} else {
+		margin := (ymax - ymin) * 0.05
+		if margin == 0 {
+			margin = math.Abs(ymax)*0.05 + 1
+		}
+		ymin -= margin
+		ymax += margin
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	// Plot each series: points plus linear interpolation between them.
+	for si, s := range c.series {
+		m := markers[si%len(markers)]
+		var prevCol, prevRow int
+		hasPrev := false
+		for i := range s.X {
+			x := c.xTransform(s.X[i])
+			if math.IsInf(x, -1) {
+				continue
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+			row := h - 1 - int(math.Round((s.Y[i]-ymin)/(ymax-ymin)*float64(h-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= h {
+				row = h - 1
+			}
+			if hasPrev {
+				drawLine(grid, prevCol, prevRow, col, row, '.')
+			}
+			grid[row][col] = m
+			prevCol, prevRow = col, row
+			hasPrev = true
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	yTop := fmt.Sprintf("%.4g", ymax)
+	yBot := fmt.Sprintf("%.4g", ymin)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, yTop)
+		case h - 1:
+			label = fmt.Sprintf("%*s", labelW, yBot)
+		case h / 2:
+			mid := fmt.Sprintf("%.4g", (ymin+ymax)/2)
+			label = fmt.Sprintf("%*s", labelW, mid)
+		}
+		sb.WriteString(label)
+		sb.WriteString(" |")
+		sb.Write(grid[r])
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", labelW+2))
+	sb.WriteString(strings.Repeat("-", w))
+	sb.WriteByte('\n')
+	// X axis labels.
+	xl, xr := xmin, xmax
+	if c.LogX {
+		xl, xr = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	left := fmt.Sprintf("%.4g", xl)
+	right := fmt.Sprintf("%.4g", xr)
+	pad := w - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	sb.WriteString(strings.Repeat(" ", labelW+2))
+	sb.WriteString(left)
+	sb.WriteString(strings.Repeat(" ", pad))
+	sb.WriteString(right)
+	sb.WriteByte('\n')
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&sb, "%s x: %s", strings.Repeat(" ", labelW+2), c.XLabel)
+		if c.YLabel != "" {
+			fmt.Fprintf(&sb, ", y: %s", c.YLabel)
+		}
+		sb.WriteByte('\n')
+	}
+	// Legend.
+	if len(c.series) > 1 {
+		sb.WriteString(strings.Repeat(" ", labelW+2))
+		for si, s := range c.series {
+			if si > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%c %s", markers[si%len(markers)], s.Name)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// drawLine draws a Bresenham segment with ch, not overwriting markers.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, ch byte) {
+	dx, dy := abs(x1-x0), -abs(y1-y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if y0 >= 0 && y0 < len(grid) && x0 >= 0 && x0 < len(grid[y0]) && grid[y0][x0] == ' ' {
+			grid[y0][x0] = ch
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// CSV renders series as comma-separated rows: header x,<name>... then one
+// row per x value (series are assumed to share x values; missing points
+// are left empty).
+func CSV(xLabel string, series ...Series) string {
+	var sb strings.Builder
+	sb.WriteString(xLabel)
+	for _, s := range series {
+		sb.WriteByte(',')
+		sb.WriteString(s.Name)
+	}
+	sb.WriteByte('\n')
+	if len(series) == 0 {
+		return sb.String()
+	}
+	for i := range series[0].X {
+		fmt.Fprintf(&sb, "%g", series[0].X[i])
+		for _, s := range series {
+			sb.WriteByte(',')
+			if i < len(s.Y) {
+				fmt.Fprintf(&sb, "%g", s.Y[i])
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,114 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := &Chart{Title: "demo", XLabel: "x", YLabel: "y", Width: 40, Height: 10}
+	if err := c.Add(Series{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	if !strings.Contains(out, "demo") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "x: x, y: y") {
+		t.Fatalf("missing axis labels: %q", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data markers rendered")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + xlabels + labels line
+	if len(lines) < 13 {
+		t.Fatalf("rendered %d lines", len(lines))
+	}
+}
+
+func TestRenderMonotoneSeriesShape(t *testing.T) {
+	c := &Chart{Width: 30, Height: 8}
+	c.Add(Series{Name: "s", X: []float64{0, 1, 2}, Y: []float64{0, 5, 10}})
+	out := c.Render()
+	// The max must appear on the first plot row, the min on the last.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "*") {
+		t.Fatalf("top row has no marker: %q", lines[0])
+	}
+	if !strings.Contains(lines[7], "*") {
+		t.Fatalf("bottom row has no marker: %q", lines[7])
+	}
+}
+
+func TestRenderMultipleSeriesLegend(t *testing.T) {
+	c := &Chart{Width: 30, Height: 8}
+	c.Add(Series{Name: "a", X: []float64{0, 1}, Y: []float64{1, 2}})
+	c.Add(Series{Name: "b", X: []float64{0, 1}, Y: []float64{2, 1}})
+	out := c.Render()
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("legend missing: %q", out)
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	c := &Chart{Width: 30, Height: 8, LogX: true}
+	c.Add(Series{Name: "s", X: []float64{1, 10, 100}, Y: []float64{1, 2, 3}})
+	out := c.Render()
+	if !strings.Contains(out, "100") {
+		t.Fatalf("x range label missing: %q", out)
+	}
+	// Non-positive x values are skipped, not crashed on.
+	c2 := &Chart{LogX: true}
+	c2.Add(Series{Name: "s", X: []float64{0, -1}, Y: []float64{1, 2}})
+	if out := c2.Render(); !strings.Contains(out, "no data") {
+		t.Fatalf("expected no-data render, got %q", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	c := &Chart{Width: 20, Height: 6}
+	c.Add(Series{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}})
+	out := c.Render() // must not divide by zero
+	if !strings.Contains(out, "*") {
+		t.Fatal("flat series not rendered")
+	}
+}
+
+func TestAddMismatchedLengths(t *testing.T) {
+	c := &Chart{}
+	if err := c.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestFixedYRange(t *testing.T) {
+	c := &Chart{Width: 20, Height: 6, YMin: 0, YMax: 100}
+	c.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{50, 60}})
+	out := c.Render()
+	if !strings.Contains(out, "100") || !strings.Contains(out, "0") {
+		t.Fatalf("fixed range labels missing: %q", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV("x",
+		Series{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+		Series{Name: "b", X: []float64{1, 2}, Y: []float64{30, 40}},
+	)
+	want := "x,a,b\n1,10,30\n2,20,40\n"
+	if out != want {
+		t.Fatalf("csv = %q, want %q", out, want)
+	}
+	if got := CSV("x"); got != "x\n" {
+		t.Fatalf("empty csv = %q", got)
+	}
+}

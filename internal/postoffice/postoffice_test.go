@@ -1,0 +1,311 @@
+package postoffice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"naplet/internal/naming"
+)
+
+// env wires two offices to one location service, simulating two hosts.
+type env struct {
+	svc     *naming.Service
+	offices map[string]*Office
+}
+
+func newEnv(t *testing.T, hosts ...string) *env {
+	t.Helper()
+	e := &env{svc: naming.NewService(), offices: make(map[string]*Office)}
+	for _, h := range hosts {
+		o, err := New(h, e.svc, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { o.Close() })
+		e.offices[h] = o
+	}
+	return e
+}
+
+// place registers an agent as resident on host with a fresh mailbox.
+func (e *env) place(t *testing.T, agentID, host string) *Box {
+	t.Helper()
+	o := e.offices[host]
+	loc := naming.Location{Host: host, MailAddr: o.Addr()}
+	if err := e.svc.Register(agentID, loc); err != nil {
+		t.Fatal(err)
+	}
+	return o.Open(agentID)
+}
+
+func TestSendReceive(t *testing.T) {
+	e := newEnv(t, "h1", "h2")
+	e.place(t, "alice", "h1")
+	bobBox := e.place(t, "bob", "h2")
+
+	if err := e.offices["h1"].Send(context.Background(), "alice", "bob", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := bobBox.Receive(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.From != "alice" || msg.To != "bob" || string(msg.Body) != "hello" {
+		t.Fatalf("msg = %+v", msg)
+	}
+}
+
+func TestSendToSelfHost(t *testing.T) {
+	e := newEnv(t, "h1")
+	e.place(t, "a", "h1")
+	box := e.place(t, "b", "h1")
+	if err := e.offices["h1"].Send(context.Background(), "a", "b", []byte("local")); err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := box.Receive(context.Background())
+	if string(msg.Body) != "local" {
+		t.Fatalf("msg = %+v", msg)
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	e := newEnv(t, "h1", "h2")
+	e.place(t, "a", "h1")
+	box := e.place(t, "b", "h2")
+	for i := 0; i < 20; i++ {
+		if err := e.offices["h1"].Send(context.Background(), "a", "b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		msg, err := box.Receive(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Body[0] != byte(i) {
+			t.Fatalf("message %d out of order: got %d", i, msg.Body[0])
+		}
+	}
+}
+
+func TestReceiveBlocksUntilArrival(t *testing.T) {
+	e := newEnv(t, "h1")
+	box := e.place(t, "b", "h1")
+	got := make(chan Message, 1)
+	go func() {
+		m, err := box.Receive(context.Background())
+		if err == nil {
+			got <- m
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-got:
+		t.Fatal("Receive returned before any message")
+	default:
+	}
+	e.place(t, "a", "h1")
+	if err := e.offices["h1"].Send(context.Background(), "a", "b", []byte("wake")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if string(m.Body) != "wake" {
+			t.Fatalf("msg = %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Receive never woke up")
+	}
+}
+
+func TestTryReceive(t *testing.T) {
+	e := newEnv(t, "h1")
+	box := e.place(t, "b", "h1")
+	if _, ok := box.TryReceive(); ok {
+		t.Fatal("TryReceive on empty box returned a message")
+	}
+	e.place(t, "a", "h1")
+	e.offices["h1"].Send(context.Background(), "a", "b", []byte("x"))
+	if m, ok := box.TryReceive(); !ok || string(m.Body) != "x" {
+		t.Fatalf("TryReceive = %v, %v", m, ok)
+	}
+}
+
+func TestReceiveContextCancel(t *testing.T) {
+	e := newEnv(t, "h1")
+	box := e.place(t, "b", "h1")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := box.Receive(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendToUnknownAgentEventuallyFails(t *testing.T) {
+	e := newEnv(t, "h1")
+	e.place(t, "a", "h1")
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	err := e.offices["h1"].Send(ctx, "a", "nobody", []byte("x"))
+	if err == nil {
+		t.Fatal("send to unknown agent succeeded")
+	}
+}
+
+// TestDeliveryFollowsMigration simulates an agent migrating between hosts:
+// the mailbox moves via the hook, the location service is updated, and a
+// message sent mid-migration is delivered at the new host.
+func TestDeliveryFollowsMigration(t *testing.T) {
+	e := newEnv(t, "h1", "h2")
+	e.place(t, "sender", "h1")
+	box := e.place(t, "mover", "h1")
+
+	// Queue a message before the move; it must travel with the agent.
+	if err := e.offices["h1"].Send(context.Background(), "sender", "mover", []byte("pre-move")); err != nil {
+		t.Fatal(err)
+	}
+	for box.Len() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Migrate: depart h1, update directory, arrive h2 (what agent.Host does
+	// around a hop).
+	blob, err := e.offices["h1"].PreDepart("mover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc2 := naming.Location{Host: "h2", MailAddr: e.offices["h2"].Addr()}
+	if err := e.svc.Update("mover", loc2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.offices["h2"].PostArrive("mover", blob); err != nil {
+		t.Fatal(err)
+	}
+	newBox, ok := e.offices["h2"].Lookup("mover")
+	if !ok {
+		t.Fatal("mailbox not recreated on h2")
+	}
+
+	// The queued message survived the hop.
+	m, err := newBox.Receive(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Body) != "pre-move" {
+		t.Fatalf("carried message = %+v", m)
+	}
+
+	// New sends land at h2.
+	if err := e.offices["h1"].Send(context.Background(), "sender", "mover", []byte("post-move")); err != nil {
+		t.Fatal(err)
+	}
+	m, err = newBox.Receive(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Body) != "post-move" {
+		t.Fatalf("post-move message = %+v", m)
+	}
+}
+
+// TestSendDuringMigrationRetries sends while the agent is between offices —
+// departed h1, not yet arrived at h2 — and checks the sender retries until
+// arrival instead of failing.
+func TestSendDuringMigrationRetries(t *testing.T) {
+	e := newEnv(t, "h1", "h2")
+	e.place(t, "sender", "h2")
+	e.place(t, "mover", "h1")
+
+	blob, err := e.offices["h1"].PreDepart("mover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Directory still points at h1; office h1 will answer "retry".
+	sendDone := make(chan error, 1)
+	go func() {
+		sendDone <- e.offices["h2"].Send(context.Background(), "sender", "mover", []byte("in-flight"))
+	}()
+	time.Sleep(30 * time.Millisecond)
+
+	loc2 := naming.Location{Host: "h2", MailAddr: e.offices["h2"].Addr()}
+	if err := e.svc.Update("mover", loc2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.offices["h2"].PostArrive("mover", blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-sendDone; err != nil {
+		t.Fatalf("send across migration failed: %v", err)
+	}
+	box, _ := e.offices["h2"].Lookup("mover")
+	m, err := box.Receive(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Body) != "in-flight" {
+		t.Fatalf("message = %+v", m)
+	}
+}
+
+func TestHookWithNoMailboxIsNoOp(t *testing.T) {
+	e := newEnv(t, "h1")
+	blob, err := e.offices["h1"].PreDepart("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob != nil {
+		t.Fatalf("blob = %v, want nil", blob)
+	}
+	if err := e.offices["h1"].PostArrive("ghost", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnTerminateDiscardsMailbox(t *testing.T) {
+	e := newEnv(t, "h1")
+	e.place(t, "b", "h1")
+	e.offices["h1"].OnTerminate("b")
+	if _, ok := e.offices["h1"].Lookup("b"); ok {
+		t.Fatal("mailbox survived termination")
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	e := newEnv(t, "h1", "h2")
+	box := e.place(t, "sink", "h2")
+	const senders, each = 8, 16
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		id := fmt.Sprintf("s%d", s)
+		e.place(t, id, "h1")
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := e.offices["h1"].Send(context.Background(), id, "sink", []byte(id)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	counts := make(map[string]int)
+	for i := 0; i < senders*each; i++ {
+		m, err := box.Receive(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[string(m.Body)]++
+	}
+	for s := 0; s < senders; s++ {
+		id := fmt.Sprintf("s%d", s)
+		if counts[id] != each {
+			t.Fatalf("sender %s delivered %d messages, want %d", id, counts[id], each)
+		}
+	}
+}

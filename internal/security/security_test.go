@@ -1,0 +1,197 @@
+package security
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAgentNeverGetsRawSocket(t *testing.T) {
+	// Even with an explicit allow-everything rule, raw sockets stay denied
+	// to agents: the invariant dominates the rule set.
+	store := NewStore(Rule{SubjectKind: KindAgent, Effect: Allow})
+	ok, reason := store.Grants(Subject{Kind: KindAgent, Name: "a"}, Permission{Action: ActionRawSocket})
+	if ok {
+		t.Fatalf("agent granted raw socket (%s)", reason)
+	}
+}
+
+func TestSystemDefaultAllow(t *testing.T) {
+	store := NewStore()
+	for _, act := range []Action{ActionRawSocket, ActionConnect, ActionListen} {
+		ok, _ := store.Grants(Subject{Kind: KindSystem, Name: "napletsocket"}, Permission{Action: act})
+		if !ok {
+			t.Errorf("system denied %s", act)
+		}
+	}
+}
+
+func TestAgentDefaultDeny(t *testing.T) {
+	store := NewStore()
+	ok, _ := store.Grants(Subject{Kind: KindAgent, Name: "a"}, Permission{Action: ActionConnect, Resource: "b"})
+	if ok {
+		t.Fatal("agent allowed by default")
+	}
+}
+
+func TestExplicitAllowAndDenyOrdering(t *testing.T) {
+	store := NewStore(
+		Rule{SubjectKind: KindAgent, Action: ActionConnect, Effect: Allow},
+		Rule{SubjectKind: KindAgent, SubjectName: "evil", Action: ActionConnect, Effect: Deny},
+	)
+	if ok, _ := store.Grants(Subject{Kind: KindAgent, Name: "good"}, Permission{Action: ActionConnect, Resource: "b"}); !ok {
+		t.Error("allowed agent denied")
+	}
+	if ok, _ := store.Grants(Subject{Kind: KindAgent, Name: "evil"}, Permission{Action: ActionConnect, Resource: "b"}); ok {
+		t.Error("deny rule did not dominate allow rule")
+	}
+}
+
+func TestResourceScopedRules(t *testing.T) {
+	store := NewStore(
+		Rule{SubjectKind: KindAgent, SubjectName: "a", Action: ActionConnect, Resource: "b", Effect: Allow},
+	)
+	if ok, _ := store.Grants(Subject{Kind: KindAgent, Name: "a"}, Permission{Action: ActionConnect, Resource: "b"}); !ok {
+		t.Error("scoped allow failed")
+	}
+	if ok, _ := store.Grants(Subject{Kind: KindAgent, Name: "a"}, Permission{Action: ActionConnect, Resource: "c"}); ok {
+		t.Error("allow leaked to other resource")
+	}
+	if ok, _ := store.Grants(Subject{Kind: KindAgent, Name: "x"}, Permission{Action: ActionConnect, Resource: "b"}); ok {
+		t.Error("allow leaked to other subject")
+	}
+}
+
+func TestAllowAgentAll(t *testing.T) {
+	store := NewStore(AllowAgentAll()...)
+	subj := Subject{Kind: KindAgent, Name: "a"}
+	for _, act := range []Action{ActionConnect, ActionListen, ActionMigrate} {
+		if ok, _ := store.Grants(subj, Permission{Action: act, Resource: "*"}); !ok {
+			t.Errorf("AllowAgentAll did not grant %s", act)
+		}
+	}
+	if ok, _ := store.Grants(subj, Permission{Action: ActionRawSocket}); ok {
+		t.Error("AllowAgentAll granted raw sockets")
+	}
+}
+
+func TestGuardCredentialLifecycle(t *testing.T) {
+	g, err := NewGuard(NewStore(AllowAgentAll()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred := g.IssueCredential("agent-a")
+	if err := g.Authenticate("agent-a", cred); err != nil {
+		t.Fatalf("valid credential rejected: %v", err)
+	}
+	// Credential for one agent is useless for another.
+	if err := g.Authenticate("agent-b", cred); !errors.Is(err, ErrAuthentication) {
+		t.Fatalf("cross-agent credential accepted: %v", err)
+	}
+	// Tampered credential fails.
+	bad := cred
+	bad[0] ^= 1
+	if err := g.Authenticate("agent-a", bad); !errors.Is(err, ErrAuthentication) {
+		t.Fatalf("tampered credential accepted: %v", err)
+	}
+}
+
+func TestCredentialsHostScoped(t *testing.T) {
+	g1, _ := NewGuard(NewStore())
+	g2, _ := NewGuard(NewStore())
+	cred := g1.IssueCredential("agent-a")
+	if err := g2.Authenticate("agent-a", cred); !errors.Is(err, ErrAuthentication) {
+		t.Fatal("credential from host 1 accepted on host 2")
+	}
+}
+
+func TestGuardCheck(t *testing.T) {
+	g, err := NewGuard(NewStore(AllowAgentAll()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred := g.IssueCredential("agent-a")
+	if err := g.Check("agent-a", cred, Permission{Action: ActionConnect, Resource: "agent-b"}); err != nil {
+		t.Fatalf("allowed op denied: %v", err)
+	}
+	if err := g.Check("agent-a", cred, Permission{Action: ActionRawSocket}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("raw socket check: err = %v, want ErrDenied", err)
+	}
+	var zero [CredentialSize]byte
+	if err := g.Check("agent-a", zero, Permission{Action: ActionConnect}); !errors.Is(err, ErrAuthentication) {
+		t.Fatalf("zero credential: err = %v, want ErrAuthentication", err)
+	}
+}
+
+func TestGuardAudit(t *testing.T) {
+	g, err := NewGuard(NewStore(AllowAgentAll()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred := g.IssueCredential("agent-a")
+	g.Check("agent-a", cred, Permission{Action: ActionConnect, Resource: "agent-b"})
+	g.Check("agent-a", cred, Permission{Action: ActionRawSocket})
+	log := g.Audit()
+	if len(log) != 2 {
+		t.Fatalf("audit entries = %d, want 2", len(log))
+	}
+	if !log[0].Allowed || log[1].Allowed {
+		t.Fatalf("audit outcomes = %v,%v want allow,deny", log[0].Allowed, log[1].Allowed)
+	}
+	if log[0].Subject.Name != "agent-a" {
+		t.Errorf("audit subject = %v", log[0].Subject)
+	}
+}
+
+func TestGuardAuditBounded(t *testing.T) {
+	g, err := NewGuard(NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.maxAudit = 10
+	cred := g.IssueCredential("a")
+	for i := 0; i < 50; i++ {
+		g.Check("a", cred, Permission{Action: ActionConnect})
+	}
+	if n := len(g.Audit()); n > 10 {
+		t.Fatalf("audit grew to %d entries, cap 10", n)
+	}
+}
+
+func TestCheckSystem(t *testing.T) {
+	g, err := NewGuard(NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckSystem(Permission{Action: ActionRawSocket}); err != nil {
+		t.Fatalf("system denied raw socket: %v", err)
+	}
+	g2, _ := NewGuard(NewStore(Rule{SubjectKind: KindSystem, Action: ActionRawSocket, Effect: Deny}))
+	if err := g2.CheckSystem(Permission{Action: ActionRawSocket}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("explicit system deny ignored: %v", err)
+	}
+}
+
+func TestCredentialUnforgeabilityProperty(t *testing.T) {
+	g, err := NewGuard(NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(agentID string, forged [CredentialSize]byte) bool {
+		real := g.IssueCredential(agentID)
+		if forged == real {
+			return true // astronomically unlikely; quick won't find it
+		}
+		return g.Authenticate(agentID, forged) != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubjectString(t *testing.T) {
+	s := Subject{Kind: KindAgent, Name: "a1"}
+	if s.String() != "agent:a1" {
+		t.Errorf("String() = %q", s.String())
+	}
+}

@@ -1,0 +1,135 @@
+// Package ttcp reimplements the Test-TCP (TTCP) measurement workload used
+// in Section 4.3 of the paper: a sender pushes fixed-size messages as fast
+// as possible to a sink, and throughput is computed at the receiver. The
+// tool works over any byte stream, so the same workload runs over a plain
+// TCP connection (the paper's Java Socket baseline) and over a NapletSocket
+// connection, with or without agent migration in the background.
+package ttcp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Result is one measurement.
+type Result struct {
+	// Bytes is the payload volume transferred.
+	Bytes int64
+	// Elapsed is the wall-clock duration of the transfer (at the side that
+	// produced the result).
+	Elapsed time.Duration
+	// MsgSize is the per-write message size used.
+	MsgSize int
+}
+
+// Mbps returns throughput in megabits per second (the paper's Figure 9/10
+// unit).
+func (r Result) Mbps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / 1e6 / r.Elapsed.Seconds()
+}
+
+// MBps returns throughput in megabytes per second.
+func (r Result) MBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / r.Elapsed.Seconds()
+}
+
+// String renders the result in TTCP's habitual form.
+func (r Result) String() string {
+	return fmt.Sprintf("%d bytes in %.3fs = %.2f Mbit/s (msg %dB)",
+		r.Bytes, r.Elapsed.Seconds(), r.Mbps(), r.MsgSize)
+}
+
+// Send writes total bytes to w in msgSize chunks and returns the sender
+// side measurement.
+func Send(w io.Writer, msgSize int, total int64) (Result, error) {
+	if msgSize <= 0 {
+		return Result{}, errors.New("ttcp: message size must be positive")
+	}
+	if total <= 0 {
+		return Result{}, errors.New("ttcp: total bytes must be positive")
+	}
+	buf := make([]byte, msgSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	start := time.Now()
+	var sent int64
+	for sent < total {
+		chunk := buf
+		if rem := total - sent; rem < int64(msgSize) {
+			chunk = buf[:rem]
+		}
+		n, err := w.Write(chunk)
+		sent += int64(n)
+		if err != nil {
+			return Result{Bytes: sent, Elapsed: time.Since(start), MsgSize: msgSize}, err
+		}
+	}
+	return Result{Bytes: sent, Elapsed: time.Since(start), MsgSize: msgSize}, nil
+}
+
+// Receive reads total bytes from r and returns the receiver-side
+// measurement — the number the paper reports.
+func Receive(r io.Reader, msgSize int, total int64) (Result, error) {
+	if msgSize <= 0 {
+		msgSize = 64 << 10
+	}
+	buf := make([]byte, msgSize)
+	start := time.Now()
+	var got int64
+	for got < total {
+		want := int64(len(buf))
+		if rem := total - got; rem < want {
+			want = rem
+		}
+		n, err := r.Read(buf[:want])
+		got += int64(n)
+		if err != nil {
+			if err == io.EOF && got == total {
+				break
+			}
+			return Result{Bytes: got, Elapsed: time.Since(start), MsgSize: msgSize}, err
+		}
+	}
+	return Result{Bytes: got, Elapsed: time.Since(start), MsgSize: msgSize}, nil
+}
+
+// Run drives one full measurement over an established pair: the sender
+// writes total bytes in msgSize messages on w while the receiver drains r;
+// the receiver-side result is returned.
+func Run(w io.Writer, r io.Reader, msgSize int, total int64) (Result, error) {
+	errs := make(chan error, 1)
+	go func() {
+		_, err := Send(w, msgSize, total)
+		errs <- err
+	}()
+	res, rerr := Receive(r, msgSize, total)
+	serr := <-errs
+	if rerr != nil {
+		return res, rerr
+	}
+	return res, serr
+}
+
+// EffectiveResult extends Result with the migration bookkeeping of the
+// Figure 10 experiments: the elapsed time includes the service periods and
+// the migrations, so Mbps is the paper's "effective throughput".
+type EffectiveResult struct {
+	Result
+	// Hops is the number of agent migrations that occurred during the
+	// measurement.
+	Hops int
+}
+
+// String renders the effective result.
+func (r EffectiveResult) String() string {
+	return fmt.Sprintf("%s over %d hops", r.Result, r.Hops)
+}

@@ -1,0 +1,111 @@
+package ttcp
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSendReceiveOverPipe(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	const total = 1 << 20
+	done := make(chan Result, 1)
+	go func() {
+		res, err := Receive(c2, 32<<10, total)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	sres, err := Send(c1, 8<<10, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Bytes != total {
+		t.Fatalf("sent %d bytes", sres.Bytes)
+	}
+	rres := <-done
+	if rres.Bytes != total {
+		t.Fatalf("received %d bytes", rres.Bytes)
+	}
+	if rres.Mbps() <= 0 {
+		t.Fatalf("throughput = %v", rres.Mbps())
+	}
+}
+
+func TestRun(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	res, err := Run(c1, c2, 4<<10, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 256<<10 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+}
+
+func TestPartialTailMessage(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Send(&buf, 1000, 2500) // 2 full messages + 500B tail
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 2500 || buf.Len() != 2500 {
+		t.Fatalf("bytes = %d, buffered %d", res.Bytes, buf.Len())
+	}
+}
+
+func TestReceiveEOFAtExactEnd(t *testing.T) {
+	data := bytes.Repeat([]byte{1}, 1234)
+	res, err := Receive(bytes.NewReader(data), 100, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 1234 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+}
+
+func TestReceiveShortStreamErrors(t *testing.T) {
+	data := bytes.Repeat([]byte{1}, 100)
+	_, err := Receive(bytes.NewReader(data), 64, 500)
+	if err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestInvalidArgs(t *testing.T) {
+	if _, err := Send(io.Discard, 0, 100); err == nil {
+		t.Error("zero message size accepted")
+	}
+	if _, err := Send(io.Discard, 100, 0); err == nil {
+		t.Error("zero total accepted")
+	}
+}
+
+func TestResultUnits(t *testing.T) {
+	r := Result{Bytes: 1e6, Elapsed: time.Second, MsgSize: 1024}
+	if got := r.Mbps(); got != 8 {
+		t.Fatalf("Mbps = %v, want 8", got)
+	}
+	if got := r.MBps(); got != 1 {
+		t.Fatalf("MBps = %v, want 1", got)
+	}
+	if (Result{}).Mbps() != 0 {
+		t.Fatal("zero result Mbps not 0")
+	}
+	if !strings.Contains(r.String(), "Mbit/s") {
+		t.Fatalf("String() = %q", r.String())
+	}
+	er := EffectiveResult{Result: r, Hops: 3}
+	if !strings.Contains(er.String(), "3 hops") {
+		t.Fatalf("String() = %q", er.String())
+	}
+}

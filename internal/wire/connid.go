@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// ConnID uniquely identifies a NapletSocket connection for its whole
+// lifetime, across any number of migrations of either endpoint. It plays the
+// role of the "socket ID" exchanged during connection establishment in the
+// paper (Section 2.2).
+type ConnID [16]byte
+
+// ZeroConnID is the invalid, all-zero connection id.
+var ZeroConnID ConnID
+
+// NewConnID returns a fresh random connection id.
+func NewConnID() (ConnID, error) {
+	var id ConnID
+	if _, err := rand.Read(id[:]); err != nil {
+		return ZeroConnID, fmt.Errorf("wire: generating conn id: %w", err)
+	}
+	return id, nil
+}
+
+// IsZero reports whether id is the invalid all-zero id.
+func (id ConnID) IsZero() bool { return id == ZeroConnID }
+
+// String renders the id as lowercase hex.
+func (id ConnID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseConnID parses the hex form produced by String.
+func ParseConnID(s string) (ConnID, error) {
+	var id ConnID
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return ZeroConnID, fmt.Errorf("wire: parsing conn id %q: %w", s, err)
+	}
+	if len(b) != len(id) {
+		return ZeroConnID, errors.New("wire: conn id must be 16 bytes")
+	}
+	copy(id[:], b)
+	return id, nil
+}

@@ -1,0 +1,9 @@
+// Package wire defines the on-the-wire formats shared by every layer of the
+// NapletSocket stack: sequence-numbered data frames carried on the TCP data
+// socket, and the control messages exchanged on the reliable-UDP control
+// channel during connection setup, suspend, resume, and close.
+//
+// All encodings are deterministic (big-endian, length-prefixed) so that
+// control messages can be authenticated with an HMAC computed over their
+// canonical bytes.
+package wire

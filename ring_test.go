@@ -1,0 +1,162 @@
+package naplet
+
+// An end-to-end token-ring workload: N agents in a ring, each connected to
+// its successor by a NapletSocket connection; a token circulates while
+// every agent migrates between laps. Exercises many simultaneous
+// connections, listener migration, and repeated concurrent hops through
+// the public API only.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+var ringResults = struct {
+	sync.Mutex
+	tokens map[string][]int
+}{tokens: make(map[string][]int)}
+
+func ringRecord(agent string, token int) {
+	ringResults.Lock()
+	ringResults.tokens[agent] = append(ringResults.tokens[agent], token)
+	ringResults.Unlock()
+}
+
+// ringAgent holds a connection to its successor and accepts one from its
+// predecessor; agent 0 injects the token and counts laps.
+type ringAgent struct {
+	Index, Size int
+	Laps        int
+	Docks       []string // itinerary: where to migrate after each lap
+	NextConn    string   // connection to the successor (we dial)
+	PrevConn    string   // connection from the predecessor (we accept)
+	Lap         int
+}
+
+func (r *ringAgent) name(i int) string { return fmt.Sprintf("ring-%d", i%r.Size) }
+
+func (r *ringAgent) Run(ctx *Context) error {
+	var next, prev *Socket
+	var err error
+	if r.NextConn == "" {
+		// Establish the ring: every agent listens, then dials its
+		// successor. Acceptance order is arbitrary; Dial retries while the
+		// successor is still setting up.
+		ss, lerr := Listen(ctx)
+		if lerr != nil {
+			return lerr
+		}
+		acceptDone := make(chan *Socket, 1)
+		acceptErr := make(chan error, 1)
+		go func() {
+			s, err := ss.Accept(ctx.StdContext())
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			acceptDone <- s
+		}()
+		if next, err = Dial(ctx, r.name(r.Index+1)); err != nil {
+			return err
+		}
+		select {
+		case prev = <-acceptDone:
+		case err := <-acceptErr:
+			return err
+		case <-ctx.Done():
+			return nil
+		}
+		r.NextConn = next.ID().String()
+		r.PrevConn = prev.ID().String()
+	} else {
+		nid, perr := ParseConnID(r.NextConn)
+		if perr != nil {
+			return perr
+		}
+		pid, perr := ParseConnID(r.PrevConn)
+		if perr != nil {
+			return perr
+		}
+		if next, err = Attach(ctx, nid); err != nil {
+			return err
+		}
+		if prev, err = Attach(ctx, pid); err != nil {
+			return err
+		}
+	}
+
+	for {
+		if r.Index == 0 {
+			// Inject (or re-inject) the token for this lap.
+			if err := next.WriteMsg([]byte{byte(r.Lap)}); err != nil {
+				return err
+			}
+		}
+		tok, err := prev.ReadMsg()
+		if err != nil {
+			return err
+		}
+		ringRecord(ctx.AgentID(), int(tok[0]))
+		if r.Index != 0 {
+			// Forward the token.
+			if err := next.WriteMsg(tok); err != nil {
+				return err
+			}
+		}
+		r.Lap++
+		if r.Lap >= r.Laps {
+			return nil
+		}
+		// Migrate between laps, if the itinerary says so.
+		if len(r.Docks) > 0 {
+			dock := r.Docks[0]
+			r.Docks = r.Docks[1:]
+			return ctx.MigrateTo(dock)
+		}
+	}
+}
+
+func TestTokenRingWithMigrations(t *testing.T) {
+	nw := newNet(t, []string{"h1", "h2", "h3", "h4"})
+	nw.Register("test.ringAgent", &ringAgent{})
+
+	const size = 3
+	const laps = 3
+	hosts := []string{"h1", "h2", "h3"}
+	for i := 0; i < size; i++ {
+		// Each agent hops to a fresh host after every lap.
+		var docks []string
+		for lap := 1; lap < laps; lap++ {
+			docks = append(docks, nw.DockOf(hosts[(i+lap)%len(hosts)]))
+		}
+		agent := &ringAgent{Index: i, Size: size, Laps: laps, Docks: docks}
+		if err := nw.Node(hosts[i]).Launch(fmt.Sprintf("ring-%d", i), agent); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	for i := 0; i < size; i++ {
+		if err := nw.Await(ctx, fmt.Sprintf("ring-%d", i)); err != nil {
+			t.Fatalf("awaiting ring-%d: %v", i, err)
+		}
+	}
+
+	ringResults.Lock()
+	defer ringResults.Unlock()
+	for i := 0; i < size; i++ {
+		got := ringResults.tokens[fmt.Sprintf("ring-%d", i)]
+		if len(got) != laps {
+			t.Fatalf("agent %d saw tokens %v, want %d laps", i, got, laps)
+		}
+		for lap, tok := range got {
+			if tok != lap {
+				t.Fatalf("agent %d lap %d saw token %d", i, lap, tok)
+			}
+		}
+	}
+}
