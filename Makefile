@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test vet race check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the gate CI runs: vet, build, and the full suite under the race
+# detector.
+check: vet build race

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"naplet"
+	"naplet/internal/obs"
+)
+
+// startDebugServer exposes the node's observability surface over HTTP:
+//
+//	/metrics  — the registry snapshot as JSON (counters, gauges, histograms)
+//	/connz    — the per-connection state table (text, or JSON with ?format=json)
+//	/debug/pprof/ — the standard net/http/pprof handlers
+//
+// It returns the running server and its bound address.
+func startDebugServer(addr string, node *naplet.Node, reg *obs.Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("debug listener: %w", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/connz", func(w http.ResponseWriter, r *http.Request) {
+		infos := node.Controller().ConnInfos()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(infos)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "%d connections at %s\n\n", len(infos), time.Now().Format(time.RFC3339))
+		fmt.Fprintf(w, "%-32s %-12s %-12s %-14s %8s %8s %8s %9s %9s\n",
+			"ID", "LOCAL", "REMOTE", "STATE", "SENDSEQ", "RECVSEQ", "BUFMSGS", "BUFBYTES", "LOGBYTES")
+		for _, in := range infos {
+			fmt.Fprintf(w, "%-32s %-12s %-12s %-14s %8d %8d %8d %9d %9d\n",
+				in.ID, in.LocalAgent, in.RemoteAgent, in.State,
+				in.NextSendSeq, in.LastEnqueued, in.RecvBufferedMsgs, in.RecvBufferedBytes, in.SendLogBytes)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "napletd %s debug surface\n\n/metrics\n/connz (?format=json)\n/debug/pprof/\n", node.Name())
+	})
+
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

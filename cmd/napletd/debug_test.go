@@ -1,0 +1,237 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"naplet"
+	"naplet/internal/behaviors"
+	"naplet/internal/core"
+	"naplet/internal/naming"
+	"naplet/internal/obs"
+)
+
+// fetchMetrics pulls and decodes the /metrics JSON from a debug server.
+func fetchMetrics(t *testing.T, addr string) obs.Snapshot {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding /metrics: %v", err)
+	}
+	return snap
+}
+
+// TestDebugServerAcrossMigration is the acceptance check for the debug
+// surface: a scripted migration runs against a live debug server and the
+// /metrics JSON it reports must show the FSM transition counters and the
+// per-phase suspend/resume timings moving.
+//
+// Topology: echoer stays on h1 (which carries the debug server); walker
+// launches on h2 and roams h2 -> h1 -> h2 while holding one connection to
+// the echoer. From h1's point of view that is one accept, one arrival with
+// resumed connections, and one departure with suspended connections.
+func TestDebugServerAcrossMigration(t *testing.T) {
+	svc := naming.NewService()
+	breg := naplet.NewRegistry()
+	behaviors.RegisterAll(breg)
+
+	newNode := func(name string) (*naplet.Node, *obs.Registry) {
+		met := obs.NewRegistry()
+		node, err := naplet.NewNode(naplet.Config{
+			Name:      name,
+			Directory: naming.Local{Svc: svc},
+			Registry:  breg,
+			Metrics:   met,
+			Logf:      t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		return node, met
+	}
+	n1, met1 := newNode("h1")
+	n2, _ := newNode("h2")
+
+	srv, addr, err := startDebugServer("127.0.0.1:0", n1, met1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	before := fetchMetrics(t, addr)
+
+	if err := n1.Launch("echoer", &behaviors.Echo{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.Launch("walker", &behaviors.Roamer{
+		Target:     "echoer",
+		Docks:      []string{n1.DockAddr(), n2.DockAddr()},
+		MsgsPerHop: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The walker deregisters when its itinerary completes.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for {
+		if _, err := svc.Lookup(ctx, "walker"); errors.Is(err, naming.ErrNotFound) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatal("walker never finished")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	after := fetchMetrics(t, addr)
+
+	if before.Counters["fsm.transitions"] != 0 {
+		t.Errorf("fsm.transitions before any traffic = %d", before.Counters["fsm.transitions"])
+	}
+	if after.Counters["fsm.transitions"] <= before.Counters["fsm.transitions"] {
+		t.Errorf("fsm.transitions did not move: before %d, after %d",
+			before.Counters["fsm.transitions"], after.Counters["fsm.transitions"])
+	}
+	for name, want := range map[string]uint64{
+		"conn.accepts":     1, // walker dialed the echoer
+		"conn.suspends":    1, // walker departing h1
+		"conn.resumes":     1, // walker arriving on h1
+		"migrate.departs":  1,
+		"migrate.arrivals": 1,
+		"fsm.transition.ESTABLISHED->SUS_SENT": 1,
+	} {
+		if got := after.Counters[name]; got != want {
+			t.Errorf("h1 %s = %d, want %d (counters %v)", name, got, want, after.Counters)
+		}
+	}
+	for _, g := range []string{
+		"phase.suspend.handshaking_ms",
+		"phase.suspend.drain_ms",
+		"phase.suspend.serialize_ms",
+		"phase.resume.handshaking_ms",
+		"phase.resume.open-socket_ms",
+	} {
+		if before.Gauges[g] != 0 {
+			t.Errorf("%s before any migration = %v", g, before.Gauges[g])
+		}
+		if after.Gauges[g] <= 0 {
+			t.Errorf("%s = %v after migration, want > 0", g, after.Gauges[g])
+		}
+	}
+	if h := after.Histograms["conn.suspend_ms"]; h.Count != 1 || h.P50 <= 0 {
+		t.Errorf("conn.suspend_ms = %+v", h)
+	}
+}
+
+// TestDebugServerEndpoints exercises /connz (both renderings), the index
+// page, and the pprof mount on a node with a live connection.
+func TestDebugServerEndpoints(t *testing.T) {
+	svc := naming.NewService()
+	breg := naplet.NewRegistry()
+	behaviors.RegisterAll(breg)
+	met := obs.NewRegistry()
+	node, err := naplet.NewNode(naplet.Config{
+		Name:      "h1",
+		Directory: naming.Local{Svc: svc},
+		Registry:  breg,
+		Metrics:   met,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+
+	srv, addr, err := startDebugServer("127.0.0.1:0", node, met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	// A pinger talking to an echoer on the same host keeps a connection
+	// resident long enough to show up in /connz.
+	if err := node.Launch("echoer", &behaviors.Echo{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Launch("pinger", &behaviors.Pinger{Target: "echoer", Count: 200, IntervalMs: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// Wait for the connection to establish, then read the table.
+	deadline := time.Now().Add(10 * time.Second)
+	var table string
+	for {
+		_, table = get("/connz")
+		if strings.Contains(table, "ESTABLISHED") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no ESTABLISHED row in /connz:\n%s", table)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(table, "pinger") || !strings.Contains(table, "echoer") {
+		t.Errorf("/connz missing agent names:\n%s", table)
+	}
+
+	code, body := get("/connz?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/connz?format=json status = %d", code)
+	}
+	var infos []core.Info
+	if err := json.Unmarshal([]byte(body), &infos); err != nil {
+		t.Fatalf("decoding /connz json: %v\n%s", err, body)
+	}
+
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d %q", code, body)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("GET /nope = %d, want 404", code)
+	}
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index = %d", code)
+	}
+
+	snap := fetchMetrics(t, addr)
+	if snap.Gauges["conn.resident"] < 1 {
+		t.Errorf("conn.resident = %v, want >= 1", snap.Gauges["conn.resident"])
+	}
+	if snap.Counters["conn.opens"] != 1 {
+		t.Errorf("conn.opens = %d, want 1", snap.Counters["conn.opens"])
+	}
+}

@@ -61,10 +61,12 @@ func TestTwoProcessDeployment(t *testing.T) {
 	ns := freePort(t)
 	dock1 := freePort(t)
 	dock2 := freePort(t)
+	debug1 := freePort(t)
 
 	var out1, out2 logBuf
 	h1 := exec.Command(bin,
 		"-name", "h1", "-nameserver-listen", ns, "-dock", dock1,
+		"-debug-addr", debug1,
 		"-launch", "echoer:echo",
 	)
 	h1.Stdout, h1.Stderr = &out1, &out1
@@ -112,5 +114,22 @@ func TestTwoProcessDeployment(t *testing.T) {
 	}
 	if !strings.Contains(out2.String(), "[walker@h2] roamer: echo") {
 		t.Fatalf("walker never ran on h2:\n%s", out2.String())
+	}
+
+	// The daemon's debug surface must reflect the migration that just ran:
+	// h1 accepted the walker's connection, saw it arrive and depart, and
+	// recorded per-phase suspend timings.
+	snap := fetchMetrics(t, debug1)
+	if snap.Counters["conn.accepts"] == 0 {
+		t.Errorf("h1 /metrics conn.accepts = 0; counters = %v", snap.Counters)
+	}
+	if snap.Counters["migrate.arrivals"] == 0 || snap.Counters["migrate.departs"] == 0 {
+		t.Errorf("h1 /metrics missing migration counters: %v", snap.Counters)
+	}
+	if snap.Counters["fsm.transitions"] == 0 {
+		t.Error("h1 /metrics fsm.transitions = 0")
+	}
+	if snap.Gauges["phase.suspend.handshaking_ms"] <= 0 {
+		t.Errorf("h1 /metrics phase.suspend.handshaking_ms = %v", snap.Gauges["phase.suspend.handshaking_ms"])
 	}
 }

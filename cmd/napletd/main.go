@@ -28,6 +28,7 @@ import (
 	"naplet"
 	"naplet/internal/behaviors"
 	"naplet/internal/naming"
+	"naplet/internal/obs"
 )
 
 type launchList []string
@@ -46,6 +47,8 @@ var (
 	postoffice = flag.Bool("postoffice", true, "run a post office on this host")
 	insecure   = flag.Bool("insecure", false, "disable security (the paper's w/o-security mode)")
 	clusterKey = flag.String("cluster-secret", "", "shared secret authenticating the docking channel between hosts")
+	debugAddr  = flag.String("debug-addr", "", "serve /metrics, /connz and pprof on this address (off when empty)")
+	logLevel   = flag.String("log-level", "info", "runtime log level: debug, info, warn, error")
 	launches   launchList
 )
 
@@ -54,6 +57,12 @@ func main() {
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	log.SetPrefix("napletd: ")
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("-log-level: %v", err)
+	}
+	metrics := obs.NewRegistry()
 
 	cfg := naplet.Config{
 		Name:           *name,
@@ -64,6 +73,8 @@ func main() {
 		Insecure:       *insecure,
 		WithPostOffice: *postoffice,
 		Logf:           log.Printf,
+		Logger:         obs.NewLogger(log.Printf, level),
+		Metrics:        metrics,
 	}
 	if *clusterKey != "" {
 		cfg.ClusterSecret = []byte(*clusterKey)
@@ -106,6 +117,15 @@ func main() {
 	}
 	defer node.Close()
 	log.Printf("host %s up: dock=%s", node.Name(), node.DockAddr())
+
+	if *debugAddr != "" {
+		srv, addr, err := startDebugServer(*debugAddr, node, metrics)
+		if err != nil {
+			log.Fatalf("starting debug server: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("debug server listening on http://%s", addr)
+	}
 
 	for _, spec := range launches {
 		id, b, err := parseLaunch(spec)

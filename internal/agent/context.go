@@ -2,7 +2,6 @@ package agent
 
 import (
 	"context"
-	"log"
 
 	"naplet/internal/security"
 )
@@ -72,12 +71,3 @@ func (c *Context) Extension(name string) any { return c.host.Extension(name) }
 // Host returns the host the agent resides on. It is exposed for the
 // middleware layers (controller proxy); behaviours should not need it.
 func (c *Context) Host() *Host { return c.host }
-
-// logf is the host-level logger fallback.
-func logf(cfg Config, format string, args ...any) {
-	if cfg.Logf != nil {
-		cfg.Logf(format, args...)
-	} else {
-		log.Printf(format, args...)
-	}
-}

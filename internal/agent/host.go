@@ -11,11 +11,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
 	"time"
 
 	"naplet/internal/naming"
+	"naplet/internal/obs"
 	"naplet/internal/security"
 )
 
@@ -74,8 +76,16 @@ type Config struct {
 	// inbound bundles without a valid tag are rejected. All hosts of a
 	// deployment must share the secret.
 	ClusterSecret []byte
-	// Logf, when non-nil, receives host diagnostics.
+	// Logf, when non-nil, receives host diagnostics. It also backs each
+	// agent Context's Logf.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives leveled host diagnostics and takes
+	// precedence over Logf for the runtime's own lines (Context.Logf keeps
+	// using Logf so behaviour output stays unprefixed).
+	Logger *obs.Logger
+	// Metrics, when non-nil, receives the agent runtime's counters: agent
+	// launches, terminations, dispatches, and migration latency.
+	Metrics *obs.Registry
 }
 
 // maxBundleSize bounds an inbound migration bundle.
@@ -113,7 +123,13 @@ type running struct {
 // on its dock, and ships departing agents to other docks.
 type Host struct {
 	cfg    Config
+	log    *obs.Logger
 	dockLn net.Listener
+
+	// Runtime metrics; nil-safe, so call sites stay unconditional.
+	launches, doneCount, failedCount       *obs.Counter
+	migrations, migrationFailures, arrived *obs.Counter
+	migrateMs                              *obs.Histogram
 
 	mu     sync.Mutex
 	agents map[string]*running
@@ -146,15 +162,42 @@ func NewHost(cfg Config) (*Host, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	h := &Host{
 		cfg:     cfg,
-		dockLn:  ln,
+		log:     resolveLogger(cfg).With("host", cfg.Name),
 		agents:  make(map[string]*running),
 		ext:     make(map[string]any),
 		rootCtx: ctx,
 		cancel:  cancel,
 	}
+	h.dockLn = ln
+	met := cfg.Metrics
+	h.launches = met.Counter("agent.launches")
+	h.doneCount = met.Counter("agent.done")
+	h.failedCount = met.Counter("agent.failed")
+	h.migrations = met.Counter("agent.migrations")
+	h.migrationFailures = met.Counter("agent.migration_failures")
+	h.arrived = met.Counter("agent.arrivals")
+	h.migrateMs = met.Histogram("agent.migrate_ms")
+	met.Func("agent.resident", func() float64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return float64(len(h.agents))
+	})
 	h.wg.Add(1)
 	go h.acceptDocks()
 	return h, nil
+}
+
+// resolveLogger builds the host's leveled logger: the configured Logger,
+// else the Logf compatibility shim at Debug, else the standard library
+// logger at Info.
+func resolveLogger(cfg Config) *obs.Logger {
+	if cfg.Logger != nil {
+		return cfg.Logger
+	}
+	if cfg.Logf != nil {
+		return obs.NewLogger(cfg.Logf, obs.LevelDebug)
+	}
+	return obs.NewLogger(log.Printf, obs.LevelInfo)
 }
 
 // Name returns the host's name.
@@ -237,6 +280,8 @@ func (h *Host) Launch(agentID string, b Behavior) error {
 	if err := h.cfg.Directory.Register(h.rootCtx, agentID, h.Location()); err != nil {
 		return fmt.Errorf("agent: registering %q: %w", agentID, err)
 	}
+	h.launches.Inc()
+	h.log.Infof("agent %s launched", agentID)
 	h.startAgent(agentID, b, 1)
 	return nil
 }
@@ -268,9 +313,12 @@ func (h *Host) runAgent(ctx context.Context, r *running, b Behavior, epoch uint6
 	case errors.Is(err, ErrMigrate):
 		h.migrate(r, b, epoch, actx.migrateDest)
 	case err == nil:
+		h.doneCount.Inc()
+		h.log.Infof("agent %s finished", r.id)
 		h.finish(r, LocalExit{Status: StatusDone})
 	default:
-		logf(h.cfg, "agent %s failed on %s: %v", r.id, h.cfg.Name, err)
+		h.failedCount.Inc()
+		h.log.Errorf("agent %s failed: %v", r.id, err)
 		h.finish(r, LocalExit{Status: StatusFailed, Err: err})
 	}
 }
@@ -284,7 +332,7 @@ func (h *Host) finish(r *running, exit LocalExit) {
 		hook.OnTerminate(r.id)
 	}
 	if err := h.cfg.Directory.Deregister(context.Background(), r.id); err != nil {
-		logf(h.cfg, "deregistering %s: %v", r.id, err)
+		h.log.Warnf("deregistering %s: %v", r.id, err)
 	}
 	h.remove(r, exit)
 }
@@ -301,6 +349,7 @@ func (h *Host) remove(r *running, exit LocalExit) {
 // migrate ships the agent to destDock. On any failure the agent re-arrives
 // locally (its connections are resumed in place) and keeps running.
 func (h *Host) migrate(r *running, b Behavior, epoch uint64, destDock string) {
+	start := time.Now()
 	h.mu.Lock()
 	r.status = StatusMigrating
 	hooks := append([]Hook(nil), h.hooks...)
@@ -309,10 +358,11 @@ func (h *Host) migrate(r *running, b Behavior, epoch uint64, destDock string) {
 	blobs := make(map[string][]byte, len(hooks))
 	departed := make([]Hook, 0, len(hooks))
 	fail := func(err error) {
-		logf(h.cfg, "migration of %s to %s failed: %v; re-arriving locally", r.id, destDock, err)
+		h.migrationFailures.Inc()
+		h.log.Warnf("migration of %s to %s failed: %v; re-arriving locally", r.id, destDock, err)
 		for _, hook := range departed {
 			if aerr := hook.PostArrive(r.id, blobs[hook.HookName()]); aerr != nil {
-				logf(h.cfg, "local re-arrive hook %s for %s: %v", hook.HookName(), r.id, aerr)
+				h.log.Warnf("local re-arrive hook %s for %s: %v", hook.HookName(), r.id, aerr)
 			}
 		}
 		h.mu.Lock()
@@ -354,6 +404,10 @@ func (h *Host) migrate(r *running, b Behavior, epoch uint64, destDock string) {
 		fail(err)
 		return
 	}
+	h.migrations.Inc()
+	h.migrateMs.ObserveDuration(time.Since(start))
+	h.log.Infof("agent %s migrated to %s in %v (epoch %d)",
+		r.id, destDock, time.Since(start).Round(time.Microsecond), epoch+1)
 	h.remove(r, LocalExit{Status: StatusMigrating, Dest: destDock})
 }
 
@@ -458,7 +512,7 @@ func (h *Host) handleDock(conn net.Conn) {
 
 	raw, err := readLenPrefixed(conn, maxBundleSize)
 	if err != nil {
-		logf(h.cfg, "dock read on %s: %v", h.cfg.Name, err)
+		h.log.Warnf("dock read: %v", err)
 		return
 	}
 	if len(h.cfg.ClusterSecret) > 0 {
@@ -509,6 +563,8 @@ func (h *Host) handleDock(conn net.Conn) {
 			return
 		}
 	}
+	h.arrived.Inc()
+	h.log.Infof("agent %s arrived (epoch %d, %d bundle bytes)", bd.AgentID, bd.Epoch, len(raw))
 	h.startAgent(bd.AgentID, bd.Behavior, bd.Epoch)
 	reply("")
 }

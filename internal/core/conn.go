@@ -177,6 +177,7 @@ func newSocket(ctrl *Controller, id wire.ConnID, local, remote string, key []byt
 		nextSendSeq:  1,
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.observeFSM()
 	return s, nil
 }
 
@@ -424,6 +425,7 @@ func (s *Socket) failLocked(cause error) {
 	}
 	s.sockInstalled = false
 	s.cond.Broadcast()
+	s.ctrl.obs.failures.Inc()
 	s.ctrl.logf("conn %s: data socket failed (%v); degraded to SUSPENDED", s.id, cause)
 	if s.ctrl.cfg.DisableFailureResume {
 		return
@@ -679,6 +681,9 @@ func (s *Socket) drainAndClose() {
 		// Drain handshake proves the peer received everything we sent.
 		s.sendLog = nil
 		s.sendLogSize = 0
+		s.ctrl.obs.drainsGraceful.Inc()
+	} else {
+		s.ctrl.obs.drainsUngraceful.Inc()
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()

@@ -1,11 +1,12 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
-	"log"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,7 @@ import (
 	"naplet/internal/fsm"
 	"naplet/internal/metrics"
 	"naplet/internal/naming"
+	"naplet/internal/obs"
 	"naplet/internal/rudp"
 	"naplet/internal/security"
 	"naplet/internal/wire"
@@ -58,6 +60,13 @@ type Config struct {
 	// OpenBreakdown, when non-nil, accumulates the Figure 8 phase timings
 	// of every Open issued through this controller.
 	OpenBreakdown *metrics.Breakdown
+	// SuspendBreakdown and ResumeBreakdown, when non-nil, accumulate the
+	// per-phase timings of locally issued suspends and resumes, parallel to
+	// the Figure 8 open breakdown. When Metrics is set and these are nil,
+	// breakdowns are created internally so the phase gauges are always
+	// populated.
+	SuspendBreakdown *metrics.Breakdown
+	ResumeBreakdown  *metrics.Breakdown
 	// ControlSendDelay applies emulated one-way latency to outgoing control
 	// packets (forwarded to the reliable-UDP endpoint).
 	ControlSendDelay time.Duration
@@ -67,8 +76,17 @@ type Config struct {
 	// connection supports it, or the pre-suspend drain degrades to the
 	// ungraceful (send-log) path.
 	WrapData func(net.Conn) net.Conn
-	// Logf, when non-nil, receives diagnostics.
+	// Logf, when non-nil, receives diagnostics. It is the compatibility
+	// shim predating Logger: when only Logf is set, it receives every
+	// level through the leveled logger.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives leveled diagnostics and takes
+	// precedence over Logf.
+	Logger *obs.Logger
+	// Metrics, when non-nil, receives the controller's lifecycle counters,
+	// latency histograms, FSM transition counts, and load gauges
+	// (including the control channel's RUDP stats).
+	Metrics *obs.Registry
 }
 
 func (c Config) opTimeout() time.Duration {
@@ -107,6 +125,7 @@ func (c Config) failureResumeDelay(highPriority bool) time.Duration {
 // agent's connections around each hop.
 type Controller struct {
 	cfg Config
+	obs *ctrlObs
 	ep  *rudp.Endpoint
 	red *redirector
 	rv  *rendezvous
@@ -133,6 +152,7 @@ func NewController(cfg Config) (*Controller, error) {
 	}
 	ctrl := &Controller{
 		cfg:       cfg,
+		obs:       newCtrlObs(cfg),
 		rv:        newRendezvous(),
 		conns:     make(map[connKey]*Socket),
 		byAgent:   make(map[string]map[wire.ConnID]*Socket),
@@ -151,6 +171,7 @@ func NewController(cfg Config) (*Controller, error) {
 		return nil, err
 	}
 	ctrl.red = red
+	ctrl.registerGauges()
 	return ctrl, nil
 }
 
@@ -198,6 +219,28 @@ func (ctrl *Controller) Stats() Stats {
 	return st
 }
 
+// ConnInfos snapshots every resident connection endpoint, sorted by
+// connection id — the data source of the /connz debug view.
+func (ctrl *Controller) ConnInfos() []Info {
+	ctrl.mu.Lock()
+	conns := make([]*Socket, 0, len(ctrl.conns))
+	for _, s := range ctrl.conns {
+		conns = append(conns, s)
+	}
+	ctrl.mu.Unlock()
+	infos := make([]Info, 0, len(conns))
+	for _, s := range conns {
+		infos = append(infos, s.Info())
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		return bytes.Compare(infos[i].ID[:], infos[j].ID[:]) < 0
+	})
+	return infos
+}
+
+// Metrics returns the controller's registry (nil when not configured).
+func (ctrl *Controller) Metrics() *obs.Registry { return ctrl.obs.met }
+
 // Close shuts the controller down; open connections are torn down locally.
 func (ctrl *Controller) Close() error {
 	ctrl.mu.Lock()
@@ -225,15 +268,11 @@ func (ctrl *Controller) Close() error {
 	return err
 }
 
+// logf is the legacy diagnostics entry point; every historical call site
+// reported a degraded or failed operation, so it maps to Warn on the
+// leveled logger (which itself falls back to Logf, then log.Printf).
 func (ctrl *Controller) logf(format string, args ...any) {
-	if ctrl.closing.Load() {
-		return
-	}
-	if ctrl.cfg.Logf != nil {
-		ctrl.cfg.Logf(format, args...)
-	} else {
-		log.Printf(format, args...)
-	}
+	ctrl.olog(obs.LevelWarn, format, args...)
 }
 
 func (ctrl *Controller) isMigrating(agentID string) bool {
@@ -385,7 +424,24 @@ func (ctrl *Controller) Open(actx *agent.Context, target string) (*Socket, error
 // OpenAs is Open with explicit agent identity, for callers outside a
 // behaviour context (tests, tools).
 func (ctrl *Controller) OpenAs(agentID string, cred [security.CredentialSize]byte, target string) (*Socket, error) {
-	bd := ctrl.cfg.OpenBreakdown
+	start := time.Now()
+	s, err := ctrl.openAs(agentID, cred, target)
+	o := ctrl.obs
+	if err != nil {
+		o.openErrors.Inc()
+		// Debug, not Warn: Dial retries failed opens routinely while the
+		// target is launching or mid-migration.
+		ctrl.olog(obs.LevelDebug, "open %s -> %s failed: %v", agentID, target, err)
+		return nil, err
+	}
+	o.opens.Inc()
+	o.openMs.ObserveDuration(time.Since(start))
+	s.olog(obs.LevelInfo, "opened in %v", time.Since(start).Round(time.Microsecond))
+	return s, nil
+}
+
+func (ctrl *Controller) openAs(agentID string, cred [security.CredentialSize]byte, target string) (*Socket, error) {
+	bd := ctrl.obs.openBD
 	ctx, cancel := context.WithTimeout(context.Background(), ctrl.cfg.opTimeout())
 	defer cancel()
 
@@ -578,7 +634,7 @@ func (ctrl *Controller) handleConnect(m *wire.ControlMsg) []byte {
 
 	// Server-side security check: the listening agent's policy must accept
 	// connections (checked against the dialing agent as resource).
-	bd := ctrl.cfg.OpenBreakdown
+	bd := ctrl.obs.openBD
 	if !ctrl.cfg.Insecure {
 		start := time.Now()
 		err := ctrl.cfg.Guard.Check(target, ss.cred, security.Permission{
@@ -677,6 +733,8 @@ func (s *Socket) completeEstablishment(ss *ServerSocket) {
 	}
 	s.mu.Unlock()
 	if ready {
+		s.ctrl.obs.accepts.Inc()
+		s.olog(obs.LevelInfo, "accepted")
 		ss.push(s)
 	}
 }

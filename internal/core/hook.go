@@ -5,8 +5,11 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sort"
+	"time"
 
 	"naplet/internal/fsm"
+	"naplet/internal/metrics"
+	"naplet/internal/obs"
 	"naplet/internal/wire"
 )
 
@@ -71,6 +74,9 @@ func (ctrl *Controller) PreDepart(agentID string) ([]byte, error) {
 		return bytes.Compare(conns[i].id[:], conns[j].id[:]) < 0
 	})
 
+	o := ctrl.obs
+	o.departs.Inc()
+
 	blob := hookBlob{}
 	for _, s := range conns {
 		if err := s.Suspend(); err != nil {
@@ -82,7 +88,11 @@ func (ctrl *Controller) PreDepart(agentID string) ([]byte, error) {
 			s.Close()
 			continue
 		}
-		blob.Conns = append(blob.Conns, s.serialize())
+		szStart := time.Now()
+		st := s.serialize()
+		o.suspendBD.Add(metrics.PhaseSerialize, time.Since(szStart))
+		blob.Conns = append(blob.Conns, st)
+		o.connsShipped.Inc()
 		ctrl.dropConn(s)
 	}
 
@@ -103,10 +113,14 @@ func (ctrl *Controller) PreDepart(agentID string) ([]byte, error) {
 		ctrl.mu.Unlock()
 	}
 
+	szStart := time.Now()
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&blob); err != nil {
 		return nil, fmt.Errorf("napletsocket: serializing connections of %s: %w", agentID, err)
 	}
+	o.suspendBD.Add(metrics.PhaseSerialize, time.Since(szStart))
+	ctrl.olog(obs.LevelInfo, "agent %s departing with %d connections (%d bytes serialized)",
+		agentID, len(blob.Conns), buf.Len())
 	return buf.Bytes(), nil
 }
 
@@ -160,6 +174,8 @@ func (ctrl *Controller) PostArrive(agentID string, blob []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&hb); err != nil {
 		return fmt.Errorf("napletsocket: restoring connections of %s: %w", agentID, err)
 	}
+	ctrl.obs.arrivals.Inc()
+	ctrl.olog(obs.LevelInfo, "agent %s arrived with %d connections", agentID, len(hb.Conns))
 
 	var ss *ServerSocket
 	if hb.HasListener {

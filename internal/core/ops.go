@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"naplet/internal/fsm"
+	"naplet/internal/metrics"
 	"naplet/internal/naming"
+	"naplet/internal/obs"
 	"naplet/internal/wire"
 )
 
@@ -100,7 +102,19 @@ func (s *Socket) checkAuth(m *wire.ControlMsg) error {
 func (s *Socket) Suspend() error {
 	s.suspendOpMu.Lock()
 	defer s.suspendOpMu.Unlock()
-	return s.suspendLocked()
+	start := time.Now()
+	err := s.suspendLocked()
+	o := s.ctrl.obs
+	if err != nil {
+		o.suspendErrors.Inc()
+		s.olog(obs.LevelWarn, "suspend failed: %v", err)
+		return err
+	}
+	elapsed := time.Since(start)
+	o.suspends.Inc()
+	o.suspendMs.ObserveDuration(elapsed)
+	s.olog(obs.LevelInfo, "suspended in %v", elapsed.Round(time.Microsecond))
+	return nil
 }
 
 func (s *Socket) suspendLocked() error {
@@ -194,14 +208,16 @@ func (s *Socket) suspendHandshake(opTimeout time.Duration) error {
 retry:
 	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
 	defer cancel()
+	hsStart := time.Now()
 	reply, err := s.request(ctx, wire.MsgSuspend, func(m *wire.ControlMsg) {
 		m.LastSeq = s.delivered()
 	})
+	s.ctrl.obs.suspendBD.Add(metrics.PhaseHandshaking, time.Since(hsStart))
 	if err != nil {
 		// Peer unreachable: suspend ungracefully; the send log covers any
 		// in-flight loss at resume time.
 		s.ctrl.logf("conn %s: SUS undeliverable (%v); suspending ungracefully", s.id, err)
-		s.drainAndClose()
+		s.drainTimed()
 		s.mu.Lock()
 		if s.m.State() == fsm.SusSent {
 			s.step(fsm.Timeout) // -> SUSPENDED
@@ -213,7 +229,7 @@ retry:
 	}
 	switch reply.Verdict {
 	case wire.VerdictAck:
-		s.drainAndClose()
+		s.drainTimed()
 		s.mu.Lock()
 		if s.m.State() == fsm.SusSent {
 			s.step(fsm.RecvSuspendAck) // -> SUSPENDED
@@ -227,7 +243,7 @@ retry:
 		// Overlapped concurrent migration, we are the low-priority side:
 		// drain now, then park until the peer's SUS_RES (Fig 4(a)). The
 		// SUS_RES may already have raced ahead of us — the latch catches it.
-		s.drainAndClose()
+		s.drainTimed()
 		deadline := time.Now().Add(s.ctrl.cfg.parkTimeout())
 		parked := false
 		s.mu.Lock()
@@ -293,7 +309,7 @@ retry:
 			// travelling in a bundle. Suspend ungracefully; our eventual
 			// resume chases the peer through the location service, and the
 			// send log covers anything lost in flight.
-			s.drainAndClose()
+			s.drainTimed()
 			s.mu.Lock()
 			if s.m.State() == fsm.SusSent {
 				s.step(fsm.Timeout) // -> SUSPENDED
@@ -474,7 +490,19 @@ func (s *Socket) updatePeerAddrsLocked(m *wire.ControlMsg) {
 func (s *Socket) Resume() error {
 	s.suspendOpMu.Lock()
 	defer s.suspendOpMu.Unlock()
-	return s.resumeLocked()
+	start := time.Now()
+	err := s.resumeLocked()
+	o := s.ctrl.obs
+	if err != nil {
+		o.resumeErrors.Inc()
+		s.olog(obs.LevelWarn, "resume failed: %v", err)
+		return err
+	}
+	elapsed := time.Since(start)
+	o.resumes.Inc()
+	o.resumeMs.ObserveDuration(elapsed)
+	s.olog(obs.LevelInfo, "resumed in %v", elapsed.Round(time.Microsecond))
+	return nil
 }
 
 func (s *Socket) resumeLocked() error {
@@ -540,7 +568,9 @@ func (s *Socket) resumeLocked() error {
 		default:
 		}
 		// Re-resolve the peer: it may have moved (or not yet landed).
+		mgmtStart := time.Now()
 		s.relookupPeer()
+		s.ctrl.obs.resumeBD.Add(metrics.PhaseManagement, time.Since(mgmtStart))
 		time.Sleep(backoff)
 		if backoff < 200*time.Millisecond {
 			backoff *= 2
@@ -554,18 +584,23 @@ func (s *Socket) resumeLocked() error {
 func (s *Socket) resumeAttempt() (done bool, err error) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.ctrl.cfg.opTimeout())
 	defer cancel()
+	hsStart := time.Now()
 	reply, rerr := s.request(ctx, wire.MsgResume, func(m *wire.ControlMsg) {
 		m.ControlAddr = s.ctrl.ControlAddr()
 		m.DataAddr = s.ctrl.DataAddr()
 		m.LastSeq = s.delivered()
 	})
+	s.ctrl.obs.resumeBD.Add(metrics.PhaseHandshaking, time.Since(hsStart))
 	if rerr != nil {
 		// Peer host unreachable (mid-migration or failed): retry.
 		return false, nil
 	}
 	switch reply.Verdict {
 	case wire.VerdictAck:
-		if err := s.dialAndInstall(reply.LastSeq); err != nil {
+		dialStart := time.Now()
+		err := s.dialAndInstall(reply.LastSeq)
+		s.ctrl.obs.resumeBD.Add(metrics.PhaseOpenSocket, time.Since(dialStart))
+		if err != nil {
 			s.ctrl.logf("conn %s: resume handoff failed: %v", s.id, err)
 			return false, nil
 		}
@@ -825,6 +860,7 @@ func (s *Socket) Close() error {
 		s.mu.Unlock()
 		return nil
 	}
+	s.ctrl.obs.closes.Inc()
 	st := s.m.State()
 	switch st {
 	case fsm.Established, fsm.Suspended:
@@ -884,6 +920,7 @@ func (s *Socket) Close() error {
 	s.markClosedLocked(nil)
 	s.mu.Unlock()
 	s.ctrl.dropConn(s)
+	s.olog(obs.LevelInfo, "closed")
 	return nil
 }
 

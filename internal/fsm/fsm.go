@@ -325,12 +325,20 @@ type Transition struct {
 	To    State
 }
 
+// Observer receives every successful transition of a Machine, in step
+// order — the hook the observability layer uses to count and log
+// lifecycle edges. Observers run synchronously on the stepping
+// goroutine, outside the machine's lock, and must not call back into
+// the machine.
+type Observer func(Transition)
+
 // Machine is a concurrency-safe instance of the state machine with history,
 // one per connection endpoint.
 type Machine struct {
-	mu      sync.Mutex
-	state   State
-	history []Transition
+	mu       sync.Mutex
+	state    State
+	history  []Transition
+	observer Observer
 	// maxHistory bounds the retained history.
 	maxHistory int
 }
@@ -348,20 +356,36 @@ func (m *Machine) State() State {
 	return m.state
 }
 
+// SetObserver installs the machine's transition observer (nil to
+// remove). It only affects subsequent steps.
+func (m *Machine) SetObserver(o Observer) {
+	m.mu.Lock()
+	m.observer = o
+	m.mu.Unlock()
+}
+
 // Step applies event e, returning the new state or an error leaving the
-// state unchanged.
+// state unchanged. On success the observer, if any, is invoked with the
+// transition after the state is updated.
 func (m *Machine) Step(e Event) (State, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	to, err := Next(m.state, e)
 	if err != nil {
-		return m.state, err
+		from := m.state
+		m.mu.Unlock()
+		return from, err
 	}
-	m.history = append(m.history, Transition{From: m.state, Event: e, To: to})
+	tr := Transition{From: m.state, Event: e, To: to}
+	m.history = append(m.history, tr)
 	if len(m.history) > m.maxHistory {
 		m.history = m.history[len(m.history)-m.maxHistory:]
 	}
 	m.state = to
+	obs := m.observer
+	m.mu.Unlock()
+	if obs != nil {
+		obs(tr)
+	}
 	return to, nil
 }
 

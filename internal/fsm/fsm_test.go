@@ -338,3 +338,44 @@ func TestIn(t *testing.T) {
 		t.Error("In matched wrong states")
 	}
 }
+
+func TestObserverSeesTransitions(t *testing.T) {
+	m := NewMachine(Established)
+	var got []Transition
+	m.SetObserver(func(tr Transition) { got = append(got, tr) })
+	m.Step(AppSuspend)     // -> SUS_SENT
+	m.Step(RecvSuspendAck) // -> SUSPENDED
+	if _, err := m.Step(AppOpen); err == nil {
+		t.Fatal("expected illegal transition")
+	}
+	want := []Transition{
+		{From: Established, Event: AppSuspend, To: SusSent},
+		{From: SusSent, Event: RecvSuspendAck, To: Suspended},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("observer saw %d transitions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("transition %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Removing the observer stops the callbacks.
+	m.SetObserver(nil)
+	m.Step(AppResume)
+	if len(got) != 2 {
+		t.Fatalf("observer saw %d transitions after removal", len(got))
+	}
+}
+
+func TestObserverRunsOutsideLock(t *testing.T) {
+	// The observer may inspect (but not step) the machine: State() must
+	// not deadlock when called from the callback.
+	m := NewMachine(Closed)
+	var seen State
+	m.SetObserver(func(tr Transition) { seen = m.State() })
+	m.Step(AppOpen)
+	if seen != ConnectSent {
+		t.Fatalf("state inside observer = %v", seen)
+	}
+}

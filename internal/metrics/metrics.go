@@ -32,9 +32,34 @@ const (
 	PhaseOpenSocket Phase = "open-socket"
 )
 
+// Phases of suspend and resume, parallel to the Figure 8 open breakdown;
+// they make the Section 5 model inputs observable on a live system.
+const (
+	// PhaseDrain covers the pre-suspend drain: flush marker, half-close,
+	// and capturing in-flight frames into the migrating buffer.
+	PhaseDrain Phase = "drain"
+	// PhaseSerialize covers packing suspended connection state (buffers,
+	// send log, keys) into the migration bundle.
+	PhaseSerialize Phase = "serialize"
+)
+
 // OpenPhases lists the Figure 8 phases in presentation order.
 func OpenPhases() []Phase {
 	return []Phase{PhaseManagement, PhaseHandshaking, PhaseSecurityCheck, PhaseKeyExchange, PhaseOpenSocket}
+}
+
+// SuspendPhases lists the phases of a locally issued suspend in
+// presentation order: the SUS control exchange, the data-socket drain,
+// and bundle serialization.
+func SuspendPhases() []Phase {
+	return []Phase{PhaseHandshaking, PhaseDrain, PhaseSerialize}
+}
+
+// ResumePhases lists the phases of a resume in presentation order: the
+// location re-lookup, the RES control exchange, and the new data
+// socket's dial + handoff + retransmission.
+func ResumePhases() []Phase {
+	return []Phase{PhaseManagement, PhaseHandshaking, PhaseOpenSocket}
 }
 
 // Breakdown accumulates elapsed time per phase. It is safe for concurrent
@@ -132,10 +157,15 @@ func (b *Breakdown) String() string {
 }
 
 // Series accumulates scalar samples and reports summary statistics. It is
-// safe for concurrent use.
+// safe for concurrent use. Min and max are tracked incrementally, and
+// Percentile sorts at most once per batch of Adds (the sorted copy is
+// cached and reused until the series changes).
 type Series struct {
-	mu sync.Mutex
-	v  []float64
+	mu       sync.Mutex
+	v        []float64
+	min, max float64
+	// sorted caches a sorted copy of v; nil when stale.
+	sorted []float64
 }
 
 // NewSeries returns an empty series.
@@ -144,7 +174,14 @@ func NewSeries() *Series { return &Series{} }
 // Add appends a sample.
 func (s *Series) Add(x float64) {
 	s.mu.Lock()
+	if len(s.v) == 0 || x < s.min {
+		s.min = x
+	}
+	if len(s.v) == 0 || x > s.max {
+		s.max = x
+	}
 	s.v = append(s.v, x)
+	s.sorted = nil
 	s.mu.Unlock()
 }
 
@@ -202,23 +239,39 @@ func (s *Series) Percentile(p float64) float64 {
 	if len(s.v) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.v...)
-	sort.Float64s(sorted)
 	if p <= 0 {
-		return sorted[0]
+		return s.min
 	}
 	if p >= 100 {
-		return sorted[len(sorted)-1]
+		return s.max
 	}
-	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if s.sorted == nil {
+		s.sorted = append([]float64(nil), s.v...)
+		sort.Float64s(s.sorted)
+	}
+	rank := int(math.Ceil(p/100*float64(len(s.sorted)))) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	return sorted[rank]
+	return s.sorted[rank]
 }
 
 // Min returns the smallest sample, or 0 for an empty series.
-func (s *Series) Min() float64 { return s.Percentile(0) }
+func (s *Series) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.v) == 0 {
+		return 0
+	}
+	return s.min
+}
 
 // Max returns the largest sample, or 0 for an empty series.
-func (s *Series) Max() float64 { return s.Percentile(100) }
+func (s *Series) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.v) == 0 {
+		return 0
+	}
+	return s.max
+}

@@ -131,3 +131,60 @@ func TestSeriesPercentileBounds(t *testing.T) {
 		t.Fatalf("p99 = %v", got)
 	}
 }
+
+func TestSeriesMinMaxIncremental(t *testing.T) {
+	s := NewSeries()
+	// Interleave reads and writes: min/max must stay exact without
+	// resorting, including after negative samples.
+	s.Add(5)
+	if s.Min() != 5 || s.Max() != 5 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	s.Add(-2)
+	s.Add(11)
+	if s.Min() != -2 || s.Max() != 11 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// A percentile read caches the sorted copy; a later Add must
+	// invalidate it.
+	if got := s.Percentile(50); got != 5 {
+		t.Fatalf("p50 = %v", got)
+	}
+	s.Add(7)
+	if got := s.Percentile(50); got != 5 {
+		t.Fatalf("p50 after add = %v", got)
+	}
+	s.Add(100)
+	if s.Max() != 100 || s.Percentile(100) != 100 {
+		t.Fatalf("max after add = %v", s.Max())
+	}
+}
+
+func TestSeriesPercentileCacheReuse(t *testing.T) {
+	s := NewSeries()
+	for i := 100; i > 0; i-- {
+		s.Add(float64(i))
+	}
+	// Repeated percentile calls on an unchanged series agree with the
+	// from-scratch nearest-rank answer.
+	for _, p := range []float64{1, 25, 50, 75, 99} {
+		want := s.Percentile(p)
+		for i := 0; i < 3; i++ {
+			if got := s.Percentile(p); got != want {
+				t.Fatalf("p%v changed across calls: %v != %v", p, got, want)
+			}
+		}
+	}
+	if s.Percentile(50) != 50 || s.Percentile(1) != 1 {
+		t.Fatalf("p50=%v p1=%v", s.Percentile(50), s.Percentile(1))
+	}
+}
+
+func TestSuspendResumePhaseLists(t *testing.T) {
+	if got := SuspendPhases(); len(got) != 3 || got[0] != PhaseHandshaking || got[1] != PhaseDrain || got[2] != PhaseSerialize {
+		t.Fatalf("SuspendPhases() = %v", got)
+	}
+	if got := ResumePhases(); len(got) != 3 || got[0] != PhaseManagement || got[1] != PhaseHandshaking || got[2] != PhaseOpenSocket {
+		t.Fatalf("ResumePhases() = %v", got)
+	}
+}

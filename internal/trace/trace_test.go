@@ -64,6 +64,42 @@ func TestVerifyExactlyOnceInOrder(t *testing.T) {
 	}
 }
 
+func TestVerifySingleEvent(t *testing.T) {
+	r := NewRecorder()
+	r.Record(42, 42, FromBuffer)
+	if err := r.VerifyExactlyOnceInOrder(); err != nil {
+		t.Fatalf("single-event trace rejected: %v", err)
+	}
+}
+
+func TestVerifyNonZeroStart(t *testing.T) {
+	// Counters need not start at 0 or 1 — a trace recorded mid-stream (for
+	// example after an agent reattaches) is judged from its first counter.
+	r := NewRecorder()
+	for i := uint64(1000); i < 1005; i++ {
+		r.Record(i, i, FromSocket)
+	}
+	if err := r.VerifyExactlyOnceInOrder(); err != nil {
+		t.Fatalf("non-zero-start trace rejected: %v", err)
+	}
+}
+
+func TestVerifyGapAfterDuplicate(t *testing.T) {
+	// 1, 1, 3: the duplicate is hit first and must be reported even though
+	// a gap follows it.
+	r := NewRecorder()
+	r.Record(1, 1, FromSocket)
+	r.Record(1, 1, FromBuffer)
+	r.Record(3, 3, FromSocket)
+	err := r.VerifyExactlyOnceInOrder()
+	if err == nil {
+		t.Fatal("duplicate-then-gap accepted")
+	}
+	if !strings.Contains(err.Error(), "counter 1 followed 1") {
+		t.Fatalf("error blames the wrong event: %v", err)
+	}
+}
+
 func TestEmptyTraceValid(t *testing.T) {
 	if err := NewRecorder().VerifyExactlyOnceInOrder(); err != nil {
 		t.Fatal(err)

@@ -33,6 +33,7 @@ import (
 	"naplet/internal/agent"
 	"naplet/internal/core"
 	"naplet/internal/naming"
+	"naplet/internal/obs"
 	"naplet/internal/postoffice"
 	"naplet/internal/security"
 	"naplet/internal/wire"
@@ -111,6 +112,16 @@ type Config struct {
 	WithPostOffice bool
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
+	// Logger receives leveled diagnostics from every layer of the node and
+	// takes precedence over Logf (which stays as a compatibility shim).
+	Logger *obs.Logger
+	// Metrics collects the node's runtime metrics: connection lifecycle
+	// counters, FSM transitions, suspend/resume latency and phase
+	// breakdowns, agent migrations, and control-channel RUDP stats. Nil
+	// disables collection. Use one registry per node: gauge callbacks are
+	// registered under fixed names and a shared registry would report only
+	// the last node's values.
+	Metrics *obs.Registry
 	// Core tunes the NapletSocket controller timeouts (optional).
 	Core core.Config
 }
@@ -119,10 +130,11 @@ type Config struct {
 // controller (+ optional post office), sharing one location service with
 // its peers.
 type Node struct {
-	host   *agent.Host
-	ctrl   *core.Controller
-	office *postoffice.Office
-	guard  *security.Guard
+	host    *agent.Host
+	ctrl    *core.Controller
+	office  *postoffice.Office
+	guard   *security.Guard
+	metrics *obs.Registry
 }
 
 // NewNode builds and starts a node.
@@ -146,10 +158,16 @@ func NewNode(cfg Config) (*Node, error) {
 	ccfg.Guard = guard
 	ccfg.Locator = cfg.Directory
 	ccfg.Insecure = cfg.Insecure
+	if ccfg.Logger == nil {
+		ccfg.Logger = cfg.Logger
+	}
+	if ccfg.Metrics == nil {
+		ccfg.Metrics = cfg.Metrics
+	}
 	if ccfg.Logf == nil {
 		ccfg.Logf = cfg.Logf
 	}
-	if ccfg.Logf == nil {
+	if ccfg.Logf == nil && ccfg.Logger == nil {
 		ccfg.Logf = func(string, ...any) {}
 	}
 	ctrl, err := core.NewController(ccfg)
@@ -180,6 +198,8 @@ func NewNode(cfg Config) (*Node, error) {
 		MigrationDelay: cfg.MigrationDelay,
 		ClusterSecret:  cfg.ClusterSecret,
 		Logf:           cfg.Logf,
+		Logger:         cfg.Logger,
+		Metrics:        cfg.Metrics,
 	}
 	host, err := agent.NewHost(hcfg)
 	if err != nil {
@@ -195,7 +215,7 @@ func NewNode(cfg Config) (*Node, error) {
 		host.AddHook(office)
 		host.SetExtension(extOffice, office)
 	}
-	return &Node{host: host, ctrl: ctrl, office: office, guard: guard}, nil
+	return &Node{host: host, ctrl: ctrl, office: office, guard: guard, metrics: cfg.Metrics}, nil
 }
 
 // Name returns the node's host name.
@@ -209,6 +229,9 @@ func (n *Node) Host() *agent.Host { return n.host }
 
 // Controller exposes the underlying NapletSocket controller.
 func (n *Node) Controller() *core.Controller { return n.ctrl }
+
+// Metrics returns the node's registry (nil when not configured).
+func (n *Node) Metrics() *obs.Registry { return n.metrics }
 
 // Launch starts an agent on this node.
 func (n *Node) Launch(agentID string, b Behavior) error { return n.host.Launch(agentID, b) }
