@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check
+.PHONY: build test vet race check integration fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# integration runs only the subprocess tests (two-process deployment and
+# crash recovery), uncached.
+integration:
+	$(GO) test ./cmd/napletd -run Integration -count=1 -v
+
+# fuzz-smoke gives every fuzz target a short budget — enough to replay the
+# seed corpora and shake the parsers with a few mutations.
+fuzz-smoke:
+	for target in FuzzReadFrame FuzzDecodeControlMsg FuzzDecodeControlReply FuzzReadHandoffHeader; do \
+		$(GO) test ./internal/wire -run '^$$' -fuzz "^$$target$$" -fuzztime 10s || exit 1; \
+	done
+	$(GO) test ./internal/journal -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime 10s
 
 # check is the gate CI runs: vet, build, and the full suite under the race
 # detector.

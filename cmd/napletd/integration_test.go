@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"os"
@@ -8,8 +9,14 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
+
+	"naplet"
+	"naplet/internal/behaviors"
+	"naplet/internal/naming"
+	"naplet/internal/trace"
 )
 
 // freePort reserves an ephemeral port and releases it for the daemon.
@@ -42,21 +49,28 @@ func (l *logBuf) String() string {
 	return l.b.String()
 }
 
-// TestTwoProcessDeployment builds the daemon and runs a real two-process
-// deployment: host h1 carries the name server and an echo agent; host h2
-// launches a roaming agent that migrates h2 → h1 → h2 while keeping its
-// connection to the echo agent — the full cross-process gob + docking +
-// connection-migration path.
-func TestTwoProcessDeployment(t *testing.T) {
-	if testing.Short() {
-		t.Skip("spawns subprocesses")
-	}
+// buildDaemon compiles the napletd binary into a temp dir once per test.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
 	bin := filepath.Join(t.TempDir(), "napletd")
 	build := exec.Command("go", "build", "-o", bin, ".")
 	build.Env = os.Environ()
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("building napletd: %v\n%s", err, out)
 	}
+	return bin
+}
+
+// TestIntegrationTwoProcessDeployment builds the daemon and runs a real
+// two-process deployment: host h1 carries the name server and an echo
+// agent; host h2 launches a roaming agent that migrates h2 → h1 → h2 while
+// keeping its connection to the echo agent — the full cross-process gob +
+// docking + connection-migration path.
+func TestIntegrationTwoProcessDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bin := buildDaemon(t)
 
 	ns := freePort(t)
 	dock1 := freePort(t)
@@ -131,5 +145,160 @@ func TestTwoProcessDeployment(t *testing.T) {
 	}
 	if snap.Gauges["phase.suspend.handshaking_ms"] <= 0 {
 		t.Errorf("h1 /metrics phase.suspend.handshaking_ms = %v", snap.Gauges["phase.suspend.handshaking_ms"])
+	}
+}
+
+// TestIntegrationCrashRecovery is the fault-tolerance acceptance test: a
+// napletd process streaming numbered messages is SIGKILLed mid-transfer and
+// restarted with the same journal directory. Recovery must re-register the
+// streaming agent, restore its connection from the journal, and drive it
+// through resume so the receiver — which survives in the test process —
+// observes every message exactly once, in order, across the crash.
+func TestIntegrationCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bin := buildDaemon(t)
+
+	const total = 200
+
+	// The surviving half of the deployment runs in this process: the name
+	// server and the sink agent, whose trace recorder checks exactly-once.
+	svc := naming.NewService()
+	srv, err := naming.NewServer(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reg := naplet.NewRegistry()
+	behaviors.RegisterAll(reg)
+	rec := trace.NewRecorder()
+	sink := &behaviors.Sink{Expect: total}
+	sink.SetObserver(func(seq uint64, payload []byte, fromBuffer bool) {
+		counter := uint64(0)
+		if len(payload) >= 8 {
+			counter = binary.BigEndian.Uint64(payload)
+		}
+		src := trace.FromSocket
+		if fromBuffer {
+			src = trace.FromBuffer
+		}
+		rec.Record(seq, counter, src)
+	})
+	node, err := naplet.NewNode(naplet.Config{
+		Name:      "sinkhost",
+		Directory: naming.Local{Svc: svc},
+		Registry:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.Launch("sink", sink); err != nil {
+		t.Fatal(err)
+	}
+
+	jdir := t.TempDir()
+	dock := freePort(t)
+	debug1 := freePort(t)
+	debug2 := freePort(t)
+	args := func(dbg string) []string {
+		return []string{
+			"-name", "h1", "-nameserver", srv.Addr(), "-dock", dock,
+			"-journal-dir", jdir, "-heartbeat-interval", "50ms",
+			"-postoffice=false", "-debug-addr", dbg,
+			"-launch", fmt.Sprintf("streamer:streamer:target=sink,count=%d,interval=5,size=32", total),
+		}
+	}
+
+	var out1, out2 logBuf
+	dump := func() string {
+		return fmt.Sprintf("--- first run ---\n%s\n--- restart ---\n%s\n--- trace ---\n%s",
+			out1.String(), out2.String(), rec.Render())
+	}
+	waitFor := func(cond func() bool, d time.Duration, what string) {
+		t.Helper()
+		deadline := time.Now().Add(d)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never happened\n%s", what, dump())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	h1 := exec.Command(bin, args(debug1)...)
+	h1.Stdout, h1.Stderr = &out1, &out1
+	if err := h1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			h1.Process.Kill()
+			h1.Wait()
+		}
+	}()
+
+	// Let the stream get well underway, then SIGKILL the sender mid-flight.
+	waitFor(func() bool { return len(rec.Events()) >= total/4 }, 30*time.Second, "first quarter of the stream")
+	if err := h1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	h1.Wait()
+	killed = true
+	if n := len(rec.Events()); n >= total {
+		t.Fatalf("stream already complete (%d messages) before the crash landed", n)
+	}
+
+	// Restart with the same journal directory (and, deliberately, the same
+	// -launch flag: the recovered agent must make it a logged no-op).
+	h2 := exec.Command(bin, args(debug2)...)
+	h2.Stdout, h2.Stderr = &out2, &out2
+	if err := h2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		h2.Process.Kill()
+		h2.Wait()
+	}()
+
+	waitFor(func() bool { return len(rec.Events()) >= total }, 60*time.Second, "rest of the stream after restart")
+
+	if err := rec.VerifyExactlyOnceInOrder(); err != nil {
+		t.Fatalf("reliability property violated across the crash: %v\n%s", err, dump())
+	}
+	if n := len(rec.Events()); n != total {
+		t.Fatalf("delivered %d messages, want exactly %d\n%s", n, total, dump())
+	}
+	if !strings.Contains(out2.String(), "recovered 1 agent(s)") {
+		t.Errorf("restart log missing journal recovery:\n%s", out2.String())
+	}
+	if !strings.Contains(out2.String(), "already recovered from journal") {
+		t.Errorf("restart log missing redundant-launch skip:\n%s", out2.String())
+	}
+
+	// The restarted daemon's metrics must show the recovery happened: the
+	// journal replayed records, the agent and its connection were restored,
+	// and the failure episode's duration was measured.
+	snap := fetchMetrics(t, debug2)
+	if snap.Counters["journal.replayed_records"] == 0 {
+		t.Errorf("/metrics journal.replayed_records = 0; counters = %v", snap.Counters)
+	}
+	if snap.Counters["journal.appends"] == 0 {
+		t.Errorf("/metrics journal.appends = 0")
+	}
+	if snap.Counters["agent.recoveries"] == 0 {
+		t.Errorf("/metrics agent.recoveries = 0; counters = %v", snap.Counters)
+	}
+	if snap.Counters["fault.conn_recoveries"] == 0 {
+		t.Errorf("/metrics fault.conn_recoveries = 0; counters = %v", snap.Counters)
+	}
+	if h := snap.Histograms["fault.recovery_ms"]; h.Count == 0 {
+		t.Errorf("/metrics fault.recovery_ms has no samples; histograms = %v", snap.Histograms)
+	}
+	if snap.Counters["fault.probes"] == 0 {
+		t.Errorf("/metrics fault.probes = 0 (heartbeat detector never ran)")
 	}
 }

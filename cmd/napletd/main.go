@@ -49,11 +49,15 @@ var (
 	clusterKey = flag.String("cluster-secret", "", "shared secret authenticating the docking channel between hosts")
 	debugAddr  = flag.String("debug-addr", "", "serve /metrics, /connz and pprof on this address (off when empty)")
 	logLevel   = flag.String("log-level", "info", "runtime log level: debug, info, warn, error")
+	journalDir = flag.String("journal-dir", "", "checkpoint agent and connection state into a journal under this directory; restarting with the same directory recovers them (off when empty)")
+	jrnSync    = flag.String("journal-sync", "interval", "journal fsync policy: always, interval, or never")
+	heartbeat  = flag.Duration("heartbeat-interval", 0, "probe peer controllers at this interval and fail connections to confirmed-dead peers (off when zero)")
+	nameTTL    = flag.Duration("name-ttl", 0, "expire location service entries not refreshed within this duration (only with -nameserver-listen; off when zero)")
 	launches   launchList
 )
 
 func main() {
-	flag.Var(&launches, "launch", "agent to launch, as <id>:<kind>[:<k>=<v>[,<k>=<v>...]]; kinds: echo, pinger, roamer, maillog (repeatable)")
+	flag.Var(&launches, "launch", "agent to launch, as <id>:<kind>[:<k>=<v>[,<k>=<v>...]]; kinds: echo, pinger, roamer, streamer, sink, maillog (repeatable)")
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	log.SetPrefix("napletd: ")
@@ -65,16 +69,19 @@ func main() {
 	metrics := obs.NewRegistry()
 
 	cfg := naplet.Config{
-		Name:           *name,
-		DockAddr:       *dock,
-		ControlAddr:    *control,
-		DataAddr:       *data,
-		MailAddr:       *mail,
-		Insecure:       *insecure,
-		WithPostOffice: *postoffice,
-		Logf:           log.Printf,
-		Logger:         obs.NewLogger(log.Printf, level),
-		Metrics:        metrics,
+		Name:              *name,
+		DockAddr:          *dock,
+		ControlAddr:       *control,
+		DataAddr:          *data,
+		MailAddr:          *mail,
+		Insecure:          *insecure,
+		WithPostOffice:    *postoffice,
+		JournalDir:        *journalDir,
+		JournalSync:       *jrnSync,
+		HeartbeatInterval: *heartbeat,
+		Logf:              log.Printf,
+		Logger:            obs.NewLogger(log.Printf, level),
+		Metrics:           metrics,
 	}
 	if *clusterKey != "" {
 		cfg.ClusterSecret = []byte(*clusterKey)
@@ -84,6 +91,9 @@ func main() {
 	switch {
 	case *nsListen != "":
 		svc := naming.NewService()
+		if *nameTTL > 0 {
+			svc.SetTTL(*nameTTL)
+		}
 		srv, err := naming.NewServer(svc, *nsListen)
 		if err != nil {
 			log.Fatalf("starting name server: %v", err)
@@ -127,12 +137,29 @@ func main() {
 		log.Printf("debug server listening on http://%s", addr)
 	}
 
+	recovered := 0
+	if *journalDir != "" {
+		recovered, err = node.Recover()
+		if err != nil {
+			log.Fatalf("recovering from journal: %v", err)
+		}
+		if recovered > 0 {
+			log.Printf("recovered %d agent(s) from journal %s", recovered, *journalDir)
+		}
+	}
+
 	for _, spec := range launches {
 		id, b, err := parseLaunch(spec)
 		if err != nil {
 			log.Fatalf("-launch %q: %v", spec, err)
 		}
 		if err := node.Launch(id, b); err != nil {
+			// A journal-recovered agent is already running; its -launch spec
+			// (kept for restart convenience) is then redundant, not fatal.
+			if recovered > 0 && strings.Contains(err.Error(), "already resident") {
+				log.Printf("agent %s already recovered from journal; skipping -launch", id)
+				continue
+			}
 			log.Fatalf("launching %s: %v", id, err)
 		}
 		log.Printf("launched agent %s", id)
@@ -196,6 +223,18 @@ func parseLaunch(spec string) (string, naplet.Behavior, error) {
 			Docks:      docks,
 			MsgsPerHop: atoi(args["msgs"], 3),
 		}, nil
+	case "streamer":
+		if args["target"] == "" {
+			return "", nil, fmt.Errorf("streamer needs target=<agent>")
+		}
+		return id, &behaviors.Streamer{
+			Target:     args["target"],
+			Count:      atoi(args["count"], 100),
+			Size:       atoi(args["size"], 8),
+			IntervalMs: atoi(args["interval"], 0),
+		}, nil
+	case "sink":
+		return id, &behaviors.Sink{Expect: atoi(args["expect"], 0)}, nil
 	case "maillog":
 		return id, &behaviors.MailLogger{Expect: atoi(args["expect"], 0)}, nil
 	default:

@@ -14,6 +14,9 @@ type Context struct {
 	agentID string
 	epoch   uint64
 	cred    [security.CredentialSize]byte
+	// behavior is the running behaviour value, referenced so Checkpoint can
+	// journal its current state.
+	behavior Behavior
 
 	// migrateDest holds the destination dock address after MigrateTo.
 	migrateDest string
@@ -61,6 +64,16 @@ func (c *Context) Logf(format string, args ...any) {
 func (c *Context) MigrateTo(destDock string) error {
 	c.migrateDest = destDock
 	return ErrMigrate
+}
+
+// Checkpoint journals the behaviour's current state atomically with the
+// agent's connection state (one journal batch), when the host runs a
+// journal; without one it is a no-op. A behaviour should call it after
+// each unit of externally visible progress — e.g. once per message sent —
+// so a crash-restarted run resumes from the last unit instead of
+// repeating or skipping it.
+func (c *Context) Checkpoint() error {
+	return c.host.checkpointAgent(c.agentID, c.behavior, c.epoch)
 }
 
 // Extension returns the host service registered under name (for example

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"naplet/internal/journal"
 	"naplet/internal/naming"
 	"naplet/internal/obs"
 	"naplet/internal/security"
@@ -71,6 +72,10 @@ type Config struct {
 	// migration to model the cost of shipping agent code and state over a
 	// real network (the paper's T_a-migrate, 220ms on their testbed).
 	MigrationDelay time.Duration
+	// Journal, when non-nil, receives agent checkpoints (behaviour state
+	// plus epoch, batched atomically with connection state from any
+	// ConnCheckpointer hooks) and feeds Recover after a restart.
+	Journal *journal.Journal
 	// ClusterSecret, when non-empty, authenticates the docking channel:
 	// every outbound bundle carries an HMAC-SHA256 tag under the secret and
 	// inbound bundles without a valid tag are rejected. All hosts of a
@@ -129,6 +134,7 @@ type Host struct {
 	// Runtime metrics; nil-safe, so call sites stay unconditional.
 	launches, doneCount, failedCount       *obs.Counter
 	migrations, migrationFailures, arrived *obs.Counter
+	checkpoints, recoveries                *obs.Counter
 	migrateMs                              *obs.Histogram
 
 	mu     sync.Mutex
@@ -176,6 +182,8 @@ func NewHost(cfg Config) (*Host, error) {
 	h.migrations = met.Counter("agent.migrations")
 	h.migrationFailures = met.Counter("agent.migration_failures")
 	h.arrived = met.Counter("agent.arrivals")
+	h.checkpoints = met.Counter("agent.checkpoints")
+	h.recoveries = met.Counter("agent.recoveries")
 	h.migrateMs = met.Histogram("agent.migrate_ms")
 	met.Func("agent.resident", func() float64 {
 		h.mu.Lock()
@@ -282,6 +290,9 @@ func (h *Host) Launch(agentID string, b Behavior) error {
 	}
 	h.launches.Inc()
 	h.log.Infof("agent %s launched", agentID)
+	if err := h.checkpointAgent(agentID, b, 1); err != nil {
+		h.log.Warnf("%v", err)
+	}
 	h.startAgent(agentID, b, 1)
 	return nil
 }
@@ -302,11 +313,12 @@ func (h *Host) startAgent(agentID string, b Behavior, epoch uint64) {
 func (h *Host) runAgent(ctx context.Context, r *running, b Behavior, epoch uint64) {
 	defer h.wg.Done()
 	actx := &Context{
-		host:    h,
-		agentID: r.id,
-		epoch:   epoch,
-		cred:    h.cfg.Guard.IssueCredential(r.id),
-		ctx:     ctx,
+		host:     h,
+		agentID:  r.id,
+		epoch:    epoch,
+		cred:     h.cfg.Guard.IssueCredential(r.id),
+		behavior: b,
+		ctx:      ctx,
 	}
 	err := b.Run(actx)
 	switch {
@@ -334,6 +346,7 @@ func (h *Host) finish(r *running, exit LocalExit) {
 	if err := h.cfg.Directory.Deregister(context.Background(), r.id); err != nil {
 		h.log.Warnf("deregistering %s: %v", r.id, err)
 	}
+	h.dropAgentJournal(r.id)
 	h.remove(r, exit)
 }
 
@@ -408,6 +421,9 @@ func (h *Host) migrate(r *running, b Behavior, epoch uint64, destDock string) {
 	h.migrateMs.ObserveDuration(time.Since(start))
 	h.log.Infof("agent %s migrated to %s in %v (epoch %d)",
 		r.id, destDock, time.Since(start).Round(time.Microsecond), epoch+1)
+	// The agent now lives at the destination; a restart here must not
+	// resurrect it.
+	h.dropAgentJournal(r.id)
 	h.remove(r, LocalExit{Status: StatusMigrating, Dest: destDock})
 }
 
@@ -565,6 +581,9 @@ func (h *Host) handleDock(conn net.Conn) {
 	}
 	h.arrived.Inc()
 	h.log.Infof("agent %s arrived (epoch %d, %d bundle bytes)", bd.AgentID, bd.Epoch, len(raw))
+	if err := h.checkpointAgent(bd.AgentID, bd.Behavior, bd.Epoch); err != nil {
+		h.log.Warnf("%v", err)
+	}
 	h.startAgent(bd.AgentID, bd.Behavior, bd.Epoch)
 	reply("")
 }

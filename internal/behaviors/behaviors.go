@@ -7,6 +7,7 @@
 package behaviors
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -22,6 +23,8 @@ func RegisterAll(reg interface{ Register(string, naplet.Behavior) }) {
 	reg.Register("behaviors.Pinger", &Pinger{})
 	reg.Register("behaviors.Roamer", &Roamer{})
 	reg.Register("behaviors.MailLogger", &MailLogger{})
+	reg.Register("behaviors.Streamer", &Streamer{})
+	reg.Register("behaviors.Sink", &Sink{})
 }
 
 // Echo is a stationary agent that accepts NapletSocket connections and
@@ -160,6 +163,137 @@ func (r *Roamer) Run(ctx *naplet.Context) error {
 	r.Docks = r.Docks[1:]
 	ctx.Logf("roamer: migrating to %s", next)
 	return ctx.MigrateTo(next)
+}
+
+// Streamer dials a target agent and streams Count numbered messages to it,
+// checkpointing its progress after every send. Message number i carries i
+// as a big-endian uint64 in its first 8 bytes (padded to Size bytes), so
+// the payload for any counter is reproducible. Because the checkpoint
+// journals the send cursor Next atomically with the connection's stream
+// state, a crash-restarted Streamer resends at most the one in-flight
+// message — under the sequence number it already used, which the receiver
+// deduplicates — and the receiver observes every counter exactly once.
+type Streamer struct {
+	Target string
+	Count  int
+	// Size pads each message to this many bytes (minimum 8).
+	Size int
+	// IntervalMs paces the stream; zero means back-to-back.
+	IntervalMs int
+	// Next is the next counter to send — the journaled progress cursor.
+	Next uint64
+	// Conn carries the connection id across migrations and restarts.
+	Conn string
+}
+
+// Run implements naplet.Behavior.
+func (s *Streamer) Run(ctx *naplet.Context) error {
+	if s.Count <= 0 {
+		s.Count = 100
+	}
+	if s.Size < 8 {
+		s.Size = 8
+	}
+	var conn *naplet.Socket
+	var err error
+	if s.Conn == "" {
+		if conn, err = naplet.Dial(ctx, s.Target); err != nil {
+			return fmt.Errorf("streamer: dialing %s: %w", s.Target, err)
+		}
+		s.Conn = conn.ID().String()
+		// Bind the connection id into the journal before the first send, so
+		// a restart never redials a second connection.
+		if err := ctx.Checkpoint(); err != nil {
+			ctx.Logf("streamer: checkpoint: %v", err)
+		}
+	} else {
+		id, perr := naplet.ParseConnID(s.Conn)
+		if perr != nil {
+			return perr
+		}
+		if conn, err = naplet.Attach(ctx, id); err != nil {
+			return fmt.Errorf("streamer: re-attaching: %w", err)
+		}
+		ctx.Logf("streamer: resuming at message %d", s.Next)
+	}
+	for s.Next < uint64(s.Count) {
+		payload := make([]byte, s.Size)
+		binary.BigEndian.PutUint64(payload, s.Next)
+		if err := conn.WriteMsg(payload); err != nil {
+			return fmt.Errorf("streamer: sending %d: %w", s.Next, err)
+		}
+		s.Next++
+		if err := ctx.Checkpoint(); err != nil {
+			ctx.Logf("streamer: checkpoint: %v", err)
+		}
+		if s.IntervalMs > 0 {
+			select {
+			case <-time.After(time.Duration(s.IntervalMs) * time.Millisecond):
+			case <-ctx.Done():
+				return nil
+			}
+		}
+	}
+	ctx.Logf("streamer: stream of %d messages complete", s.Count)
+	return conn.Close()
+}
+
+// Sink accepts one connection and reads numbered messages from it (the
+// Streamer's wire format) until Expect arrive (0 = until the peer closes).
+// An observer installed with SetObserver sees every delivery.
+type Sink struct {
+	Expect int
+	Got    uint64
+
+	// observe is a local (non-migrating, non-journaled) delivery hook; the
+	// crash-recovery tests feed it into a trace recorder.
+	observe func(seq uint64, payload []byte, fromBuffer bool)
+}
+
+// SetObserver installs a per-delivery hook. Call it before Launch; the hook
+// does not survive migration or a journal restart.
+func (s *Sink) SetObserver(fn func(seq uint64, payload []byte, fromBuffer bool)) {
+	s.observe = fn
+}
+
+// Run implements naplet.Behavior.
+func (s *Sink) Run(ctx *naplet.Context) error {
+	ss, err := naplet.Listen(ctx)
+	if err != nil {
+		return err
+	}
+	ctx.Logf("sink: listening")
+	conn, err := ss.Accept(ctx.StdContext())
+	if err != nil {
+		return err
+	}
+	if s.observe != nil {
+		conn.SetObserver(s.observe)
+	}
+	for s.Expect == 0 || s.Got < uint64(s.Expect) {
+		msg, err := conn.ReadMsg()
+		if err != nil {
+			if s.Expect == 0 && (errors.Is(err, naplet.ErrClosed) || ctx.StdContext().Err() != nil) {
+				break
+			}
+			return fmt.Errorf("sink: after %d messages: %w", s.Got, err)
+		}
+		counter := uint64(0)
+		if len(msg) >= 8 {
+			counter = binary.BigEndian.Uint64(msg)
+		}
+		s.Got++
+		// Consumption is externally visible progress too: checkpoint it so a
+		// crash-restarted sink is not re-delivered messages it already read.
+		if err := ctx.Checkpoint(); err != nil {
+			ctx.Logf("sink: checkpoint: %v", err)
+		}
+		if counter%50 == 0 {
+			ctx.Logf("sink: %d messages so far (counter %d)", s.Got, counter)
+		}
+	}
+	ctx.Logf("sink: received %d messages", s.Got)
+	return nil
 }
 
 // MailLogger drains its PostOffice mailbox, logging each message, until

@@ -143,6 +143,10 @@ type Socket struct {
 	closed   bool
 	closeErr error
 	failing  bool
+	// failedAt opens a failure episode (data-socket failure, confirmed peer
+	// failure, or a crash restore); cleared when the connection resumes,
+	// recording the recovery latency.
+	failedAt time.Time
 
 	observer Observer
 }
@@ -417,6 +421,9 @@ func (s *Socket) failLocked(cause error) {
 		return
 	}
 	s.failing = true
+	if s.failedAt.IsZero() {
+		s.failedAt = time.Now()
+	}
 	s.step(fsm.Fail)
 	if s.sock != nil {
 		s.sock.Close()
@@ -436,24 +443,37 @@ func (s *Socket) failLocked(cause error) {
 
 // failureResume re-resumes a connection that degraded to SUSPENDED. The
 // high-priority side fires first; the low-priority side is a late fallback,
-// and the resume-race rules sort out collisions.
+// and the resume-race rules sort out collisions. While the peer stays
+// unreachable (crashed and not yet restarted, or partitioned away) attempts
+// are retried with capped exponential backoff, so the connection heals as
+// soon as the peer returns rather than stranding after one failed try.
 func (s *Socket) failureResume(delay time.Duration) {
-	timer := time.NewTimer(delay)
-	defer timer.Stop()
-	select {
-	case <-timer.C:
-	case <-s.ctrl.done:
-		return
-	}
-	s.mu.Lock()
-	stillDown := s.failing && !s.closed && s.m.State() == fsm.Suspended
-	migrating := s.ctrl.isMigrating(s.localAgent)
-	s.mu.Unlock()
-	if !stillDown || migrating {
-		return
-	}
-	if err := s.Resume(); err != nil && !errors.Is(err, ErrClosed) {
-		s.ctrl.logf("conn %s: failure resume: %v", s.id, err)
+	const maxDelay = 5 * time.Second
+	for {
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-s.ctrl.done:
+			timer.Stop()
+			return
+		}
+		s.mu.Lock()
+		stillDown := s.failing && !s.closed && s.m.State() == fsm.Suspended
+		migrating := s.ctrl.isMigrating(s.localAgent)
+		s.mu.Unlock()
+		if !stillDown {
+			return
+		}
+		if !migrating {
+			err := s.Resume()
+			if err == nil || errors.Is(err, ErrClosed) || errors.Is(err, ErrMigrated) {
+				return
+			}
+			s.ctrl.logf("conn %s: failure resume: %v", s.id, err)
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
 	}
 }
 

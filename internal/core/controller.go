@@ -14,7 +14,9 @@ import (
 
 	"naplet/internal/agent"
 	"naplet/internal/dhkx"
+	"naplet/internal/fault"
 	"naplet/internal/fsm"
+	"naplet/internal/journal"
 	"naplet/internal/metrics"
 	"naplet/internal/naming"
 	"naplet/internal/obs"
@@ -50,6 +52,22 @@ type Config struct {
 	// DisableFailureResume turns off the fault-tolerance extension
 	// (automatic re-resume after a data socket failure).
 	DisableFailureResume bool
+	// Journal, when non-nil, receives connection-state checkpoints at each
+	// lifecycle edge and feeds RecoverConns after a restart.
+	Journal *journal.Journal
+	// HeartbeatInterval, when positive, enables the phi-accrual failure
+	// detector: peers with established connections here are probed over the
+	// control channel, and a confirmed-down peer fails its connections into
+	// the recovery path. Zero disables detection (the default).
+	HeartbeatInterval time.Duration
+	// SuspicionThreshold and ConfirmFailures tune the detector; zero picks
+	// the fault package defaults.
+	SuspicionThreshold float64
+	ConfirmFailures    int
+	// ControlDropFn, when non-nil, can drop outgoing control packets
+	// (returns true to drop) — fault injection for partition tests,
+	// forwarded to the reliable-UDP endpoint.
+	ControlDropFn func([]byte) bool
 	// OpTimeout bounds each control exchange; ParkTimeout bounds waits on
 	// peer migrations (SUSPEND_WAIT / RESUME_WAIT / resume retries).
 	// Defaults: 5s and 60s.
@@ -129,6 +147,8 @@ type Controller struct {
 	ep  *rudp.Endpoint
 	red *redirector
 	rv  *rendezvous
+	// det is the peer failure detector; nil unless HeartbeatInterval is set.
+	det *fault.Detector
 
 	mu        sync.Mutex
 	conns     map[connKey]*Socket
@@ -160,18 +180,41 @@ func NewController(cfg Config) (*Controller, error) {
 		migrating: make(map[string]bool),
 		done:      make(chan struct{}),
 	}
-	ep, err := rudp.Listen(cfg.ControlAddr, ctrl.handleControl, rudp.Config{SendDelay: cfg.ControlSendDelay})
+	rcfg := rudp.Config{SendDelay: cfg.ControlSendDelay, DropFn: cfg.ControlDropFn}
+	if cfg.HeartbeatInterval > 0 {
+		// Create the detector before the endpoint so the ActivityFn closure
+		// never races the field write; probing only starts with Watch calls
+		// from the reconciler below.
+		ctrl.det = fault.NewDetector(fault.Config{
+			Interval:        cfg.HeartbeatInterval,
+			Threshold:       cfg.SuspicionThreshold,
+			ConfirmFailures: cfg.ConfirmFailures,
+			Probe:           ctrl.probePeer,
+			OnEvent:         ctrl.onFaultEvent,
+			Metrics:         cfg.Metrics,
+			Logger:          ctrl.obs.log,
+		})
+		// Every valid control packet from a peer is piggybacked liveness
+		// evidence, suppressing probes on busy connections.
+		rcfg.ActivityFn = func(from *net.UDPAddr) { ctrl.det.Observe(from.String()) }
+	}
+	ep, err := rudp.Listen(cfg.ControlAddr, ctrl.handleControl, rcfg)
 	if err != nil {
+		ctrl.det.Close()
 		return nil, err
 	}
 	ctrl.ep = ep
 	red, err := newRedirector(ctrl, cfg.DataAddr)
 	if err != nil {
+		ctrl.det.Close()
 		ep.Close()
 		return nil, err
 	}
 	ctrl.red = red
 	ctrl.registerGauges()
+	if ctrl.det != nil {
+		go ctrl.watchReconciler(cfg.HeartbeatInterval)
+	}
 	return ctrl, nil
 }
 
@@ -256,6 +299,7 @@ func (ctrl *Controller) Close() error {
 	}
 	ctrl.mu.Unlock()
 	close(ctrl.done)
+	ctrl.det.Close()
 	for _, s := range conns {
 		s.mu.Lock()
 		s.markClosedLocked(nil)
@@ -294,10 +338,13 @@ func (ctrl *Controller) registerConn(s *Socket) {
 	agents[s.id] = s
 }
 
-// dropConn removes a socket from the tables.
+// dropConn removes a socket from the tables. This is also the point a
+// connection leaves the journal: it is either closed for good or departing
+// inside a migration bundle, and either way a restarted host must not
+// resurrect it. (Controller.Close deliberately does not drop connections,
+// so a graceful shutdown stays recoverable like a crash.)
 func (ctrl *Controller) dropConn(s *Socket) {
 	ctrl.mu.Lock()
-	defer ctrl.mu.Unlock()
 	delete(ctrl.conns, connKey{id: s.id, agent: s.localAgent})
 	if agents := ctrl.byAgent[s.localAgent]; agents != nil {
 		delete(agents, s.id)
@@ -306,6 +353,8 @@ func (ctrl *Controller) dropConn(s *Socket) {
 		}
 	}
 	ctrl.rv.disarm(connKey{id: s.id, agent: s.localAgent})
+	ctrl.mu.Unlock()
+	ctrl.dropConnJournal(s.localAgent, s.id)
 }
 
 // connByKey fetches a resident connection endpoint by id and local agent.
@@ -569,6 +618,7 @@ func (ctrl *Controller) openAs(agentID string, cred [security.CredentialSize]byt
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	ctrl.checkpointConn(s)
 	return s, nil
 }
 
@@ -735,6 +785,7 @@ func (s *Socket) completeEstablishment(ss *ServerSocket) {
 	if ready {
 		s.ctrl.obs.accepts.Inc()
 		s.olog(obs.LevelInfo, "accepted")
+		s.ctrl.checkpointConn(s)
 		ss.push(s)
 	}
 }
@@ -771,12 +822,18 @@ func (ctrl *Controller) ListenAs(agentID string, cred [security.CredentialSize]b
 		}
 	}
 	ctrl.mu.Lock()
-	defer ctrl.mu.Unlock()
 	if ss, ok := ctrl.listeners[agentID]; ok && !ss.isClosed() {
+		ctrl.mu.Unlock()
 		return ss, nil
 	}
 	ss := &ServerSocket{ctrl: ctrl, agentID: agentID, cred: cred, arrival: make(chan struct{})}
 	ctrl.listeners[agentID] = ss
+	ctrl.mu.Unlock()
+	if j := ctrl.cfg.Journal; j != nil {
+		// The credential is re-issued by the Guard at recovery, so the
+		// record only marks that the agent was listening here.
+		j.Put(journal.KindListener, agentID, nil)
+	}
 	return ss, nil
 }
 
@@ -844,10 +901,17 @@ func (ss *ServerSocket) Close() error {
 	ss.mu.Unlock()
 
 	ss.ctrl.mu.Lock()
+	removed := false
 	if ss.ctrl.listeners[ss.agentID] == ss {
 		delete(ss.ctrl.listeners, ss.agentID)
+		removed = true
 	}
 	ss.ctrl.mu.Unlock()
+	if removed {
+		if j := ss.ctrl.cfg.Journal; j != nil {
+			j.Delete(journal.KindListener, ss.agentID)
+		}
+	}
 	for _, s := range pending {
 		s.Close()
 	}

@@ -7,10 +7,8 @@ import (
 	"sort"
 	"time"
 
-	"naplet/internal/fsm"
 	"naplet/internal/metrics"
 	"naplet/internal/obs"
-	"naplet/internal/wire"
 )
 
 // This file makes the Controller an agent migration hook (agent.Hook,
@@ -124,13 +122,10 @@ func (ctrl *Controller) PreDepart(agentID string) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// serialize captures the suspended connection's full state and detaches
-// the local object: its buffers are handed over to the serialized form and
-// the object is marked with ErrMigrated, so a stray reader can neither
-// hang on the dead handle nor double-deliver buffered data.
-func (s *Socket) serialize() connState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// snapshotLocked captures the connection's full state without disturbing
+// the live object — the form journaled at lifecycle edges and shipped in
+// migration bundles. Caller holds mu.
+func (s *Socket) snapshotLocked() connState {
 	st := connState{
 		ID:              s.id,
 		LocalAgent:      s.localAgent,
@@ -146,13 +141,25 @@ func (s *Socket) serialize() connState {
 		OwesSusRes:      s.owesSusRes,
 		Accepted:        s.accepted,
 	}
-	// Everything still in the buffer crosses the migration in the buffer:
-	// mark it so post-resume deliveries are attributed correctly (Fig 7).
+	// Everything still in the buffer crosses the migration (or restart) in
+	// the buffer: mark it so post-resume deliveries are attributed
+	// correctly (Fig 7).
 	st.RecvBuf = make([]bufEntry, len(s.recvBuf))
 	for i, e := range s.recvBuf {
 		st.RecvBuf[i] = bufEntry{Seq: e.Seq, Payload: e.Payload, ViaBuffer: true}
 	}
 	st.SendLog = append([]bufEntry(nil), s.sendLog...)
+	return st
+}
+
+// serialize captures the suspended connection's full state and detaches
+// the local object: its buffers are handed over to the serialized form and
+// the object is marked with ErrMigrated, so a stray reader can neither
+// hang on the dead handle nor double-deliver buffered data.
+func (s *Socket) serialize() connState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.snapshotLocked()
 	s.recvBuf = nil
 	s.recvBytes = 0
 	s.leftover = nil
@@ -191,32 +198,13 @@ func (ctrl *Controller) PostArrive(agentID string, blob []byte) error {
 	}
 
 	for _, st := range hb.Conns {
-		s, err := newSocket(ctrl, st.ID, st.LocalAgent, st.RemoteAgent, st.SessionKey, fsm.Suspended)
+		s, err := ctrl.restoreConn(st, 0)
 		if err != nil {
-			return fmt.Errorf("napletsocket: restoring connection %s: %w", wire.ConnID(st.ID), err)
+			return err
 		}
-		s.mu.Lock()
-		s.nextSendSeq = st.NextSendSeq
-		s.lastEnqueued = st.LastEnqueued
-		s.recvBuf = st.RecvBuf
-		for _, e := range st.RecvBuf {
-			s.recvBytes += len(e.Payload)
-		}
-		s.leftover = st.Leftover
-		s.leftoverBuf = true
-		s.sendLog = st.SendLog
-		for _, e := range st.SendLog {
-			s.sendLogSize += len(e.Payload)
-		}
-		s.peerControlAddr = st.PeerControlAddr
-		s.peerDataAddr = st.PeerDataAddr
-		s.sendNonce = st.SendNonce
-		s.lastPeerNonce = st.LastPeerNonce
-		s.owesSusRes = st.OwesSusRes
-		s.accepted = st.Accepted
-		s.localSuspended = true
-		s.mu.Unlock()
-		ctrl.registerConn(s)
+		// The connection now lives here: journal it so a crash before the
+		// post-arrival resume completes still recovers it.
+		ctrl.checkpointConn(s)
 
 		if ss != nil && !st.Accepted && backlog[st.ID] {
 			ss.push(s)

@@ -30,8 +30,10 @@ type ctrlObs struct {
 	departs, arrivals       *obs.Counter
 	connsShipped            *obs.Counter
 	fsmTransitions          *obs.Counter
+	connRecoveries          *obs.Counter
 
 	openMs, suspendMs, resumeMs *obs.Histogram
+	recoveryMs                  *obs.Histogram
 
 	openBD, suspendBD, resumeBD *metrics.Breakdown
 }
@@ -72,9 +74,11 @@ func newCtrlObs(cfg Config) *ctrlObs {
 		arrivals:         met.Counter("migrate.arrivals"),
 		connsShipped:     met.Counter("migrate.conns_shipped"),
 		fsmTransitions:   met.Counter("fsm.transitions"),
+		connRecoveries:   met.Counter("fault.conn_recoveries"),
 		openMs:           met.Histogram("conn.open_ms"),
 		suspendMs:        met.Histogram("conn.suspend_ms"),
 		resumeMs:         met.Histogram("conn.resume_ms"),
+		recoveryMs:       met.Histogram("fault.recovery_ms"),
 		openBD:           cfg.OpenBreakdown,
 		suspendBD:        cfg.SuspendBreakdown,
 		resumeBD:         cfg.ResumeBreakdown,

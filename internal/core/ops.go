@@ -114,6 +114,7 @@ func (s *Socket) Suspend() error {
 	o.suspends.Inc()
 	o.suspendMs.ObserveDuration(elapsed)
 	s.olog(obs.LevelInfo, "suspended in %v", elapsed.Round(time.Microsecond))
+	s.ctrl.checkpointConn(s)
 	return nil
 }
 
@@ -369,6 +370,7 @@ func (s *Socket) handleSuspend(m *wire.ControlMsg) []byte {
 			}
 			s.cond.Broadcast()
 			s.mu.Unlock()
+			s.ctrl.checkpointConn(s)
 		}()
 		return s.reply(wire.VerdictAck, func(r *wire.ControlReply) { r.LastSeq = s.delivered() })
 
@@ -393,6 +395,7 @@ func (s *Socket) handleSuspend(m *wire.ControlMsg) []byte {
 			}
 			s.cond.Broadcast()
 			s.mu.Unlock()
+			s.ctrl.checkpointConn(s)
 		}()
 		return s.reply(wire.VerdictAck, func(r *wire.ControlReply) { r.LastSeq = s.delivered() })
 
@@ -502,6 +505,8 @@ func (s *Socket) Resume() error {
 	o.resumes.Inc()
 	o.resumeMs.ObserveDuration(elapsed)
 	s.olog(obs.LevelInfo, "resumed in %v", elapsed.Round(time.Microsecond))
+	s.noteRecovered()
+	s.ctrl.checkpointConn(s)
 	return nil
 }
 
@@ -807,6 +812,8 @@ func (s *Socket) grantResume(m *wire.ControlMsg) []byte {
 			}
 			s.cond.Broadcast()
 			s.mu.Unlock()
+			s.noteRecovered()
+			s.ctrl.checkpointConn(s)
 		case <-t.C:
 			s.ctrl.rv.disarm(connKey{id: s.id, agent: s.localAgent})
 			s.mu.Lock()

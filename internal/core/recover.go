@@ -1,0 +1,293 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"time"
+
+	"naplet/internal/fault"
+	"naplet/internal/fsm"
+	"naplet/internal/journal"
+	"naplet/internal/obs"
+	"naplet/internal/wire"
+)
+
+// This file is the fault-tolerance wiring of the controller: the
+// phi-accrual failure detector riding the control channel (heartbeat
+// probes plus piggybacked traffic evidence), the write-ahead journal
+// checkpoints taken at every connection lifecycle edge, and the crash
+// recovery path that rebuilds controller state from the journal after a
+// napletd restart and drives the stranded connections back through the
+// normal resume handshake.
+
+// restartNonceSlack is added to a restored connection's send nonce. The
+// journal checkpoint may predate control messages sent just before the
+// crash, and the peer rejects non-increasing nonces as replays; the slack
+// jumps past anything the dead process could plausibly have sent.
+const restartNonceSlack = 1 << 20
+
+// connJournalKey keys one connection endpoint in the journal. The local
+// agent id participates because both endpoints of a loopback connection
+// can be journaled by the same controller.
+func connJournalKey(localAgent string, id wire.ConnID) string {
+	return localAgent + "|" + id.String()
+}
+
+// ---- failure detector ----
+
+// probePeer is the detector's liveness probe: one HEARTBEAT exchange with
+// the peer controller. Any valid reply (even a rejection) proves the host
+// is alive; only transport failure counts against it.
+func (ctrl *Controller) probePeer(ctx context.Context, peer string) error {
+	m := &wire.ControlMsg{Type: wire.MsgHeartbeat}
+	_, err := ctrl.ep.Request(ctx, peer, m.Encode())
+	return err
+}
+
+// watchReconciler keeps the detector's watch set equal to the set of peer
+// controllers with established connections here. It runs on its own
+// goroutine and takes ctrl.mu and each socket's mu separately, never
+// nested, to stay out of the control plane's lock ordering.
+func (ctrl *Controller) watchReconciler(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctrl.done:
+			return
+		case <-t.C:
+		}
+		ctrl.reconcileWatches()
+	}
+}
+
+func (ctrl *Controller) reconcileWatches() {
+	ctrl.mu.Lock()
+	conns := make([]*Socket, 0, len(ctrl.conns))
+	for _, s := range ctrl.conns {
+		conns = append(conns, s)
+	}
+	ctrl.mu.Unlock()
+
+	want := make(map[string]bool)
+	for _, s := range conns {
+		s.mu.Lock()
+		if !s.closed && s.m.State() == fsm.Established && s.peerControlAddr != "" {
+			want[s.peerControlAddr] = true
+		}
+		s.mu.Unlock()
+	}
+	for _, peer := range ctrl.det.Watched() {
+		if want[peer] {
+			delete(want, peer)
+		} else {
+			ctrl.det.Unwatch(peer)
+		}
+	}
+	for peer := range want {
+		ctrl.det.Watch(peer)
+	}
+}
+
+// onFaultEvent consumes detector transitions. A confirmed-down peer fails
+// every established connection toward it: the connections degrade to
+// SUSPENDED and the failure-resume path polls the location service with
+// backoff until the peer (or its agents, re-homed elsewhere) answers a
+// normal resume handshake.
+func (ctrl *Controller) onFaultEvent(ev fault.Event) {
+	if ev.Kind != fault.EventConfirm {
+		return
+	}
+	ctrl.mu.Lock()
+	conns := make([]*Socket, 0, len(ctrl.conns))
+	for _, s := range ctrl.conns {
+		conns = append(conns, s)
+	}
+	ctrl.mu.Unlock()
+	for _, s := range conns {
+		s.mu.Lock()
+		if !s.closed && s.peerControlAddr == ev.Peer && s.m.State() == fsm.Established {
+			s.failLocked(fmt.Errorf("napletsocket: peer controller %s confirmed down (phi %.1f after %d failed probes)",
+				ev.Peer, ev.Phi, ev.Failures))
+		}
+		s.mu.Unlock()
+	}
+}
+
+// noteRecovered closes a failure episode: if the connection carries a
+// failure timestamp (set by failLocked or by a crash restore), the elapsed
+// time is recorded as the recovery latency.
+func (s *Socket) noteRecovered() {
+	s.mu.Lock()
+	at := s.failedAt
+	s.failedAt = time.Time{}
+	s.mu.Unlock()
+	if at.IsZero() {
+		return
+	}
+	o := s.ctrl.obs
+	o.connRecoveries.Inc()
+	o.recoveryMs.ObserveDuration(time.Since(at))
+	s.olog(obs.LevelInfo, "recovered %v after failure", time.Since(at).Round(time.Millisecond))
+}
+
+// ---- journal checkpoints ----
+
+// journalRecord captures the connection as one journal record.
+func (s *Socket) journalRecord() (journal.Record, error) {
+	s.mu.Lock()
+	st := s.snapshotLocked()
+	s.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return journal.Record{}, fmt.Errorf("napletsocket: encoding conn %s for journal: %w", wire.ConnID(st.ID), err)
+	}
+	return journal.Record{
+		Kind: journal.KindConn,
+		Key:  connJournalKey(st.LocalAgent, wire.ConnID(st.ID)),
+		Data: buf.Bytes(),
+	}, nil
+}
+
+// checkpointConn journals the connection's current state. Called at every
+// lifecycle edge (established, suspended, resumed, restored); a crash at
+// any point replays the latest checkpoint, and the sequence-numbered frame
+// protocol absorbs whatever the checkpoint is behind on.
+func (ctrl *Controller) checkpointConn(s *Socket) {
+	j := ctrl.cfg.Journal
+	if j == nil {
+		return
+	}
+	rec, err := s.journalRecord()
+	if err != nil {
+		ctrl.logf("journal: %v", err)
+		return
+	}
+	if err := j.Append(rec); err != nil && !errors.Is(err, journal.ErrClosed) {
+		ctrl.logf("journal: checkpointing conn %s: %v", s.id, err)
+	}
+}
+
+// dropConnJournal removes a connection's journal entry; the point a
+// connection leaves this host for good (closed, or migrated away).
+func (ctrl *Controller) dropConnJournal(localAgent string, id wire.ConnID) {
+	if j := ctrl.cfg.Journal; j != nil {
+		j.Delete(journal.KindConn, connJournalKey(localAgent, id))
+	}
+}
+
+// CheckpointRecords returns journal records capturing every live
+// connection of the agent, for the agent host to batch atomically with its
+// own behaviour checkpoint: journaling application progress and the
+// connections' send cursors in one batch is what preserves exactly-once
+// delivery across a crash (neither ordering of separate writes survives a
+// crash between them).
+func (ctrl *Controller) CheckpointRecords(agentID string) []journal.Record {
+	var recs []journal.Record
+	for _, s := range ctrl.AgentSockets(agentID) {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			continue
+		}
+		rec, err := s.journalRecord()
+		if err != nil {
+			ctrl.logf("journal: %v", err)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// ---- crash recovery ----
+
+// restoreConn rebuilds a connection endpoint from its serialized state in
+// SUSPENDED and registers it; shared by the migration arrival path
+// (nonceSlack 0 — the serialized state is exact) and the crash recovery
+// path (restartNonceSlack — the checkpoint may be stale).
+func (ctrl *Controller) restoreConn(st connState, nonceSlack uint64) (*Socket, error) {
+	s, err := newSocket(ctrl, st.ID, st.LocalAgent, st.RemoteAgent, st.SessionKey, fsm.Suspended)
+	if err != nil {
+		return nil, fmt.Errorf("napletsocket: restoring connection %s: %w", wire.ConnID(st.ID), err)
+	}
+	s.mu.Lock()
+	s.nextSendSeq = st.NextSendSeq
+	s.lastEnqueued = st.LastEnqueued
+	s.recvBuf = st.RecvBuf
+	for _, e := range st.RecvBuf {
+		s.recvBytes += len(e.Payload)
+	}
+	s.leftover = st.Leftover
+	s.leftoverBuf = true
+	s.sendLog = st.SendLog
+	for _, e := range st.SendLog {
+		s.sendLogSize += len(e.Payload)
+	}
+	s.peerControlAddr = st.PeerControlAddr
+	s.peerDataAddr = st.PeerDataAddr
+	s.sendNonce = st.SendNonce + nonceSlack
+	s.lastPeerNonce = st.LastPeerNonce
+	s.owesSusRes = st.OwesSusRes
+	s.accepted = st.Accepted
+	s.localSuspended = true
+	if nonceSlack > 0 {
+		// Crash restore: the connection has been down since (at latest) the
+		// crash; stamp the episode so the resume records a recovery latency.
+		s.failedAt = time.Now()
+	}
+	s.mu.Unlock()
+	ctrl.registerConn(s)
+	return s, nil
+}
+
+// RecoverConns rebuilds the controller's listeners and connections from
+// the journal after a process restart and kicks off their resumption
+// through the normal resume handshake. Call it once, after the journal is
+// open and before agents restart their traffic; it returns the number of
+// connections restored.
+func (ctrl *Controller) RecoverConns() (int, error) {
+	j := ctrl.cfg.Journal
+	if j == nil {
+		return 0, nil
+	}
+
+	for agentID := range j.Entries(journal.KindListener) {
+		if _, err := ctrl.ListenAs(agentID, ctrl.cfg.Guard.IssueCredential(agentID)); err != nil {
+			ctrl.logf("recover: restoring listener of %s: %v", agentID, err)
+		}
+	}
+
+	restored := 0
+	for key, data := range j.Entries(journal.KindConn) {
+		var st connState
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+			ctrl.logf("recover: undecodable conn record %q: %v", key, err)
+			continue
+		}
+		s, err := ctrl.restoreConn(st, restartNonceSlack)
+		if err != nil {
+			ctrl.logf("recover: %v", err)
+			continue
+		}
+		// Re-checkpoint immediately with the bumped nonce, so a second crash
+		// before the resume completes bumps again from here, not from the
+		// pre-crash value.
+		ctrl.checkpointConn(s)
+		restored++
+		go func(s *Socket) {
+			if err := s.Resume(); err != nil && !errors.Is(err, ErrClosed) {
+				ctrl.logf("conn %s: resume after restart: %v", s.id, err)
+			}
+		}(s)
+	}
+	if restored > 0 || j.Replayed() > 0 {
+		ctrl.olog(obs.LevelInfo, "recovered %d connections from journal (%d records replayed)",
+			restored, j.Replayed())
+	}
+	return restored, nil
+}

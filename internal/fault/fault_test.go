@@ -1,0 +1,260 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"naplet/internal/obs"
+)
+
+// collectEvents wires an event channel into cfg and returns it.
+func collectEvents(cfg *Config) chan Event {
+	ch := make(chan Event, 64)
+	cfg.OnEvent = func(ev Event) { ch <- ev }
+	return ch
+}
+
+func waitEvent(t *testing.T, ch chan Event, kind EventKind, timeout time.Duration) Event {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ev := <-ch:
+			if ev.Kind == kind {
+				return ev
+			}
+		case <-deadline:
+			t.Fatalf("no %v event within %v", kind, timeout)
+		}
+	}
+}
+
+func TestHealthyPeerStaysAlive(t *testing.T) {
+	cfg := Config{
+		Interval: 5 * time.Millisecond,
+		Probe:    func(context.Context, string) error { return nil },
+	}
+	ch := collectEvents(&cfg)
+	d := NewDetector(cfg)
+	defer d.Close()
+	d.Watch("peer1")
+	time.Sleep(60 * time.Millisecond)
+	if st := d.State("peer1"); st != Alive {
+		t.Fatalf("State = %v, want Alive", st)
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected event %+v", ev)
+	default:
+	}
+}
+
+func TestSuspectConfirmRecover(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	met := obs.NewRegistry()
+	cfg := Config{
+		Interval:        5 * time.Millisecond,
+		Threshold:       2,
+		ConfirmFailures: 4,
+		MaxBackoff:      20 * time.Millisecond,
+		Metrics:         met,
+		Probe: func(context.Context, string) error {
+			if failing.Load() {
+				return errors.New("unreachable")
+			}
+			return nil
+		},
+	}
+	ch := collectEvents(&cfg)
+	d := NewDetector(cfg)
+	defer d.Close()
+	d.Watch("peer1")
+
+	ev := waitEvent(t, ch, EventSuspect, 2*time.Second)
+	if ev.Phi < cfg.Threshold {
+		t.Fatalf("suspect at phi %.2f < threshold %v", ev.Phi, cfg.Threshold)
+	}
+	ev = waitEvent(t, ch, EventConfirm, 2*time.Second)
+	if ev.Failures < cfg.ConfirmFailures {
+		t.Fatalf("confirm after %d failures, want >= %d", ev.Failures, cfg.ConfirmFailures)
+	}
+	if st := d.State("peer1"); st != Down {
+		t.Fatalf("State = %v, want Down", st)
+	}
+
+	failing.Store(false)
+	waitEvent(t, ch, EventRecover, 2*time.Second)
+	if st := d.State("peer1"); st != Alive {
+		t.Fatalf("State after recovery = %v, want Alive", st)
+	}
+	snap := met.Snapshot()
+	for _, c := range []string{"fault.probes", "fault.probe_failures", "fault.suspects", "fault.confirms", "fault.recoveries"} {
+		if snap.Counters[c] == 0 {
+			t.Errorf("%s = 0", c)
+		}
+	}
+}
+
+func TestObserveSuppressesProbes(t *testing.T) {
+	var probes atomic.Int64
+	cfg := Config{
+		Interval: 10 * time.Millisecond,
+		Probe: func(context.Context, string) error {
+			probes.Add(1)
+			return nil
+		},
+	}
+	d := NewDetector(cfg)
+	defer d.Close()
+	d.Watch("peer1")
+	// Piggybacked evidence faster than the probe interval: the detector
+	// should not probe at all.
+	stop := time.After(100 * time.Millisecond)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+loop:
+	for {
+		select {
+		case <-tick.C:
+			d.Observe("peer1")
+		case <-stop:
+			break loop
+		}
+	}
+	if n := probes.Load(); n > 2 {
+		t.Fatalf("probed %d times despite piggybacked evidence", n)
+	}
+}
+
+func TestObserveRecoversSuspectPeer(t *testing.T) {
+	cfg := Config{
+		Interval:  5 * time.Millisecond,
+		Threshold: 2,
+		Probe:     func(context.Context, string) error { return errors.New("nope") },
+	}
+	ch := collectEvents(&cfg)
+	d := NewDetector(cfg)
+	defer d.Close()
+	d.Watch("peer1")
+	waitEvent(t, ch, EventSuspect, 2*time.Second)
+	// Evidence by piggybacking (not probing) must clear suspicion.
+	d.Observe("peer1")
+	waitEvent(t, ch, EventRecover, time.Second)
+}
+
+func TestPhiGrowsWithSilence(t *testing.T) {
+	base := time.Unix(1000, 0)
+	now := base
+	cfg := Config{
+		Interval: time.Second,
+		Probe:    func(context.Context, string) error { return nil },
+		now:      func() time.Time { return now },
+	}
+	d := NewDetector(cfg)
+	defer d.Close()
+	d.Watch("peer1")
+	// Regular 1s evidence builds the gap window.
+	for i := 0; i < 10; i++ {
+		now = now.Add(time.Second)
+		d.Observe("peer1")
+	}
+	if phi := d.Phi("peer1"); phi != 0 {
+		t.Fatalf("phi right after evidence = %v, want 0", phi)
+	}
+	now = now.Add(2 * time.Second)
+	low := d.Phi("peer1")
+	now = now.Add(18 * time.Second)
+	high := d.Phi("peer1")
+	if low <= 0 || high <= low {
+		t.Fatalf("phi not increasing with silence: %v then %v", low, high)
+	}
+	// 20s of silence against a 1s cadence is overwhelming suspicion.
+	if high < 4 {
+		t.Fatalf("phi after 20s silence = %v, want >= 4", high)
+	}
+}
+
+func TestProbeBackoffWhileUnreachable(t *testing.T) {
+	var mu struct {
+		atomic.Int64
+	}
+	times := make(chan time.Time, 128)
+	cfg := Config{
+		Interval:        5 * time.Millisecond,
+		MaxBackoff:      40 * time.Millisecond,
+		ConfirmFailures: 2,
+		Probe: func(context.Context, string) error {
+			mu.Add(1)
+			times <- time.Now()
+			return errors.New("unreachable")
+		},
+	}
+	d := NewDetector(cfg)
+	defer d.Close()
+	d.Watch("peer1")
+	time.Sleep(300 * time.Millisecond)
+	d.Close()
+	n := int(mu.Load())
+	// Without backoff ~60 probes fit in 300ms at 5ms cadence; with
+	// doubling capped at 40ms far fewer must have run.
+	if n == 0 || n > 25 {
+		t.Fatalf("probe count %d outside backoff envelope", n)
+	}
+	// Gaps should reach (near) the cap.
+	close(times)
+	var prev time.Time
+	var maxGap time.Duration
+	for ts := range times {
+		if !prev.IsZero() {
+			if g := ts.Sub(prev); g > maxGap {
+				maxGap = g
+			}
+		}
+		prev = ts
+	}
+	if maxGap < 20*time.Millisecond {
+		t.Fatalf("max probe gap %v never backed off toward cap", maxGap)
+	}
+}
+
+func TestUnwatchStopsProbing(t *testing.T) {
+	var probes atomic.Int64
+	cfg := Config{
+		Interval: 5 * time.Millisecond,
+		Probe: func(context.Context, string) error {
+			probes.Add(1)
+			return nil
+		},
+	}
+	d := NewDetector(cfg)
+	defer d.Close()
+	d.Watch("peer1")
+	time.Sleep(30 * time.Millisecond)
+	d.Unwatch("peer1")
+	if got := d.Watched(); len(got) != 0 {
+		t.Fatalf("Watched = %v after Unwatch", got)
+	}
+	settled := probes.Load()
+	time.Sleep(50 * time.Millisecond)
+	if after := probes.Load(); after > settled+1 {
+		t.Fatalf("probing continued after Unwatch: %d -> %d", settled, after)
+	}
+	if st := d.State("peer1"); st != Alive {
+		t.Fatalf("unwatched State = %v, want Alive", st)
+	}
+}
+
+func TestNilDetector(t *testing.T) {
+	var d *Detector
+	d.Watch("x")
+	d.Unwatch("x")
+	d.Observe("x")
+	d.Close()
+	if d.Phi("x") != 0 || d.State("x") != Alive || d.Watched() != nil {
+		t.Fatal("nil detector accessors")
+	}
+}

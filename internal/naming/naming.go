@@ -83,6 +83,11 @@ type Service struct {
 	traces  map[string][]Move
 	// watchers wake blocked WaitFor calls when an agent (re)appears.
 	watchers map[string][]chan struct{}
+	// ttl, when positive, expires entries not refreshed within it: a
+	// crashed host's stale location stops poisoning resume attempts.
+	ttl time.Duration
+	// now is a test seam.
+	now func() time.Time
 }
 
 // NewService returns an empty registry.
@@ -91,22 +96,43 @@ func NewService() *Service {
 		records:  make(map[string]*Record),
 		traces:   make(map[string][]Move),
 		watchers: make(map[string][]chan struct{}),
+		now:      time.Now,
 	}
 }
 
-// Register adds a new agent at loc with epoch 1.
+// SetTTL makes entries expire when not refreshed (by Register or Update)
+// within d. Zero disables expiry, the default. Expired entries read as
+// not found; a re-registration over one continues its epoch sequence, so
+// stale-epoch updates from before the expiry stay rejected.
+func (s *Service) SetTTL(d time.Duration) {
+	s.mu.Lock()
+	s.ttl = d
+	s.mu.Unlock()
+}
+
+// expiredLocked reports whether rec has outlived the TTL.
+func (s *Service) expiredLocked(rec *Record) bool {
+	return s.ttl > 0 && s.now().Sub(rec.UpdatedAt) > s.ttl
+}
+
+// Register adds a new agent at loc with epoch 1. Registering over an
+// expired entry succeeds, continuing the expired entry's epoch sequence.
 func (s *Service) Register(agentID string, loc Location) error {
 	if agentID == "" {
 		return errors.New("naming: empty agent id")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.records[agentID]; ok {
-		return fmt.Errorf("%w: %q", ErrExists, agentID)
+	epoch := uint64(1)
+	if old, ok := s.records[agentID]; ok {
+		if !s.expiredLocked(old) {
+			return fmt.Errorf("%w: %q", ErrExists, agentID)
+		}
+		epoch = old.Epoch + 1
 	}
-	now := time.Now()
-	s.records[agentID] = &Record{AgentID: agentID, Loc: loc, Epoch: 1, UpdatedAt: now}
-	s.appendTraceLocked(agentID, Move{When: now, Loc: loc, Epoch: 1})
+	now := s.now()
+	s.records[agentID] = &Record{AgentID: agentID, Loc: loc, Epoch: epoch, UpdatedAt: now}
+	s.appendTraceLocked(agentID, Move{When: now, Loc: loc, Epoch: epoch})
 	s.notifyLocked(agentID)
 	return nil
 }
@@ -125,7 +151,7 @@ func (s *Service) Update(agentID string, loc Location, epoch uint64) error {
 	}
 	rec.Loc = loc
 	rec.Epoch = epoch
-	rec.UpdatedAt = time.Now()
+	rec.UpdatedAt = s.now()
 	s.appendTraceLocked(agentID, Move{When: rec.UpdatedAt, Loc: loc, Epoch: epoch})
 	s.notifyLocked(agentID)
 	return nil
@@ -142,12 +168,12 @@ func (s *Service) Deregister(agentID string) error {
 	return nil
 }
 
-// Lookup implements Resolver.
+// Lookup implements Resolver. Expired entries read as not found.
 func (s *Service) Lookup(_ context.Context, agentID string) (Record, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	rec, ok := s.records[agentID]
-	if !ok {
+	if !ok || s.expiredLocked(rec) {
 		return Record{}, fmt.Errorf("%w: %q", ErrNotFound, agentID)
 	}
 	return *rec, nil
@@ -159,7 +185,7 @@ func (s *Service) Lookup(_ context.Context, agentID string) (Record, error) {
 func (s *Service) WaitFor(ctx context.Context, agentID string) (Record, error) {
 	for {
 		s.mu.Lock()
-		if rec, ok := s.records[agentID]; ok {
+		if rec, ok := s.records[agentID]; ok && !s.expiredLocked(rec) {
 			r := *rec
 			s.mu.Unlock()
 			return r, nil

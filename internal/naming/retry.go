@@ -1,0 +1,68 @@
+package naming
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// RetryConfig tunes LookupRetry. The zero value selects the defaults.
+type RetryConfig struct {
+	// Initial is the first retry gap. Default 10ms.
+	Initial time.Duration
+	// Max caps the gap as it doubles. Default 500ms.
+	Max time.Duration
+	// Jitter is the fraction (0..1) by which each gap is perturbed.
+	// Default 0.2.
+	Jitter float64
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Initial <= 0 {
+		c.Initial = 10 * time.Millisecond
+	}
+	if c.Max <= 0 {
+		c.Max = 500 * time.Millisecond
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = 0.2
+	}
+	return c
+}
+
+// LookupRetry resolves agentID, retrying with jittered exponential
+// backoff until ctx is done. It exists for the recovery paths: right
+// after a crash the target agent's entry may be missing (expired by TTL)
+// or still pointing at the dead host, and a single lookup would either
+// fail or poison the resume attempt with a stale address. Retrying rides
+// out the window until the recovered host re-registers.
+//
+// Lookup errors other than ErrNotFound (e.g. a briefly unreachable name
+// server) are retried too; the last error is returned when ctx expires.
+func LookupRetry(ctx context.Context, r Resolver, agentID string, cfg RetryConfig) (Record, error) {
+	cfg = cfg.withDefaults()
+	gap := cfg.Initial
+	var lastErr error
+	for {
+		rec, err := r.Lookup(ctx, agentID)
+		if err == nil {
+			return rec, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			break
+		}
+		jittered := time.Duration(float64(gap) * (1 + cfg.Jitter*(rand.Float64()-0.5)))
+		select {
+		case <-ctx.Done():
+			return Record{}, lastErr
+		case <-time.After(jittered):
+		}
+		gap *= 2
+		if gap > cfg.Max {
+			gap = cfg.Max
+		}
+	}
+	return Record{}, lastErr
+}

@@ -44,7 +44,32 @@ var (
 	ErrTimeout = errors.New("rudp: request timed out")
 	// ErrClosed reports use of a closed endpoint.
 	ErrClosed = errors.New("rudp: endpoint closed")
+	// ErrPeerUnreachable reports that a request exhausted its retry budget
+	// without any response from the peer — the typed signal the failure
+	// detector and recovery paths act on. Errors carrying it also match
+	// ErrTimeout, so existing timeout handling keeps working.
+	ErrPeerUnreachable = errors.New("rudp: peer unreachable")
 )
+
+// UnreachableError is the concrete error for an exhausted retry budget.
+type UnreachableError struct {
+	// Peer is the unresponsive remote address.
+	Peer string
+	// Retries is how many retransmissions were attempted.
+	Retries int
+	// Elapsed is how long the request tried overall.
+	Elapsed time.Duration
+}
+
+// Error implements error.
+func (e *UnreachableError) Error() string {
+	return fmt.Sprintf("rudp: peer %s unreachable after %d retries over %v", e.Peer, e.Retries, e.Elapsed.Round(time.Millisecond))
+}
+
+// Is matches both ErrPeerUnreachable and ErrTimeout.
+func (e *UnreachableError) Is(target error) bool {
+	return target == ErrPeerUnreachable || target == ErrTimeout
+}
 
 // Handler processes one control request and returns the response payload.
 // It is invoked at most once per request id even if the request is
@@ -55,11 +80,20 @@ type Handler func(from *net.UDPAddr, req []byte) (resp []byte)
 // Config tunes an endpoint. The zero value selects the defaults.
 type Config struct {
 	// RetransmitInterval is the initial gap between retransmissions of an
-	// unacknowledged request; it doubles after every retry (capped at 8x).
-	// Default 20ms.
+	// unacknowledged request; it doubles after every retry, capped at
+	// BackoffCap. Default 20ms.
 	RetransmitInterval time.Duration
-	// MaxRetries is how many retransmissions are attempted before the
-	// request fails with ErrTimeout. Default 10.
+	// BackoffCap caps the retransmission interval as it doubles.
+	// Default 8x RetransmitInterval.
+	BackoffCap time.Duration
+	// Jitter is the fraction (0..1) by which each retransmission gap is
+	// randomly perturbed, so retries from many connections decorrelate
+	// instead of arriving in synchronized bursts. Default 0.1; negative
+	// disables jitter.
+	Jitter float64
+	// MaxRetries is the retry budget: how many retransmissions are
+	// attempted before the request fails with an UnreachableError
+	// (matching ErrPeerUnreachable and ErrTimeout). Default 10.
 	MaxRetries int
 	// ResponseCacheTTL is how long a computed response is retained to answer
 	// duplicate requests. Default 30s.
@@ -71,17 +105,37 @@ type Config struct {
 	// SendDelay, when positive, delays every outgoing packet — network
 	// emulation for the latency experiments.
 	SendDelay time.Duration
+	// ActivityFn, when non-nil, is invoked with the source address of
+	// every structurally valid incoming packet. The failure detector
+	// piggybacks on it: any control traffic from a peer is evidence of
+	// life, suppressing explicit heartbeat probes.
+	ActivityFn func(from *net.UDPAddr)
+
+	// rng is a test seam for the jitter source; nil means math/rand.
+	rng func() float64
 }
 
 func (c Config) withDefaults() Config {
 	if c.RetransmitInterval <= 0 {
 		c.RetransmitInterval = 20 * time.Millisecond
 	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 8 * c.RetransmitInterval
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.1
+	}
+	if c.Jitter < 0 {
+		c.Jitter = 0
+	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 10
 	}
 	if c.ResponseCacheTTL <= 0 {
 		c.ResponseCacheTTL = 30 * time.Second
+	}
+	if c.rng == nil {
+		c.rng = rand.Float64
 	}
 	return c
 }
@@ -102,6 +156,7 @@ type Endpoint struct {
 	conn    *net.UDPConn
 	handler Handler
 	cfg     Config
+	clk     clock
 
 	mu      sync.Mutex
 	pending map[uint64]chan []byte
@@ -153,6 +208,7 @@ func Listen(addr string, h Handler, cfg Config) (*Endpoint, error) {
 		conn:    conn,
 		handler: h,
 		cfg:     cfg.withDefaults(),
+		clk:     realClock{},
 		pending: make(map[uint64]chan []byte),
 		cache:   make(map[cacheKey]*cacheEntry),
 		nextID:  rand.Uint64() | 1,
@@ -223,14 +279,14 @@ func (e *Endpoint) Request(ctx context.Context, raddr string, payload []byte) ([
 	}()
 
 	pkt := encodePacket(kindRequest, id, payload)
+	start := e.clk.Now()
 	if err := e.send(dst, pkt); err != nil {
 		return nil, err
 	}
 	e.stats.requestsSent.Add(1)
 
 	interval := e.cfg.RetransmitInterval
-	maxInterval := 8 * e.cfg.RetransmitInterval
-	timer := time.NewTimer(interval)
+	timer := e.clk.NewTimer(e.jittered(interval))
 	defer timer.Stop()
 	for attempt := 0; ; {
 		select {
@@ -240,21 +296,32 @@ func (e *Endpoint) Request(ctx context.Context, raddr string, payload []byte) ([
 			return nil, ctx.Err()
 		case <-e.done:
 			return nil, ErrClosed
-		case <-timer.C:
+		case <-timer.C():
 			attempt++
 			if attempt > e.cfg.MaxRetries {
-				return nil, fmt.Errorf("%w after %d retries to %s", ErrTimeout, e.cfg.MaxRetries, raddr)
+				return nil, &UnreachableError{Peer: raddr, Retries: e.cfg.MaxRetries, Elapsed: e.clk.Now().Sub(start)}
 			}
 			if err := e.send(dst, pkt); err != nil {
 				return nil, err
 			}
 			e.stats.retransmits.Add(1)
-			if interval < maxInterval {
+			if interval < e.cfg.BackoffCap {
 				interval *= 2
+				if interval > e.cfg.BackoffCap {
+					interval = e.cfg.BackoffCap
+				}
 			}
-			timer.Reset(interval)
+			timer.Reset(e.jittered(interval))
 		}
 	}
+}
+
+// jittered perturbs d by ±Jitter/2 of itself.
+func (e *Endpoint) jittered(d time.Duration) time.Duration {
+	if e.cfg.Jitter <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (1 + e.cfg.Jitter*(e.cfg.rng()-0.5)))
 }
 
 func (e *Endpoint) send(dst *net.UDPAddr, pkt []byte) error {
@@ -325,6 +392,9 @@ func (e *Endpoint) readLoop() {
 		id := binary.BigEndian.Uint64(buf[4:12])
 		payload := make([]byte, n-headerSize)
 		copy(payload, buf[headerSize:n])
+		if e.cfg.ActivityFn != nil {
+			e.cfg.ActivityFn(from)
+		}
 		switch kind {
 		case kindRequest:
 			e.handleRequest(from, id, payload)

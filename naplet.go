@@ -32,6 +32,7 @@ import (
 
 	"naplet/internal/agent"
 	"naplet/internal/core"
+	"naplet/internal/journal"
 	"naplet/internal/naming"
 	"naplet/internal/obs"
 	"naplet/internal/postoffice"
@@ -110,6 +111,19 @@ type Config struct {
 	ClusterSecret []byte
 	// WithPostOffice additionally runs the asynchronous mailbox service.
 	WithPostOffice bool
+	// JournalDir, when non-empty, enables crash recovery: agent and
+	// connection state is checkpointed into a write-ahead journal under this
+	// directory, and Node.Recover rebuilds both after a restart with the
+	// same directory.
+	JournalDir string
+	// JournalSync selects the journal's fsync policy: "interval" (default),
+	// "always", or "never". A crash of the napletd process alone loses
+	// nothing under any policy (appends are atomic single writes); the
+	// policy only matters for whole-machine failures.
+	JournalSync string
+	// HeartbeatInterval, when positive, enables the phi-accrual peer
+	// failure detector on the controller (see core.Config).
+	HeartbeatInterval time.Duration
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 	// Logger receives leveled diagnostics from every layer of the node and
@@ -135,6 +149,7 @@ type Node struct {
 	office  *postoffice.Office
 	guard   *security.Guard
 	metrics *obs.Registry
+	journal *journal.Journal
 }
 
 // NewNode builds and starts a node.
@@ -151,6 +166,22 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, err
 	}
 
+	var jnl *journal.Journal
+	if cfg.JournalDir != "" {
+		sync, err := journal.ParseSyncPolicy(cfg.JournalSync)
+		if err != nil {
+			return nil, err
+		}
+		jnl, err = journal.Open(cfg.JournalDir, journal.Options{
+			Sync:    sync,
+			Metrics: cfg.Metrics,
+			Logger:  cfg.Logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	ccfg := cfg.Core
 	ccfg.HostName = cfg.Name
 	ccfg.ControlAddr = cfg.ControlAddr
@@ -158,6 +189,12 @@ func NewNode(cfg Config) (*Node, error) {
 	ccfg.Guard = guard
 	ccfg.Locator = cfg.Directory
 	ccfg.Insecure = cfg.Insecure
+	if ccfg.Journal == nil {
+		ccfg.Journal = jnl
+	}
+	if ccfg.HeartbeatInterval == 0 {
+		ccfg.HeartbeatInterval = cfg.HeartbeatInterval
+	}
 	if ccfg.Logger == nil {
 		ccfg.Logger = cfg.Logger
 	}
@@ -172,6 +209,9 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	ctrl, err := core.NewController(ccfg)
 	if err != nil {
+		if jnl != nil {
+			jnl.Close()
+		}
 		return nil, err
 	}
 
@@ -181,6 +221,9 @@ func NewNode(cfg Config) (*Node, error) {
 		office, err = postoffice.New(cfg.Name, cfg.Directory, cfg.MailAddr)
 		if err != nil {
 			ctrl.Close()
+			if jnl != nil {
+				jnl.Close()
+			}
 			return nil, err
 		}
 		mailAddr = office.Addr()
@@ -200,12 +243,16 @@ func NewNode(cfg Config) (*Node, error) {
 		Logf:           cfg.Logf,
 		Logger:         cfg.Logger,
 		Metrics:        cfg.Metrics,
+		Journal:        jnl,
 	}
 	host, err := agent.NewHost(hcfg)
 	if err != nil {
 		ctrl.Close()
 		if office != nil {
 			office.Close()
+		}
+		if jnl != nil {
+			jnl.Close()
 		}
 		return nil, err
 	}
@@ -215,7 +262,7 @@ func NewNode(cfg Config) (*Node, error) {
 		host.AddHook(office)
 		host.SetExtension(extOffice, office)
 	}
-	return &Node{host: host, ctrl: ctrl, office: office, guard: guard, metrics: cfg.Metrics}, nil
+	return &Node{host: host, ctrl: ctrl, office: office, guard: guard, metrics: cfg.Metrics, journal: jnl}, nil
 }
 
 // Name returns the node's host name.
@@ -236,6 +283,20 @@ func (n *Node) Metrics() *obs.Registry { return n.metrics }
 // Launch starts an agent on this node.
 func (n *Node) Launch(agentID string, b Behavior) error { return n.host.Launch(agentID, b) }
 
+// Recover rebuilds the node's state from its journal after a restart with
+// the same JournalDir: first the connection layer (stranded connections are
+// restored in the SUSPENDED state and driven through resume), then the
+// agent layer (journaled agents are re-registered with the location service
+// and re-entered from their last checkpoint). It returns the number of
+// agents recovered. Call it once, after NewNode and before Launch; without
+// a journal it is a no-op.
+func (n *Node) Recover() (int, error) {
+	if _, err := n.ctrl.RecoverConns(); err != nil {
+		return 0, err
+	}
+	return n.host.Recover()
+}
+
 // Close shuts the node down.
 func (n *Node) Close() error {
 	err := n.host.Close()
@@ -245,6 +306,11 @@ func (n *Node) Close() error {
 	if n.office != nil {
 		if oerr := n.office.Close(); err == nil {
 			err = oerr
+		}
+	}
+	if n.journal != nil {
+		if jerr := n.journal.Close(); err == nil {
+			err = jerr
 		}
 	}
 	return err
@@ -289,6 +355,12 @@ func WithLogf(logf func(string, ...any)) NetworkOption {
 
 // WithCore tunes controller timeouts on every node.
 func WithCore(cc core.Config) NetworkOption { return func(c *Config) { c.Core = cc } }
+
+// WithHeartbeat enables the phi-accrual peer failure detector on every
+// node, probing at the given interval.
+func WithHeartbeat(interval time.Duration) NetworkOption {
+	return func(c *Config) { c.HeartbeatInterval = interval }
+}
 
 // NewNetwork creates an empty in-process network.
 func NewNetwork(opts ...NetworkOption) *Network {
