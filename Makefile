@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check integration fuzz-smoke
+.PHONY: build test vet race check integration fuzz-smoke bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,19 @@ fuzz-smoke:
 		$(GO) test ./internal/wire -run '^$$' -fuzz "^$$target$$" -fuzztime 10s || exit 1; \
 	done
 	$(GO) test ./internal/journal -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime 10s
+
+# bench runs the Figure 9 throughput benchmark (TCP vs NapletSocket per
+# message size).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkFig9_Throughput -benchmem .
+
+# bench-smoke is the CI throughput gate: a single-iteration pass over the
+# benchmark (catches panics and pathological slowdowns), then benchgate
+# reruns the Fig 9 workload and fails if any NapletSocket/TCP throughput
+# ratio regresses more than 50% against the committed BENCH_fig9.json.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkFig9_Throughput -benchtime 1x .
+	$(GO) run ./cmd/benchgate -baseline BENCH_fig9.json -tolerance 0.5
 
 # check is the gate CI runs: vet, build, and the full suite under the race
 # detector.

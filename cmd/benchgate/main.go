@@ -1,0 +1,53 @@
+// Command benchgate is the CI throughput-regression gate: it reruns the
+// Figure 9 TTCP workload at the committed baseline's message sizes and
+// fails when any NapletSocket/TCP throughput ratio falls more than the
+// tolerance below the baseline's. Comparing ratios rather than absolute
+// Mbps keeps the gate meaningful on whatever machine CI happens to run on.
+//
+// Usage:
+//
+//	benchgate [-baseline BENCH_fig9.json] [-tolerance 0.5] [-total 16777216]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"naplet/internal/experiments"
+)
+
+var (
+	baseline  = flag.String("baseline", "BENCH_fig9.json", "committed baseline file")
+	tolerance = flag.Float64("tolerance", 0.5, "allowed fractional ratio drop before failing")
+	total     = flag.Int64("total", 16<<20, "bytes per measurement point")
+)
+
+func main() {
+	flag.Parse()
+	b, err := experiments.LoadBenchFig9(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	if len(b.After) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s has no After series to gate against\n", *baseline)
+		os.Exit(1)
+	}
+	sizes := make([]int, 0, len(b.After))
+	for _, p := range b.After {
+		sizes = append(sizes, p.MsgSize)
+	}
+	res, err := experiments.RunFig9(sizes, *total)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	report, err := experiments.CompareFig9(b, res, *tolerance)
+	fmt.Print(report)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok (all ratios within %.0f%% of %s)\n", *tolerance*100, *baseline)
+}

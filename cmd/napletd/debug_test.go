@@ -113,11 +113,11 @@ func TestDebugServerAcrossMigration(t *testing.T) {
 			before.Counters["fsm.transitions"], after.Counters["fsm.transitions"])
 	}
 	for name, want := range map[string]uint64{
-		"conn.accepts":     1, // walker dialed the echoer
-		"conn.suspends":    1, // walker departing h1
-		"conn.resumes":     1, // walker arriving on h1
-		"migrate.departs":  1,
-		"migrate.arrivals": 1,
+		"conn.accepts":                         1, // walker dialed the echoer
+		"conn.suspends":                        1, // walker departing h1
+		"conn.resumes":                         1, // walker arriving on h1
+		"migrate.departs":                      1,
+		"migrate.arrivals":                     1,
 		"fsm.transition.ESTABLISHED->SUS_SENT": 1,
 	} {
 		if got := after.Counters[name]; got != want {

@@ -22,11 +22,12 @@ import (
 )
 
 var (
-	iters  = flag.Int("iters", 100, "iterations for latency experiments (table1, suspres, fig8)")
-	quick  = flag.Bool("quick", false, "smaller volumes and sweeps for a fast pass")
-	seed   = flag.Int64("seed", 1, "seed for the Section 5 simulations")
-	charts = flag.Bool("chart", true, "render ASCII charts for the figures")
-	csvDir = flag.String("csv", "", "directory to write per-figure CSV files into")
+	iters     = flag.Int("iters", 100, "iterations for latency experiments (table1, suspres, fig8)")
+	quick     = flag.Bool("quick", false, "smaller volumes and sweeps for a fast pass")
+	seed      = flag.Int64("seed", 1, "seed for the Section 5 simulations")
+	charts    = flag.Bool("chart", true, "render ASCII charts for the figures")
+	csvDir    = flag.String("csv", "", "directory to write per-figure CSV files into")
+	benchJSON = flag.String("bench-json", "", "path to BENCH_fig9.json: fig9 refreshes its After series there (Before is preserved)")
 )
 
 // writeCSV writes one figure's CSV when -csv is set.
@@ -150,6 +151,18 @@ func run(name string) error {
 			fmt.Print(res.Chart())
 		}
 		writeCSV("fig9", res.CSV())
+		if *benchJSON != "" {
+			b, err := experiments.LoadBenchFig9(*benchJSON)
+			if err != nil {
+				b = &experiments.BenchFig9{}
+			}
+			b.TotalBytes = total
+			b.After = experiments.BenchPoints(res)
+			if err := experiments.WriteBenchFig9(*benchJSON, b); err != nil {
+				return fmt.Errorf("writing %s: %w", *benchJSON, err)
+			}
+			fmt.Printf("(bench baseline: %s)\n", *benchJSON)
+		}
 
 	case "fig10a":
 		header("Figure 10(a): effective throughput vs migration frequency (single migration)")

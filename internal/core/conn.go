@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"naplet/internal/dhkx"
@@ -26,6 +27,13 @@ const (
 	// A graceful suspend clears the log (the drain handshake proves
 	// delivery); the cap only matters between suspends.
 	maxSendLog = 4 << 20
+	// coalesceFlushBytes is the write-coalescing high-water mark: a write
+	// that leaves at least this much encoded data in the frame writer's
+	// buffer flushes inline instead of waiting for the background flusher,
+	// bounding both buffer occupancy and the data the flusher syscalls per
+	// wakeup. It stays below the frame writer's buffer so bufio never
+	// force-flushes mid-frame on its own schedule.
+	coalesceFlushBytes = 32 << 10
 )
 
 // Errors returned by Socket operations.
@@ -53,6 +61,12 @@ type bufEntry struct {
 // Observer receives a callback for every message delivered to the
 // application, for the Figure 7 instrumentation. fromBuffer is true when
 // the message was served from the migrated NapletInputStream buffer.
+//
+// The payload slice may come from the data plane's buffer pool and be
+// recycled as soon as the callback returns: observers must copy anything
+// they keep. A message partially read by stream Read whose tail then
+// crosses a migration or crash restore produces one extra callback for the
+// remainder (same seq, fromBuffer=true) when the tail is finally served.
 type Observer func(seq uint64, payload []byte, fromBuffer bool)
 
 // Socket is one endpoint of a NapletSocket connection: the agent-oriented,
@@ -83,6 +97,12 @@ type Socket struct {
 	// writeMu serializes frame writes (application data, retransmits, and
 	// the pre-suspend flush).
 	writeMu sync.Mutex
+	// flushMu serializes the actual socket writes of coalesced batches. The
+	// background flusher detaches a batch under writeMu but performs the
+	// write syscall under flushMu only, so writers keep encoding frames
+	// while a flush is in flight. Lock order: writeMu, then flushMu; never
+	// while holding mu.
+	flushMu sync.Mutex
 
 	// mu guards everything below; cond is signalled on any change readers,
 	// writers, or waiters might care about.
@@ -94,13 +114,31 @@ type Socket struct {
 	// gen counts data-socket generations, so a stale reader goroutine's
 	// exit is ignored.
 	gen int
+	// flushCh signals the generation's background flusher that buffered
+	// frames are waiting; nil when no data socket is installed. Closed
+	// (under mu) when the generation ends, which terminates the flusher.
+	flushCh chan struct{}
+	// retxPending is true while installSocket is writing the send log to a
+	// fresh socket outside mu: send-log payload buffers must not be
+	// recycled to the pool while the retransmitter may still read them.
+	retxPending bool
 
 	// Receive side (the NapletInputStream of Section 3.1).
-	recvBuf      []bufEntry
-	recvBytes    int
-	leftover     []byte
-	leftoverBuf  bool // provenance of leftover bytes
-	lastEnqueued uint64
+	recvBuf   []bufEntry
+	recvBytes int
+	// leftover is the undelivered tail of the last partially-read message
+	// (stream Read only); leftoverBack is its full backing buffer, returned
+	// to the payload pool once the tail is drained. leftoverSeq and
+	// leftoverBuf carry the message's identity and buffer provenance across
+	// checkpoints, and leftoverRestored marks a tail that crossed a
+	// migration or crash restore — its delivery is re-announced to the
+	// observer as a from-buffer event (Fig 7 accounting).
+	leftover         []byte
+	leftoverBack     []byte
+	leftoverSeq      uint64
+	leftoverBuf      bool
+	leftoverRestored bool
+	lastEnqueued     uint64
 	// Drain bookkeeping during suspend.
 	suspending    bool
 	peerFlushSeen bool
@@ -215,6 +253,10 @@ type Info struct {
 	// RecvBufferedBytes and RecvBufferedMsgs describe the NapletInputStream
 	// buffer contents.
 	RecvBufferedBytes, RecvBufferedMsgs int
+	// LeftoverFromBuffer reports whether the partially-read message tail
+	// (counted in RecvBufferedBytes) was served from the migrated buffer —
+	// the Fig 7 socket-vs-buffer provenance of leftover bytes.
+	LeftoverFromBuffer bool
 	// SendLogBytes is the retained retransmission log size.
 	SendLogBytes int
 	// PeerControlAddr and PeerDataAddr are the last known peer endpoints.
@@ -228,19 +270,20 @@ func (s *Socket) Info() Info {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Info{
-		ID:                s.id,
-		LocalAgent:        s.localAgent,
-		RemoteAgent:       s.remoteAgent,
-		State:             s.m.State().String(),
-		HighPriority:      s.highPriority,
-		NextSendSeq:       s.nextSendSeq,
-		LastEnqueued:      s.lastEnqueued,
-		RecvBufferedBytes: s.recvBytes + len(s.leftover),
-		RecvBufferedMsgs:  len(s.recvBuf),
-		SendLogBytes:      s.sendLogSize,
-		PeerControlAddr:   s.peerControlAddr,
-		PeerDataAddr:      s.peerDataAddr,
-		Closed:            s.closed,
+		ID:                 s.id,
+		LocalAgent:         s.localAgent,
+		RemoteAgent:        s.remoteAgent,
+		State:              s.m.State().String(),
+		HighPriority:       s.highPriority,
+		NextSendSeq:        s.nextSendSeq,
+		LastEnqueued:       s.lastEnqueued,
+		RecvBufferedBytes:  s.recvBytes + len(s.leftover),
+		RecvBufferedMsgs:   len(s.recvBuf),
+		LeftoverFromBuffer: len(s.leftover) > 0 && s.leftoverBuf,
+		SendLogBytes:       s.sendLogSize,
+		PeerControlAddr:    s.peerControlAddr,
+		PeerDataAddr:       s.peerDataAddr,
+		Closed:             s.closed,
 	}
 }
 
@@ -266,11 +309,16 @@ func (s *Socket) SetObserver(o Observer) {
 
 // step drives the state machine, logging illegal transitions; callers pass
 // events they have already validated against the current state under mu.
+// Every transition broadcasts on cond: the timed waits throughout this
+// package are event-driven (they sleep until their full deadline), so any
+// state change a waiter might be watching for must wake it here rather
+// than rely on a polling interval.
 func (s *Socket) step(e fsm.Event) error {
 	_, err := s.m.Step(e)
 	if err != nil {
 		s.ctrl.logf("conn %s (%s<->%s): %v", s.id, s.localAgent, s.remoteAgent, err)
 	}
+	s.cond.Broadcast()
 	return err
 }
 
@@ -297,25 +345,36 @@ func (s *Socket) installSocket(sock net.Conn, peerHasUpTo uint64) error {
 			ErrUnrecoverable, peerHasUpTo, s.sendLog[0].Seq)
 	}
 	missing = append(missing, s.sendLog...)
+	// The shallow copy above shares payload buffers with the log; pin them
+	// against pool recycling (a concurrent control-plane trim) until the
+	// retransmit writes below are done.
+	s.retxPending = len(missing) > 0
 	s.mu.Unlock()
 
+	// Retransmits are a forced write barrier: everything goes to the wire
+	// before the new generation starts coalescing application writes.
 	bw := bufio.NewWriter(sock)
 	for _, e := range missing {
 		if err := wire.WriteFrame(bw, wire.Frame{Seq: e.Seq, Flags: wire.FlagData, Payload: e.Payload}); err != nil {
 			sock.Close()
+			s.clearRetxPending()
 			return fmt.Errorf("napletsocket: retransmitting frame %d: %w", e.Seq, err)
 		}
 	}
 	if err := bw.Flush(); err != nil {
 		sock.Close()
+		s.clearRetxPending()
 		return fmt.Errorf("napletsocket: flushing retransmits: %w", err)
 	}
 
 	s.mu.Lock()
+	s.retxPending = false
+	s.stopFlusherLocked()
 	s.sock = sock
 	s.gen++
 	gen := s.gen
 	s.fw = wire.NewFrameWriter(sock, s.nextSendSeq)
+	s.flushCh = make(chan struct{}, 1)
 	s.suspending = false
 	s.peerFlushSeen = false
 	s.drained = false
@@ -326,55 +385,178 @@ func (s *Socket) installSocket(sock net.Conn, peerHasUpTo uint64) error {
 	s.peerResumeParked = false
 	s.sockInstalled = true
 	s.cond.Broadcast()
+	fw, flushCh := s.fw, s.flushCh
 	s.mu.Unlock()
 
 	go s.readerLoop(sock, gen)
+	go s.flusherLoop(fw, sock, gen, flushCh)
 	return nil
+}
+
+func (s *Socket) clearRetxPending() {
+	s.mu.Lock()
+	s.retxPending = false
+	s.mu.Unlock()
+}
+
+// stopFlusherLocked ends the current generation's background flusher.
+// Caller holds mu.
+func (s *Socket) stopFlusherLocked() {
+	if s.flushCh != nil {
+		close(s.flushCh)
+		s.flushCh = nil
+	}
+}
+
+// signalFlushLocked nudges the background flusher: buffered frames are
+// waiting in the frame writer. Caller holds mu (which serializes against
+// stopFlusherLocked's close). The channel has capacity one; a pending
+// signal already covers us.
+func (s *Socket) signalFlushLocked() {
+	if s.flushCh == nil {
+		return
+	}
+	select {
+	case s.flushCh <- struct{}{}:
+	default:
+	}
+}
+
+// flusherLoop drains the frame writer's coalescing buffer for one data
+// socket generation. Writers buffer frames and signal; the flusher detaches
+// the accumulated batch under writeMu but performs the socket write under
+// flushMu only, so while one batch's syscall is in flight the writers are
+// already encoding the next — a TTCP-style stream pays one syscall per
+// batch instead of per frame, and the batches grow on their own whenever
+// the kernel is slower than the writers. The loop ends when the
+// generation's flush channel closes or the socket moves on.
+func (s *Socket) flusherLoop(fw *wire.FrameWriter, sock net.Conn, gen int, ch chan struct{}) {
+	var spare []byte
+	for range ch {
+		s.writeMu.Lock()
+		s.mu.Lock()
+		stale := gen != s.gen || s.fw != fw || s.closed
+		s.mu.Unlock()
+		if stale {
+			s.writeMu.Unlock()
+			return
+		}
+		if fw.Buffered() == 0 {
+			s.writeMu.Unlock()
+			continue
+		}
+		batch := fw.Take(spare)
+		// Pin the write slot before releasing writeMu: batches must reach
+		// the socket in take order.
+		s.flushMu.Lock()
+		s.writeMu.Unlock()
+		_, err := sock.Write(batch)
+		s.flushMu.Unlock()
+		spare = batch
+		if err != nil {
+			s.mu.Lock()
+			s.failLocked(err)
+			s.mu.Unlock()
+			return
+		}
+		s.ctrl.obs.dataFlushes.Inc()
+	}
 }
 
 // readerLoop pulls frames off one data-socket generation into the receive
 // buffer until the socket ends — gracefully (peer flushed for a suspend) or
-// not (failure).
+// not (failure). Frames are enqueued a batch at a time: after the blocking
+// read that starts a batch, every complete frame already sitting in the
+// read buffer joins it, so a coalesced burst from the peer costs one lock
+// acquisition and one wakeup instead of one per frame.
 func (s *Socket) readerLoop(sock net.Conn, gen int) {
-	br := bufio.NewReader(sock)
+	br := bufio.NewReaderSize(sock, 64<<10)
+	var batch []wire.Frame
 	for {
-		f, err := wire.ReadFrame(br)
+		f, err := wire.ReadFramePooled(br)
 		if err != nil {
 			s.readerExit(gen, err)
 			return
 		}
+		batch = append(batch[:0], f)
+		for wire.FrameBuffered(br) {
+			f, err = wire.ReadFramePooled(br)
+			if err != nil {
+				break
+			}
+			batch = append(batch, f)
+		}
+		if !s.enqueueFrames(gen, batch) {
+			return
+		}
+		if err != nil {
+			s.readerExit(gen, err)
+			return
+		}
+	}
+}
+
+// enqueueFrames delivers one batch of frames into the receive buffer under
+// a single lock acquisition. It reports false when the socket generation
+// ended underneath the reader; undelivered pooled payloads are recycled.
+func (s *Socket) enqueueFrames(gen int, batch []wire.Frame) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enqueued := false
+	for i, f := range batch {
+		if gen != s.gen || s.closed {
+			recycleFrames(batch[i:])
+			if enqueued {
+				s.cond.Broadcast()
+			}
+			return false
+		}
 		switch {
 		case f.IsFlush():
-			s.mu.Lock()
-			if gen == s.gen {
-				s.peerFlushSeen = true
-				s.peerFlushSeq = f.Seq
-			}
-			s.mu.Unlock()
+			s.peerFlushSeen = true
+			s.peerFlushSeq = f.Seq
 		case f.IsData():
-			s.mu.Lock()
-			if gen != s.gen {
-				s.mu.Unlock()
-				return
-			}
 			// Flow control: hold off when the application is behind —
 			// except while draining for a suspend, when everything in
 			// flight must be captured into the buffer.
 			for s.recvBytes > maxRecvBuffer && !s.suspending && !s.closed && gen == s.gen {
+				if enqueued {
+					s.cond.Broadcast()
+					enqueued = false
+				}
 				s.cond.Wait()
 			}
 			if gen != s.gen || s.closed {
-				s.mu.Unlock()
-				return
+				recycleFrames(batch[i:])
+				if enqueued {
+					s.cond.Broadcast()
+				}
+				return false
 			}
 			// Sequence-number dedup makes redelivery idempotent.
 			if f.Seq > s.lastEnqueued {
 				s.recvBuf = append(s.recvBuf, bufEntry{Seq: f.Seq, Payload: f.Payload, ViaBuffer: s.suspending})
 				s.recvBytes += len(f.Payload)
 				s.lastEnqueued = f.Seq
-				s.cond.Broadcast()
+				enqueued = true
+			} else if f.Payload != nil {
+				// Duplicate from a retransmit: the frame is dropped here, so
+				// its pooled buffer can go straight back.
+				wire.PutPayload(f.Payload)
 			}
-			s.mu.Unlock()
+		}
+	}
+	if enqueued {
+		s.cond.Broadcast()
+	}
+	return true
+}
+
+// recycleFrames returns a batch's undelivered pooled payloads.
+func recycleFrames(fs []wire.Frame) {
+	for _, f := range fs {
+		if f.Payload != nil {
+			wire.PutPayload(f.Payload)
 		}
 	}
 }
@@ -425,6 +607,7 @@ func (s *Socket) failLocked(cause error) {
 		s.failedAt = time.Now()
 	}
 	s.step(fsm.Fail)
+	s.stopFlusherLocked()
 	if s.sock != nil {
 		s.sock.Close()
 		s.sock = nil
@@ -479,7 +662,9 @@ func (s *Socket) failureResume(delay time.Duration) {
 
 // Read reads application bytes, serving the migrated buffer before the live
 // socket. It blocks transparently across suspensions and returns io.EOF
-// once the connection is closed and the buffer is empty.
+// once the connection is closed and the buffer is empty. One call drains as
+// many whole buffered messages into p as fit, so a fast producer does not
+// cost one lock round trip per message.
 func (s *Socket) Read(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
@@ -487,22 +672,47 @@ func (s *Socket) Read(p []byte) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
+		n := 0
 		if len(s.leftover) > 0 {
-			n := copy(p, s.leftover)
-			s.leftover = s.leftover[n:]
-			return n, nil
+			if s.leftoverRestored {
+				// The tail crossed a migration or crash restore inside the
+				// buffer: announce the remainder to the observer as a
+				// from-buffer delivery, so the Fig 7 socket-vs-buffer
+				// accounting covers leftover bytes too.
+				s.leftoverRestored = false
+				if obs := s.observer; obs != nil {
+					obs(s.leftoverSeq, s.leftover, true)
+				}
+			}
+			c := copy(p, s.leftover)
+			s.leftover = s.leftover[c:]
+			n = c
+			if len(s.leftover) == 0 {
+				s.releaseLeftoverLocked()
+			}
 		}
-		if len(s.recvBuf) > 0 {
+		for n < len(p) && len(s.recvBuf) > 0 {
 			e := s.recvBuf[0]
+			s.recvBuf[0] = bufEntry{} // drop the slot's payload reference
 			s.recvBuf = s.recvBuf[1:]
 			s.recvBytes -= len(e.Payload)
-			s.cond.Broadcast() // reader may be flow-controlled
 			if obs := s.observer; obs != nil {
 				obs(e.Seq, e.Payload, e.ViaBuffer)
 			}
-			n := copy(p, e.Payload)
-			s.leftover = e.Payload[n:]
-			s.leftoverBuf = e.ViaBuffer
+			c := copy(p[n:], e.Payload)
+			n += c
+			if c < len(e.Payload) {
+				s.leftover = e.Payload[c:]
+				s.leftoverBack = e.Payload
+				s.leftoverSeq = e.Seq
+				s.leftoverBuf = e.ViaBuffer
+			} else {
+				// Fully copied out: the pooled buffer has no owner left.
+				wire.PutPayload(e.Payload)
+			}
+		}
+		if n > 0 {
+			s.cond.Broadcast() // reader may be flow-controlled
 			return n, nil
 		}
 		if s.closed {
@@ -515,15 +725,30 @@ func (s *Socket) Read(p []byte) (int, error) {
 	}
 }
 
+// releaseLeftoverLocked returns a fully drained leftover tail's backing
+// buffer to the payload pool and clears its provenance. Caller holds mu.
+func (s *Socket) releaseLeftoverLocked() {
+	s.leftover = nil
+	s.leftoverBuf = false
+	s.leftoverRestored = false
+	s.leftoverSeq = 0
+	if s.leftoverBack != nil {
+		wire.PutPayload(s.leftoverBack)
+		s.leftoverBack = nil
+	}
+}
+
 // ReadMsg reads one whole message (one writer-side WriteMsg / Write call's
 // frame), preserving message boundaries. It must not be mixed with Read on
-// the same socket.
+// the same socket. Ownership of the returned slice transfers to the caller;
+// it is never recycled by the socket.
 func (s *Socket) ReadMsg() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		if len(s.recvBuf) > 0 {
 			e := s.recvBuf[0]
+			s.recvBuf[0] = bufEntry{} // drop the slot's payload reference
 			s.recvBuf = s.recvBuf[1:]
 			s.recvBytes -= len(e.Payload)
 			s.cond.Broadcast()
@@ -604,43 +829,106 @@ func (s *Socket) writeFrame(p []byte) error {
 		fw := s.fw
 		s.mu.Unlock()
 
-		seq, err := fw.WriteData(p)
+		// Coalescing: encode into the frame writer's buffer without a
+		// syscall. Large accumulations flush inline (bounding buffer
+		// occupancy); otherwise the background flusher batches this frame
+		// with its neighbours into one kernel write.
+		seq, err := fw.WriteDataBuffered(p)
 		if err == nil {
+			o := s.ctrl.obs
+			o.dataFrames.Inc()
+			o.dataBytes.Add(uint64(len(p)))
+			var flushErr error
+			if fw.Buffered() >= coalesceFlushBytes {
+				s.flushMu.Lock()
+				flushErr = fw.Flush()
+				s.flushMu.Unlock()
+				if flushErr == nil {
+					o.dataFlushes.Inc()
+				}
+			}
 			s.mu.Lock()
 			s.nextSendSeq = seq + 1
 			s.appendSendLogLocked(seq, p)
+			if flushErr == nil && fw.Buffered() > 0 {
+				s.signalFlushLocked()
+			}
 			s.mu.Unlock()
 			s.writeMu.Unlock()
+			if flushErr != nil {
+				// The frame is journaled in the send log; recovery
+				// retransmits it, so the write itself has succeeded.
+				s.mu.Lock()
+				s.failLocked(flushErr)
+				s.mu.Unlock()
+			}
 			return nil
 		}
 		s.writeMu.Unlock()
-		// The socket died under us: degrade and retry after recovery. The
-		// peer dedups by sequence number, so rewriting is safe.
+		// The socket died under us before the frame was logged: degrade and
+		// retry after recovery. The peer dedups by sequence number, so
+		// rewriting is safe.
 		s.mu.Lock()
 		s.failLocked(err)
 		s.mu.Unlock()
 	}
 }
 
+// appendSendLogLocked copies p into a pooled buffer and journals it for
+// retransmission. Caller holds mu AND writeMu (writeFrame's path), so no
+// retransmit can be walking the log concurrently and evicted buffers can
+// go straight back to the pool.
 func (s *Socket) appendSendLogLocked(seq uint64, p []byte) {
-	cp := make([]byte, len(p))
+	cp := wire.GetPayload(len(p))
 	copy(cp, p)
 	s.sendLog = append(s.sendLog, bufEntry{Seq: seq, Payload: cp})
 	s.sendLogSize += len(cp)
-	for s.sendLogSize > maxSendLog && len(s.sendLog) > 1 {
-		s.sendLogSize -= len(s.sendLog[0].Payload)
-		s.sendLog = s.sendLog[1:]
+	if s.sendLogSize <= maxSendLog {
+		return
+	}
+	// Evict in bulk with hysteresis: dropping to 3/4 of the cap means the
+	// in-place compaction below runs once per maxSendLog/4 logged bytes
+	// rather than on every write, and reusing the backing array avoids the
+	// allocate-and-zero churn that per-write eviction causes on a log tens
+	// of thousands of entries long.
+	evict := 0
+	for s.sendLogSize > maxSendLog*3/4 && evict < len(s.sendLog)-1 {
+		s.sendLogSize -= len(s.sendLog[evict].Payload)
+		wire.PutPayload(s.sendLog[evict].Payload)
+		evict++
+	}
+	if evict > 0 {
+		s.compactSendLogLocked(evict)
 	}
 }
 
-// trimSendLogLocked drops frames the peer confirmed receiving.
+// compactSendLogLocked removes the first n entries by copying the live
+// tail down and zeroing the vacated slots, so evicted payloads are not
+// pinned by the backing array for the life of the connection.
+func (s *Socket) compactSendLogLocked(n int) {
+	kept := copy(s.sendLog, s.sendLog[n:])
+	for j := kept; j < len(s.sendLog); j++ {
+		s.sendLog[j] = bufEntry{}
+	}
+	s.sendLog = s.sendLog[:kept]
+}
+
+// trimSendLogLocked drops frames the peer confirmed receiving. Trimmed
+// buffers return to the pool unless a retransmit snapshot may still be
+// reading them (retxPending), in which case they are only unreferenced and
+// the garbage collector reclaims them.
 func (s *Socket) trimSendLogLocked(peerHasUpTo uint64) {
 	i := 0
 	for i < len(s.sendLog) && s.sendLog[i].Seq <= peerHasUpTo {
 		s.sendLogSize -= len(s.sendLog[i].Payload)
+		if !s.retxPending {
+			wire.PutPayload(s.sendLog[i].Payload)
+		}
 		i++
 	}
-	s.sendLog = s.sendLog[i:]
+	if i > 0 {
+		s.compactSendLogLocked(i)
+	}
 }
 
 // drainAndClose executes the suspend-side teardown of the data socket:
@@ -668,7 +956,9 @@ func (s *Socket) drainAndClose() {
 	s.mu.Unlock()
 	var flushErr error
 	if fw != nil {
+		s.flushMu.Lock()
 		flushErr = fw.WriteFlush()
+		s.flushMu.Unlock()
 	}
 	s.writeMu.Unlock()
 	if flushErr == nil {
@@ -678,16 +968,18 @@ func (s *Socket) drainAndClose() {
 	}
 
 	// Wait for the reader to drain the peer's flush; bound the wait so a
-	// dead peer cannot wedge a migration.
+	// dead peer cannot wedge a migration. The wait is event-driven: every
+	// state change broadcasts, so the loop sleeps until the drain completes
+	// (or the deadline timer fires once), not on a polling interval.
 	deadline := time.Now().Add(s.ctrl.cfg.drainTimeout())
 	s.mu.Lock()
 	for !s.drained && !s.closed && s.sock != nil && flushErr == nil {
-		if time.Now().After(deadline) {
+		if !waitCond(s.cond, time.Until(deadline)) {
 			break
 		}
-		waitCond(s.cond, 20*time.Millisecond)
 	}
 	graceful := s.drained
+	s.stopFlusherLocked()
 	if s.sock != nil {
 		s.sock.Close()
 		s.sock = nil
@@ -699,8 +991,7 @@ func (s *Socket) drainAndClose() {
 	s.peerFlushSeen = false
 	if graceful {
 		// Drain handshake proves the peer received everything we sent.
-		s.sendLog = nil
-		s.sendLogSize = 0
+		s.releaseSendLogLocked()
 		s.ctrl.obs.drainsGraceful.Inc()
 	} else {
 		s.ctrl.obs.drainsUngraceful.Inc()
@@ -709,15 +1000,39 @@ func (s *Socket) drainAndClose() {
 	s.mu.Unlock()
 }
 
-// waitCond waits on c with a timeout, implemented with a helper timer
-// because sync.Cond has no native timed wait.
-func waitCond(c *sync.Cond, d time.Duration) {
+// releaseSendLogLocked clears the send log, recycling its buffers unless a
+// retransmit snapshot may still hold references. Caller holds mu.
+func (s *Socket) releaseSendLogLocked() {
+	if !s.retxPending {
+		for i := range s.sendLog {
+			wire.PutPayload(s.sendLog[i].Payload)
+			s.sendLog[i] = bufEntry{}
+		}
+	}
+	s.sendLog = nil
+	s.sendLogSize = 0
+}
+
+// condTimerFires counts deadline-timer wakeups of waitCond, for the
+// regression test asserting the data plane performs no periodic wakeups.
+var condTimerFires atomic.Uint64
+
+// waitCond waits on c until a broadcast or until d elapses, implemented
+// with a one-shot helper timer because sync.Cond has no native timed wait.
+// It reports false when d was already non-positive (deadline passed). The
+// timer fires at most once per call — at the caller's true deadline — so
+// a blocked operation costs zero wakeups until something actually happens.
+func waitCond(c *sync.Cond, d time.Duration) bool {
+	if d <= 0 {
+		return false
+	}
 	done := make(chan struct{})
 	t := time.AfterFunc(d, func() {
 		c.L.Lock()
 		select {
 		case <-done:
 		default:
+			condTimerFires.Add(1)
 			c.Broadcast()
 		}
 		c.L.Unlock()
@@ -725,6 +1040,7 @@ func waitCond(c *sync.Cond, d time.Duration) {
 	c.Wait()
 	close(done)
 	t.Stop()
+	return true
 }
 
 // closedErrLocked reports why the connection is unusable. Caller holds mu.
@@ -742,6 +1058,7 @@ func (s *Socket) markClosedLocked(err error) {
 	}
 	s.closed = true
 	s.closeErr = err
+	s.stopFlusherLocked()
 	if s.sock != nil {
 		s.sock.Close()
 		s.sock = nil
@@ -766,9 +1083,8 @@ func (s *Socket) waitState(timeout time.Duration, wanted ...fsm.State) (fsm.Stat
 		if s.closed {
 			return cur, ErrClosed
 		}
-		if time.Now().After(deadline) {
+		if !waitCond(s.cond, time.Until(deadline)) {
 			return cur, fmt.Errorf("napletsocket: timeout waiting for state %v (at %s)", wanted, cur)
 		}
-		waitCond(s.cond, 20*time.Millisecond)
 	}
 }

@@ -28,12 +28,19 @@ type connState struct {
 	NextSendSeq, LastEnqueued uint64
 	RecvBuf                   []bufEntry
 	Leftover                  []byte
-	SendLog                   []bufEntry
-	PeerControlAddr           string
-	PeerDataAddr              string
-	SendNonce, LastPeerNonce  uint64
-	OwesSusRes                bool
-	Accepted                  bool
+	// LeftoverSeq and LeftoverBuf carry the provenance of the partially
+	// read message whose tail sits in Leftover: the sequence number it was
+	// delivered under and whether it had already crossed a migration in
+	// the buffer. Restores preserve them so Fig 7's socket-vs-buffer
+	// accounting stays correct for the tail's remaining bytes.
+	LeftoverSeq              uint64
+	LeftoverBuf              bool
+	SendLog                  []bufEntry
+	PeerControlAddr          string
+	PeerDataAddr             string
+	SendNonce, LastPeerNonce uint64
+	OwesSusRes               bool
+	Accepted                 bool
 }
 
 // hookBlob is the controller's contribution to a migration bundle.
@@ -134,6 +141,8 @@ func (s *Socket) snapshotLocked() connState {
 		NextSendSeq:     s.nextSendSeq,
 		LastEnqueued:    s.lastEnqueued,
 		Leftover:        append([]byte(nil), s.leftover...),
+		LeftoverSeq:     s.leftoverSeq,
+		LeftoverBuf:     s.leftoverBuf,
 		PeerControlAddr: s.peerControlAddr,
 		PeerDataAddr:    s.peerDataAddr,
 		SendNonce:       s.sendNonce,
@@ -160,9 +169,13 @@ func (s *Socket) serialize() connState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.snapshotLocked()
+	// The snapshot deep-copied the leftover tail, so its pooled backing
+	// buffer can be recycled here. RecvBuf and SendLog payloads, by
+	// contrast, are shared with the snapshot — their ownership transfers
+	// to the serialized form and they are never recycled.
+	s.releaseLeftoverLocked()
 	s.recvBuf = nil
 	s.recvBytes = 0
-	s.leftover = nil
 	s.sendLog = nil
 	s.sendLogSize = 0
 	s.markClosedLocked(ErrMigrated)

@@ -8,6 +8,7 @@ import (
 	"naplet/internal/metrics"
 	"naplet/internal/obs"
 	"naplet/internal/rudp"
+	"naplet/internal/wire"
 )
 
 // ctrlObs bundles the controller's observability handles: the leveled
@@ -31,6 +32,10 @@ type ctrlObs struct {
 	connsShipped            *obs.Counter
 	fsmTransitions          *obs.Counter
 	connRecoveries          *obs.Counter
+
+	dataFrames  *obs.Counter
+	dataFlushes *obs.Counter
+	dataBytes   *obs.Counter
 
 	openMs, suspendMs, resumeMs *obs.Histogram
 	recoveryMs                  *obs.Histogram
@@ -75,6 +80,9 @@ func newCtrlObs(cfg Config) *ctrlObs {
 		connsShipped:     met.Counter("migrate.conns_shipped"),
 		fsmTransitions:   met.Counter("fsm.transitions"),
 		connRecoveries:   met.Counter("fault.conn_recoveries"),
+		dataFrames:       met.Counter("data.frames"),
+		dataFlushes:      met.Counter("data.flushes"),
+		dataBytes:        met.Counter("data.bytes"),
 		openMs:           met.Histogram("conn.open_ms"),
 		suspendMs:        met.Histogram("conn.suspend_ms"),
 		resumeMs:         met.Histogram("conn.resume_ms"),
@@ -134,6 +142,21 @@ func (ctrl *Controller) registerGauges() {
 		ctrl.mu.Lock()
 		defer ctrl.mu.Unlock()
 		return float64(len(ctrl.migrating))
+	})
+	met.Func("data.pool_hits", func() float64 {
+		hits, _ := wire.PoolStats()
+		return float64(hits)
+	})
+	met.Func("data.pool_misses", func() float64 {
+		_, misses := wire.PoolStats()
+		return float64(misses)
+	})
+	met.Func("data.pool_hit_rate", func() float64 {
+		hits, misses := wire.PoolStats()
+		if hits+misses == 0 {
+			return 0
+		}
+		return float64(hits) / float64(hits+misses)
 	})
 	registerRUDP(met, ctrl.ep)
 }

@@ -255,7 +255,10 @@ retry:
 			}
 			// Let a concurrently granted remote suspend finish draining.
 			if s.m.State() == fsm.SusAcked {
-				waitCond(s.cond, 20*time.Millisecond)
+				if !waitCond(s.cond, time.Until(deadline)) {
+					s.mu.Unlock()
+					return fmt.Errorf("napletsocket: waiting for SUS_RES on %s: timed out in %s", s.id, s.m.State())
+				}
 				continue
 			}
 			if s.susResReceived {
@@ -292,11 +295,10 @@ retry:
 			if s.m.State() == fsm.Suspended {
 				break
 			}
-			if time.Now().After(deadline) {
+			if !waitCond(s.cond, time.Until(deadline)) {
 				s.mu.Unlock()
 				return fmt.Errorf("napletsocket: waiting for SUS_RES on %s: timed out in %s", s.id, s.m.State())
 			}
-			waitCond(s.cond, 20*time.Millisecond)
 		}
 		s.localSuspended = true
 		s.cond.Broadcast()
@@ -351,11 +353,13 @@ func (s *Socket) handleSuspend(m *wire.ControlMsg) []byte {
 	// reaches ESTABLISHED from its half of the handoff before we step out
 	// of RES_SENT/RES_ACKED); let it settle instead of rejecting.
 	settleDeadline := time.Now().Add(s.ctrl.cfg.drainTimeout())
-	for !s.closed && time.Now().Before(settleDeadline) {
+	for !s.closed {
 		if st := s.m.State(); st != fsm.ResSent && st != fsm.ResAcked {
 			break
 		}
-		waitCond(s.cond, 5*time.Millisecond)
+		if !waitCond(s.cond, time.Until(settleDeadline)) {
+			break
+		}
 	}
 	switch st := s.m.State(); st {
 	case fsm.Established:
@@ -720,8 +724,10 @@ func (s *Socket) handleResume(m *wire.ControlMsg) []byte {
 	// If a granted suspend is still draining, let it finish rather than
 	// bouncing the peer into a retry.
 	drainDeadline := time.Now().Add(s.ctrl.cfg.drainTimeout())
-	for s.m.State() == fsm.SusAcked && !s.closed && time.Now().Before(drainDeadline) {
-		waitCond(s.cond, 5*time.Millisecond)
+	for s.m.State() == fsm.SusAcked && !s.closed {
+		if !waitCond(s.cond, time.Until(drainDeadline)) {
+			break
+		}
 	}
 	switch st := s.m.State(); st {
 	case fsm.Suspended:
@@ -936,8 +942,10 @@ func (s *Socket) handleClose(_ *wire.ControlMsg) []byte {
 	s.mu.Lock()
 	// Let a granted suspend finish draining before classifying the close.
 	drainDeadline := time.Now().Add(s.ctrl.cfg.drainTimeout())
-	for s.m.State() == fsm.SusAcked && !s.closed && time.Now().Before(drainDeadline) {
-		waitCond(s.cond, 5*time.Millisecond)
+	for s.m.State() == fsm.SusAcked && !s.closed {
+		if !waitCond(s.cond, time.Until(drainDeadline)) {
+			break
+		}
 	}
 	switch st := s.m.State(); st {
 	case fsm.Established, fsm.Suspended:

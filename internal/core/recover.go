@@ -136,13 +136,17 @@ func (s *Socket) noteRecovered() {
 
 // ---- journal checkpoints ----
 
-// journalRecord captures the connection as one journal record.
+// journalRecord captures the connection as one journal record. The gob
+// encode happens under mu: the snapshot shares payload slices with the live
+// receive buffer and send log, whose pooled buffers may be recycled the
+// moment the lock is released.
 func (s *Socket) journalRecord() (journal.Record, error) {
+	var buf bytes.Buffer
 	s.mu.Lock()
 	st := s.snapshotLocked()
+	err := gob.NewEncoder(&buf).Encode(&st)
 	s.mu.Unlock()
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+	if err != nil {
 		return journal.Record{}, fmt.Errorf("napletsocket: encoding conn %s for journal: %w", wire.ConnID(st.ID), err)
 	}
 	return journal.Record{
@@ -223,7 +227,13 @@ func (ctrl *Controller) restoreConn(st connState, nonceSlack uint64) (*Socket, e
 		s.recvBytes += len(e.Payload)
 	}
 	s.leftover = st.Leftover
-	s.leftoverBuf = true
+	s.leftoverBack = st.Leftover
+	s.leftoverSeq = st.LeftoverSeq
+	// Whatever the tail's original provenance, it has now crossed a
+	// migration (or restart) in the buffer; the bytes still to be read
+	// count against the buffered path in Fig 7's accounting.
+	s.leftoverBuf = len(st.Leftover) > 0
+	s.leftoverRestored = len(st.Leftover) > 0
 	s.sendLog = st.SendLog
 	for _, e := range st.SendLog {
 		s.sendLogSize += len(e.Payload)

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchPoint is one committed Figure 9 measurement: throughput of both
+// socket types at one message size, plus their ratio. The ratio — not the
+// absolute Mbps — is what regression gates compare, because it factors out
+// the machine the measurement ran on.
+type BenchPoint struct {
+	MsgSize    int     `json:"msg_size"`
+	TCPMbps    float64 `json:"tcp_mbps"`
+	NapletMbps float64 `json:"naplet_mbps"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// BenchFig9 is the committed benchmark baseline (BENCH_fig9.json): the
+// Figure 9 series measured before and after the data-plane overhaul that
+// established it.
+type BenchFig9 struct {
+	Note       string       `json:"note,omitempty"`
+	TotalBytes int64        `json:"total_bytes"`
+	Before     []BenchPoint `json:"before,omitempty"`
+	After      []BenchPoint `json:"after"`
+}
+
+// BenchPoints converts a measured Fig 9 series to committed bench points.
+func BenchPoints(r *Fig9Result) []BenchPoint {
+	pts := make([]BenchPoint, 0, len(r.Points))
+	for _, p := range r.Points {
+		bp := BenchPoint{MsgSize: p.MsgSize, TCPMbps: round1(p.TCPMbps), NapletMbps: round1(p.NapletMbps)}
+		if p.TCPMbps > 0 {
+			bp.Ratio = round3(p.NapletMbps / p.TCPMbps)
+		}
+		pts = append(pts, bp)
+	}
+	return pts
+}
+
+func round1(v float64) float64 { return float64(int64(v*10+0.5)) / 10 }
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }
+
+// LoadBenchFig9 reads a committed baseline file.
+func LoadBenchFig9(path string) (*BenchFig9, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b BenchFig9
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBenchFig9 writes the baseline file in a stable, diff-friendly form.
+func WriteBenchFig9(path string, b *BenchFig9) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CompareFig9 checks a fresh measurement against the committed baseline's
+// After series. A point regresses when its NapletSocket/TCP ratio falls
+// more than tolerance (fractional, e.g. 0.3) below the committed ratio;
+// comparing ratios rather than Mbps keeps the gate independent of the
+// hardware it runs on. Sizes absent from the baseline are ignored. It
+// returns a human-readable report and an error listing any regressions.
+func CompareFig9(baseline *BenchFig9, fresh *Fig9Result, tolerance float64) (string, error) {
+	base := make(map[int]BenchPoint, len(baseline.After))
+	for _, p := range baseline.After {
+		base[p.MsgSize] = p
+	}
+	report := ""
+	var regressions []string
+	for _, p := range fresh.Points {
+		bp, ok := base[p.MsgSize]
+		if !ok || bp.Ratio <= 0 || p.TCPMbps <= 0 {
+			continue
+		}
+		ratio := p.NapletMbps / p.TCPMbps
+		report += fmt.Sprintf("size %6dB: ratio %.3f vs baseline %.3f\n", p.MsgSize, ratio, bp.Ratio)
+		if ratio < bp.Ratio*(1-tolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("size %dB: naplet/tcp ratio %.3f is more than %.0f%% below baseline %.3f",
+					p.MsgSize, ratio, tolerance*100, bp.Ratio))
+		}
+	}
+	if len(regressions) > 0 {
+		msg := ""
+		for _, r := range regressions {
+			msg += r + "\n"
+		}
+		return report, fmt.Errorf("fig9 throughput regressions:\n%s", msg)
+	}
+	return report, nil
+}

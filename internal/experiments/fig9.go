@@ -43,6 +43,29 @@ func (r *Fig9Result) Table() string {
 // DefaultFig9Sizes are the paper's x-axis decades: 1 B to 100 KB.
 func DefaultFig9Sizes() []int { return []int{1, 10, 100, 1000, 10000, 100000} }
 
+// fig9Passes is how many times each throughput point is measured; the
+// fastest pass is reported. A single short transfer is dominated by
+// whatever the scheduler and the garbage collector happened to do in its
+// few tens of milliseconds — peak-of-N is the conventional TTCP report and
+// is what makes the committed baseline (and the CI gate built on it)
+// reproducible on a busy machine.
+const fig9Passes = 3
+
+// bestOf runs measure n times and keeps the fastest result.
+func bestOf(n int, measure func() (float64, error)) (float64, error) {
+	best := 0.0
+	for i := 0; i < n; i++ {
+		v, err := measure()
+		if err != nil {
+			return 0, err
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
 // RunFig9 measures TTCP throughput for each message size over both socket
 // types. totalBytes bounds each transfer; small messages automatically use
 // a proportionally smaller volume so the tiny-message points stay fast.
@@ -60,11 +83,11 @@ func RunFig9(sizes []int, totalBytes int64) (*Fig9Result, error) {
 		if maxVol := int64(size) * 65536; vol > maxVol {
 			vol = maxVol
 		}
-		tcpMbps, err := tcpThroughput(size, vol)
+		tcpMbps, err := bestOf(fig9Passes, func() (float64, error) { return tcpThroughput(size, vol) })
 		if err != nil {
 			return nil, fmt.Errorf("fig9: tcp size %d: %w", size, err)
 		}
-		napMbps, err := napletThroughput(size, vol)
+		napMbps, err := bestOf(fig9Passes, func() (float64, error) { return napletThroughput(size, vol) })
 		if err != nil {
 			return nil, fmt.Errorf("fig9: naplet size %d: %w", size, err)
 		}

@@ -22,6 +22,11 @@ type Result struct {
 	Elapsed time.Duration
 	// MsgSize is the per-write message size used.
 	MsgSize int
+	// Ops is the number of I/O calls the measurement issued: Write calls on
+	// the sender side, Read calls on the receiver side. With a coalescing
+	// transport the receiver's ops per byte drops well below the sender's —
+	// a cheap external view of how well small writes batch.
+	Ops int64
 }
 
 // Mbps returns throughput in megabits per second (the paper's Figure 9/10
@@ -43,8 +48,8 @@ func (r Result) MBps() float64 {
 
 // String renders the result in TTCP's habitual form.
 func (r Result) String() string {
-	return fmt.Sprintf("%d bytes in %.3fs = %.2f Mbit/s (msg %dB)",
-		r.Bytes, r.Elapsed.Seconds(), r.Mbps(), r.MsgSize)
+	return fmt.Sprintf("%d bytes in %.3fs = %.2f Mbit/s (msg %dB, %d ops)",
+		r.Bytes, r.Elapsed.Seconds(), r.Mbps(), r.MsgSize, r.Ops)
 }
 
 // Send writes total bytes to w in msgSize chunks and returns the sender
@@ -61,7 +66,7 @@ func Send(w io.Writer, msgSize int, total int64) (Result, error) {
 		buf[i] = byte(i)
 	}
 	start := time.Now()
-	var sent int64
+	var sent, ops int64
 	for sent < total {
 		chunk := buf
 		if rem := total - sent; rem < int64(msgSize) {
@@ -69,11 +74,12 @@ func Send(w io.Writer, msgSize int, total int64) (Result, error) {
 		}
 		n, err := w.Write(chunk)
 		sent += int64(n)
+		ops++
 		if err != nil {
-			return Result{Bytes: sent, Elapsed: time.Since(start), MsgSize: msgSize}, err
+			return Result{Bytes: sent, Elapsed: time.Since(start), MsgSize: msgSize, Ops: ops}, err
 		}
 	}
-	return Result{Bytes: sent, Elapsed: time.Since(start), MsgSize: msgSize}, nil
+	return Result{Bytes: sent, Elapsed: time.Since(start), MsgSize: msgSize, Ops: ops}, nil
 }
 
 // Receive reads total bytes from r and returns the receiver-side
@@ -84,7 +90,7 @@ func Receive(r io.Reader, msgSize int, total int64) (Result, error) {
 	}
 	buf := make([]byte, msgSize)
 	start := time.Now()
-	var got int64
+	var got, ops int64
 	for got < total {
 		want := int64(len(buf))
 		if rem := total - got; rem < want {
@@ -92,14 +98,15 @@ func Receive(r io.Reader, msgSize int, total int64) (Result, error) {
 		}
 		n, err := r.Read(buf[:want])
 		got += int64(n)
+		ops++
 		if err != nil {
 			if err == io.EOF && got == total {
 				break
 			}
-			return Result{Bytes: got, Elapsed: time.Since(start), MsgSize: msgSize}, err
+			return Result{Bytes: got, Elapsed: time.Since(start), MsgSize: msgSize, Ops: ops}, err
 		}
 	}
-	return Result{Bytes: got, Elapsed: time.Since(start), MsgSize: msgSize}, nil
+	return Result{Bytes: got, Elapsed: time.Since(start), MsgSize: msgSize, Ops: ops}, nil
 }
 
 // Run drives one full measurement over an established pair: the sender

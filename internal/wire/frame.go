@@ -83,10 +83,51 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return nil
 }
 
-// ReadFrame decodes the next frame from r. It returns io.EOF cleanly when
-// the stream ends on a frame boundary, and io.ErrUnexpectedEOF when it ends
-// mid-frame.
+// appendFrame encodes f onto buf in canonical form.
+func appendFrame(buf []byte, f Frame) ([]byte, error) {
+	if len(f.Payload) > MaxFramePayload {
+		return buf, fmt.Errorf("wire: frame payload %d exceeds limit %d", len(f.Payload), MaxFramePayload)
+	}
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint16(hdr[0:2], frameMagic)
+	hdr[2] = frameVersion
+	hdr[3] = f.Flags
+	binary.BigEndian.PutUint64(hdr[4:12], f.Seq)
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(len(f.Payload)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, f.Payload...), nil
+}
+
+// ReadFrame decodes the next frame from r with a freshly allocated payload
+// buffer. It returns io.EOF cleanly when the stream ends on a frame
+// boundary, and io.ErrUnexpectedEOF when it ends mid-frame.
 func ReadFrame(r io.Reader) (Frame, error) {
+	return readFrame(r, func(n int) []byte { return make([]byte, n) })
+}
+
+// ReadFramePooled decodes like ReadFrame but draws the payload buffer from
+// the package payload pool. The caller takes ownership of Payload and
+// returns it with PutPayload once no reference to it remains.
+func ReadFramePooled(r io.Reader) (Frame, error) {
+	return readFrame(r, GetPayload)
+}
+
+// FrameBuffered reports whether br already holds one complete frame, so a
+// batching reader can keep decoding without risking a block mid-batch. A
+// frame larger than br's buffer always reports false.
+func FrameBuffered(br *bufio.Reader) bool {
+	if br.Buffered() < frameHeaderSize {
+		return false
+	}
+	hdr, err := br.Peek(frameHeaderSize)
+	if err != nil {
+		return false
+	}
+	n := binary.BigEndian.Uint32(hdr[12:16])
+	return n <= MaxFramePayload && br.Buffered() >= frameHeaderSize+int(n)
+}
+
+func readFrame(r io.Reader, alloc func(int) []byte) (Frame, error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
 		if err == io.EOF {
@@ -112,7 +153,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadFrame, n)
 	}
 	if n > 0 {
-		f.Payload = make([]byte, n)
+		f.Payload = alloc(int(n))
 		if _, err := io.ReadFull(r, f.Payload); err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
@@ -123,18 +164,22 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	return f, nil
 }
 
-// FrameWriter writes frames through a buffered writer, assigning sequence
-// numbers. It is not safe for concurrent use; the socket layer serializes
-// writers.
+// FrameWriter encodes frames into an in-memory coalescing buffer, assigning
+// sequence numbers: small writes accumulate and reach the kernel in one
+// syscall per Flush (or Take) rather than one per frame. It is not safe for
+// concurrent use; the socket layer serializes writers, and Take lets a
+// background flusher detach a filled buffer and perform the socket write
+// outside the writer's critical section.
 type FrameWriter struct {
-	w       *bufio.Writer
+	w       io.Writer
+	buf     []byte
 	nextSeq uint64
 }
 
 // NewFrameWriter returns a FrameWriter whose first data frame will carry
 // sequence number next.
 func NewFrameWriter(w io.Writer, next uint64) *FrameWriter {
-	return &FrameWriter{w: bufio.NewWriter(w), nextSeq: next}
+	return &FrameWriter{w: w, nextSeq: next}
 }
 
 // NextSeq returns the sequence number the next data frame will carry.
@@ -145,21 +190,65 @@ func (fw *FrameWriter) NextSeq() uint64 { return fw.nextSeq }
 // start at 1).
 func (fw *FrameWriter) LastSeq() uint64 { return fw.nextSeq - 1 }
 
-// WriteData writes payload as a single data frame and flushes it.
+// WriteData writes payload as a single data frame and flushes it — the
+// one-frame-per-syscall path, kept for callers that need the frame on the
+// wire before returning. The hot path uses WriteDataBuffered + Flush.
 func (fw *FrameWriter) WriteData(payload []byte) (uint64, error) {
-	seq := fw.nextSeq
-	if err := WriteFrame(fw.w, Frame{Seq: seq, Flags: FlagData, Payload: payload}); err != nil {
+	seq, err := fw.WriteDataBuffered(payload)
+	if err != nil {
 		return 0, err
 	}
-	fw.nextSeq++
-	return seq, fw.w.Flush()
+	return seq, fw.Flush()
 }
+
+// WriteDataBuffered encodes payload as a single data frame into the
+// coalescing buffer without flushing. The frame reaches the wire at the
+// next Flush or Take. Callers that need a write barrier — the pre-suspend
+// flush, retransmission — call Flush (or WriteFlush) explicitly.
+func (fw *FrameWriter) WriteDataBuffered(payload []byte) (uint64, error) {
+	seq := fw.nextSeq
+	buf, err := appendFrame(fw.buf, Frame{Seq: seq, Flags: FlagData, Payload: payload})
+	if err != nil {
+		return 0, err
+	}
+	fw.buf = buf
+	fw.nextSeq++
+	return seq, nil
+}
+
+// Flush writes the coalescing buffer to the underlying writer in one call.
+func (fw *FrameWriter) Flush() error {
+	if len(fw.buf) == 0 {
+		return nil
+	}
+	_, err := fw.w.Write(fw.buf)
+	fw.buf = fw.buf[:0]
+	return err
+}
+
+// Take detaches the filled coalescing buffer — the caller becomes
+// responsible for writing it to the stream — and installs spare (which may
+// be nil) as the empty replacement. This is the double-buffering hook: a
+// background flusher takes the batch inside the writer's lock but performs
+// the socket write outside it, so frame encoding and the flush syscall
+// overlap.
+func (fw *FrameWriter) Take(spare []byte) []byte {
+	b := fw.buf
+	fw.buf = spare[:0]
+	return b
+}
+
+// Buffered returns the number of encoded bytes waiting in the coalescing
+// buffer.
+func (fw *FrameWriter) Buffered() int { return len(fw.buf) }
 
 // WriteFlush writes the pre-suspend flush marker carrying the last data
 // sequence number written on this stream, then flushes.
 func (fw *FrameWriter) WriteFlush() error {
-	if err := WriteFrame(fw.w, Frame{Seq: fw.LastSeq(), Flags: FlagFlush}); err != nil {
+	buf, err := appendFrame(fw.buf, Frame{Seq: fw.LastSeq(), Flags: FlagFlush})
+	if err != nil {
 		return err
 	}
-	return fw.w.Flush()
+	fw.buf = buf
+	return fw.Flush()
 }
