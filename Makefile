@@ -1,12 +1,22 @@
 GO ?= go
 
-.PHONY: build test vet race check integration fuzz-smoke bench bench-smoke
+.PHONY: build test vet lint race check integration fuzz-smoke bench bench-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs staticcheck when it is on PATH (CI installs it; locally run
+# `go install honnef.co/go/tools/cmd/staticcheck@latest` once). It is kept
+# out of `check` so an uninstalled linter never blocks the local gate.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -34,21 +34,38 @@ func startDebugServer(addr string, node *naplet.Node, reg *obs.Registry) (*http.
 	})
 	mux.HandleFunc("/connz", func(w http.ResponseWriter, r *http.Request) {
 		infos := node.Controller().ConnInfos()
+		transports := node.Controller().TransportInfos()
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
-			enc.Encode(infos)
+			enc.Encode(struct {
+				Conns      any `json:"conns"`
+				Transports any `json:"transports"`
+			}{infos, transports})
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "%d connections at %s\n\n", len(infos), time.Now().Format(time.RFC3339))
-		fmt.Fprintf(w, "%-32s %-12s %-12s %-14s %8s %8s %8s %9s %9s\n",
-			"ID", "LOCAL", "REMOTE", "STATE", "SENDSEQ", "RECVSEQ", "BUFMSGS", "BUFBYTES", "LOGBYTES")
+		fmt.Fprintf(w, "%-32s %-12s %-12s %-14s %8s %8s %8s %9s %9s %-32s\n",
+			"ID", "LOCAL", "REMOTE", "STATE", "SENDSEQ", "RECVSEQ", "BUFMSGS", "BUFBYTES", "LOGBYTES", "TRANSPORT")
 		for _, in := range infos {
-			fmt.Fprintf(w, "%-32s %-12s %-12s %-14s %8d %8d %8d %9d %9d\n",
+			fmt.Fprintf(w, "%-32s %-12s %-12s %-14s %8d %8d %8d %9d %9d %-32s\n",
 				in.ID, in.LocalAgent, in.RemoteAgent, in.State,
-				in.NextSendSeq, in.LastEnqueued, in.RecvBufferedMsgs, in.RecvBufferedBytes, in.SendLogBytes)
+				in.NextSendSeq, in.LastEnqueued, in.RecvBufferedMsgs, in.RecvBufferedBytes, in.SendLogBytes,
+				in.Transport)
+		}
+		fmt.Fprintf(w, "\n%d shared transports\n\n", len(transports))
+		fmt.Fprintf(w, "%-32s %-12s %-22s %-8s %7s %-10s\n",
+			"ID", "PEER", "ADDR", "ROLE", "STREAMS", "AGE")
+		for _, tr := range transports {
+			role := "accept"
+			if tr.Dialer {
+				role = "dial"
+			}
+			fmt.Fprintf(w, "%-32s %-12s %-22s %-8s %7d %-10s\n",
+				tr.ID, tr.PeerHost, tr.PeerAddr, role, tr.Streams,
+				time.Since(tr.Opened).Round(time.Second))
 		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -15,6 +15,7 @@ import (
 	"naplet/internal/core"
 	"naplet/internal/naming"
 	"naplet/internal/obs"
+	"naplet/internal/transport"
 )
 
 // fetchMetrics pulls and decodes the /metrics JSON from a debug server.
@@ -212,9 +213,28 @@ func TestDebugServerEndpoints(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("/connz?format=json status = %d", code)
 	}
-	var infos []core.Info
-	if err := json.Unmarshal([]byte(body), &infos); err != nil {
+	var connz struct {
+		Conns      []core.Info      `json:"conns"`
+		Transports []transport.Info `json:"transports"`
+	}
+	if err := json.Unmarshal([]byte(body), &connz); err != nil {
 		t.Fatalf("decoding /connz json: %v\n%s", err, body)
+	}
+	if len(connz.Conns) == 0 {
+		t.Errorf("/connz json has no connections:\n%s", body)
+	}
+	// Both agents live on the same host here, so the data stream is local
+	// and no shared transport need exist — but every listed connection must
+	// reference a transport that appears in the transports section (or
+	// none at all).
+	byID := make(map[string]bool, len(connz.Transports))
+	for _, tr := range connz.Transports {
+		byID[tr.ID.String()] = true
+	}
+	for _, in := range connz.Conns {
+		if in.Transport != "" && !byID[in.Transport] {
+			t.Errorf("conn %s references transport %s not in transports list", in.ID, in.Transport)
+		}
 	}
 
 	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {

@@ -72,6 +72,12 @@ type Config struct {
 	// migration to model the cost of shipping agent code and state over a
 	// real network (the paper's T_a-migrate, 220ms on their testbed).
 	MigrationDelay time.Duration
+	// DockDialTimeout bounds the TCP dial to a destination dock when
+	// shipping an agent. Default 10s.
+	DockDialTimeout time.Duration
+	// BundleTimeout bounds the transfer of one migration bundle in either
+	// direction (send and receive). Default 30s.
+	BundleTimeout time.Duration
 	// Journal, when non-nil, receives agent checkpoints (behaviour state
 	// plus epoch, batched atomically with connection state from any
 	// ConnCheckpointer hooks) and feeds Recover after a restart.
@@ -95,6 +101,20 @@ type Config struct {
 
 // maxBundleSize bounds an inbound migration bundle.
 const maxBundleSize = 64 << 20
+
+func (c Config) dockDialTimeout() time.Duration {
+	if c.DockDialTimeout > 0 {
+		return c.DockDialTimeout
+	}
+	return 10 * time.Second
+}
+
+func (c Config) bundleTimeout() time.Duration {
+	if c.BundleTimeout > 0 {
+		return c.BundleTimeout
+	}
+	return 30 * time.Second
+}
 
 // bundle is what travels between docks.
 type bundle struct {
@@ -130,6 +150,11 @@ type Host struct {
 	cfg    Config
 	log    *obs.Logger
 	dockLn net.Listener
+
+	// Timeouts resolved once at construction: the dock accept loop reads
+	// them concurrently with everything else, and re-reading cfg there
+	// would race with tests that tweak cfg fields after NewHost.
+	dockDialTO, bundleTO time.Duration
 
 	// Runtime metrics; nil-safe, so call sites stay unconditional.
 	launches, doneCount, failedCount       *obs.Counter
@@ -167,12 +192,14 @@ func NewHost(cfg Config) (*Host, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	h := &Host{
-		cfg:     cfg,
-		log:     resolveLogger(cfg).With("host", cfg.Name),
-		agents:  make(map[string]*running),
-		ext:     make(map[string]any),
-		rootCtx: ctx,
-		cancel:  cancel,
+		cfg:        cfg,
+		log:        resolveLogger(cfg).With("host", cfg.Name),
+		agents:     make(map[string]*running),
+		ext:        make(map[string]any),
+		rootCtx:    ctx,
+		cancel:     cancel,
+		dockDialTO: cfg.dockDialTimeout(),
+		bundleTO:   cfg.bundleTimeout(),
 	}
 	h.dockLn = ln
 	met := cfg.Metrics
@@ -410,7 +437,7 @@ func (h *Host) migrate(r *running, b Behavior, epoch uint64, destDock string) {
 	h.mu.Unlock()
 
 	bd := bundle{AgentID: r.id, Epoch: epoch + 1, Behavior: b, Blobs: blobs}
-	if err := sendBundle(destDock, &bd, h.cfg.ClusterSecret); err != nil {
+	if err := sendBundle(destDock, &bd, h.cfg.ClusterSecret, h.dockDialTO, h.bundleTO); err != nil {
 		h.mu.Lock()
 		h.agents[r.id] = r
 		h.mu.Unlock()
@@ -440,13 +467,13 @@ func dockTag(secret, body []byte) [sha256.Size]byte {
 
 // sendBundle dials a dock and delivers one agent bundle, appending the
 // cluster authentication tag when a secret is configured.
-func sendBundle(dockAddr string, bd *bundle, secret []byte) error {
-	conn, err := net.DialTimeout("tcp", dockAddr, 10*time.Second)
+func sendBundle(dockAddr string, bd *bundle, secret []byte, dialTO, xferTO time.Duration) error {
+	conn, err := net.DialTimeout("tcp", dockAddr, dialTO)
 	if err != nil {
 		return fmt.Errorf("agent: dialing dock %s: %w", dockAddr, err)
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	conn.SetDeadline(time.Now().Add(xferTO))
 
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(bd); err != nil {
@@ -492,8 +519,17 @@ func readLenPrefixed(r io.Reader, limit uint32) ([]byte, error) {
 	return b, nil
 }
 
+// Accept-error backoff bounds for the dock listener, matching the
+// redirector: transient errors (EMFILE, ECONNABORTED) back off
+// exponentially instead of hot-looping.
+const (
+	dockBackoffMin = 5 * time.Millisecond
+	dockBackoffMax = 1 * time.Second
+)
+
 func (h *Host) acceptDocks() {
 	defer h.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := h.dockLn.Accept()
 		if err != nil {
@@ -505,8 +541,22 @@ func (h *Host) acceptDocks() {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
+			if backoff == 0 {
+				backoff = dockBackoffMin
+			} else if backoff *= 2; backoff > dockBackoffMax {
+				backoff = dockBackoffMax
+			}
+			h.log.Warnf("dock accept error: %v; retrying in %v", err, backoff)
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-h.rootCtx.Done():
+				timer.Stop()
+				return
+			}
 			continue
 		}
+		backoff = 0
 		h.wg.Add(1)
 		go func() {
 			defer h.wg.Done()
@@ -518,7 +568,7 @@ func (h *Host) acceptDocks() {
 // handleDock receives one arriving agent.
 func (h *Host) handleDock(conn net.Conn) {
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	conn.SetDeadline(time.Now().Add(h.bundleTO))
 	reply := func(msg string) {
 		var lenb [4]byte
 		binary.BigEndian.PutUint32(lenb[:], uint32(len(msg)))

@@ -22,6 +22,7 @@ import (
 	"naplet/internal/obs"
 	"naplet/internal/rudp"
 	"naplet/internal/security"
+	"naplet/internal/transport"
 	"naplet/internal/wire"
 )
 
@@ -73,6 +74,13 @@ type Config struct {
 	// Defaults: 5s and 60s.
 	OpTimeout   time.Duration
 	ParkTimeout time.Duration
+	// HandshakeTimeout bounds the per-host-pair transport handshake and the
+	// redirector's read of an arriving handoff header. Default 10s.
+	HandshakeTimeout time.Duration
+	// DialData, when non-nil, replaces net.DialTimeout for the shared
+	// transport's kernel connection — tests count calls through it to prove
+	// that logical connections share one transport per host pair.
+	DialData func(addr string, timeout time.Duration) (net.Conn, error)
 	// DrainTimeout bounds the pre-suspend drain. Default 5s.
 	DrainTimeout time.Duration
 	// OpenBreakdown, when non-nil, accumulates the Figure 8 phase timings
@@ -121,6 +129,13 @@ func (c Config) parkTimeout() time.Duration {
 	return 60 * time.Second
 }
 
+func (c Config) handshakeTimeout() time.Duration {
+	if c.HandshakeTimeout > 0 {
+		return c.HandshakeTimeout
+	}
+	return 10 * time.Second
+}
+
 func (c Config) drainTimeout() time.Duration {
 	if c.DrainTimeout > 0 {
 		return c.DrainTimeout
@@ -147,6 +162,8 @@ type Controller struct {
 	ep  *rudp.Endpoint
 	red *redirector
 	rv  *rendezvous
+	// tm owns the shared per-host-pair transports every data stream rides.
+	tm *transport.Manager
 	// det is the peer failure detector; nil unless HeartbeatInterval is set.
 	det *fault.Detector
 
@@ -211,6 +228,17 @@ func NewController(cfg Config) (*Controller, error) {
 		return nil, err
 	}
 	ctrl.red = red
+	ctrl.tm = transport.NewManager(transport.Config{
+		HostName:         cfg.HostName,
+		AdvertiseAddr:    red.addr(),
+		Insecure:         cfg.Insecure,
+		Dial:             cfg.DialData,
+		WrapData:         cfg.WrapData,
+		HandshakeTimeout: cfg.handshakeTimeout(),
+		Authorize:        ctrl.authorizeHandoff,
+		Deliver:          ctrl.deliverStream,
+		Logf:             ctrl.logf,
+	})
 	ctrl.registerGauges()
 	if ctrl.det != nil {
 		go ctrl.watchReconciler(cfg.HeartbeatInterval)
@@ -300,6 +328,7 @@ func (ctrl *Controller) Close() error {
 	ctrl.mu.Unlock()
 	close(ctrl.done)
 	ctrl.det.Close()
+	ctrl.tm.Close()
 	for _, s := range conns {
 		s.mu.Lock()
 		s.markClosedLocked(nil)
@@ -459,6 +488,30 @@ func (ctrl *Controller) authorizeHandoff(hdr *wire.HandoffHeader) error {
 	return nil
 }
 
+// deliverStream hands an accepted transport stream to the endpoint waiting
+// for it, through the same rendezvous the legacy raw-socket handoff uses.
+func (ctrl *Controller) deliverStream(hdr *wire.HandoffHeader, st *transport.Stream) bool {
+	return ctrl.rv.deliver(connKey{id: hdr.ConnID, agent: hdr.TargetAgent}, st, rendezvousDeliverTimeout)
+}
+
+// TransportInfos snapshots the live shared transports — the data source of
+// the /connz transport section.
+func (ctrl *Controller) TransportInfos() []transport.Info { return ctrl.tm.Infos() }
+
+// CloseTransports tears down every warm shared transport without closing
+// the controller; the next data-plane operation pays a cold dial and
+// handshake again. Live streams on the transports fail. It exists for
+// experiments and tests that need to measure or exercise the cold path.
+func (ctrl *Controller) CloseTransports() { ctrl.tm.CloseTransports() }
+
+// transportCounts feeds the transport.active / transport.streams gauges.
+func (ctrl *Controller) transportCounts() (int, int) {
+	if ctrl.tm == nil {
+		return 0, 0
+	}
+	return ctrl.tm.Counts()
+}
+
 // ---- connection establishment (Sections 2.2 and 3.4) ----
 
 // Open establishes a NapletSocket connection from a resident agent to the
@@ -522,18 +575,26 @@ func (ctrl *Controller) openAs(agentID string, cred [security.CredentialSize]byt
 		return nil, fmt.Errorf("napletsocket: agent %q's host has no NapletSocket service", target)
 	}
 
-	// Key exchange, client half: generate the ephemeral key pair.
-	var kp *dhkx.KeyPair
-	if !ctrl.cfg.Insecure {
-		start = time.Now()
-		kp, err = dhkx.GenerateKeyPair()
+	// Key exchange, client half: acquire the shared transport to the
+	// target's host. A warm transport costs a map lookup; a cold one pays
+	// the kernel dial and the per-host-pair DH handshake that used to be
+	// paid per connection (Table 1 amortisation). In the "w/o security"
+	// configuration the transport handshake does no DH, so its cost is
+	// socket establishment, not key exchange.
+	start = time.Now()
+	tr, err := ctrl.tm.Transport(rec.Loc.DataAddr, ctrl.cfg.opTimeout())
+	if ctrl.cfg.Insecure {
+		bd.Add(metrics.PhaseOpenSocket, time.Since(start))
+	} else {
 		bd.Add(metrics.PhaseKeyExchange, time.Since(start))
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("napletsocket: transport to %q's host: %w", target, err)
 	}
 
-	// Handshake: CONNECT carrying our public value and redirector address.
+	// Handshake: CONNECT names the transport whose secret keys the
+	// connection, so the server derives the same key without a public-value
+	// round trip.
 	m := &wire.ControlMsg{
 		Type:        wire.MsgConnect,
 		ConnID:      id,
@@ -542,8 +603,8 @@ func (ctrl *Controller) openAs(agentID string, cred [security.CredentialSize]byt
 		DataAddr:    ctrl.DataAddr(),
 		ControlAddr: ctrl.ControlAddr(),
 	}
-	if kp != nil {
-		m.Payload = kp.PublicBytes()
+	if !ctrl.cfg.Insecure {
+		m.TransportID = tr.ID()
 	}
 	start = time.Now()
 	raw, err := ctrl.ep.Request(ctx, rec.Loc.ControlAddr, m.Encode())
@@ -559,20 +620,17 @@ func (ctrl *Controller) openAs(agentID string, cred [security.CredentialSize]byt
 		return nil, fmt.Errorf("napletsocket: connection to %q refused: %s", target, reply.Reason)
 	}
 
-	// Key exchange, client half: derive the session key.
+	// Key exchange, client half: derive the session key from the transport
+	// secret bound to the connection id — no per-connection modular
+	// exponentiation, and compromise of one connection's key reveals
+	// nothing about its siblings on the same transport.
 	var key []byte
 	if ctrl.cfg.Insecure {
 		key = ctrl.sessionKeyFor(id, nil)
 	} else {
 		start = time.Now()
-		secret, serr := kp.SharedSecret(reply.Payload)
-		if serr == nil {
-			key = ctrl.sessionKeyFor(id, secret)
-		}
+		key = ctrl.sessionKeyFor(id, tr.Secret())
 		bd.Add(metrics.PhaseKeyExchange, time.Since(start))
-		if serr != nil {
-			return nil, fmt.Errorf("napletsocket: key exchange with %q: %w", target, serr)
-		}
 	}
 
 	s, err := newSocket(ctrl, id, agentID, target, key, fsm.Closed)
@@ -594,9 +652,10 @@ func (ctrl *Controller) openAs(agentID string, cred [security.CredentialSize]byt
 		return nil, err
 	}
 
-	// Open socket: dial the target's redirector and hand ourselves off.
+	// Open socket: a stream on the shared transport, handed off by the
+	// target's controller.
 	start = time.Now()
-	err = s.dialConnect(target)
+	err = s.dialConnect()
 	bd.Add(metrics.PhaseOpenSocket, time.Since(start))
 	if err != nil {
 		return fail(err)
@@ -622,47 +681,41 @@ func (ctrl *Controller) openAs(agentID string, cred [security.CredentialSize]byt
 	return s, nil
 }
 
-// dialConnect performs the connect-time socket handoff.
-func (s *Socket) dialConnect(target string) error {
+// dialConnect performs the connect-time socket handoff: a stream opened on
+// the shared transport to the target's host, carrying the authenticated
+// handoff header as its open payload.
+func (s *Socket) dialConnect() error {
+	stream, err := s.openDataStream(wire.HandoffConnect)
+	if err != nil {
+		return err
+	}
+	return s.installSocket(stream, 0)
+}
+
+// openDataStream opens a data stream to the peer's redirector over the
+// shared transport (dialing and handshaking one only if no warm transport
+// exists). The stream's MuxAccept doubles as the old handoff-OK status:
+// the peer's controller authorizes the header before accepting.
+func (s *Socket) openDataStream(purpose wire.HandoffPurpose) (net.Conn, error) {
 	s.mu.Lock()
 	addr := s.peerDataAddr
 	s.sendNonce++
 	hdr := &wire.HandoffHeader{
-		Purpose:     wire.HandoffConnect,
+		Purpose:     purpose,
 		ConnID:      s.id,
-		TargetAgent: target,
+		TargetAgent: s.remoteAgent,
 		FromAgent:   s.localAgent,
 		Nonce:       s.sendNonce,
 	}
 	s.mu.Unlock()
 	hdr.Token = s.auth.Sign(hdr.SigningBytes())
-
-	sock, err := net.DialTimeout("tcp", addr, s.ctrl.cfg.opTimeout())
-	if err != nil {
-		return err
-	}
-	sock.SetDeadline(time.Now().Add(s.ctrl.cfg.opTimeout()))
-	if err := hdr.Write(sock); err != nil {
-		sock.Close()
-		return err
-	}
-	status, err := wire.ReadHandoffStatus(sock)
-	if err != nil {
-		sock.Close()
-		return err
-	}
-	if status != wire.HandoffOK {
-		sock.Close()
-		return errors.New("napletsocket: connect handoff denied")
-	}
-	sock.SetDeadline(time.Time{})
-	return s.installSocket(sock, 0)
+	return s.ctrl.tm.OpenStream(addr, hdr, s.ctrl.cfg.opTimeout())
 }
 
 // handleConnect serves a CONNECT request on the server side: policy check,
-// key agreement, connection creation, and redirector arming. The reply
-// carries our DH public value; establishment completes when both the data
-// socket (via the redirector) and the client's ID message arrive.
+// key agreement (derived from the shared transport's secret), connection
+// creation, and redirector arming. Establishment completes when both the
+// data stream (via the transport) and the client's ID message arrive.
 func (ctrl *Controller) handleConnect(m *wire.ControlMsg) []byte {
 	target := m.To
 	ctrl.mu.Lock()
@@ -696,24 +749,27 @@ func (ctrl *Controller) handleConnect(m *wire.ControlMsg) []byte {
 		}
 	}
 
-	// Key agreement, server half.
-	var key, pub []byte
+	// Key agreement, server half: look up the named transport's secret and
+	// bind it to the connection id — the DH work already happened once at
+	// transport setup. The client finishes its transport handshake before
+	// sending CONNECT, but this UDP message can outrun the final handshake
+	// byte on the TCP path, so tolerate a short registration lag before
+	// bouncing the client into a retry.
+	var key []byte
 	if ctrl.cfg.Insecure {
 		key = ctrl.sessionKeyFor(m.ConnID, nil)
 	} else {
 		start := time.Now()
-		kp, err := dhkx.GenerateKeyPair()
-		if err != nil {
-			return rejectReply(m.ConnID, "key generation failed")
+		secret, ok := ctrl.tm.SecretByID(m.TransportID)
+		for !ok && time.Since(start) < ctrl.cfg.opTimeout()/2 {
+			time.Sleep(5 * time.Millisecond)
+			secret, ok = ctrl.tm.SecretByID(m.TransportID)
 		}
-		secret, err := kp.SharedSecret(m.Payload)
-		if err != nil {
-			bd.Add(metrics.PhaseKeyExchange, time.Since(start))
-			return rejectReply(m.ConnID, "invalid client public key")
+		bd.Add(metrics.PhaseKeyExchange, time.Since(start))
+		if !ok {
+			return rejectReply(m.ConnID, reasonRetry+": unknown transport")
 		}
 		key = ctrl.sessionKeyFor(m.ConnID, secret)
-		pub = kp.PublicBytes()
-		bd.Add(metrics.PhaseKeyExchange, time.Since(start))
 	}
 
 	s, err := newSocket(ctrl, m.ConnID, target, m.From, key, fsm.Listen)
@@ -751,7 +807,7 @@ func (ctrl *Controller) handleConnect(m *wire.ControlMsg) []byte {
 		}
 	}()
 
-	r := &wire.ControlReply{Verdict: wire.VerdictAck, ConnID: m.ConnID, Payload: pub}
+	r := &wire.ControlReply{Verdict: wire.VerdictAck, ConnID: m.ConnID}
 	r.Tag = s.auth.Sign(r.SigningBytes())
 	return r.Encode()
 }

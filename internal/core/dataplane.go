@@ -1,0 +1,781 @@
+package core
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"naplet/internal/fsm"
+	"naplet/internal/wire"
+)
+
+// This file is the connection's data plane: ownership of the data socket
+// (a transport stream, or a raw TCP socket on the legacy path), the reader
+// and background-flusher goroutines, the receive buffer and send log with
+// their pooled payloads, and the suspend-time drain. The control-plane
+// exchanges that decide WHEN these run (suspend/resume/close) live in
+// ops.go; the socket's identity and lifecycle bookkeeping stay in conn.go.
+
+// Limits of the per-connection buffers.
+const (
+	// maxRecvBuffer bounds the receive-side message buffer; when full, the
+	// reader goroutine stops pulling from the socket so transport flow
+	// control pushes back on the sender. The bound is ignored while
+	// draining for a suspend — everything in flight must be captured.
+	maxRecvBuffer = 4 << 20
+	// maxSendLog bounds the retransmission log kept for failure recovery.
+	// A graceful suspend clears the log (the drain handshake proves
+	// delivery); the cap only matters between suspends.
+	maxSendLog = 4 << 20
+	// coalesceFlushBytes is the write-coalescing high-water mark: a write
+	// that leaves at least this much encoded data in the frame writer's
+	// buffer flushes inline instead of waiting for the background flusher,
+	// bounding both buffer occupancy and the data the flusher syscalls per
+	// wakeup. It stays below the frame writer's buffer so bufio never
+	// force-flushes mid-frame on its own schedule.
+	coalesceFlushBytes = 32 << 10
+)
+
+// installSocket adopts a fresh data socket: retransmits anything the peer
+// reports missing, recreates the framed streams, and starts the reader.
+// Callers transition the state machine afterwards. Network emulation
+// wrapping happens at the shared transport (per host pair), not here.
+func (s *Socket) installSocket(sock net.Conn, peerHasUpTo uint64) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+
+	s.mu.Lock()
+	// Trim acknowledged frames, then collect what the peer is missing.
+	s.trimSendLogLocked(peerHasUpTo)
+	var missing []bufEntry
+	if len(s.sendLog) > 0 && s.sendLog[0].Seq > peerHasUpTo+1 {
+		s.mu.Unlock()
+		sock.Close()
+		return fmt.Errorf("%w: peer has up to %d, log starts at %d",
+			ErrUnrecoverable, peerHasUpTo, s.sendLog[0].Seq)
+	}
+	missing = append(missing, s.sendLog...)
+	// The shallow copy above shares payload buffers with the log; pin them
+	// against pool recycling (a concurrent control-plane trim) until the
+	// retransmit writes below are done.
+	s.retxPending = len(missing) > 0
+	s.mu.Unlock()
+
+	// Retransmits are a forced write barrier: everything goes to the wire
+	// before the new generation starts coalescing application writes.
+	bw := bufio.NewWriter(sock)
+	for _, e := range missing {
+		if err := wire.WriteFrame(bw, wire.Frame{Seq: e.Seq, Flags: wire.FlagData, Payload: e.Payload}); err != nil {
+			sock.Close()
+			s.clearRetxPending()
+			return fmt.Errorf("napletsocket: retransmitting frame %d: %w", e.Seq, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		sock.Close()
+		s.clearRetxPending()
+		return fmt.Errorf("napletsocket: flushing retransmits: %w", err)
+	}
+
+	s.mu.Lock()
+	s.retxPending = false
+	s.stopFlusherLocked()
+	s.sock = sock
+	s.gen++
+	gen := s.gen
+	s.fw = wire.NewFrameWriter(sock, s.nextSendSeq)
+	s.flushCh = make(chan struct{}, 1)
+	s.suspending = false
+	s.peerFlushSeen = false
+	s.drained = false
+	s.failing = false
+	s.localSuspended = false
+	s.remoteSuspended = false
+	s.susResReceived = false
+	s.peerResumeParked = false
+	s.sockInstalled = true
+	s.cond.Broadcast()
+	fw, flushCh := s.fw, s.flushCh
+	s.mu.Unlock()
+
+	go s.readerLoop(sock, gen)
+	go s.flusherLoop(fw, sock, gen, flushCh)
+	return nil
+}
+
+func (s *Socket) clearRetxPending() {
+	s.mu.Lock()
+	s.retxPending = false
+	s.mu.Unlock()
+}
+
+// stopFlusherLocked ends the current generation's background flusher.
+// Caller holds mu.
+func (s *Socket) stopFlusherLocked() {
+	if s.flushCh != nil {
+		close(s.flushCh)
+		s.flushCh = nil
+	}
+}
+
+// signalFlushLocked nudges the background flusher: buffered frames are
+// waiting in the frame writer. Caller holds mu (which serializes against
+// stopFlusherLocked's close). The channel has capacity one; a pending
+// signal already covers us.
+func (s *Socket) signalFlushLocked() {
+	if s.flushCh == nil {
+		return
+	}
+	select {
+	case s.flushCh <- struct{}{}:
+	default:
+	}
+}
+
+// flusherLoop drains the frame writer's coalescing buffer for one data
+// socket generation. Writers buffer frames and signal; the flusher detaches
+// the accumulated batch under writeMu but performs the socket write under
+// flushMu only, so while one batch's syscall is in flight the writers are
+// already encoding the next — a TTCP-style stream pays one syscall per
+// batch instead of per frame, and the batches grow on their own whenever
+// the kernel is slower than the writers. The loop ends when the
+// generation's flush channel closes or the socket moves on.
+func (s *Socket) flusherLoop(fw *wire.FrameWriter, sock net.Conn, gen int, ch chan struct{}) {
+	var spare []byte
+	for range ch {
+		s.writeMu.Lock()
+		s.mu.Lock()
+		stale := gen != s.gen || s.fw != fw || s.closed
+		s.mu.Unlock()
+		if stale {
+			s.writeMu.Unlock()
+			return
+		}
+		if fw.Buffered() == 0 {
+			s.writeMu.Unlock()
+			continue
+		}
+		batch := fw.Take(spare)
+		// Pin the write slot before releasing writeMu: batches must reach
+		// the socket in take order.
+		s.flushMu.Lock()
+		s.writeMu.Unlock()
+		_, err := sock.Write(batch)
+		s.flushMu.Unlock()
+		spare = batch
+		if err != nil {
+			s.mu.Lock()
+			s.failLocked(err)
+			s.mu.Unlock()
+			return
+		}
+		s.ctrl.obs.dataFlushes.Inc()
+	}
+}
+
+// frameSource is the byte source readerLoop decodes frames from: a reader
+// whose undelivered backlog is visible, so complete frames already
+// received can join a batch without risking a blocking read mid-batch.
+type frameSource interface {
+	io.Reader
+	wire.PeekReader
+}
+
+// readerLoop pulls frames off one data-socket generation into the receive
+// buffer until the socket ends — gracefully (peer flushed for a suspend) or
+// not (failure). Frames are enqueued a batch at a time: after the blocking
+// read that starts a batch, every complete frame already sitting in the
+// read buffer joins it, so a coalesced burst from the peer costs one lock
+// acquisition and one wakeup instead of one per frame.
+func (s *Socket) readerLoop(sock net.Conn, gen int) {
+	// A transport stream already queues whole received segments in user
+	// space, so frames decode straight off it — one copy, segment to frame
+	// payload. Wrapping it in another buffered reader would re-copy every
+	// byte, which under the race detector's memory-range instrumentation
+	// costs more than the decode itself. Plain sockets (tests, legacy
+	// paths) still get a buffered reader for cheap header reads.
+	var br frameSource
+	if fs, ok := sock.(frameSource); ok {
+		br = fs
+	} else {
+		br = bufio.NewReaderSize(sock, 64<<10)
+	}
+	var batch []wire.Frame
+	for {
+		f, err := wire.ReadFramePooled(br)
+		if err != nil {
+			s.readerExit(gen, err)
+			return
+		}
+		batch = append(batch[:0], f)
+		for wire.FrameBuffered(br) {
+			f, err = wire.ReadFramePooled(br)
+			if err != nil {
+				break
+			}
+			batch = append(batch, f)
+		}
+		if !s.enqueueFrames(gen, batch) {
+			return
+		}
+		if err != nil {
+			s.readerExit(gen, err)
+			return
+		}
+	}
+}
+
+// enqueueFrames delivers one batch of frames into the receive buffer under
+// a single lock acquisition. It reports false when the socket generation
+// ended underneath the reader; undelivered pooled payloads are recycled.
+func (s *Socket) enqueueFrames(gen int, batch []wire.Frame) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enqueued := false
+	for i, f := range batch {
+		if gen != s.gen || s.closed {
+			recycleFrames(batch[i:])
+			if enqueued {
+				s.cond.Broadcast()
+			}
+			return false
+		}
+		switch {
+		case f.IsFlush():
+			s.peerFlushSeen = true
+			s.peerFlushSeq = f.Seq
+		case f.IsData():
+			// Flow control: hold off when the application is behind —
+			// except while draining for a suspend, when everything in
+			// flight must be captured into the buffer.
+			for s.recvBytes > maxRecvBuffer && !s.suspending && !s.closed && gen == s.gen {
+				if enqueued {
+					s.cond.Broadcast()
+					enqueued = false
+				}
+				s.cond.Wait()
+			}
+			if gen != s.gen || s.closed {
+				recycleFrames(batch[i:])
+				if enqueued {
+					s.cond.Broadcast()
+				}
+				return false
+			}
+			// Sequence-number dedup makes redelivery idempotent.
+			if f.Seq > s.lastEnqueued {
+				s.recvBuf = append(s.recvBuf, bufEntry{Seq: f.Seq, Payload: f.Payload, ViaBuffer: s.suspending})
+				s.recvBytes += len(f.Payload)
+				s.lastEnqueued = f.Seq
+				enqueued = true
+			} else if f.Payload != nil {
+				// Duplicate from a retransmit: the frame is dropped here, so
+				// its pooled buffer can go straight back.
+				wire.PutPayload(f.Payload)
+			}
+		}
+	}
+	if enqueued {
+		s.cond.Broadcast()
+	}
+	return true
+}
+
+// recycleFrames returns a batch's undelivered pooled payloads.
+func recycleFrames(fs []wire.Frame) {
+	for _, f := range fs {
+		if f.Payload != nil {
+			wire.PutPayload(f.Payload)
+		}
+	}
+}
+
+// readerExit classifies the end of a socket generation: a completed
+// suspend drain, a close, or a failure.
+func (s *Socket) readerExit(gen int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gen != s.gen || s.closed {
+		return
+	}
+	st := s.m.State()
+	// The peer's orderly teardown (flush marker then half-close) during any
+	// suspend or close in progress is a completed drain — even if our own
+	// drainAndClose has not started yet (its ACK may still be in flight).
+	orderly := s.peerFlushSeen && s.lastEnqueued >= s.peerFlushSeq
+	tearingDown := s.suspending || st != fsm.Established
+	if orderly && tearingDown {
+		s.drained = true
+		s.cond.Broadcast()
+		return
+	}
+	if st == fsm.CloseSent || st == fsm.CloseAcked || st == fsm.Closed {
+		// A close is in progress; EOF is expected, not a failure.
+		s.drained = true
+		s.cond.Broadcast()
+		return
+	}
+	// Unexpected end while established (or a botched drain): degrade to
+	// SUSPENDED and let failure recovery re-resume (extension; fsm Fail).
+	s.failLocked(err)
+}
+
+// failLocked moves an established connection to SUSPENDED after a data
+// socket failure and schedules recovery. Caller holds mu.
+func (s *Socket) failLocked(cause error) {
+	if s.failing || s.closed {
+		return
+	}
+	if s.m.State() != fsm.Established {
+		// Failures in other states are handled by the ops that own them.
+		s.cond.Broadcast()
+		return
+	}
+	s.failing = true
+	if s.failedAt.IsZero() {
+		s.failedAt = time.Now()
+	}
+	s.step(fsm.Fail)
+	s.stopFlusherLocked()
+	if s.sock != nil {
+		s.sock.Close()
+		s.sock = nil
+		s.fw = nil
+	}
+	s.sockInstalled = false
+	s.cond.Broadcast()
+	s.ctrl.obs.failures.Inc()
+	s.ctrl.logf("conn %s: data socket failed (%v); degraded to SUSPENDED", s.id, cause)
+	if s.ctrl.cfg.DisableFailureResume {
+		return
+	}
+	delay := s.ctrl.cfg.failureResumeDelay(s.highPriority)
+	go s.failureResume(delay)
+}
+
+// failureResume re-resumes a connection that degraded to SUSPENDED. The
+// high-priority side fires first; the low-priority side is a late fallback,
+// and the resume-race rules sort out collisions. While the peer stays
+// unreachable (crashed and not yet restarted, or partitioned away) attempts
+// are retried with capped exponential backoff, so the connection heals as
+// soon as the peer returns rather than stranding after one failed try.
+func (s *Socket) failureResume(delay time.Duration) {
+	const maxDelay = 5 * time.Second
+	for {
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-s.ctrl.done:
+			timer.Stop()
+			return
+		}
+		s.mu.Lock()
+		stillDown := s.failing && !s.closed && s.m.State() == fsm.Suspended
+		migrating := s.ctrl.isMigrating(s.localAgent)
+		s.mu.Unlock()
+		if !stillDown {
+			return
+		}
+		if !migrating {
+			err := s.Resume()
+			if err == nil || errors.Is(err, ErrClosed) || errors.Is(err, ErrMigrated) {
+				return
+			}
+			s.ctrl.logf("conn %s: failure resume: %v", s.id, err)
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
+// Read reads application bytes, serving the migrated buffer before the live
+// socket. It blocks transparently across suspensions and returns io.EOF
+// once the connection is closed and the buffer is empty. One call drains as
+// many whole buffered messages into p as fit, so a fast producer does not
+// cost one lock round trip per message.
+func (s *Socket) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		n := 0
+		if len(s.leftover) > 0 {
+			if s.leftoverRestored {
+				// The tail crossed a migration or crash restore inside the
+				// buffer: announce the remainder to the observer as a
+				// from-buffer delivery, so the Fig 7 socket-vs-buffer
+				// accounting covers leftover bytes too.
+				s.leftoverRestored = false
+				if obs := s.observer; obs != nil {
+					obs(s.leftoverSeq, s.leftover, true)
+				}
+			}
+			c := copy(p, s.leftover)
+			s.leftover = s.leftover[c:]
+			n = c
+			if len(s.leftover) == 0 {
+				s.releaseLeftoverLocked()
+			}
+		}
+		for n < len(p) && len(s.recvBuf) > 0 {
+			e := s.recvBuf[0]
+			s.recvBuf[0] = bufEntry{} // drop the slot's payload reference
+			s.recvBuf = s.recvBuf[1:]
+			s.recvBytes -= len(e.Payload)
+			if obs := s.observer; obs != nil {
+				obs(e.Seq, e.Payload, e.ViaBuffer)
+			}
+			c := copy(p[n:], e.Payload)
+			n += c
+			if c < len(e.Payload) {
+				s.leftover = e.Payload[c:]
+				s.leftoverBack = e.Payload
+				s.leftoverSeq = e.Seq
+				s.leftoverBuf = e.ViaBuffer
+			} else {
+				// Fully copied out: the pooled buffer has no owner left.
+				wire.PutPayload(e.Payload)
+			}
+		}
+		if n > 0 {
+			s.cond.Broadcast() // reader may be flow-controlled
+			return n, nil
+		}
+		if s.closed {
+			if s.closeErr != nil {
+				return 0, s.closeErr
+			}
+			return 0, io.EOF
+		}
+		s.cond.Wait()
+	}
+}
+
+// releaseLeftoverLocked returns a fully drained leftover tail's backing
+// buffer to the payload pool and clears its provenance. Caller holds mu.
+func (s *Socket) releaseLeftoverLocked() {
+	s.leftover = nil
+	s.leftoverBuf = false
+	s.leftoverRestored = false
+	s.leftoverSeq = 0
+	if s.leftoverBack != nil {
+		wire.PutPayload(s.leftoverBack)
+		s.leftoverBack = nil
+	}
+}
+
+// ReadMsg reads one whole message (one writer-side WriteMsg / Write call's
+// frame), preserving message boundaries. It must not be mixed with Read on
+// the same socket. Ownership of the returned slice transfers to the caller;
+// it is never recycled by the socket.
+func (s *Socket) ReadMsg() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.recvBuf) > 0 {
+			e := s.recvBuf[0]
+			s.recvBuf[0] = bufEntry{} // drop the slot's payload reference
+			s.recvBuf = s.recvBuf[1:]
+			s.recvBytes -= len(e.Payload)
+			s.cond.Broadcast()
+			if obs := s.observer; obs != nil {
+				obs(e.Seq, e.Payload, e.ViaBuffer)
+			}
+			return e.Payload, nil
+		}
+		if s.closed {
+			if s.closeErr != nil {
+				return nil, s.closeErr
+			}
+			return nil, io.EOF
+		}
+		s.cond.Wait()
+	}
+}
+
+// Write sends application bytes, splitting them into sequence-numbered
+// frames. It blocks transparently while the connection is suspended and
+// returns only after every frame is handed to the transport.
+func (s *Socket) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		chunk := p
+		if len(chunk) > wire.MaxFramePayload {
+			chunk = chunk[:wire.MaxFramePayload]
+		}
+		if err := s.writeFrame(chunk); err != nil {
+			return total, err
+		}
+		total += len(chunk)
+		p = p[len(chunk):]
+	}
+	return total, nil
+}
+
+// WriteMsg sends one payload as exactly one frame, preserving message
+// boundaries for ReadMsg.
+func (s *Socket) WriteMsg(p []byte) error {
+	if len(p) > wire.MaxFramePayload {
+		return fmt.Errorf("napletsocket: message of %d bytes exceeds frame limit %d", len(p), wire.MaxFramePayload)
+	}
+	return s.writeFrame(p)
+}
+
+// writeFrame sends one frame, waiting out suspensions and retrying across
+// failures; the frame's sequence number is fixed on first attempt so a
+// retry after a failure cannot duplicate delivery.
+func (s *Socket) writeFrame(p []byte) error {
+	for {
+		// Wait until the connection is writable.
+		s.mu.Lock()
+		for !(s.m.State() == fsm.Established && s.sock != nil && !s.suspending) {
+			if s.closed {
+				err := s.closedErrLocked()
+				s.mu.Unlock()
+				return err
+			}
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+
+		s.writeMu.Lock()
+		s.mu.Lock()
+		writable := s.m.State() == fsm.Established && s.sock != nil && !s.suspending
+		if s.closed {
+			err := s.closedErrLocked()
+			s.mu.Unlock()
+			s.writeMu.Unlock()
+			return err
+		}
+		if !writable {
+			s.mu.Unlock()
+			s.writeMu.Unlock()
+			continue
+		}
+		fw := s.fw
+		s.mu.Unlock()
+
+		// Coalescing: encode into the frame writer's buffer without a
+		// syscall. Large accumulations flush inline (bounding buffer
+		// occupancy); otherwise the background flusher batches this frame
+		// with its neighbours into one kernel write.
+		seq, err := fw.WriteDataBuffered(p)
+		if err == nil {
+			o := s.ctrl.obs
+			o.dataFrames.Inc()
+			o.dataBytes.Add(uint64(len(p)))
+			var flushErr error
+			if fw.Buffered() >= coalesceFlushBytes {
+				s.flushMu.Lock()
+				flushErr = fw.Flush()
+				s.flushMu.Unlock()
+				if flushErr == nil {
+					o.dataFlushes.Inc()
+				}
+			}
+			s.mu.Lock()
+			s.nextSendSeq = seq + 1
+			s.appendSendLogLocked(seq, p)
+			if flushErr == nil && fw.Buffered() > 0 {
+				s.signalFlushLocked()
+			}
+			s.mu.Unlock()
+			s.writeMu.Unlock()
+			if flushErr != nil {
+				// The frame is journaled in the send log; recovery
+				// retransmits it, so the write itself has succeeded.
+				s.mu.Lock()
+				s.failLocked(flushErr)
+				s.mu.Unlock()
+			}
+			return nil
+		}
+		s.writeMu.Unlock()
+		// The socket died under us before the frame was logged: degrade and
+		// retry after recovery. The peer dedups by sequence number, so
+		// rewriting is safe.
+		s.mu.Lock()
+		s.failLocked(err)
+		s.mu.Unlock()
+	}
+}
+
+// appendSendLogLocked copies p into a pooled buffer and journals it for
+// retransmission. Caller holds mu AND writeMu (writeFrame's path), so no
+// retransmit can be walking the log concurrently and evicted buffers can
+// go straight back to the pool.
+func (s *Socket) appendSendLogLocked(seq uint64, p []byte) {
+	cp := wire.GetPayload(len(p))
+	copy(cp, p)
+	s.sendLog = append(s.sendLog, bufEntry{Seq: seq, Payload: cp})
+	s.sendLogSize += len(cp)
+	if s.sendLogSize <= maxSendLog {
+		return
+	}
+	// Evict in bulk with hysteresis: dropping to 3/4 of the cap means the
+	// in-place compaction below runs once per maxSendLog/4 logged bytes
+	// rather than on every write, and reusing the backing array avoids the
+	// allocate-and-zero churn that per-write eviction causes on a log tens
+	// of thousands of entries long.
+	evict := 0
+	for s.sendLogSize > maxSendLog*3/4 && evict < len(s.sendLog)-1 {
+		s.sendLogSize -= len(s.sendLog[evict].Payload)
+		wire.PutPayload(s.sendLog[evict].Payload)
+		evict++
+	}
+	if evict > 0 {
+		s.compactSendLogLocked(evict)
+	}
+}
+
+// compactSendLogLocked removes the first n entries by copying the live
+// tail down and zeroing the vacated slots, so evicted payloads are not
+// pinned by the backing array for the life of the connection.
+func (s *Socket) compactSendLogLocked(n int) {
+	kept := copy(s.sendLog, s.sendLog[n:])
+	for j := kept; j < len(s.sendLog); j++ {
+		s.sendLog[j] = bufEntry{}
+	}
+	s.sendLog = s.sendLog[:kept]
+}
+
+// trimSendLogLocked drops frames the peer confirmed receiving. Trimmed
+// buffers return to the pool unless a retransmit snapshot may still be
+// reading them (retxPending), in which case they are only unreferenced and
+// the garbage collector reclaims them.
+func (s *Socket) trimSendLogLocked(peerHasUpTo uint64) {
+	i := 0
+	for i < len(s.sendLog) && s.sendLog[i].Seq <= peerHasUpTo {
+		s.sendLogSize -= len(s.sendLog[i].Payload)
+		if !s.retxPending {
+			wire.PutPayload(s.sendLog[i].Payload)
+		}
+		i++
+	}
+	if i > 0 {
+		s.compactSendLogLocked(i)
+	}
+}
+
+// drainAndClose executes the suspend-side teardown of the data socket:
+// flush marker, half-close, drain the inbound direction to EOF into the
+// buffer, then close. It is idempotent; a second call while suspended is a
+// no-op. On a drain timeout the socket is failed rather than suspended
+// cleanly (the send log covers the gap at resume). The half-close works
+// identically for transport streams (Stream.CloseWrite sends MuxFin) and
+// raw TCP sockets, so the FLUSH-barrier exactly-once semantics survive the
+// mux unchanged.
+func (s *Socket) drainAndClose() {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	s.mu.Lock()
+	if s.sock == nil {
+		s.mu.Unlock()
+		return
+	}
+	s.suspending = true
+	sock := s.sock
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	// Write the flush marker after any in-flight application frame.
+	s.writeMu.Lock()
+	s.mu.Lock()
+	fw := s.fw
+	s.mu.Unlock()
+	var flushErr error
+	if fw != nil {
+		s.flushMu.Lock()
+		flushErr = fw.WriteFlush()
+		s.flushMu.Unlock()
+	}
+	s.writeMu.Unlock()
+	if flushErr == nil {
+		if cw, ok := sock.(interface{ CloseWrite() error }); ok {
+			flushErr = cw.CloseWrite()
+		}
+	}
+
+	// Wait for the reader to drain the peer's flush; bound the wait so a
+	// dead peer cannot wedge a migration. The wait is event-driven: every
+	// state change broadcasts, so the loop sleeps until the drain completes
+	// (or the deadline timer fires once), not on a polling interval.
+	deadline := time.Now().Add(s.ctrl.cfg.drainTimeout())
+	s.mu.Lock()
+	for !s.drained && !s.closed && s.sock != nil && flushErr == nil {
+		if !waitCond(s.cond, time.Until(deadline)) {
+			break
+		}
+	}
+	graceful := s.drained
+	s.stopFlusherLocked()
+	if s.sock != nil {
+		s.sock.Close()
+		s.sock = nil
+		s.fw = nil
+	}
+	s.sockInstalled = false
+	s.suspending = false
+	s.drained = false
+	s.peerFlushSeen = false
+	if graceful {
+		// Drain handshake proves the peer received everything we sent.
+		s.releaseSendLogLocked()
+		s.ctrl.obs.drainsGraceful.Inc()
+	} else {
+		s.ctrl.obs.drainsUngraceful.Inc()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// releaseSendLogLocked clears the send log, recycling its buffers unless a
+// retransmit snapshot may still hold references. Caller holds mu.
+func (s *Socket) releaseSendLogLocked() {
+	if !s.retxPending {
+		for i := range s.sendLog {
+			wire.PutPayload(s.sendLog[i].Payload)
+			s.sendLog[i] = bufEntry{}
+		}
+	}
+	s.sendLog = nil
+	s.sendLogSize = 0
+}
+
+// condTimerFires counts deadline-timer wakeups of waitCond, for the
+// regression test asserting the data plane performs no periodic wakeups.
+var condTimerFires atomic.Uint64
+
+// waitCond waits on c until a broadcast or until d elapses, implemented
+// with a one-shot helper timer because sync.Cond has no native timed wait.
+// It reports false when d was already non-positive (deadline passed). The
+// timer fires at most once per call — at the caller's true deadline — so
+// a blocked operation costs zero wakeups until something actually happens.
+func waitCond(c *sync.Cond, d time.Duration) bool {
+	if d <= 0 {
+		return false
+	}
+	done := make(chan struct{})
+	t := time.AfterFunc(d, func() {
+		c.L.Lock()
+		select {
+		case <-done:
+		default:
+			condTimerFires.Add(1)
+			c.Broadcast()
+		}
+		c.L.Unlock()
+	})
+	c.Wait()
+	close(done)
+	t.Stop()
+	return true
+}

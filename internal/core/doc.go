@@ -6,15 +6,39 @@
 //
 // # Architecture (Section 2.1 of the paper)
 //
-// Each host runs one Controller, which owns the reliable-UDP control channel
-// and the redirector (the data-plane TCP listener that hands arriving
-// sockets to the right NapletSocket). A Socket is one endpoint of a logical
-// connection; under it sits a plain TCP "data socket" that is torn down
-// before each migration and re-established afterwards. A per-connection
-// buffered input stream (the NapletInputStream of Section 3.1) catches data
-// drained at suspend time; its contents migrate with the agent and are
-// served before any bytes from the new data socket, which — combined with
-// per-frame sequence numbers — yields exactly-once delivery.
+// Each host runs one Controller, which owns the reliable-UDP control channel,
+// the redirector (the data-plane TCP listener), and a transport.Manager
+// maintaining one authenticated TCP connection per peer host. A Socket is one
+// endpoint of a logical connection; under it sits a data stream multiplexed
+// onto the shared per-host-pair transport, torn down before each migration
+// and re-established afterwards (a resume to an already-visited host rides
+// the warm transport — no new kernel dial). A per-connection buffered input
+// stream (the NapletInputStream of Section 3.1) catches data drained at
+// suspend time; its contents migrate with the agent and are served before any
+// bytes from the new data stream, which — combined with per-frame sequence
+// numbers — yields exactly-once delivery.
+//
+// # Shared transport (internal/transport)
+//
+// All logical connections between two hosts share a single kernel TCP
+// connection. Streams are framed with a 13-byte mux header and flow-controlled
+// with per-stream credit windows (1 MiB each direction, replenished at the
+// half-window mark), so a bulk stream cannot starve its siblings: the
+// transport's read loop never blocks on any one stream, and a writer that
+// exhausts its window parks without holding the shared write path. Stream
+// open replaces the old per-connection handoff dial: the handoff header rides
+// the MuxOpen frame, authorization runs on the accepting controller before
+// MuxAccept, and a stream's CloseWrite maps to MuxFin so the pre-suspend
+// FLUSH-then-half-close drain protocol works unchanged over the mux.
+//
+// The Diffie-Hellman exchange of Section 3.3 moves from per-connection to
+// per-transport: the two hosts agree on a transport secret once (mutually
+// authenticated by HMAC tags over the hello transcript), and each
+// connection's session key is derived from that secret bound to the
+// connection id. Key independence is preserved — compromising one
+// connection's key reveals nothing about siblings — while the modular
+// exponentiation cost is paid once per host pair instead of once per
+// connection (the Table 1 amortisation).
 //
 // # Protocol
 //

@@ -143,6 +143,14 @@ func (ctrl *Controller) registerGauges() {
 		defer ctrl.mu.Unlock()
 		return float64(len(ctrl.migrating))
 	})
+	met.Func("transport.active", func() float64 {
+		transports, _ := ctrl.transportCounts()
+		return float64(transports)
+	})
+	met.Func("transport.streams", func() float64 {
+		_, streams := ctrl.transportCounts()
+		return float64(streams)
+	})
 	met.Func("data.pool_hits", func() float64 {
 		hits, _ := wire.PoolStats()
 		return float64(hits)

@@ -2,9 +2,7 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"net"
 	"strings"
 	"time"
 
@@ -679,42 +677,16 @@ func (s *Socket) applyLocationLocked(loc naming.Location) {
 	}
 }
 
-// dialAndInstall connects to the peer's redirector, performs the
-// authenticated resume handoff, and installs the new data socket.
+// dialAndInstall opens a replacement data stream on the shared transport
+// to the peer's (possibly new) host — reusing a warm transport when one
+// exists, which is the common case for migration storms — performs the
+// authenticated resume handoff, and installs the new data stream.
 func (s *Socket) dialAndInstall(peerHasUpTo uint64) error {
-	s.mu.Lock()
-	addr := s.peerDataAddr
-	s.sendNonce++
-	hdr := &wire.HandoffHeader{
-		Purpose:     wire.HandoffResume,
-		ConnID:      s.id,
-		TargetAgent: s.remoteAgent,
-		FromAgent:   s.localAgent,
-		Nonce:       s.sendNonce,
-	}
-	s.mu.Unlock()
-	hdr.Token = s.auth.Sign(hdr.SigningBytes())
-
-	sock, err := net.DialTimeout("tcp", addr, s.ctrl.cfg.opTimeout())
+	stream, err := s.openDataStream(wire.HandoffResume)
 	if err != nil {
 		return err
 	}
-	sock.SetDeadline(time.Now().Add(s.ctrl.cfg.opTimeout()))
-	if err := hdr.Write(sock); err != nil {
-		sock.Close()
-		return err
-	}
-	status, err := wire.ReadHandoffStatus(sock)
-	if err != nil {
-		sock.Close()
-		return err
-	}
-	if status != wire.HandoffOK {
-		sock.Close()
-		return errors.New("napletsocket: handoff denied")
-	}
-	sock.SetDeadline(time.Time{})
-	return s.installSocket(sock, peerHasUpTo)
+	return s.installSocket(stream, peerHasUpTo)
 }
 
 // handleResume serves a peer's RES request.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -108,8 +109,21 @@ func (r *redirector) close() error {
 	return err
 }
 
+// Accept-error backoff bounds, net/http-Server style: transient errors
+// (EMFILE, ECONNABORTED) back off exponentially instead of hot-looping,
+// and any successful accept resets the delay.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 1 * time.Second
+)
+
+// rendezvousDeliverTimeout bounds how long a delivered socket waits for its
+// endpoint to arm.
+const rendezvousDeliverTimeout = 5 * time.Second
+
 func (r *redirector) acceptLoop() {
 	defer r.wg.Done()
+	var backoff time.Duration
 	for {
 		sock, err := r.ln.Accept()
 		if err != nil {
@@ -121,8 +135,23 @@ func (r *redirector) acceptLoop() {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
+			if backoff == 0 {
+				backoff = acceptBackoffMin
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			r.ctrl.logf("redirector %s: accept error: %v; retrying in %v",
+				r.ctrl.cfg.HostName, err, backoff)
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-r.done:
+				timer.Stop()
+				return
+			}
 			continue
 		}
+		backoff = 0
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
@@ -131,11 +160,35 @@ func (r *redirector) acceptLoop() {
 	}
 }
 
-// handle authenticates one arriving data socket and delivers it. On any
-// failure the socket is refused and closed; on success ownership passes to
-// the receiving NapletSocket.
+// handle dispatches one arriving data-plane connection. The first two
+// bytes tell a shared-transport hello ("NT" magic) from a legacy raw
+// handoff (whose 4-byte length prefix starts 0x00); transport connections
+// go to the transport manager, legacy ones through the original
+// authenticate-and-deliver path, kept for mixed-version peers and the
+// low-level protocol tests.
 func (r *redirector) handle(sock net.Conn) {
-	sock.SetDeadline(time.Now().Add(10 * time.Second))
+	sock.SetDeadline(time.Now().Add(r.ctrl.cfg.handshakeTimeout()))
+	var sniff [2]byte
+	if _, err := io.ReadFull(sock, sniff[:]); err != nil {
+		r.ctrl.logf("redirector %s: short read on new connection: %v", r.ctrl.cfg.HostName, err)
+		sock.Close()
+		return
+	}
+	pc := &prependConn{Conn: sock, head: sniff[:]}
+	if wire.SniffTransport(sniff[:]) {
+		sock.SetDeadline(time.Time{}) // HandleConn sets its own handshake deadline
+		if err := r.ctrl.tm.HandleConn(pc); err != nil {
+			r.ctrl.logf("redirector %s: transport handshake: %v", r.ctrl.cfg.HostName, err)
+		}
+		return
+	}
+	r.handleLegacy(pc)
+}
+
+// handleLegacy authenticates one raw (pre-transport) data socket and
+// delivers it. On any failure the socket is refused and closed; on success
+// ownership passes to the receiving NapletSocket.
+func (r *redirector) handleLegacy(sock net.Conn) {
 	hdr, err := wire.ReadHandoffHeader(sock)
 	if err != nil {
 		r.ctrl.logf("redirector %s: bad handoff: %v", r.ctrl.cfg.HostName, err)
@@ -154,9 +207,33 @@ func (r *redirector) handle(sock net.Conn) {
 		return
 	}
 	sock.SetDeadline(time.Time{})
-	if !r.ctrl.rv.deliver(connKey{id: hdr.ConnID, agent: hdr.TargetAgent}, sock, 5*time.Second) {
+	if !r.ctrl.rv.deliver(connKey{id: hdr.ConnID, agent: hdr.TargetAgent}, sock, rendezvousDeliverTimeout) {
 		r.ctrl.logf("redirector %s: no endpoint claimed %s handoff for %s",
 			r.ctrl.cfg.HostName, hdr.Purpose, hdr.ConnID)
 		sock.Close()
 	}
+}
+
+// prependConn replays sniffed bytes ahead of the wrapped connection's
+// stream. CloseWrite passes through so the half-close drain semantics
+// survive the sniffing wrapper on the legacy path.
+type prependConn struct {
+	net.Conn
+	head []byte
+}
+
+func (p *prependConn) Read(b []byte) (int, error) {
+	if len(p.head) > 0 {
+		n := copy(b, p.head)
+		p.head = p.head[n:]
+		return n, nil
+	}
+	return p.Conn.Read(b)
+}
+
+func (p *prependConn) CloseWrite() error {
+	if cw, ok := p.Conn.(interface{ CloseWrite() error }); ok {
+		return cw.CloseWrite()
+	}
+	return nil
 }

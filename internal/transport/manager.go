@@ -1,0 +1,325 @@
+package transport
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"naplet/internal/wire"
+)
+
+// Config parameterises a Manager.
+type Config struct {
+	// HostName is advertised in hellos for diagnostics.
+	HostName string
+	// AdvertiseAddr is this host's redirector address, advertised so the
+	// accepting side can reuse an inbound transport for its own dials.
+	AdvertiseAddr string
+	// Insecure disables the DH exchange (the paper's "w/o security" mode).
+	Insecure bool
+	// Dial opens the underlying connection; nil means net.DialTimeout.
+	// Tests count calls through this hook to prove transport sharing.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// WrapData wraps the shared connection after the handshake (network
+	// emulation); it replaces the old per-data-socket wrapping.
+	WrapData func(net.Conn) net.Conn
+	// HandshakeTimeout bounds the transport handshake.
+	HandshakeTimeout time.Duration
+	// Authorize vets an inbound stream-open before it is accepted.
+	Authorize func(*wire.HandoffHeader) error
+	// Deliver hands an accepted inbound stream to the layer above; a false
+	// return means no endpoint claimed it and the stream is reset.
+	Deliver func(*wire.HandoffHeader, *Stream) bool
+	// Logf logs transport-level events; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Manager owns every shared transport of one host: at most one live
+// transport per peer redirector address, with concurrent dials to the same
+// peer collapsed onto a single kernel connection and handshake.
+type Manager struct {
+	cfg Config
+
+	mu     sync.Mutex
+	byAddr map[string]*Transport
+	all    map[*Transport]struct{}
+	closed bool
+
+	// dialMu holds one mutex per address, serialising dials so that N
+	// concurrent opens to a new peer produce exactly one connection. It is
+	// never held while registering an accepted inbound transport, so a host
+	// dialing itself (or two hosts dialing each other simultaneously)
+	// cannot deadlock.
+	dialMuMu sync.Mutex
+	dialMu   map[string]*sync.Mutex
+}
+
+// NewManager returns a Manager with cfg's zero values defaulted.
+func NewManager(cfg Config) *Manager {
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	return &Manager{
+		cfg:    cfg,
+		byAddr: make(map[string]*Transport),
+		all:    make(map[*Transport]struct{}),
+		dialMu: make(map[string]*sync.Mutex),
+	}
+}
+
+func (m *Manager) addrLock(addr string) *sync.Mutex {
+	m.dialMuMu.Lock()
+	defer m.dialMuMu.Unlock()
+	mu := m.dialMu[addr]
+	if mu == nil {
+		mu = &sync.Mutex{}
+		m.dialMu[addr] = mu
+	}
+	return mu
+}
+
+func (m *Manager) lookup(addr string) (*Transport, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.byAddr[addr]
+	return t, ok && !m.closed
+}
+
+// Transport returns the live shared transport to addr, dialing and
+// handshaking one if none exists. Concurrent callers for the same address
+// share a single dial.
+func (m *Manager) Transport(addr string, timeout time.Duration) (*Transport, error) {
+	if t, ok := m.lookup(addr); ok {
+		return t, nil
+	}
+	lock := m.addrLock(addr)
+	lock.Lock()
+	defer lock.Unlock()
+	// Another caller may have finished the dial while we waited.
+	if t, ok := m.lookup(addr); ok {
+		return t, nil
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.mu.Unlock()
+	if timeout <= 0 {
+		timeout = m.cfg.HandshakeTimeout
+	}
+	conn, err := m.cfg.Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(m.cfg.HandshakeTimeout))
+	id, secret, peer, err := clientHandshake(conn, &m.cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	t := m.register(conn, id, secret, peer, true, addr)
+	if t == nil {
+		return nil, ErrClosed
+	}
+	return t, nil
+}
+
+// HandleConn runs the accept side of the transport handshake on a sniffed
+// inbound connection and registers the result. It returns once the
+// handshake finishes; the transport's read loop runs on its own goroutine.
+func (m *Manager) HandleConn(conn net.Conn) error {
+	conn.SetDeadline(time.Now().Add(m.cfg.HandshakeTimeout))
+	id, secret, peer, err := serverHandshake(conn, &m.cfg)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	conn.SetDeadline(time.Time{})
+	// Register under the peer's advertised redirector address so our own
+	// later dials toward that host reuse this transport. Registration
+	// deliberately skips the dial lock: the dialer side may be mid-
+	// handshake holding it (loopback, or crossed simultaneous dials), and
+	// blocking here would deadlock both.
+	if m.register(conn, id, secret, peer, false, peer.Addr) == nil {
+		return ErrClosed
+	}
+	return nil
+}
+
+// register wires up a handshaken transport and starts its read loop. The
+// addrKey may be "" (peer without a redirector); an existing entry for the
+// same address is left in place — both transports stay usable, the table
+// just keeps steering new opens at the incumbent.
+func (m *Manager) register(conn net.Conn, id wire.ConnID, secret []byte, peer *wire.TransportHello, dialer bool, addrKey string) *Transport {
+	if m.cfg.WrapData != nil {
+		conn = m.cfg.WrapData(conn)
+	}
+	t := &Transport{
+		mgr:      m,
+		conn:     conn,
+		id:       id,
+		secret:   secret,
+		dialer:   dialer,
+		peerHost: peer.Host,
+		peerAddr: peer.Addr,
+		streams:  make(map[uint64]*Stream),
+		opened:   time.Now(),
+	}
+	if dialer {
+		t.nextID = 1
+	} else {
+		t.nextID = 2
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		conn.Close()
+		return nil
+	}
+	m.all[t] = struct{}{}
+	if addrKey != "" {
+		if _, taken := m.byAddr[addrKey]; !taken {
+			m.byAddr[addrKey] = t
+			t.addrKey = addrKey
+		}
+	}
+	m.mu.Unlock()
+	go t.readLoop()
+	return t
+}
+
+// remove forgets a failed transport.
+func (m *Manager) remove(t *Transport) {
+	m.mu.Lock()
+	delete(m.all, t)
+	if t.addrKey != "" && m.byAddr[t.addrKey] == t {
+		delete(m.byAddr, t.addrKey)
+	}
+	m.mu.Unlock()
+}
+
+// OpenStream opens a logical stream to the peer at addr, establishing the
+// shared transport first if needed. If a warm transport dies between
+// lookup and open, the open is retried once on a fresh transport.
+func (m *Manager) OpenStream(addr string, hdr *wire.HandoffHeader, timeout time.Duration) (*Stream, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		t, err := m.Transport(addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		s, err := t.OpenStream(hdr, timeout)
+		if err == nil {
+			return s, nil
+		}
+		lastErr = err
+		if t.alive() {
+			// The transport is fine; the peer refused or timed out.
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// SecretByID returns the secret of the live transport with the given id,
+// for deriving connection session keys on the accepting side of CONNECT.
+func (m *Manager) SecretByID(id wire.ConnID) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for t := range m.all {
+		if t.id == id {
+			return t.secret, true
+		}
+	}
+	return nil, false
+}
+
+// Counts returns the number of live transports and the total live streams
+// across them, for the transport.active / transport.streams gauges.
+func (m *Manager) Counts() (transports, streams int) {
+	m.mu.Lock()
+	all := make([]*Transport, 0, len(m.all))
+	for t := range m.all {
+		all = append(all, t)
+	}
+	m.mu.Unlock()
+	for _, t := range all {
+		streams += t.streamCount()
+	}
+	return len(all), streams
+}
+
+// Info describes one live transport for the debug surface.
+type Info struct {
+	ID       wire.ConnID
+	PeerHost string
+	PeerAddr string
+	Dialer   bool
+	Streams  int
+	Opened   time.Time
+}
+
+// Infos returns a stable-ordered snapshot of the live transports.
+func (m *Manager) Infos() []Info {
+	m.mu.Lock()
+	all := make([]*Transport, 0, len(m.all))
+	for t := range m.all {
+		all = append(all, t)
+	}
+	m.mu.Unlock()
+	infos := make([]Info, 0, len(all))
+	for _, t := range all {
+		infos = append(infos, Info{
+			ID:       t.id,
+			PeerHost: t.peerHost,
+			PeerAddr: t.peerAddr,
+			Dialer:   t.dialer,
+			Streams:  t.streamCount(),
+			Opened:   t.opened,
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Opened.Before(infos[j].Opened) })
+	return infos
+}
+
+// CloseTransports fails every live transport but leaves the manager usable;
+// the next open pays the full dial + handshake again (tests use this to
+// measure cold-path cost).
+func (m *Manager) CloseTransports() {
+	m.mu.Lock()
+	all := make([]*Transport, 0, len(m.all))
+	for t := range m.all {
+		all = append(all, t)
+	}
+	m.mu.Unlock()
+	for _, t := range all {
+		t.fail(ErrClosed)
+	}
+}
+
+// Close shuts the manager down: every transport fails and future opens
+// return ErrClosed.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	all := make([]*Transport, 0, len(m.all))
+	for t := range m.all {
+		all = append(all, t)
+	}
+	m.mu.Unlock()
+	for _, t := range all {
+		t.fail(ErrClosed)
+	}
+}

@@ -1,0 +1,433 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"naplet/internal/wire"
+)
+
+// Flow-control constants. Every stream starts with initialWindow bytes of
+// send credit in each direction; the receiver grants more once the reader
+// has consumed at least windowUpdateAt bytes. A stream that stops reading
+// therefore stalls only its own sender — the transport read loop never
+// blocks on a full stream, so one bulk stream cannot head-of-line-starve
+// its siblings.
+const (
+	initialWindow  = 1 << 20
+	windowUpdateAt = initialWindow / 2
+)
+
+// Stream is one logical byte stream multiplexed over a shared Transport.
+// It implements net.Conn plus the CloseWrite half-close the NapletSocket
+// drain protocol requires, so the layers above use it exactly like the
+// dedicated TCP data socket it replaces.
+type Stream struct {
+	t  *Transport
+	id uint64
+	// local is true on the side that opened the stream.
+	local bool
+
+	mu   sync.Mutex
+	cond chan struct{} // closed-and-replaced broadcast, PR 3 style
+
+	// accepted/openErr gate the opener until MuxAccept or MuxReset arrives.
+	accepted bool
+	openErr  error
+
+	// Receive side: a queue of pooled payload segments owned by the
+	// stream (segs[0][roff:] is the next readable byte). Segments arrive
+	// whole from the read loop and are recycled to the wire payload pool
+	// as the reader drains them — inbound bytes are never copied between
+	// the socket read and the consumer's buffer. finSeen marks a received
+	// FIN (EOF after the queue drains); consumed counts bytes handed to
+	// Read since the last window grant.
+	segs     [][]byte
+	roff     int
+	finSeen  bool
+	consumed int
+	// peekBuf backs Peek when the peeked bytes span segments.
+	peekBuf [32]byte
+
+	// Send side: sendWindow is the remaining peer-granted credit.
+	sendWindow int
+
+	// Lifecycle.
+	writeClosed bool // we sent FIN
+	closed      bool // fully closed locally
+	err         error
+
+	rdeadline time.Time
+	wdeadline time.Time
+}
+
+func newStream(t *Transport, id uint64, local bool) *Stream {
+	return &Stream{
+		t:          t,
+		id:         id,
+		local:      local,
+		cond:       make(chan struct{}),
+		sendWindow: initialWindow,
+	}
+}
+
+// TransportID returns the id of the shared transport carrying the stream;
+// the core layer surfaces it in connection Info.
+func (s *Stream) TransportID() wire.ConnID { return s.t.ID() }
+
+// broadcastLocked wakes every waiter; callers hold s.mu.
+func (s *Stream) broadcastLocked() {
+	close(s.cond)
+	s.cond = make(chan struct{})
+}
+
+// waitLocked releases s.mu until the next broadcast or the deadline; it
+// returns os.ErrDeadlineExceeded on timeout. s.mu is held on return.
+func (s *Stream) waitLocked(deadline time.Time) error {
+	ch := s.cond
+	s.mu.Unlock()
+	if deadline.IsZero() {
+		<-ch
+		s.mu.Lock()
+		return nil
+	}
+	d := time.Until(deadline)
+	if d <= 0 {
+		s.mu.Lock()
+		return os.ErrDeadlineExceeded
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		s.mu.Lock()
+		return nil
+	case <-timer.C:
+		s.mu.Lock()
+		return os.ErrDeadlineExceeded
+	}
+}
+
+// waitOpened blocks the opener until the peer accepts, refuses, or the
+// timeout elapses.
+func (s *Stream) waitOpened(timeout time.Duration) error {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.openErr != nil {
+			return s.openErr
+		}
+		if s.err != nil {
+			return s.err
+		}
+		if s.accepted {
+			return nil
+		}
+		if err := s.waitLocked(deadline); err != nil {
+			return fmt.Errorf("transport: stream open: %w", err)
+		}
+	}
+}
+
+// opened records the peer's MuxAccept.
+func (s *Stream) opened() {
+	s.mu.Lock()
+	s.accepted = true
+	s.broadcastLocked()
+	s.mu.Unlock()
+}
+
+// remoteReset records a peer MuxReset: pending opens fail, reads fail once
+// the buffer drains, writes fail immediately.
+func (s *Stream) remoteReset(reason string) {
+	err := fmt.Errorf("transport: stream reset by peer")
+	if reason != "" {
+		err = fmt.Errorf("transport: stream reset by peer: %s", reason)
+	}
+	s.mu.Lock()
+	if s.openErr == nil && !s.accepted {
+		s.openErr = err
+	}
+	if s.err == nil {
+		s.err = err
+	}
+	s.broadcastLocked()
+	s.mu.Unlock()
+}
+
+// transportFailed fails the stream because the shared transport died.
+func (s *Stream) transportFailed(cause error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = fmt.Errorf("transport: connection failed: %w", cause)
+	}
+	if s.openErr == nil && !s.accepted {
+		s.openErr = s.err
+	}
+	s.broadcastLocked()
+	s.mu.Unlock()
+}
+
+// pushData queues one inbound payload segment, taking ownership of the
+// pooled buffer. It runs on the transport read loop and must not block:
+// credit guarantees the queue stays bounded by initialWindow plus one
+// frame. A segment arriving after close or FIN is recycled immediately.
+func (s *Stream) pushData(owned []byte) {
+	s.mu.Lock()
+	if s.closed || s.finSeen {
+		s.mu.Unlock()
+		wire.PutPayload(owned)
+		return
+	}
+	s.segs = append(s.segs, owned)
+	s.broadcastLocked()
+	s.mu.Unlock()
+}
+
+// Buffered reports how many received bytes Read can return without
+// blocking. Together with Peek it satisfies wire.PeekReader, so the socket
+// layer batch-decodes frames straight off the stream — no intermediate
+// buffered reader, one copy from received segment to frame payload.
+func (s *Stream) Buffered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := -s.roff
+	for _, seg := range s.segs {
+		n += len(seg)
+	}
+	return n
+}
+
+// Peek returns the next n queued bytes without consuming them, mirroring
+// (*bufio.Reader).Peek for wire.FrameBuffered. n is capped at the peek
+// scratch size (a frame header fits comfortably); the returned slice is
+// only valid until the next Read.
+func (s *Stream) Peek(n int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > len(s.peekBuf) {
+		return nil, fmt.Errorf("transport: peek %d exceeds scratch size %d", n, len(s.peekBuf))
+	}
+	if len(s.segs) > 0 && len(s.segs[0])-s.roff >= n {
+		return s.segs[0][s.roff : s.roff+n : s.roff+n], nil
+	}
+	got := 0
+	for i, seg := range s.segs {
+		if i == 0 {
+			seg = seg[s.roff:]
+		}
+		got += copy(s.peekBuf[got:n], seg)
+		if got == n {
+			return s.peekBuf[:n], nil
+		}
+	}
+	return nil, io.ErrShortBuffer
+}
+
+// finReceived records the peer's half-close.
+func (s *Stream) finReceived() {
+	s.mu.Lock()
+	s.finSeen = true
+	s.broadcastLocked()
+	s.mu.Unlock()
+}
+
+// addSendWindow credits the send window from a peer MuxWindow grant.
+func (s *Stream) addSendWindow(n int) {
+	s.mu.Lock()
+	s.sendWindow += n
+	s.broadcastLocked()
+	s.mu.Unlock()
+}
+
+// Read implements net.Conn. A clean peer half-close yields io.EOF after
+// the buffered bytes drain, which is exactly the orderly-shutdown signal
+// the NapletSocket drain protocol watches for.
+func (s *Stream) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	for {
+		if s.closed {
+			s.mu.Unlock()
+			return 0, ErrStreamClosed
+		}
+		if len(s.segs) > 0 {
+			break
+		}
+		if s.err != nil {
+			err := s.err
+			s.mu.Unlock()
+			return 0, err
+		}
+		if s.finSeen {
+			s.mu.Unlock()
+			return 0, io.EOF
+		}
+		if err := s.waitLocked(s.rdeadline); err != nil {
+			s.mu.Unlock()
+			return 0, err
+		}
+	}
+	// Drain whole segments into p while room remains, recycling each
+	// fully-consumed segment to the payload pool (the queue never holds a
+	// drained head, so len(segs) > 0 means bytes are readable).
+	n := 0
+	for n < len(p) && len(s.segs) > 0 {
+		m := copy(p[n:], s.segs[0][s.roff:])
+		n += m
+		s.roff += m
+		if s.roff == len(s.segs[0]) {
+			wire.PutPayload(s.segs[0])
+			s.segs[0] = nil
+			s.segs = s.segs[1:]
+			s.roff = 0
+		}
+	}
+	s.consumed += n
+	var grant int
+	if s.consumed >= windowUpdateAt && s.err == nil && !s.finSeen {
+		grant = s.consumed
+		s.consumed = 0
+	}
+	s.mu.Unlock()
+	if grant > 0 {
+		var w [4]byte
+		w[0], w[1], w[2], w[3] = byte(grant>>24), byte(grant>>16), byte(grant>>8), byte(grant)
+		if err := s.t.writeFrame(wire.MuxWindow, s.id, w[:]); err != nil {
+			s.t.fail(err)
+		}
+	}
+	return n, nil
+}
+
+// Write implements net.Conn, chunking by both the peer's credit window and
+// the mux frame payload bound. The frame write happens outside s.mu so a
+// slow kernel write on the shared connection never holds the stream lock.
+func (s *Stream) Write(p []byte) (int, error) {
+	written := 0
+	for len(p) > 0 {
+		s.mu.Lock()
+		for {
+			if s.closed || s.writeClosed {
+				s.mu.Unlock()
+				return written, ErrStreamClosed
+			}
+			if s.err != nil {
+				err := s.err
+				s.mu.Unlock()
+				return written, err
+			}
+			if s.sendWindow > 0 {
+				break
+			}
+			if err := s.waitLocked(s.wdeadline); err != nil {
+				s.mu.Unlock()
+				return written, err
+			}
+		}
+		n := len(p)
+		if n > s.sendWindow {
+			n = s.sendWindow
+		}
+		if n > wire.MaxMuxPayload {
+			n = wire.MaxMuxPayload
+		}
+		s.sendWindow -= n
+		s.mu.Unlock()
+		if err := s.t.writeFrame(wire.MuxData, s.id, p[:n]); err != nil {
+			s.t.fail(err)
+			return written, err
+		}
+		written += n
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// CloseWrite half-closes the stream: the peer reads EOF after consuming
+// everything sent, mirroring (*net.TCPConn).CloseWrite for the suspend
+// drain's FLUSH barrier.
+func (s *Stream) CloseWrite() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrStreamClosed
+	}
+	if s.writeClosed || s.err != nil {
+		s.mu.Unlock()
+		return nil
+	}
+	s.writeClosed = true
+	s.mu.Unlock()
+	if err := s.t.writeFrame(wire.MuxFin, s.id, nil); err != nil {
+		s.t.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Close releases the stream. A stream that finished cleanly in both
+// directions just detaches; otherwise the peer gets a MuxReset so its end
+// fails promptly rather than hanging.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	clean := s.writeClosed && s.finSeen && len(s.segs) == 0
+	failed := s.err != nil
+	for _, seg := range s.segs {
+		wire.PutPayload(seg)
+	}
+	s.segs = nil
+	s.roff = 0
+	s.broadcastLocked()
+	s.mu.Unlock()
+	s.t.removeStream(s.id)
+	if !clean && !failed && s.t.alive() {
+		s.t.writeFrame(wire.MuxReset, s.id, nil)
+	}
+	return nil
+}
+
+// LocalAddr implements net.Conn using the shared connection's address.
+func (s *Stream) LocalAddr() net.Addr { return s.t.conn.LocalAddr() }
+
+// RemoteAddr implements net.Conn using the shared connection's address.
+func (s *Stream) RemoteAddr() net.Addr { return s.t.conn.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (s *Stream) SetDeadline(t time.Time) error {
+	s.mu.Lock()
+	s.rdeadline, s.wdeadline = t, t
+	s.broadcastLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (s *Stream) SetReadDeadline(t time.Time) error {
+	s.mu.Lock()
+	s.rdeadline = t
+	s.broadcastLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (s *Stream) SetWriteDeadline(t time.Time) error {
+	s.mu.Lock()
+	s.wdeadline = t
+	s.broadcastLocked()
+	s.mu.Unlock()
+	return nil
+}

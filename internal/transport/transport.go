@@ -1,0 +1,473 @@
+// Package transport implements the shared per-host-pair transport layer:
+// one authenticated TCP connection between any two hosts, multiplexing
+// every logical NapletSocket data stream between them.
+//
+// The paper's Table 1 shows connection setup cost is dominated by the
+// per-connection TCP handshake plus Diffie-Hellman key exchange. This layer
+// amortises both: the first connection between two hosts dials once and
+// runs one DH exchange; every later connection (and every migration resume
+// targeting the same host) opens a lightweight stream over the warm
+// transport, paying only a control round trip. Streams carry per-stream
+// credit-based flow control so one bulk stream cannot head-of-line-starve
+// the others, and each stream supports the half-close (CloseWrite) the
+// suspend drain's FLUSH barrier depends on.
+//
+// Security (Section 3.3 of the paper, amortised): the transport handshake
+// runs the unauthenticated ephemeral DH that connection setup used to run
+// per connection, and both sides prove possession of the derived transport
+// secret with HMAC tags over the hello transcript. Per-connection session
+// keys are then derived from the transport secret bound to the connection
+// id, so compromise of one connection's key reveals nothing about its
+// siblings, and the handoff-token and control-message HMAC machinery above
+// is unchanged. The trust root is identical to the old per-connection
+// exchange (unauthenticated DH, hardened by the Guard policy layer); what
+// changes is only how often the modular exponentiation is paid.
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"naplet/internal/dhkx"
+	"naplet/internal/wire"
+)
+
+// Errors returned by the transport layer.
+var (
+	// ErrClosed reports use of a closed manager or transport.
+	ErrClosed = errors.New("transport: closed")
+	// ErrStreamClosed reports use of a locally closed stream.
+	ErrStreamClosed = errors.New("transport: stream closed")
+	// ErrHandshake reports a failed transport handshake.
+	ErrHandshake = errors.New("transport: handshake failed")
+)
+
+// Transport is one end of the shared connection between a pair of hosts.
+// Both sides hold the same transport id and secret; the dialer opens
+// odd-numbered streams, the acceptor even-numbered ones.
+type Transport struct {
+	mgr    *Manager
+	conn   net.Conn
+	id     wire.ConnID
+	secret []byte
+	dialer bool
+	// peerHost and peerAddr are what the peer advertised in its hello;
+	// peerAddr keys the manager's reuse table so either side can open
+	// streams over the one connection.
+	peerHost string
+	peerAddr string
+	// addrKey is the manager reuse-table key this transport registered
+	// under ("" when none).
+	addrKey string
+
+	// wmu serializes frame writes to conn; the header+payload pair of one
+	// frame goes out with a single writev so concurrent streams interleave
+	// only on frame boundaries.
+	wmu sync.Mutex
+
+	mu       sync.Mutex
+	streams  map[uint64]*Stream
+	nextID   uint64
+	closed   bool
+	closeErr error
+	opened   time.Time
+}
+
+// ID returns the transport id shared by both ends.
+func (t *Transport) ID() wire.ConnID { return t.id }
+
+// Secret returns the transport secret both ends derived at handshake;
+// connection session keys are derived from it bound to the connection id.
+func (t *Transport) Secret() []byte { return t.secret }
+
+// PeerHost returns the host name the peer advertised.
+func (t *Transport) PeerHost() string { return t.peerHost }
+
+func (t *Transport) alive() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return !t.closed
+}
+
+// handshake constants.
+const (
+	serverTagLabel = "naplet-transport-server-v1"
+	clientTagLabel = "naplet-transport-client-v1"
+)
+
+// transportSecret derives the shared transport secret from the raw DH
+// secret (or, in insecure mode, from the transport id alone — keeping the
+// tagging machinery uniform without the key-exchange cost, exactly like
+// insecure connection keys).
+func transportSecret(dhSecret []byte, id wire.ConnID, insecure bool) []byte {
+	if insecure {
+		return dhkx.DeriveSessionKey(id[:], id[:])
+	}
+	return dhkx.DeriveSessionKey(dhSecret, id[:])
+}
+
+// transcriptTag authenticates the handshake transcript under the transport
+// secret, proving the tagger derived the same secret.
+func transcriptTag(auth *dhkx.Authenticator, label string, clientHello, serverHello []byte) [wire.TagSize]byte {
+	msg := make([]byte, 0, len(label)+len(clientHello)+len(serverHello))
+	msg = append(msg, label...)
+	msg = append(msg, clientHello...)
+	msg = append(msg, serverHello...)
+	return auth.Sign(msg)
+}
+
+// clientHandshake runs the dialer's half of the transport handshake on a
+// fresh connection whose deadline the caller has already set.
+func clientHandshake(conn net.Conn, cfg *Config) (id wire.ConnID, secret []byte, peer *wire.TransportHello, err error) {
+	id, err = wire.NewConnID()
+	if err != nil {
+		return id, nil, nil, err
+	}
+	var kp *dhkx.KeyPair
+	hello := &wire.TransportHello{ID: id, Insecure: cfg.Insecure, Host: cfg.HostName, Addr: cfg.AdvertiseAddr}
+	if !cfg.Insecure {
+		if kp, err = dhkx.GenerateKeyPair(); err != nil {
+			return id, nil, nil, err
+		}
+		hello.Public = kp.PublicBytes()
+	}
+	sent, err := wire.WriteTransportHello(conn, hello)
+	if err != nil {
+		return id, nil, nil, err
+	}
+	peer, recvd, err := wire.ReadTransportHello(conn)
+	if err != nil {
+		return id, nil, nil, err
+	}
+	if peer.Insecure != cfg.Insecure {
+		return id, nil, nil, fmt.Errorf("%w: security mode mismatch with %s", ErrHandshake, peer.Host)
+	}
+	if peer.ID != id {
+		return id, nil, nil, fmt.Errorf("%w: peer echoed wrong transport id", ErrHandshake)
+	}
+	var dhSecret []byte
+	if !cfg.Insecure {
+		if dhSecret, err = kp.SharedSecret(peer.Public); err != nil {
+			return id, nil, nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+	}
+	secret = transportSecret(dhSecret, id, cfg.Insecure)
+	auth, err := dhkx.NewAuthenticator(secret)
+	if err != nil {
+		return id, nil, nil, err
+	}
+	var srvTag [wire.TagSize]byte
+	if _, err = io.ReadFull(conn, srvTag[:]); err != nil {
+		return id, nil, nil, err
+	}
+	want := transcriptTag(auth, serverTagLabel, sent, recvd)
+	if !hmacEqual(want, srvTag) {
+		return id, nil, nil, fmt.Errorf("%w: bad server transcript tag", ErrHandshake)
+	}
+	cliTag := transcriptTag(auth, clientTagLabel, sent, recvd)
+	if _, err = conn.Write(cliTag[:]); err != nil {
+		return id, nil, nil, err
+	}
+	return id, secret, peer, nil
+}
+
+// serverHandshake runs the acceptor's half on a connection whose first
+// bytes (including the sniffed magic) are readable from conn.
+func serverHandshake(conn net.Conn, cfg *Config) (id wire.ConnID, secret []byte, peer *wire.TransportHello, err error) {
+	peer, recvd, err := wire.ReadTransportHello(conn)
+	if err != nil {
+		return id, nil, nil, err
+	}
+	if peer.Insecure != cfg.Insecure {
+		return id, nil, nil, fmt.Errorf("%w: security mode mismatch with %s", ErrHandshake, peer.Host)
+	}
+	id = peer.ID
+	var kp *dhkx.KeyPair
+	hello := &wire.TransportHello{ID: id, Insecure: cfg.Insecure, Host: cfg.HostName, Addr: cfg.AdvertiseAddr}
+	if !cfg.Insecure {
+		if kp, err = dhkx.GenerateKeyPair(); err != nil {
+			return id, nil, nil, err
+		}
+		hello.Public = kp.PublicBytes()
+	}
+	sent, err := wire.WriteTransportHello(conn, hello)
+	if err != nil {
+		return id, nil, nil, err
+	}
+	var dhSecret []byte
+	if !cfg.Insecure {
+		if dhSecret, err = kp.SharedSecret(peer.Public); err != nil {
+			return id, nil, nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+	}
+	secret = transportSecret(dhSecret, id, cfg.Insecure)
+	auth, err := dhkx.NewAuthenticator(secret)
+	if err != nil {
+		return id, nil, nil, err
+	}
+	srvTag := transcriptTag(auth, serverTagLabel, recvd, sent)
+	if _, err = conn.Write(srvTag[:]); err != nil {
+		return id, nil, nil, err
+	}
+	var cliTag [wire.TagSize]byte
+	if _, err = io.ReadFull(conn, cliTag[:]); err != nil {
+		return id, nil, nil, err
+	}
+	want := transcriptTag(auth, clientTagLabel, recvd, sent)
+	if !hmacEqual(want, cliTag) {
+		return id, nil, nil, fmt.Errorf("%w: bad client transcript tag", ErrHandshake)
+	}
+	return id, secret, peer, nil
+}
+
+// hmacEqual compares two already-HMAC'd tags; Verify recomputes, so plain
+// constant-time comparison of the fixed-size arrays is what we need here.
+func hmacEqual(a, b [wire.TagSize]byte) bool {
+	var diff byte
+	for i := range a {
+		diff |= a[i] ^ b[i]
+	}
+	return diff == 0
+}
+
+// writeFrame sends one mux frame; the header and payload reach the kernel
+// in a single writev, so no copy joins them.
+func (t *Transport) writeFrame(typ uint8, stream uint64, payload []byte) error {
+	if len(payload) > wire.MaxMuxPayload {
+		return fmt.Errorf("transport: mux payload %d exceeds limit", len(payload))
+	}
+	hdr := wire.AppendMuxHeader(make([]byte, 0, wire.MuxHeaderSize), typ, stream, len(payload))
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if len(payload) == 0 {
+		_, err := t.conn.Write(hdr)
+		return err
+	}
+	bufs := net.Buffers{hdr, payload}
+	_, err := bufs.WriteTo(t.conn)
+	return err
+}
+
+// OpenStream opens a logical stream carrying hdr as its open payload and
+// waits for the peer's accept (or refusal) up to timeout.
+func (t *Transport) OpenStream(hdr *wire.HandoffHeader, timeout time.Duration) (*Stream, error) {
+	var buf bytes.Buffer
+	if err := hdr.Write(&buf); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if t.closed {
+		err := t.closeErr
+		t.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	sid := t.nextID
+	t.nextID += 2
+	s := newStream(t, sid, true)
+	t.streams[sid] = s
+	t.mu.Unlock()
+
+	if err := t.writeFrame(wire.MuxOpen, sid, buf.Bytes()); err != nil {
+		t.fail(err)
+		return nil, err
+	}
+	if err := s.waitOpened(timeout); err != nil {
+		t.removeStream(sid)
+		// Best-effort: tell the peer we gave up waiting.
+		t.writeFrame(wire.MuxReset, sid, []byte("open timed out"))
+		return nil, err
+	}
+	return s, nil
+}
+
+// serveOpen authorizes and delivers one inbound stream; it runs outside the
+// read loop so a slow rendezvous cannot stall the whole transport.
+func (t *Transport) serveOpen(s *Stream, hdr *wire.HandoffHeader) {
+	cfg := &t.mgr.cfg
+	if cfg.Authorize != nil {
+		if err := cfg.Authorize(hdr); err != nil {
+			t.logf("transport %s: refused %s stream for %s: %v", t.peerHost, hdr.Purpose, hdr.ConnID, err)
+			t.removeStream(s.id)
+			t.writeFrame(wire.MuxReset, s.id, []byte("handoff denied"))
+			return
+		}
+	}
+	if err := t.writeFrame(wire.MuxAccept, s.id, nil); err != nil {
+		t.fail(err)
+		return
+	}
+	if cfg.Deliver == nil || !cfg.Deliver(hdr, s) {
+		t.logf("transport %s: no endpoint claimed %s stream for %s", t.peerHost, hdr.Purpose, hdr.ConnID)
+		s.Close()
+	}
+}
+
+// readPayloadInto fills p from the buffered reader's backlog first, then
+// straight from the underlying connection: headers are decoded through the
+// small bufio buffer, but the bulk of a large data payload skips the
+// intermediate copy entirely.
+func readPayloadInto(br *bufio.Reader, conn io.Reader, p []byte) error {
+	n := 0
+	for n < len(p) && br.Buffered() > 0 {
+		m, err := br.Read(p[n:])
+		n += m
+		if err != nil {
+			return err
+		}
+	}
+	if n < len(p) {
+		if _, err := io.ReadFull(conn, p[n:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readLoop demultiplexes inbound frames for the transport's lifetime. Data
+// payloads land in pooled buffers whose ownership passes to the receiving
+// stream (and from there, segment by segment, back to the pool as the
+// stream's reader drains them); control payloads — open headers, reset
+// reasons, window grants — are small and reuse one scratch buffer.
+func (t *Transport) readLoop() {
+	// The buffer is deliberately small: it batches the 13-byte mux headers
+	// and small control frames, while readPayloadInto pulls the bulk of
+	// each data payload straight from the socket into its pooled segment —
+	// a large buffer here would soak up payload bytes on header reads and
+	// force an extra copy for almost every data byte.
+	br := bufio.NewReaderSize(t.conn, 4<<10)
+	var scratch []byte
+	for {
+		h, err := wire.ReadMuxHeader(br)
+		if err != nil {
+			t.fail(err)
+			return
+		}
+		t.mu.Lock()
+		s := t.streams[h.Stream]
+		t.mu.Unlock()
+		if h.Type == wire.MuxData {
+			if h.Length == 0 {
+				continue
+			}
+			buf := wire.GetPayload(int(h.Length))
+			if err := readPayloadInto(br, t.conn, buf); err != nil {
+				wire.PutPayload(buf)
+				t.fail(err)
+				return
+			}
+			if s != nil {
+				s.pushData(buf) // ownership moves to the stream
+			} else {
+				wire.PutPayload(buf) // stream already gone; drop the bytes
+			}
+			continue
+		}
+		var payload []byte
+		if h.Length > 0 {
+			if cap(scratch) < int(h.Length) {
+				scratch = make([]byte, h.Length)
+			}
+			payload = scratch[:h.Length]
+			if _, err := io.ReadFull(br, payload); err != nil {
+				t.fail(err)
+				return
+			}
+		}
+		switch h.Type {
+		case wire.MuxOpen:
+			hdr, err := wire.ReadHandoffHeader(bytes.NewReader(payload))
+			if err != nil {
+				t.fail(fmt.Errorf("transport: bad stream open: %w", err))
+				return
+			}
+			if s != nil {
+				t.fail(fmt.Errorf("transport: stream %d reopened", h.Stream))
+				return
+			}
+			// Register before accepting so data racing behind the accept
+			// lands in the buffer rather than the void.
+			ns := newStream(t, h.Stream, false)
+			t.mu.Lock()
+			closed := t.closed
+			if !closed {
+				t.streams[h.Stream] = ns
+			}
+			t.mu.Unlock()
+			if closed {
+				return
+			}
+			go t.serveOpen(ns, hdr)
+		case wire.MuxAccept:
+			if s != nil {
+				s.opened()
+			}
+		case wire.MuxReset:
+			if s != nil {
+				t.removeStream(h.Stream)
+				s.remoteReset(string(payload))
+			}
+		case wire.MuxFin:
+			if s != nil {
+				s.finReceived()
+			}
+		case wire.MuxWindow:
+			if s != nil && h.Length == 4 {
+				s.addSendWindow(int(uint32(payload[0])<<24 | uint32(payload[1])<<16 | uint32(payload[2])<<8 | uint32(payload[3])))
+			}
+		}
+	}
+}
+
+// fail tears the transport down: the shared connection closes and every
+// stream fails, which the NapletSocket layer above sees as a data-socket
+// failure and heals through its SUSPENDED/resume recovery path.
+func (t *Transport) fail(cause error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.closeErr = cause
+	streams := make([]*Stream, 0, len(t.streams))
+	for _, s := range t.streams {
+		streams = append(streams, s)
+	}
+	t.streams = map[uint64]*Stream{}
+	t.mu.Unlock()
+	t.conn.Close()
+	for _, s := range streams {
+		s.transportFailed(cause)
+	}
+	if t.mgr != nil {
+		t.mgr.remove(t)
+	}
+}
+
+func (t *Transport) removeStream(id uint64) {
+	t.mu.Lock()
+	delete(t.streams, id)
+	t.mu.Unlock()
+}
+
+// streamCount returns the number of live streams.
+func (t *Transport) streamCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.streams)
+}
+
+func (t *Transport) logf(format string, args ...any) {
+	if t.mgr != nil && t.mgr.cfg.Logf != nil {
+		t.mgr.cfg.Logf(format, args...)
+	}
+}

@@ -123,7 +123,13 @@ type ControlMsg struct {
 	ControlAddr string
 	// LastSeq carries a data-stream high-water mark where relevant.
 	LastSeq uint64
-	// Payload carries message-specific bytes (DH public keys on connect).
+	// TransportID names the shared per-host-pair transport the sender
+	// reached the receiver's host through (set on MsgConnect): both sides
+	// derive the connection's session key from that transport's secret,
+	// amortising the Diffie-Hellman exchange across every stream the
+	// transport carries. Zero in insecure mode.
+	TransportID ConnID
+	// Payload carries message-specific bytes.
 	Payload []byte
 	// Tag authenticates the message; all-zero for messages sent before a
 	// session key exists (connect and id-exchange).
@@ -140,8 +146,7 @@ type ControlReply struct {
 	// resume acks, so the mover can retransmit anything the replier never
 	// received (failure-recovery extension).
 	LastSeq uint64
-	// Payload carries reply-specific bytes (responder's DH public key on
-	// connect-ack).
+	// Payload carries reply-specific bytes.
 	Payload []byte
 	// Tag authenticates the reply under the session key, mirroring the
 	// request tag.
@@ -220,6 +225,7 @@ func (m *ControlMsg) Encode() []byte {
 	b = appendString(b, m.DataAddr)
 	b = appendString(b, m.ControlAddr)
 	b = binary.BigEndian.AppendUint64(b, m.LastSeq)
+	b = append(b, m.TransportID[:]...)
 	b = appendBytes(b, m.Payload)
 	b = append(b, m.Tag[:]...)
 	return b
@@ -260,6 +266,11 @@ func DecodeControlMsg(b []byte) (*ControlMsg, error) {
 	}
 	m.LastSeq = binary.BigEndian.Uint64(b)
 	b = b[8:]
+	if len(b) < 16 {
+		return nil, errShort
+	}
+	copy(m.TransportID[:], b[:16])
+	b = b[16:]
 	if m.Payload, b, err = takeBytes(b); err != nil {
 		return nil, err
 	}

@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -112,10 +111,21 @@ func ReadFramePooled(r io.Reader) (Frame, error) {
 	return readFrame(r, GetPayload)
 }
 
+// PeekReader is the read-ahead view the batched decode check needs: a
+// byte source that can expose already-received bytes without consuming
+// them. *bufio.Reader implements it, and so does the transport layer's
+// Stream (over its queue of received segments), which lets the socket
+// reader decode frames straight off a stream with no intermediate
+// buffered reader — one copy, received segment to frame payload.
+type PeekReader interface {
+	Peek(n int) ([]byte, error)
+	Buffered() int
+}
+
 // FrameBuffered reports whether br already holds one complete frame, so a
 // batching reader can keep decoding without risking a block mid-batch. A
 // frame larger than br's buffer always reports false.
-func FrameBuffered(br *bufio.Reader) bool {
+func FrameBuffered(br PeekReader) bool {
 	if br.Buffered() < frameHeaderSize {
 		return false
 	}

@@ -1,0 +1,222 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file defines the stream-multiplexing vocabulary of the shared
+// per-host-pair transport: the hello exchanged when two hosts first meet,
+// and the frames that carry many logical NapletSocket data streams over the
+// one TCP connection between them. The mux layer is deliberately dumb — it
+// knows streams, credits, and opaque payloads; which NapletSocket a stream
+// belongs to is carried by the HandoffHeader riding inside MuxOpen, so the
+// controller's handoff authorization (Section 3.4 of the paper) is unchanged.
+
+// transportMagic are the first two bytes a transport dialer writes, letting
+// the redirector tell a transport hello from a legacy handoff header (whose
+// 4-byte length prefix always starts 0x00).
+const transportMagic = 0x4e54 // "NT"
+
+// transportVersion is the transport protocol version.
+const transportVersion = 1
+
+// transportFlagInsecure marks a hello from a host running the paper's
+// "w/o security" configuration; both sides must agree.
+const transportFlagInsecure = 0x01
+
+// maxTransportHello bounds a hello read so a garbage peer cannot make the
+// acceptor allocate unbounded memory (the DH public value dominates).
+const maxTransportHello = 4096
+
+// TransportHello is the first message each side sends on a fresh transport
+// connection. The dialer picks the transport id; the acceptor echoes it.
+// Public carries the sender's ephemeral DH value (empty in insecure mode),
+// and Addr advertises the sender's redirector address so the acceptor can
+// reuse this transport for its own future dials to that host.
+type TransportHello struct {
+	ID       ConnID
+	Insecure bool
+	// Host is the sender's host name (diagnostics only).
+	Host string
+	// Addr is the sender's redirector address ("" when not listening).
+	Addr string
+	// Public is the sender's ephemeral DH public value.
+	Public []byte
+}
+
+// ErrBadTransport reports a malformed transport hello or mux frame.
+var ErrBadTransport = errors.New("wire: malformed transport message")
+
+// encode returns the canonical hello bytes (without the length prefix).
+func (h *TransportHello) encode() []byte {
+	b := make([]byte, 0, 32+len(h.Host)+len(h.Addr)+len(h.Public))
+	b = binary.BigEndian.AppendUint16(b, transportMagic)
+	b = append(b, transportVersion)
+	var flags byte
+	if h.Insecure {
+		flags |= transportFlagInsecure
+	}
+	b = append(b, flags)
+	b = append(b, h.ID[:]...)
+	b = appendString(b, h.Host)
+	b = appendString(b, h.Addr)
+	b = appendBytes(b, h.Public)
+	return b
+}
+
+// WriteTransportHello writes the hello: the transport magic, a 4-byte body
+// length, then the body. It returns the exact bytes written, which both
+// sides feed into the handshake authentication tag.
+func WriteTransportHello(w io.Writer, h *TransportHello) ([]byte, error) {
+	body := h.encode()
+	msg := make([]byte, 0, 6+len(body))
+	msg = binary.BigEndian.AppendUint16(msg, transportMagic)
+	msg = binary.BigEndian.AppendUint32(msg, uint32(len(body)))
+	msg = append(msg, body...)
+	if _, err := w.Write(msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// ReadTransportHello reads a hello written by WriteTransportHello. It
+// returns the decoded hello and the raw bytes read (for tag computation).
+func ReadTransportHello(r io.Reader) (*TransportHello, []byte, error) {
+	var pre [6]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, nil, err
+	}
+	if binary.BigEndian.Uint16(pre[:2]) != transportMagic {
+		return nil, nil, fmt.Errorf("%w: bad hello magic %#04x", ErrBadTransport, binary.BigEndian.Uint16(pre[:2]))
+	}
+	n := binary.BigEndian.Uint32(pre[2:6])
+	if n > maxTransportHello {
+		return nil, nil, fmt.Errorf("%w: hello of %d bytes", ErrBadTransport, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, nil, err
+	}
+	h, err := decodeTransportHello(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw := make([]byte, 0, 6+len(body))
+	raw = append(raw, pre[:]...)
+	raw = append(raw, body...)
+	return h, raw, nil
+}
+
+func decodeTransportHello(b []byte) (*TransportHello, error) {
+	if len(b) < 2 || binary.BigEndian.Uint16(b) != transportMagic {
+		return nil, fmt.Errorf("%w: bad hello body magic", ErrBadTransport)
+	}
+	b = b[2:]
+	if len(b) < 2+16 {
+		return nil, fmt.Errorf("%w: truncated hello", ErrBadTransport)
+	}
+	if b[0] != transportVersion {
+		return nil, fmt.Errorf("%w: unsupported transport version %d", ErrBadTransport, b[0])
+	}
+	h := &TransportHello{Insecure: b[1]&transportFlagInsecure != 0}
+	copy(h.ID[:], b[2:18])
+	b = b[18:]
+	var err error
+	if h.Host, b, err = takeString(b); err != nil {
+		return nil, err
+	}
+	if h.Addr, b, err = takeString(b); err != nil {
+		return nil, err
+	}
+	if h.Public, b, err = takeBytes(b); err != nil {
+		return nil, err
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing hello bytes", ErrBadTransport, len(b))
+	}
+	return h, nil
+}
+
+// SniffTransport reports whether the two sniffed bytes open a transport
+// hello (as opposed to a legacy length-prefixed handoff header).
+func SniffTransport(b []byte) bool {
+	return len(b) >= 2 && binary.BigEndian.Uint16(b) == transportMagic
+}
+
+// Mux frame types. Stream ids are chosen by the side opening the stream:
+// the transport dialer uses odd ids, the acceptor even ids, so the two
+// sides never collide without coordination.
+const (
+	// MuxOpen opens a stream; the payload is the length-prefixed
+	// HandoffHeader naming and authenticating the logical connection.
+	MuxOpen uint8 = 1 + iota
+	// MuxAccept confirms a MuxOpen; the opener may use the stream.
+	MuxAccept
+	// MuxReset kills a stream in either direction; the payload is an
+	// optional reason string. A reset answering MuxOpen is a refusal.
+	MuxReset
+	// MuxData carries stream payload bytes, bounded by the receiver's
+	// credit window.
+	MuxData
+	// MuxFin half-closes the sender's direction of the stream.
+	MuxFin
+	// MuxWindow grants the peer more send credit; the payload is a 4-byte
+	// big-endian byte count.
+	MuxWindow
+)
+
+// MaxMuxPayload bounds one mux frame's payload; stream writes larger than
+// this are split by the transport layer. It matches the payload pool's
+// 64 KiB class so inbound data segments recycle through the pool instead
+// of falling into the top class and allocating a fresh top-class buffer
+// on every miss; it also bounds how long one bulk stream's frame can
+// occupy the shared wire ahead of its siblings.
+const MaxMuxPayload = 64 << 10
+
+// MuxHeaderSize is the fixed mux frame header length:
+//
+//	type   uint8
+//	stream uint64
+//	length uint32
+//
+// No per-frame magic: frames follow the authenticated hello exchange on a
+// trusted byte stream, and any desynchronization kills the whole transport.
+const MuxHeaderSize = 1 + 8 + 4
+
+// MuxHeader is a decoded mux frame header; the payload follows on the wire.
+type MuxHeader struct {
+	Type   uint8
+	Stream uint64
+	Length uint32
+}
+
+// AppendMuxHeader encodes a mux frame header onto b.
+func AppendMuxHeader(b []byte, typ uint8, stream uint64, length int) []byte {
+	b = append(b, typ)
+	b = binary.BigEndian.AppendUint64(b, stream)
+	return binary.BigEndian.AppendUint32(b, uint32(length))
+}
+
+// ReadMuxHeader decodes the next mux frame header from r, validating the
+// type and payload bound.
+func ReadMuxHeader(r io.Reader) (MuxHeader, error) {
+	var hdr [MuxHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return MuxHeader{}, err
+	}
+	h := MuxHeader{
+		Type:   hdr[0],
+		Stream: binary.BigEndian.Uint64(hdr[1:9]),
+		Length: binary.BigEndian.Uint32(hdr[9:13]),
+	}
+	if h.Type < MuxOpen || h.Type > MuxWindow {
+		return MuxHeader{}, fmt.Errorf("%w: unknown mux frame type %d", ErrBadTransport, h.Type)
+	}
+	if h.Length > MaxMuxPayload {
+		return MuxHeader{}, fmt.Errorf("%w: mux payload %d exceeds limit %d", ErrBadTransport, h.Length, MaxMuxPayload)
+	}
+	return h, nil
+}

@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestTransportHelloRoundTrip(t *testing.T) {
+	id, err := NewConnID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &TransportHello{
+		ID:     id,
+		Host:   "alpha",
+		Addr:   "127.0.0.1:4410",
+		Public: bytes.Repeat([]byte{0xAB}, 256),
+	}
+	var buf bytes.Buffer
+	raw, err := WriteTransportHello(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, buf.Bytes()) {
+		t.Fatal("returned raw bytes differ from written bytes")
+	}
+	got, raw2, err := ReadTransportHello(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatal("reader raw bytes differ from writer raw bytes")
+	}
+	if got.ID != h.ID || got.Host != h.Host || got.Addr != h.Addr || got.Insecure {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, h)
+	}
+	if !bytes.Equal(got.Public, h.Public) {
+		t.Fatal("public value mismatch")
+	}
+}
+
+func TestTransportHelloInsecureFlag(t *testing.T) {
+	id, _ := NewConnID()
+	var buf bytes.Buffer
+	if _, err := WriteTransportHello(&buf, &TransportHello{ID: id, Insecure: true, Host: "h"}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadTransportHello(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Insecure {
+		t.Fatal("insecure flag lost in roundtrip")
+	}
+	if len(got.Public) != 0 {
+		t.Fatal("unexpected public value on insecure hello")
+	}
+}
+
+func TestReadTransportHelloRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0x4e, 0x54, 0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := ReadTransportHello(&buf); !errors.Is(err, ErrBadTransport) {
+		t.Fatalf("want ErrBadTransport, got %v", err)
+	}
+}
+
+func TestSniffTransport(t *testing.T) {
+	if !SniffTransport([]byte{0x4e, 0x54}) {
+		t.Fatal("transport magic not sniffed")
+	}
+	// A legacy handoff header starts with a 4-byte big-endian length whose
+	// first byte is always zero for any sane header size.
+	if SniffTransport([]byte{0x00, 0x30}) {
+		t.Fatal("legacy handoff prefix misidentified as transport")
+	}
+	if SniffTransport([]byte{0x4e}) {
+		t.Fatal("single byte sniffed as transport")
+	}
+}
+
+func TestMuxHeaderRoundTrip(t *testing.T) {
+	for _, typ := range []uint8{MuxOpen, MuxAccept, MuxReset, MuxData, MuxFin, MuxWindow} {
+		b := AppendMuxHeader(nil, typ, 0x0102030405060708, 77)
+		if len(b) != MuxHeaderSize {
+			t.Fatalf("header length %d, want %d", len(b), MuxHeaderSize)
+		}
+		h, err := ReadMuxHeader(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("type %d: %v", typ, err)
+		}
+		if h.Type != typ || h.Stream != 0x0102030405060708 || h.Length != 77 {
+			t.Fatalf("roundtrip mismatch: %+v", h)
+		}
+	}
+}
+
+func TestReadMuxHeaderRejects(t *testing.T) {
+	bad := AppendMuxHeader(nil, 99, 1, 0)
+	if _, err := ReadMuxHeader(bytes.NewReader(bad)); !errors.Is(err, ErrBadTransport) {
+		t.Fatalf("unknown type: want ErrBadTransport, got %v", err)
+	}
+	big := AppendMuxHeader(nil, MuxData, 1, MaxMuxPayload+1)
+	if _, err := ReadMuxHeader(bytes.NewReader(big)); !errors.Is(err, ErrBadTransport) {
+		t.Fatalf("oversize payload: want ErrBadTransport, got %v", err)
+	}
+	if _, err := ReadMuxHeader(bytes.NewReader([]byte{MuxData, 0})); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestControlMsgTransportIDRoundTrip(t *testing.T) {
+	id, _ := NewConnID()
+	tid, _ := NewConnID()
+	m := &ControlMsg{
+		Type:        MsgConnect,
+		ConnID:      id,
+		From:        "a",
+		To:          "b",
+		TransportID: tid,
+		Payload:     []byte("hello"),
+	}
+	got, err := DecodeControlMsg(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TransportID != tid {
+		t.Fatalf("TransportID mismatch: %v vs %v", got.TransportID, tid)
+	}
+	if !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatal("payload mismatch after TransportID field")
+	}
+}
+
+func TestMuxHeaderReaderEOF(t *testing.T) {
+	if _, err := ReadMuxHeader(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF on empty reader, got %v", err)
+	}
+}

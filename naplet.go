@@ -106,6 +106,12 @@ type Config struct {
 	// MigrationDelay models agent code+state transfer cost (the paper's
 	// T_a-migrate); zero means real transfer time only.
 	MigrationDelay time.Duration
+	// DockDialTimeout bounds the TCP dial to a destination dock when
+	// shipping an agent. Zero selects the default (10s).
+	DockDialTimeout time.Duration
+	// BundleTimeout bounds the transfer of one migration bundle in either
+	// direction. Zero selects the default (30s).
+	BundleTimeout time.Duration
 	// ClusterSecret authenticates the docking channel between the
 	// deployment's hosts (see agent.Config.ClusterSecret).
 	ClusterSecret []byte
@@ -230,20 +236,22 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 
 	hcfg := agent.Config{
-		Name:           cfg.Name,
-		DockAddr:       cfg.DockAddr,
-		ControlAddr:    ctrl.ControlAddr(),
-		DataAddr:       ctrl.DataAddr(),
-		MailAddr:       mailAddr,
-		Directory:      cfg.Directory,
-		Registry:       cfg.Registry,
-		Guard:          guard,
-		MigrationDelay: cfg.MigrationDelay,
-		ClusterSecret:  cfg.ClusterSecret,
-		Logf:           cfg.Logf,
-		Logger:         cfg.Logger,
-		Metrics:        cfg.Metrics,
-		Journal:        jnl,
+		Name:            cfg.Name,
+		DockAddr:        cfg.DockAddr,
+		ControlAddr:     ctrl.ControlAddr(),
+		DataAddr:        ctrl.DataAddr(),
+		MailAddr:        mailAddr,
+		Directory:       cfg.Directory,
+		Registry:        cfg.Registry,
+		Guard:           guard,
+		MigrationDelay:  cfg.MigrationDelay,
+		DockDialTimeout: cfg.DockDialTimeout,
+		BundleTimeout:   cfg.BundleTimeout,
+		ClusterSecret:   cfg.ClusterSecret,
+		Logf:            cfg.Logf,
+		Logger:          cfg.Logger,
+		Metrics:         cfg.Metrics,
+		Journal:         jnl,
 	}
 	host, err := agent.NewHost(hcfg)
 	if err != nil {
