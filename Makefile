@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: build test vet lint race check integration fuzz-smoke bench bench-smoke
+# Knobs for the netem fault-model sweep run as part of `test`: the seed and
+# loss probability feed TestLossRateMatchesKnob, so the loss model can be
+# swept (`make test NETEM_SEED=7 NETEM_LOSS=0.15`) without editing code.
+NETEM_SEED ?= 42
+NETEM_LOSS ?= 0.3
+
+.PHONY: build test vet lint race check integration fuzz-smoke bench bench-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -19,10 +25,16 @@ lint:
 	fi
 
 test:
-	$(GO) test ./...
+	NETEM_SEED=$(NETEM_SEED) NETEM_LOSS=$(NETEM_LOSS) $(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# chaos-smoke is the CI fault-injection gate: the chaos soak (16 streams,
+# 2 migrations, RST storms, a 2s partition) in short mode under the race
+# detector, uncached so it really runs every time.
+chaos-smoke:
+	$(GO) test ./internal/core -run TestChaosSoakExactlyOnce -race -short -count=1 -v
 
 # integration runs only the subprocess tests (two-process deployment and
 # crash recovery), uncached.

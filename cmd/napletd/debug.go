@@ -56,16 +56,16 @@ func startDebugServer(addr string, node *naplet.Node, reg *obs.Registry) (*http.
 				in.Transport)
 		}
 		fmt.Fprintf(w, "\n%d shared transports\n\n", len(transports))
-		fmt.Fprintf(w, "%-32s %-12s %-22s %-8s %7s %-10s\n",
-			"ID", "PEER", "ADDR", "ROLE", "STREAMS", "AGE")
+		fmt.Fprintf(w, "%-32s %-12s %-22s %-8s %7s %-10s %-18s\n",
+			"ID", "PEER", "ADDR", "ROLE", "STREAMS", "AGE", "STATE")
 		for _, tr := range transports {
 			role := "accept"
 			if tr.Dialer {
 				role = "dial"
 			}
-			fmt.Fprintf(w, "%-32s %-12s %-22s %-8s %7d %-10s\n",
+			fmt.Fprintf(w, "%-32s %-12s %-22s %-8s %7d %-10s %-18s\n",
 				tr.ID, tr.PeerHost, tr.PeerAddr, role, tr.Streams,
-				time.Since(tr.Opened).Round(time.Second))
+				time.Since(tr.Opened).Round(time.Second), tr.State)
 		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

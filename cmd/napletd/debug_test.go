@@ -255,3 +255,90 @@ func TestDebugServerEndpoints(t *testing.T) {
 		t.Errorf("conn.opens = %d, want 1", snap.Counters["conn.opens"])
 	}
 }
+
+// TestConnzTransportState pins the transport health column on /connz: an
+// inter-host connection must show its shared transport with STATE
+// "connected" in both the text table and the JSON rendering.
+func TestConnzTransportState(t *testing.T) {
+	svc := naming.NewService()
+	breg := naplet.NewRegistry()
+	behaviors.RegisterAll(breg)
+
+	newNode := func(name string) *naplet.Node {
+		node, err := naplet.NewNode(naplet.Config{
+			Name:      name,
+			Directory: naming.Local{Svc: svc},
+			Registry:  breg,
+			Metrics:   obs.NewRegistry(),
+			Logf:      t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		return node
+	}
+	n1 := newNode("h1")
+	n2 := newNode("h2")
+
+	met := obs.NewRegistry() // fresh registry just for the server arg
+	srv, addr, err := startDebugServer("127.0.0.1:0", n1, met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	if err := n1.Launch("echoer", &behaviors.Echo{}); err != nil {
+		t.Fatal(err)
+	}
+	// A cross-host pinger forces a shared transport between h1 and h2.
+	if err := n2.Launch("pinger", &behaviors.Pinger{Target: "echoer", Count: 500, IntervalMs: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var table string
+	for {
+		table = get("/connz")
+		if strings.Contains(table, "connected") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no connected transport row in /connz:\n%s", table)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(table, "STATE") {
+		t.Errorf("/connz transport table missing STATE column:\n%s", table)
+	}
+
+	var connz struct {
+		Transports []transport.Info `json:"transports"`
+	}
+	body := get("/connz?format=json")
+	if err := json.Unmarshal([]byte(body), &connz); err != nil {
+		t.Fatalf("decoding /connz json: %v\n%s", err, body)
+	}
+	if len(connz.Transports) == 0 {
+		t.Fatalf("no transports in /connz json:\n%s", body)
+	}
+	for _, tr := range connz.Transports {
+		if tr.State != "connected" {
+			t.Errorf("transport %s state = %q, want \"connected\"", tr.ID, tr.State)
+		}
+	}
+}

@@ -83,6 +83,19 @@ type Config struct {
 	DialData func(addr string, timeout time.Duration) (net.Conn, error)
 	// DrainTimeout bounds the pre-suspend drain. Default 5s.
 	DrainTimeout time.Duration
+	// TransportKeepaliveInterval / TransportKeepaliveTimeout tune the
+	// shared transport's half-open detection (mux ping after interval of
+	// inbound silence, declared dead after timeout). Zero picks the
+	// transport defaults (15s / 3x interval); a negative interval disables
+	// keepalive probing.
+	TransportKeepaliveInterval time.Duration
+	TransportKeepaliveTimeout  time.Duration
+	// TransportResumeWindow bounds how long a broken shared transport
+	// holds its streams stalled while resuming the session in place. Zero
+	// picks the transport default (30s); negative disables resumption so
+	// a broken transport fails streams immediately into the connection-
+	// level recovery path.
+	TransportResumeWindow time.Duration
 	// OpenBreakdown, when non-nil, accumulates the Figure 8 phase timings
 	// of every Open issued through this controller.
 	OpenBreakdown *metrics.Breakdown
@@ -229,15 +242,19 @@ func NewController(cfg Config) (*Controller, error) {
 	}
 	ctrl.red = red
 	ctrl.tm = transport.NewManager(transport.Config{
-		HostName:         cfg.HostName,
-		AdvertiseAddr:    red.addr(),
-		Insecure:         cfg.Insecure,
-		Dial:             cfg.DialData,
-		WrapData:         cfg.WrapData,
-		HandshakeTimeout: cfg.handshakeTimeout(),
-		Authorize:        ctrl.authorizeHandoff,
-		Deliver:          ctrl.deliverStream,
-		Logf:             ctrl.logf,
+		HostName:          cfg.HostName,
+		AdvertiseAddr:     red.addr(),
+		Insecure:          cfg.Insecure,
+		Dial:              cfg.DialData,
+		WrapData:          cfg.WrapData,
+		HandshakeTimeout:  cfg.handshakeTimeout(),
+		Authorize:         ctrl.authorizeHandoff,
+		Deliver:           ctrl.deliverStream,
+		Logf:              ctrl.logf,
+		KeepaliveInterval: cfg.TransportKeepaliveInterval,
+		KeepaliveTimeout:  cfg.TransportKeepaliveTimeout,
+		ResumeWindow:      cfg.TransportResumeWindow,
+		Metrics:           cfg.Metrics,
 	})
 	ctrl.registerGauges()
 	if ctrl.det != nil {

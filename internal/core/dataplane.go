@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"naplet/internal/fsm"
+	"naplet/internal/transport"
 	"naplet/internal/wire"
 )
 
@@ -350,7 +351,16 @@ func (s *Socket) failLocked(cause error) {
 	s.sockInstalled = false
 	s.cond.Broadcast()
 	s.ctrl.obs.failures.Inc()
-	s.ctrl.logf("conn %s: data socket failed (%v); degraded to SUSPENDED", s.id, cause)
+	if errors.Is(cause, transport.ErrTransportLost) {
+		// The shared transport died past its resume window (or resumption
+		// is disabled): this is a host-pair event, not a stream-level
+		// reset, and every sibling connection on the pair degrades with
+		// us. The typed error keeps the two failure modes countable apart.
+		s.ctrl.obs.transportLost.Inc()
+		s.ctrl.logf("conn %s: shared transport lost (%v); degraded to SUSPENDED", s.id, cause)
+	} else {
+		s.ctrl.logf("conn %s: data socket failed (%v); degraded to SUSPENDED", s.id, cause)
+	}
 	if s.ctrl.cfg.DisableFailureResume {
 		return
 	}

@@ -32,6 +32,7 @@ type ctrlObs struct {
 	connsShipped            *obs.Counter
 	fsmTransitions          *obs.Counter
 	connRecoveries          *obs.Counter
+	transportLost           *obs.Counter
 
 	dataFrames  *obs.Counter
 	dataFlushes *obs.Counter
@@ -80,6 +81,7 @@ func newCtrlObs(cfg Config) *ctrlObs {
 		connsShipped:     met.Counter("migrate.conns_shipped"),
 		fsmTransitions:   met.Counter("fsm.transitions"),
 		connRecoveries:   met.Counter("fault.conn_recoveries"),
+		transportLost:    met.Counter("conn.transport_lost"),
 		dataFrames:       met.Counter("data.frames"),
 		dataFlushes:      met.Counter("data.flushes"),
 		dataBytes:        met.Counter("data.bytes"),

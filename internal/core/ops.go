@@ -749,8 +749,20 @@ func (s *Socket) handleResume(m *wire.ControlMsg) []byte {
 	case fsm.Established:
 		// A stale or failure-racing RES; ask the peer to retry — if our
 		// socket is really dead our reader will degrade us to SUSPENDED
-		// shortly and the retry will be granted.
+		// shortly and the retry will be granted. One degradation cannot
+		// happen on its own: a stream riding a shared transport that is
+		// mid-resume stalls instead of failing. The peer's RES is proof
+		// that its end of that session is gone for good (a crashed-and-
+		// restarted peer re-handshakes the connection, it never resumes
+		// the old transport), so fail the zombie transport now; our stream
+		// fails immediately and the peer's retry finds us SUSPENDED.
+		tp, hasTransport := s.sock.(interface{ TransportID() wire.ConnID })
+		remote := s.remoteAgent
 		s.mu.Unlock()
+		if hasTransport {
+			s.ctrl.tm.FailIfReconnecting(tp.TransportID(),
+				fmt.Errorf("peer %s re-established connection %s", remote, s.id))
+		}
 		return s.reply(wire.VerdictReject, func(r *wire.ControlReply) { r.Reason = reasonRetry })
 
 	case fsm.Closed, fsm.CloseSent, fsm.CloseAcked:

@@ -117,7 +117,10 @@ func TestFig9NapletClosesTCPGap(t *testing.T) {
 	// negligible as message size grows).
 	small := res.Points[0].NapletMbps / res.Points[0].TCPMbps
 	large := res.Points[1].NapletMbps / res.Points[1].TCPMbps
-	if large < small*0.8 {
+	if large < small*0.8 && !raceEnabled {
+		// Under the race detector the instrumentation overhead dwarfs the
+		// per-message cost the ratio isolates, so the shape is only
+		// asserted in uninstrumented runs.
 		t.Fatalf("gap did not close with size: small ratio %.2f, large ratio %.2f", small, large)
 	}
 	if !strings.Contains(res.Table(), "msg size") {

@@ -93,19 +93,40 @@ func (m *mobileAgent) pump(msgSize int, stop <-chan struct{}) {
 	if err != nil {
 		return
 	}
-	// Batch a few messages per tick so the pace holds at millisecond timer
-	// granularity.
-	const batch = 8
+	// Batch a few messages per wakeup so the pace holds at millisecond
+	// timer granularity. The schedule is deadline-based rather than
+	// ticker-based: a constant-rate source sends on schedule even when a
+	// loaded scheduler wakes it late, so up to maxCatchup intervals of
+	// deficit are sent immediately on wakeup. Longer gaps — a write
+	// blocked behind a migrating peer — are NOT backfilled: that offered
+	// load is gone, which is exactly the loss effective throughput
+	// measures.
+	const (
+		batch      = 8
+		maxCatchup = 4
+	)
 	interval := time.Duration(float64(msgSize*8*batch) / (offeredRateMbps * 1e6) * float64(time.Second))
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
+	next := time.Now()
 	for {
-		select {
-		case <-stop:
-			return
-		case <-tick.C:
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-stop:
+				return
+			case <-time.After(d):
+			}
+		} else {
+			select {
+			case <-stop:
+				return
+			default:
+			}
 		}
-		for i := 0; i < batch; i++ {
+		behind := 1 + int(time.Since(next)/interval)
+		if behind > maxCatchup {
+			behind = maxCatchup
+			next = time.Now().Add(-time.Duration(maxCatchup-1) * interval)
+		}
+		for i := 0; i < behind*batch; i++ {
 			if err := sock.WriteMsg(payload); err != nil {
 				if errors.Is(err, core.ErrMigrated) {
 					if sock, err = m.attach(5 * time.Second); err != nil {
@@ -116,6 +137,12 @@ func (m *mobileAgent) pump(msgSize int, stop <-chan struct{}) {
 				}
 				return
 			}
+		}
+		next = next.Add(time.Duration(behind) * interval)
+		// A long blocking write (a migration pause) leaves next far in the
+		// past; restart the schedule from now instead of bursting.
+		if time.Since(next) > maxCatchup*interval {
+			next = time.Now().Add(interval)
 		}
 	}
 }

@@ -1,0 +1,159 @@
+package netem
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Fault injection. Faults is a seedable, runtime-adjustable fault plan
+// shared by everything that emulates a bad network: the TCP fault Proxy
+// (transport-layer chaos), the Wrap conn wrapper (endpoint-side stalls and
+// bandwidth caps), and the DropFn hook the RUDP control plane accepts
+// (probabilistic datagram loss). One Faults value scripted by a test gives
+// a single coherent fault schedule across both planes.
+//
+// Fault semantics respect what each layer can survive: datagram paths get
+// probabilistic loss (RUDP retransmits); byte-stream paths get abrupt
+// resets, directional write stalls (one-way partitions), and bandwidth
+// caps — never silent byte removal, which no stream protocol distinguishes
+// from corruption.
+
+// Direction names one flow direction through a Proxy or Wrap: Up is
+// client-to-server (the dial direction), Down is server-to-client.
+type Direction int
+
+const (
+	Up Direction = iota
+	Down
+)
+
+// Faults is a shared fault plan. The zero value is unusable; use NewFaults.
+// All knobs may be flipped concurrently with traffic.
+type Faults struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	rng  *rand.Rand
+	// lossP is the probabilistic datagram drop rate in [0,1].
+	lossP float64
+	// bandwidth caps paced writes in bytes/second; 0 means unlimited.
+	bandwidth float64
+	nextFree  time.Time
+	// stall[dir] holds that direction's writes (a one-way partition when
+	// only one is set, a full partition when both are).
+	stall [2]bool
+}
+
+// NewFaults returns a fault plan whose probabilistic decisions come from
+// the given seed, so a chaos schedule replays identically.
+func NewFaults(seed int64) *Faults {
+	f := &Faults{rng: rand.New(rand.NewSource(seed))}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// SetLoss sets the probabilistic datagram drop rate in [0,1].
+func (f *Faults) SetLoss(p float64) {
+	f.mu.Lock()
+	f.lossP = p
+	f.mu.Unlock()
+}
+
+// SetBandwidth caps paced traffic at bytesPerSec; 0 removes the cap.
+func (f *Faults) SetBandwidth(bytesPerSec float64) {
+	f.mu.Lock()
+	f.bandwidth = bytesPerSec
+	f.nextFree = time.Time{}
+	f.mu.Unlock()
+}
+
+// Stall holds or releases one direction's writes. Stalled bytes are
+// delayed, never lost: writers block until the stall lifts.
+func (f *Faults) Stall(dir Direction, stalled bool) {
+	f.mu.Lock()
+	f.stall[dir] = stalled
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// StallAll holds or releases both directions (a full partition).
+func (f *Faults) StallAll(stalled bool) {
+	f.mu.Lock()
+	f.stall[Up] = stalled
+	f.stall[Down] = stalled
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// drop makes one seeded loss decision.
+func (f *Faults) drop() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lossP > 0 && f.rng.Float64() < f.lossP
+}
+
+// DropFn returns a drop decision function in the shape the RUDP control
+// plane's Config.DropFn / core Config.ControlDropFn expect: it reports
+// whether to silently discard one outgoing datagram.
+func (f *Faults) DropFn() func([]byte) bool {
+	return func([]byte) bool { return f.drop() }
+}
+
+// waitClear blocks while dir is stalled.
+func (f *Faults) waitClear(dir Direction) {
+	f.mu.Lock()
+	for f.stall[dir] {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// pace delays the caller according to the bandwidth cap, attributing n
+// bytes to the shared budget.
+func (f *Faults) pace(n int) {
+	f.mu.Lock()
+	bw := f.bandwidth
+	if bw <= 0 {
+		f.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	if f.nextFree.Before(now) {
+		f.nextFree = now
+	}
+	wait := f.nextFree.Sub(now)
+	f.nextFree = f.nextFree.Add(time.Duration(float64(n) / bw * float64(time.Second)))
+	f.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// faultConn applies a Faults plan to one endpoint connection's writes.
+type faultConn struct {
+	net.Conn
+	f   *Faults
+	dir Direction
+}
+
+// Wrap returns conn with its writes subject to the plan's dir-direction
+// stalls and bandwidth cap (shape for transport.Config.WrapData /
+// core.Config.WrapData). Reads pass through untouched; CloseWrite is
+// preserved when the underlying connection supports it.
+func (f *Faults) Wrap(conn net.Conn, dir Direction) net.Conn {
+	return &faultConn{Conn: conn, f: f, dir: dir}
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.f.waitClear(c.dir)
+	c.f.pace(len(p))
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) CloseWrite() error {
+	if cw, ok := c.Conn.(closeWriter); ok {
+		return cw.CloseWrite()
+	}
+	return nil
+}

@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"fmt"
 	"net"
 	"sort"
 	"sync"
 	"time"
 
+	"naplet/internal/obs"
 	"naplet/internal/wire"
 )
 
@@ -33,6 +35,29 @@ type Config struct {
 	Deliver func(*wire.HandoffHeader, *Stream) bool
 	// Logf logs transport-level events; nil discards.
 	Logf func(format string, args ...any)
+
+	// KeepaliveInterval is how long a transport may sit without inbound
+	// traffic before the side probes it with a mux ping; 0 means the 15s
+	// default, negative disables keepalive probing entirely.
+	KeepaliveInterval time.Duration
+	// KeepaliveTimeout is the inbound-silence threshold past which the
+	// connection is declared half-open and broken (feeding resumption);
+	// 0 defaults to 3x the keepalive interval.
+	KeepaliveTimeout time.Duration
+	// ResumeWindow bounds how long a broken transport keeps its streams
+	// stalled while trying to resume the session; past it every stream
+	// fails with ErrTransportLost. 0 means the 30s default, negative
+	// disables resumption (a broken connection fails streams immediately,
+	// the pre-resumption behaviour).
+	ResumeWindow time.Duration
+	// ResumeLogBudget bounds the unacked reliable-frame bytes retained for
+	// resume replay while a transport is down; exceeding it during an
+	// outage fails the transport rather than buffering without bound.
+	// 0 means the 64 MiB default.
+	ResumeLogBudget int
+	// Metrics receives the transport.reconnects / transport.resumed_streams
+	// / transport.keepalive_timeouts counters; nil records nothing.
+	Metrics *obs.Registry
 }
 
 // Manager owns every shared transport of one host: at most one live
@@ -41,10 +66,25 @@ type Config struct {
 type Manager struct {
 	cfg Config
 
+	// done closes when the manager closes, releasing keepalive tickers,
+	// reconnect backoff sleeps, and dials blocked in flight.
+	done chan struct{}
+
+	// Resumption metrics (nil-safe when cfg.Metrics is nil).
+	reconnects        *obs.Counter
+	resumedStreams    *obs.Counter
+	keepaliveTimeouts *obs.Counter
+
 	mu     sync.Mutex
 	byAddr map[string]*Transport
 	all    map[*Transport]struct{}
-	closed bool
+	// lost is a small ring of recently failed transports, so the debug
+	// surface can show the terminal "lost" state after removal.
+	lost []Info
+	// pending tracks connections whose handshake is in flight, so Close
+	// can fail them promptly instead of waiting out the handshake timeout.
+	pending map[net.Conn]struct{}
+	closed  bool
 
 	// dialMu holds one mutex per address, serialising dials so that N
 	// concurrent opens to a new peer produce exactly one connection. It is
@@ -54,6 +94,9 @@ type Manager struct {
 	dialMuMu sync.Mutex
 	dialMu   map[string]*sync.Mutex
 }
+
+// maxLostInfos bounds the lost-transport ring kept for the debug surface.
+const maxLostInfos = 8
 
 // NewManager returns a Manager with cfg's zero values defaulted.
 func NewManager(cfg Config) *Manager {
@@ -65,11 +108,28 @@ func NewManager(cfg Config) *Manager {
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = 10 * time.Second
 	}
+	if cfg.KeepaliveInterval == 0 {
+		cfg.KeepaliveInterval = 15 * time.Second
+	}
+	if cfg.KeepaliveTimeout <= 0 {
+		cfg.KeepaliveTimeout = 3 * cfg.KeepaliveInterval
+	}
+	if cfg.ResumeWindow == 0 {
+		cfg.ResumeWindow = 30 * time.Second
+	}
+	if cfg.ResumeLogBudget <= 0 {
+		cfg.ResumeLogBudget = 64 << 20
+	}
 	return &Manager{
-		cfg:    cfg,
-		byAddr: make(map[string]*Transport),
-		all:    make(map[*Transport]struct{}),
-		dialMu: make(map[string]*sync.Mutex),
+		cfg:               cfg,
+		done:              make(chan struct{}),
+		reconnects:        cfg.Metrics.Counter("transport.reconnects"),
+		resumedStreams:    cfg.Metrics.Counter("transport.resumed_streams"),
+		keepaliveTimeouts: cfg.Metrics.Counter("transport.keepalive_timeouts"),
+		byAddr:            make(map[string]*Transport),
+		all:               make(map[*Transport]struct{}),
+		pending:           make(map[net.Conn]struct{}),
+		dialMu:            make(map[string]*sync.Mutex),
 	}
 }
 
@@ -91,9 +151,62 @@ func (m *Manager) lookup(addr string) (*Transport, bool) {
 	return t, ok && !m.closed
 }
 
+func (m *Manager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// trackPending registers an in-flight handshake connection so Close can
+// fail it promptly; it reports false when the manager is already closed.
+func (m *Manager) trackPending(conn net.Conn) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.pending[conn] = struct{}{}
+	return true
+}
+
+func (m *Manager) untrackPending(conn net.Conn) {
+	m.mu.Lock()
+	delete(m.pending, conn)
+	m.mu.Unlock()
+}
+
+// dial runs cfg.Dial without letting a slow connect outlive the manager:
+// the caller gets ErrClosed as soon as the manager closes, and the dial
+// goroutine closes the late connection when (bounded by the dial timeout)
+// it finally returns.
+func (m *Manager) dial(addr string, timeout time.Duration) (net.Conn, error) {
+	type dialResult struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan dialResult)
+	go func() {
+		conn, err := m.cfg.Dial(addr, timeout)
+		select {
+		case ch <- dialResult{conn, err}:
+		case <-m.done:
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	}()
+	select {
+	case r := <-ch:
+		return r.conn, r.err
+	case <-m.done:
+		return nil, ErrClosed
+	}
+}
+
 // Transport returns the live shared transport to addr, dialing and
 // handshaking one if none exists. Concurrent callers for the same address
-// share a single dial.
+// share a single dial. Closing the manager fails an in-flight dial or
+// handshake promptly.
 func (m *Manager) Transport(addr string, timeout time.Duration) (*Transport, error) {
 	if t, ok := m.lookup(addr); ok {
 		return t, nil
@@ -105,23 +218,30 @@ func (m *Manager) Transport(addr string, timeout time.Duration) (*Transport, err
 	if t, ok := m.lookup(addr); ok {
 		return t, nil
 	}
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.isClosed() {
 		return nil, ErrClosed
 	}
-	m.mu.Unlock()
 	if timeout <= 0 {
 		timeout = m.cfg.HandshakeTimeout
 	}
-	conn, err := m.cfg.Dial(addr, timeout)
+	conn, err := m.dial(addr, timeout)
 	if err != nil {
 		return nil, err
 	}
+	// Track the handshake so Manager.Close can cut it short by closing the
+	// connection under it.
+	if !m.trackPending(conn) {
+		conn.Close()
+		return nil, ErrClosed
+	}
 	conn.SetDeadline(time.Now().Add(m.cfg.HandshakeTimeout))
 	id, secret, peer, err := clientHandshake(conn, &m.cfg)
+	m.untrackPending(conn)
 	if err != nil {
 		conn.Close()
+		if m.isClosed() {
+			return nil, ErrClosed
+		}
 		return nil, err
 	}
 	conn.SetDeadline(time.Time{})
@@ -129,15 +249,34 @@ func (m *Manager) Transport(addr string, timeout time.Duration) (*Transport, err
 	if t == nil {
 		return nil, ErrClosed
 	}
+	t.dialAddr = addr
 	return t, nil
 }
 
 // HandleConn runs the accept side of the transport handshake on a sniffed
-// inbound connection and registers the result. It returns once the
-// handshake finishes; the transport's read loop runs on its own goroutine.
+// inbound connection and registers the result. A resume hello instead
+// resurrects the prior session in place (see resume.go). It returns once
+// the handshake finishes; the transport's read loop runs on its own
+// goroutine.
 func (m *Manager) HandleConn(conn net.Conn) error {
+	if !m.trackPending(conn) {
+		conn.Close()
+		return ErrClosed
+	}
 	conn.SetDeadline(time.Now().Add(m.cfg.HandshakeTimeout))
-	id, secret, peer, err := serverHandshake(conn, &m.cfg)
+	peer, recvd, err := wire.ReadTransportHello(conn)
+	if err != nil {
+		m.untrackPending(conn)
+		conn.Close()
+		return err
+	}
+	if peer.Resume {
+		err := m.handleResume(conn, peer, recvd)
+		m.untrackPending(conn)
+		return err
+	}
+	id, secret, err := serverHandshake(conn, &m.cfg, peer, recvd)
+	m.untrackPending(conn)
 	if err != nil {
 		conn.Close()
 		return err
@@ -154,6 +293,18 @@ func (m *Manager) HandleConn(conn net.Conn) error {
 	return nil
 }
 
+// byID returns the live transport with the given id.
+func (m *Manager) byID(id wire.ConnID) *Transport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for t := range m.all {
+		if t.id == id {
+			return t
+		}
+	}
+	return nil
+}
+
 // register wires up a handshaken transport and starts its read loop. The
 // addrKey may be "" (peer without a redirector); an existing entry for the
 // same address is left in place — both transports stay usable, the table
@@ -162,17 +313,28 @@ func (m *Manager) register(conn net.Conn, id wire.ConnID, secret []byte, peer *w
 	if m.cfg.WrapData != nil {
 		conn = m.cfg.WrapData(conn)
 	}
-	t := &Transport{
-		mgr:      m,
-		conn:     conn,
-		id:       id,
-		secret:   secret,
-		dialer:   dialer,
-		peerHost: peer.Host,
-		peerAddr: peer.Addr,
-		streams:  make(map[uint64]*Stream),
-		opened:   time.Now(),
+	auth, err := newResumeAuth(secret)
+	if err != nil {
+		conn.Close()
+		return nil
 	}
+	t := &Transport{
+		mgr:        m,
+		conn:       conn,
+		id:         id,
+		secret:     secret,
+		auth:       auth,
+		dialer:     dialer,
+		peerHost:   peer.Host,
+		peerAddr:   peer.Addr,
+		gen:        1,
+		readerDone: make(chan struct{}),
+		streams:    make(map[uint64]*Stream),
+		opened:     time.Now(),
+		localAddr:  conn.LocalAddr(),
+		remoteAddr: conn.RemoteAddr(),
+	}
+	t.lastRead.Store(time.Now().UnixNano())
 	if dialer {
 		t.nextID = 1
 	} else {
@@ -192,16 +354,24 @@ func (m *Manager) register(conn net.Conn, id wire.ConnID, secret []byte, peer *w
 		}
 	}
 	m.mu.Unlock()
-	go t.readLoop()
+	go t.readLoop(conn, t.readerDone)
+	go t.keepalive(conn)
 	return t
 }
 
-// remove forgets a failed transport.
-func (m *Manager) remove(t *Transport) {
+// remove forgets a failed transport, keeping a tombstone for the debug
+// surface's "lost" state.
+func (m *Manager) remove(t *Transport, cause error) {
+	info := t.info()
+	info.State = fmt.Sprintf("lost (%v)", cause)
 	m.mu.Lock()
 	delete(m.all, t)
 	if t.addrKey != "" && m.byAddr[t.addrKey] == t {
 		delete(m.byAddr, t.addrKey)
+	}
+	m.lost = append(m.lost, info)
+	if len(m.lost) > maxLostInfos {
+		m.lost = m.lost[len(m.lost)-maxLostInfos:]
 	}
 	m.mu.Unlock()
 }
@@ -227,6 +397,27 @@ func (m *Manager) OpenStream(addr string, hdr *wire.HandoffHeader, timeout time.
 		}
 	}
 	return nil, lastErr
+}
+
+// FailIfReconnecting fails the transport with the given id if and only if
+// it is currently between connections trying to resume, returning whether
+// it did. The core layer calls this when a peer's connection-level RES
+// proves the peer's end of the session is gone for good (crash + restart
+// re-handshakes the connection; it never resumes the old transport) —
+// waiting out the resume window would only stall recovery.
+func (m *Manager) FailIfReconnecting(id wire.ConnID, cause error) bool {
+	t := m.byID(id)
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	down := t.reconnecting && !t.closed
+	t.mu.Unlock()
+	if !down {
+		return false
+	}
+	t.fail(fmt.Errorf("%w: peer abandoned session: %v", ErrTransportLost, cause))
+	return true
 }
 
 // SecretByID returns the secret of the live transport with the given id,
@@ -257,7 +448,7 @@ func (m *Manager) Counts() (transports, streams int) {
 	return len(all), streams
 }
 
-// Info describes one live transport for the debug surface.
+// Info describes one transport for the debug surface.
 type Info struct {
 	ID       wire.ConnID
 	PeerHost string
@@ -265,29 +456,50 @@ type Info struct {
 	Dialer   bool
 	Streams  int
 	Opened   time.Time
+	// State is "connected", "reconnecting(n)" with n the attempt count of
+	// the current outage, or "lost (<cause>)" for a tombstone.
+	State string
 }
 
-// Infos returns a stable-ordered snapshot of the live transports.
+// info snapshots one transport's debug state.
+func (t *Transport) info() Info {
+	t.mu.Lock()
+	state := "connected"
+	if t.reconnecting {
+		state = fmt.Sprintf("reconnecting(%d)", t.attempts)
+	}
+	if t.closed {
+		state = "lost"
+	}
+	info := Info{
+		ID:       t.id,
+		PeerHost: t.peerHost,
+		PeerAddr: t.peerAddr,
+		Dialer:   t.dialer,
+		Streams:  len(t.streams),
+		Opened:   t.opened,
+		State:    state,
+	}
+	t.mu.Unlock()
+	return info
+}
+
+// Infos returns a stable-ordered snapshot of the live transports followed
+// by the recently lost ones.
 func (m *Manager) Infos() []Info {
 	m.mu.Lock()
 	all := make([]*Transport, 0, len(m.all))
 	for t := range m.all {
 		all = append(all, t)
 	}
+	lost := append([]Info(nil), m.lost...)
 	m.mu.Unlock()
-	infos := make([]Info, 0, len(all))
+	infos := make([]Info, 0, len(all)+len(lost))
 	for _, t := range all {
-		infos = append(infos, Info{
-			ID:       t.id,
-			PeerHost: t.peerHost,
-			PeerAddr: t.peerAddr,
-			Dialer:   t.dialer,
-			Streams:  t.streamCount(),
-			Opened:   t.opened,
-		})
+		infos = append(infos, t.info())
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Opened.Before(infos[j].Opened) })
-	return infos
+	return append(infos, lost...)
 }
 
 // CloseTransports fails every live transport but leaves the manager usable;
@@ -305,8 +517,8 @@ func (m *Manager) CloseTransports() {
 	}
 }
 
-// Close shuts the manager down: every transport fails and future opens
-// return ErrClosed.
+// Close shuts the manager down: every transport fails, in-flight dials and
+// handshakes abort promptly, and future opens return ErrClosed.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -318,7 +530,15 @@ func (m *Manager) Close() {
 	for t := range m.all {
 		all = append(all, t)
 	}
+	pending := make([]net.Conn, 0, len(m.pending))
+	for c := range m.pending {
+		pending = append(pending, c)
+	}
 	m.mu.Unlock()
+	close(m.done)
+	for _, c := range pending {
+		c.Close()
+	}
 	for _, t := range all {
 		t.fail(ErrClosed)
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -163,11 +164,18 @@ func (s *Stream) remoteReset(reason string) {
 	s.mu.Unlock()
 }
 
-// transportFailed fails the stream because the shared transport died.
+// transportFailed fails the stream because the shared transport died for
+// good (broken past the resume window, or torn down). The error wraps
+// ErrTransportLost so the layer above can tell transport loss — retryable
+// through its own connection-level recovery — from a stream-level reset.
 func (s *Stream) transportFailed(cause error) {
 	s.mu.Lock()
 	if s.err == nil {
-		s.err = fmt.Errorf("transport: connection failed: %w", cause)
+		if errors.Is(cause, ErrTransportLost) {
+			s.err = cause
+		} else {
+			s.err = fmt.Errorf("%w: %w", ErrTransportLost, cause)
+		}
 	}
 	if s.openErr == nil && !s.accepted {
 		s.openErr = s.err
@@ -300,9 +308,10 @@ func (s *Stream) Read(p []byte) (int, error) {
 	if grant > 0 {
 		var w [4]byte
 		w[0], w[1], w[2], w[3] = byte(grant>>24), byte(grant>>16), byte(grant>>8), byte(grant)
-		if err := s.t.writeFrame(wire.MuxWindow, s.id, w[:]); err != nil {
-			s.t.fail(err)
-		}
+		// writeFrame handles connection failure internally (the grant waits
+		// in the resume log); an error here means the transport is gone and
+		// this stream's err is already set.
+		s.t.writeFrame(wire.MuxWindow, s.id, w[:])
 	}
 	return n, nil
 }
@@ -342,7 +351,6 @@ func (s *Stream) Write(p []byte) (int, error) {
 		s.sendWindow -= n
 		s.mu.Unlock()
 		if err := s.t.writeFrame(wire.MuxData, s.id, p[:n]); err != nil {
-			s.t.fail(err)
 			return written, err
 		}
 		written += n
@@ -366,11 +374,7 @@ func (s *Stream) CloseWrite() error {
 	}
 	s.writeClosed = true
 	s.mu.Unlock()
-	if err := s.t.writeFrame(wire.MuxFin, s.id, nil); err != nil {
-		s.t.fail(err)
-		return err
-	}
-	return nil
+	return s.t.writeFrame(wire.MuxFin, s.id, nil)
 }
 
 // Close releases the stream. A stream that finished cleanly in both
@@ -399,11 +403,19 @@ func (s *Stream) Close() error {
 	return nil
 }
 
-// LocalAddr implements net.Conn using the shared connection's address.
-func (s *Stream) LocalAddr() net.Addr { return s.t.conn.LocalAddr() }
+// LocalAddr implements net.Conn using the shared connection's most recent
+// address (cached, so it stays answerable mid-resume).
+func (s *Stream) LocalAddr() net.Addr {
+	local, _ := s.t.addrs()
+	return local
+}
 
-// RemoteAddr implements net.Conn using the shared connection's address.
-func (s *Stream) RemoteAddr() net.Addr { return s.t.conn.RemoteAddr() }
+// RemoteAddr implements net.Conn using the shared connection's most recent
+// address (cached, so it stays answerable mid-resume).
+func (s *Stream) RemoteAddr() net.Addr {
+	_, remote := s.t.addrs()
+	return remote
+}
 
 // SetDeadline implements net.Conn.
 func (s *Stream) SetDeadline(t time.Time) error {

@@ -12,6 +12,14 @@
 // the others, and each stream supports the half-close (CloseWrite) the
 // suspend drain's FLUSH barrier depends on.
 //
+// The transport is also self-healing (see resume.go): when the shared
+// connection dies or goes half-open, the dialer reconnects with jittered
+// capped backoff and resumes the session in place — reliable mux frames
+// are retained until acked and replayed across the gap, so every live
+// stream stalls and then recovers without surfacing an error. Only when
+// the bounded resume window expires do streams fail, with the typed
+// ErrTransportLost, into the NapletSocket layer's own recovery path.
+//
 // Security (Section 3.3 of the paper, amortised): the transport handshake
 // runs the unauthenticated ephemeral DH that connection setup used to run
 // per connection, and both sides prove possession of the derived transport
@@ -27,11 +35,13 @@ package transport
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"naplet/internal/dhkx"
@@ -46,16 +56,42 @@ var (
 	ErrStreamClosed = errors.New("transport: stream closed")
 	// ErrHandshake reports a failed transport handshake.
 	ErrHandshake = errors.New("transport: handshake failed")
+	// ErrTransportLost reports that the shared transport session died for
+	// good: the connection broke and could not be resumed within the
+	// resume window (or resumption is disabled). Stream errors wrap it, so
+	// the layer above can tell retryable transport loss apart from a
+	// stream-level reset with errors.Is.
+	ErrTransportLost = errors.New("transport: session lost")
 )
+
+// Acknowledgement cadence for reliable mux frames: the receiver confirms
+// its cumulative reliable-frame count after this many frames or bytes,
+// whichever comes first, bounding how much the sender retains for resume
+// replay. Keepalive pings and pongs also piggyback the count, so an idle
+// transport stays trimmed too.
+const (
+	ackEveryFrames = 64
+	ackEveryBytes  = 256 << 10
+)
+
+// muxLogEntry is one unacked reliable frame retained for resume replay.
+// The payload is a pooled copy owned by the log until the frame is acked.
+type muxLogEntry struct {
+	seq     uint64
+	typ     uint8
+	stream  uint64
+	payload []byte
+}
 
 // Transport is one end of the shared connection between a pair of hosts.
 // Both sides hold the same transport id and secret; the dialer opens
 // odd-numbered streams, the acceptor even-numbered ones.
 type Transport struct {
 	mgr    *Manager
-	conn   net.Conn
 	id     wire.ConnID
 	secret []byte
+	// auth signs and verifies resume tokens under the transport secret.
+	auth   *dhkx.Authenticator
 	dialer bool
 	// peerHost and peerAddr are what the peer advertised in its hello;
 	// peerAddr keys the manager's reuse table so either side can open
@@ -63,20 +99,52 @@ type Transport struct {
 	peerHost string
 	peerAddr string
 	// addrKey is the manager reuse-table key this transport registered
-	// under ("" when none).
-	addrKey string
+	// under ("" when none); dialAddr is the address the dialer side
+	// originally dialed, reused for session resumption.
+	addrKey  string
+	dialAddr string
 
-	// wmu serializes frame writes to conn; the header+payload pair of one
-	// frame goes out with a single writev so concurrent streams interleave
-	// only on frame boundaries.
-	wmu sync.Mutex
+	// wmu serializes frame writes to the shared connection and guards the
+	// reliable-frame send state (sendSeq, sendLog): the log order is the
+	// wire order, which resume replay depends on. The header+payload pair
+	// of one frame goes out with a single writev so concurrent streams
+	// interleave only on frame boundaries.
+	wmu          sync.Mutex
+	sendSeq      uint64
+	sendLog      []muxLogEntry
+	sendLogBytes int
 
-	mu       sync.Mutex
+	// resumeMu serializes inbound resume handshakes.
+	resumeMu sync.Mutex
+
+	mu sync.Mutex
+	// conn is the current shared connection; nil while reconnecting.
+	conn net.Conn
+	// gen counts successfully installed connections; a resume attempt is
+	// valid only for the generation it observed breaking.
+	gen int
+	// readerDone is closed when the current generation's read loop exits;
+	// resume waits on it so recvSeq is final before being advertised.
+	readerDone   chan struct{}
+	reconnecting bool
+	// attempts counts reconnect attempts in the current outage (the n of
+	// the debug surface's "reconnecting(n)").
+	attempts int
 	streams  map[uint64]*Stream
 	nextID   uint64
 	closed   bool
 	closeErr error
 	opened   time.Time
+	// cached endpoint addresses of the most recent connection, so streams
+	// can answer LocalAddr/RemoteAddr while the transport is between
+	// connections.
+	localAddr  net.Addr
+	remoteAddr net.Addr
+
+	// recvSeq counts reliable mux frames fully received; lastRead is the
+	// unix-nano time of the last inbound frame (keepalive freshness).
+	recvSeq  atomic.Uint64
+	lastRead atomic.Int64
 }
 
 // ID returns the transport id shared by both ends.
@@ -177,53 +245,50 @@ func clientHandshake(conn net.Conn, cfg *Config) (id wire.ConnID, secret []byte,
 	return id, secret, peer, nil
 }
 
-// serverHandshake runs the acceptor's half on a connection whose first
-// bytes (including the sniffed magic) are readable from conn.
-func serverHandshake(conn net.Conn, cfg *Config) (id wire.ConnID, secret []byte, peer *wire.TransportHello, err error) {
-	peer, recvd, err := wire.ReadTransportHello(conn)
-	if err != nil {
-		return id, nil, nil, err
-	}
+// serverHandshake runs the acceptor's half of a fresh-session handshake,
+// given the already-read client hello (HandleConn reads it first to tell
+// fresh sessions from resumes).
+func serverHandshake(conn net.Conn, cfg *Config, peer *wire.TransportHello, recvd []byte) (id wire.ConnID, secret []byte, err error) {
 	if peer.Insecure != cfg.Insecure {
-		return id, nil, nil, fmt.Errorf("%w: security mode mismatch with %s", ErrHandshake, peer.Host)
+		return id, nil, fmt.Errorf("%w: security mode mismatch with %s", ErrHandshake, peer.Host)
 	}
 	id = peer.ID
 	var kp *dhkx.KeyPair
 	hello := &wire.TransportHello{ID: id, Insecure: cfg.Insecure, Host: cfg.HostName, Addr: cfg.AdvertiseAddr}
 	if !cfg.Insecure {
 		if kp, err = dhkx.GenerateKeyPair(); err != nil {
-			return id, nil, nil, err
+			return id, nil, err
 		}
 		hello.Public = kp.PublicBytes()
 	}
 	sent, err := wire.WriteTransportHello(conn, hello)
 	if err != nil {
-		return id, nil, nil, err
+		return id, nil, err
 	}
 	var dhSecret []byte
 	if !cfg.Insecure {
 		if dhSecret, err = kp.SharedSecret(peer.Public); err != nil {
-			return id, nil, nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+			return id, nil, fmt.Errorf("%w: %v", ErrHandshake, err)
 		}
 	}
 	secret = transportSecret(dhSecret, id, cfg.Insecure)
 	auth, err := dhkx.NewAuthenticator(secret)
 	if err != nil {
-		return id, nil, nil, err
+		return id, nil, err
 	}
 	srvTag := transcriptTag(auth, serverTagLabel, recvd, sent)
 	if _, err = conn.Write(srvTag[:]); err != nil {
-		return id, nil, nil, err
+		return id, nil, err
 	}
 	var cliTag [wire.TagSize]byte
 	if _, err = io.ReadFull(conn, cliTag[:]); err != nil {
-		return id, nil, nil, err
+		return id, nil, err
 	}
 	want := transcriptTag(auth, clientTagLabel, recvd, sent)
 	if !hmacEqual(want, cliTag) {
-		return id, nil, nil, fmt.Errorf("%w: bad client transcript tag", ErrHandshake)
+		return id, nil, fmt.Errorf("%w: bad client transcript tag", ErrHandshake)
 	}
-	return id, secret, peer, nil
+	return id, secret, nil
 }
 
 // hmacEqual compares two already-HMAC'd tags; Verify recomputes, so plain
@@ -236,22 +301,122 @@ func hmacEqual(a, b [wire.TagSize]byte) bool {
 	return diff == 0
 }
 
-// writeFrame sends one mux frame; the header and payload reach the kernel
-// in a single writev, so no copy joins them.
+// writeMux writes one mux frame to conn; the header and payload reach the
+// kernel in a single writev, so no copy joins them.
+func writeMux(conn net.Conn, typ uint8, stream uint64, payload []byte) error {
+	hdr := wire.AppendMuxHeader(make([]byte, 0, wire.MuxHeaderSize), typ, stream, len(payload))
+	if len(payload) == 0 {
+		_, err := conn.Write(hdr)
+		return err
+	}
+	bufs := net.Buffers{hdr, payload}
+	_, err := bufs.WriteTo(conn)
+	return err
+}
+
+// seqPayload encodes a reliable-frame count for ping/pong/ack payloads.
+func seqPayload(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// writeFrame sends one mux frame. Reliable frames (open/accept/reset/data/
+// fin/window) are first copied into the unacked send log — if the shared
+// connection is down they simply wait there and are replayed when the
+// session resumes, so callers see success for anything the resume contract
+// covers. Unreliable frames (ping/pong/ack) are droppable by definition:
+// they use a try-lock so the read loop can never deadlock against a resume
+// replay holding the write lock, and they vanish while disconnected.
 func (t *Transport) writeFrame(typ uint8, stream uint64, payload []byte) error {
 	if len(payload) > wire.MaxMuxPayload {
 		return fmt.Errorf("transport: mux payload %d exceeds limit", len(payload))
 	}
-	hdr := wire.AppendMuxHeader(make([]byte, 0, wire.MuxHeaderSize), typ, stream, len(payload))
-	t.wmu.Lock()
-	defer t.wmu.Unlock()
-	if len(payload) == 0 {
-		_, err := t.conn.Write(hdr)
-		return err
+	reliable := wire.ReliableMuxFrame(typ)
+	if reliable {
+		t.wmu.Lock()
+	} else if !t.wmu.TryLock() {
+		return nil
 	}
-	bufs := net.Buffers{hdr, payload}
-	_, err := bufs.WriteTo(t.conn)
+	err, failCause := t.writeFrameLocked(typ, stream, payload, reliable)
+	t.wmu.Unlock()
+	if failCause != nil {
+		t.fail(failCause)
+	}
 	return err
+}
+
+// writeFrameLocked does writeFrame's work under wmu. It returns the error
+// for the caller plus an optional transport-fatal cause the caller must
+// pass to fail after releasing wmu.
+func (t *Transport) writeFrameLocked(typ uint8, stream uint64, payload []byte, reliable bool) (err, failCause error) {
+	if reliable {
+		var cp []byte
+		if len(payload) > 0 {
+			cp = wire.GetPayload(len(payload))
+			copy(cp, payload)
+		}
+		t.sendSeq++
+		t.sendLog = append(t.sendLog, muxLogEntry{seq: t.sendSeq, typ: typ, stream: stream, payload: cp})
+		t.sendLogBytes += len(payload)
+	}
+	t.mu.Lock()
+	conn, closed, closeErr := t.conn, t.closed, t.closeErr
+	t.mu.Unlock()
+	if closed {
+		if closeErr == nil {
+			closeErr = ErrClosed
+		}
+		return closeErr, nil
+	}
+	if conn == nil {
+		// Between connections. Reliable frames wait in the log for the
+		// resume replay — unless the outage has already outgrown the
+		// replay budget, at which point the session is unrecoverable.
+		if !reliable {
+			return nil, nil
+		}
+		if t.sendLogBytes > t.mgr.cfg.ResumeLogBudget {
+			cause := fmt.Errorf("%w: resume log budget exceeded (%d bytes unacked)", ErrTransportLost, t.sendLogBytes)
+			return cause, cause
+		}
+		return nil, nil
+	}
+	if werr := writeMux(conn, typ, stream, payload); werr != nil {
+		t.connBroken(conn, werr)
+		if !reliable {
+			return werr, nil
+		}
+	}
+	return nil, nil
+}
+
+// trimSendLogLocked releases reliable frames the peer confirmed receiving.
+// Caller holds wmu.
+func (t *Transport) trimSendLogLocked(acked uint64) {
+	i := 0
+	for i < len(t.sendLog) && t.sendLog[i].seq <= acked {
+		t.sendLogBytes -= len(t.sendLog[i].payload)
+		if t.sendLog[i].payload != nil {
+			wire.PutPayload(t.sendLog[i].payload)
+		}
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	kept := copy(t.sendLog, t.sendLog[i:])
+	for j := kept; j < len(t.sendLog); j++ {
+		t.sendLog[j] = muxLogEntry{}
+	}
+	t.sendLog = t.sendLog[:kept]
+}
+
+// handleAck trims the send log up to the peer's cumulative receive count.
+func (t *Transport) handleAck(acked uint64) {
+	t.wmu.Lock()
+	t.trimSendLogLocked(acked)
+	t.wmu.Unlock()
 }
 
 // OpenStream opens a logical stream carrying hdr as its open payload and
@@ -277,7 +442,6 @@ func (t *Transport) OpenStream(hdr *wire.HandoffHeader, timeout time.Duration) (
 	t.mu.Unlock()
 
 	if err := t.writeFrame(wire.MuxOpen, sid, buf.Bytes()); err != nil {
-		t.fail(err)
 		return nil, err
 	}
 	if err := s.waitOpened(timeout); err != nil {
@@ -302,7 +466,6 @@ func (t *Transport) serveOpen(s *Stream, hdr *wire.HandoffHeader) {
 		}
 	}
 	if err := t.writeFrame(wire.MuxAccept, s.id, nil); err != nil {
-		t.fail(err)
 		return
 	}
 	if cfg.Deliver == nil || !cfg.Deliver(hdr, s) {
@@ -332,42 +495,73 @@ func readPayloadInto(br *bufio.Reader, conn io.Reader, p []byte) error {
 	return nil
 }
 
-// readLoop demultiplexes inbound frames for the transport's lifetime. Data
+// readFailed classifies the end of one connection generation: a protocol
+// violation (desynchronised mux framing, malformed open) is unrecoverable
+// and fails the whole transport, while a plain I/O error means the
+// connection died and the session tries to resume.
+func (t *Transport) readFailed(conn net.Conn, err error) {
+	if errors.Is(err, wire.ErrBadTransport) {
+		t.fail(err)
+		return
+	}
+	t.connBroken(conn, err)
+}
+
+// readLoop demultiplexes inbound frames for one connection generation. Data
 // payloads land in pooled buffers whose ownership passes to the receiving
 // stream (and from there, segment by segment, back to the pool as the
 // stream's reader drains them); control payloads — open headers, reset
 // reasons, window grants — are small and reuse one scratch buffer.
-func (t *Transport) readLoop() {
+//
+// The loop also carries the session-resumption bookkeeping: every reliable
+// frame bumps the transport's cumulative receive count (advertised back to
+// the peer as ack cadence demands, and in the resume hello after a
+// failure), and every inbound frame refreshes the keepalive clock.
+func (t *Transport) readLoop(conn net.Conn, done chan struct{}) {
+	defer close(done)
 	// The buffer is deliberately small: it batches the 13-byte mux headers
 	// and small control frames, while readPayloadInto pulls the bulk of
 	// each data payload straight from the socket into its pooled segment —
 	// a large buffer here would soak up payload bytes on header reads and
 	// force an extra copy for almost every data byte.
-	br := bufio.NewReaderSize(t.conn, 4<<10)
+	br := bufio.NewReaderSize(conn, 4<<10)
 	var scratch []byte
+	recvSeq := t.recvSeq.Load()
+	framesSinceAck, bytesSinceAck := 0, 0
 	for {
 		h, err := wire.ReadMuxHeader(br)
 		if err != nil {
-			t.fail(err)
+			t.readFailed(conn, err)
 			return
 		}
+		t.lastRead.Store(time.Now().UnixNano())
 		t.mu.Lock()
 		s := t.streams[h.Stream]
 		t.mu.Unlock()
 		if h.Type == wire.MuxData {
-			if h.Length == 0 {
-				continue
+			var buf []byte
+			if h.Length > 0 {
+				buf = wire.GetPayload(int(h.Length))
+				if err := readPayloadInto(br, conn, buf); err != nil {
+					wire.PutPayload(buf)
+					t.readFailed(conn, err)
+					return
+				}
 			}
-			buf := wire.GetPayload(int(h.Length))
-			if err := readPayloadInto(br, t.conn, buf); err != nil {
-				wire.PutPayload(buf)
-				t.fail(err)
-				return
+			recvSeq++
+			t.recvSeq.Store(recvSeq)
+			framesSinceAck++
+			bytesSinceAck += int(h.Length)
+			if buf != nil {
+				if s != nil {
+					s.pushData(buf) // ownership moves to the stream
+				} else {
+					wire.PutPayload(buf) // stream already gone; drop the bytes
+				}
 			}
-			if s != nil {
-				s.pushData(buf) // ownership moves to the stream
-			} else {
-				wire.PutPayload(buf) // stream already gone; drop the bytes
+			if framesSinceAck >= ackEveryFrames || bytesSinceAck >= ackEveryBytes {
+				framesSinceAck, bytesSinceAck = 0, 0
+				t.writeFrame(wire.MuxAck, 0, seqPayload(recvSeq))
 			}
 			continue
 		}
@@ -378,8 +572,16 @@ func (t *Transport) readLoop() {
 			}
 			payload = scratch[:h.Length]
 			if _, err := io.ReadFull(br, payload); err != nil {
-				t.fail(err)
+				t.readFailed(conn, err)
 				return
+			}
+		}
+		if wire.ReliableMuxFrame(h.Type) {
+			recvSeq++
+			t.recvSeq.Store(recvSeq)
+			if framesSinceAck++; framesSinceAck >= ackEveryFrames {
+				framesSinceAck, bytesSinceAck = 0, 0
+				t.writeFrame(wire.MuxAck, 0, seqPayload(recvSeq))
 			}
 		}
 		switch h.Type {
@@ -423,13 +625,27 @@ func (t *Transport) readLoop() {
 			if s != nil && h.Length == 4 {
 				s.addSendWindow(int(uint32(payload[0])<<24 | uint32(payload[1])<<16 | uint32(payload[2])<<8 | uint32(payload[3])))
 			}
+		case wire.MuxPing:
+			if len(payload) == 8 {
+				t.handleAck(binary.BigEndian.Uint64(payload))
+			}
+			t.writeFrame(wire.MuxPong, 0, seqPayload(recvSeq))
+		case wire.MuxPong:
+			if len(payload) == 8 {
+				t.handleAck(binary.BigEndian.Uint64(payload))
+			}
+		case wire.MuxAck:
+			if len(payload) == 8 {
+				t.handleAck(binary.BigEndian.Uint64(payload))
+			}
 		}
 	}
 }
 
-// fail tears the transport down: the shared connection closes and every
-// stream fails, which the NapletSocket layer above sees as a data-socket
-// failure and heals through its SUSPENDED/resume recovery path.
+// fail tears the transport down for good: the shared connection closes,
+// every stream fails with an ErrTransportLost-wrapped error (which the
+// NapletSocket layer above heals through its SUSPENDED/resume recovery
+// path), and the retained replay log is released.
 func (t *Transport) fail(cause error) {
 	t.mu.Lock()
 	if t.closed {
@@ -438,18 +654,35 @@ func (t *Transport) fail(cause error) {
 	}
 	t.closed = true
 	t.closeErr = cause
+	t.reconnecting = false
+	conn := t.conn
+	t.conn = nil
 	streams := make([]*Stream, 0, len(t.streams))
 	for _, s := range t.streams {
 		streams = append(streams, s)
 	}
 	t.streams = map[uint64]*Stream{}
 	t.mu.Unlock()
-	t.conn.Close()
+	if conn != nil {
+		conn.Close()
+	}
 	for _, s := range streams {
 		s.transportFailed(cause)
 	}
+	// Release the replay log after the connection is closed: any replay
+	// holding wmu fails its write promptly and lets go.
+	t.wmu.Lock()
+	for i := range t.sendLog {
+		if t.sendLog[i].payload != nil {
+			wire.PutPayload(t.sendLog[i].payload)
+		}
+		t.sendLog[i] = muxLogEntry{}
+	}
+	t.sendLog = nil
+	t.sendLogBytes = 0
+	t.wmu.Unlock()
 	if t.mgr != nil {
-		t.mgr.remove(t)
+		t.mgr.remove(t, cause)
 	}
 }
 
@@ -464,6 +697,14 @@ func (t *Transport) streamCount() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.streams)
+}
+
+// addrs returns the cached endpoint addresses of the most recent
+// connection (valid even while the transport is between connections).
+func (t *Transport) addrs() (local, remote net.Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.localAddr, t.remoteAddr
 }
 
 func (t *Transport) logf(format string, args ...any) {

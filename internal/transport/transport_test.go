@@ -41,13 +41,19 @@ func (p *testPeer) setNoDeliver(v bool) {
 }
 
 func newTestPeer(t *testing.T, name string, insecure bool) *testPeer {
+	return newTestPeerCfg(t, name, insecure, nil)
+}
+
+// newTestPeerCfg is newTestPeer with a hook to adjust the Config before the
+// Manager starts (resume windows, keepalive cadence, conn wrappers).
+func newTestPeerCfg(t *testing.T, name string, insecure bool, mutate func(*Config)) *testPeer {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := &testPeer{t: t, ln: ln, inbound: make(chan *Stream, 64)}
-	p.mgr = NewManager(Config{
+	cfg := Config{
 		HostName:         name,
 		AdvertiseAddr:    ln.Addr().String(),
 		Insecure:         insecure,
@@ -71,7 +77,11 @@ func newTestPeer(t *testing.T, name string, insecure bool) *testPeer {
 			p.inbound <- s
 			return true
 		},
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	p.mgr = NewManager(cfg)
 	go func() {
 		for {
 			conn, err := ln.Accept()

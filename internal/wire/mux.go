@@ -27,6 +27,20 @@ const transportVersion = 1
 // "w/o security" configuration; both sides must agree.
 const transportFlagInsecure = 0x01
 
+// transportFlagResume marks a hello that resumes a previously established
+// transport session instead of creating a fresh one: ID names the prior
+// transport, ResumeTag proves possession of its secret, and RecvSeq tells
+// the peer which reliable mux frames were already received so it can replay
+// only the gap.
+const transportFlagResume = 0x02
+
+// transportFlagResumeDenied marks an acceptor's reply to a resume hello it
+// cannot honour (unknown or expired transport id). The denial is
+// necessarily unauthenticated — the acceptor has no secret for the id — so
+// the dialer treats it as final and falls back to the connection-level
+// recovery path.
+const transportFlagResumeDenied = 0x04
+
 // maxTransportHello bounds a hello read so a garbage peer cannot make the
 // acceptor allocate unbounded memory (the DH public value dominates).
 const maxTransportHello = 4096
@@ -39,12 +53,26 @@ const maxTransportHello = 4096
 type TransportHello struct {
 	ID       ConnID
 	Insecure bool
+	// Resume marks a session-resumption hello: ID names the prior
+	// transport whose streams are being resurrected in place.
+	Resume bool
+	// ResumeDenied marks an acceptor's refusal of a resume hello.
+	ResumeDenied bool
 	// Host is the sender's host name (diagnostics only).
 	Host string
 	// Addr is the sender's redirector address ("" when not listening).
 	Addr string
 	// Public is the sender's ephemeral DH public value.
 	Public []byte
+	// RecvSeq is the count of reliable mux frames the sender had received
+	// on the prior connection (resume hellos only); the peer replays its
+	// unacked frames above this point and discards the rest.
+	RecvSeq uint64
+	// ResumeTag authenticates a resume hello: an HMAC under the prior
+	// transport secret over the transport id and RecvSeq, proving the
+	// dialer held the session being resumed before the acceptor commits
+	// any state to it.
+	ResumeTag []byte
 }
 
 // ErrBadTransport reports a malformed transport hello or mux frame.
@@ -59,11 +87,19 @@ func (h *TransportHello) encode() []byte {
 	if h.Insecure {
 		flags |= transportFlagInsecure
 	}
+	if h.Resume {
+		flags |= transportFlagResume
+	}
+	if h.ResumeDenied {
+		flags |= transportFlagResumeDenied
+	}
 	b = append(b, flags)
 	b = append(b, h.ID[:]...)
 	b = appendString(b, h.Host)
 	b = appendString(b, h.Addr)
 	b = appendBytes(b, h.Public)
+	b = binary.BigEndian.AppendUint64(b, h.RecvSeq)
+	b = appendBytes(b, h.ResumeTag)
 	return b
 }
 
@@ -121,7 +157,11 @@ func decodeTransportHello(b []byte) (*TransportHello, error) {
 	if b[0] != transportVersion {
 		return nil, fmt.Errorf("%w: unsupported transport version %d", ErrBadTransport, b[0])
 	}
-	h := &TransportHello{Insecure: b[1]&transportFlagInsecure != 0}
+	h := &TransportHello{
+		Insecure:     b[1]&transportFlagInsecure != 0,
+		Resume:       b[1]&transportFlagResume != 0,
+		ResumeDenied: b[1]&transportFlagResumeDenied != 0,
+	}
 	copy(h.ID[:], b[2:18])
 	b = b[18:]
 	var err error
@@ -132,6 +172,14 @@ func decodeTransportHello(b []byte) (*TransportHello, error) {
 		return nil, err
 	}
 	if h.Public, b, err = takeBytes(b); err != nil {
+		return nil, err
+	}
+	if len(b) < 8 {
+		return nil, fmt.Errorf("%w: truncated hello recv-seq", ErrBadTransport)
+	}
+	h.RecvSeq = binary.BigEndian.Uint64(b)
+	b = b[8:]
+	if h.ResumeTag, b, err = takeBytes(b); err != nil {
 		return nil, err
 	}
 	if len(b) != 0 {
@@ -166,7 +214,25 @@ const (
 	// MuxWindow grants the peer more send credit; the payload is a 4-byte
 	// big-endian byte count.
 	MuxWindow
+	// MuxPing probes transport liveness; the payload is the sender's
+	// 8-byte reliable-frame receive count, so keepalives double as acks.
+	// Pings are unreliable: they are neither counted nor replayed.
+	MuxPing
+	// MuxPong answers a ping, carrying the responder's receive count.
+	MuxPong
+	// MuxAck acknowledges reliable frames without a ping: the payload is
+	// the 8-byte cumulative count of reliable frames received, letting the
+	// sender trim its resume replay log. Unreliable, like ping/pong.
+	MuxAck
 )
+
+// ReliableMuxFrame reports whether a frame type participates in the
+// session-resumption contract: reliable frames are sequence-counted by the
+// receiver and retained by the sender until acked, so a resumed transport
+// can replay exactly the gap. Keepalives and acks themselves are exempt.
+func ReliableMuxFrame(typ uint8) bool {
+	return typ >= MuxOpen && typ <= MuxWindow
+}
 
 // MaxMuxPayload bounds one mux frame's payload; stream writes larger than
 // this are split by the transport layer. It matches the payload pool's
@@ -212,7 +278,7 @@ func ReadMuxHeader(r io.Reader) (MuxHeader, error) {
 		Stream: binary.BigEndian.Uint64(hdr[1:9]),
 		Length: binary.BigEndian.Uint32(hdr[9:13]),
 	}
-	if h.Type < MuxOpen || h.Type > MuxWindow {
+	if h.Type < MuxOpen || h.Type > MuxAck {
 		return MuxHeader{}, fmt.Errorf("%w: unknown mux frame type %d", ErrBadTransport, h.Type)
 	}
 	if h.Length > MaxMuxPayload {

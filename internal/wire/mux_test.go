@@ -59,6 +59,49 @@ func TestTransportHelloInsecureFlag(t *testing.T) {
 	}
 }
 
+func TestTransportHelloResumeRoundTrip(t *testing.T) {
+	id, _ := NewConnID()
+	h := &TransportHello{
+		ID:        id,
+		Resume:    true,
+		Host:      "beta",
+		RecvSeq:   0xDEADBEEF01,
+		ResumeTag: bytes.Repeat([]byte{0x5A}, 32),
+	}
+	var buf bytes.Buffer
+	if _, err := WriteTransportHello(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadTransportHello(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Resume || got.ResumeDenied || got.RecvSeq != h.RecvSeq || !bytes.Equal(got.ResumeTag, h.ResumeTag) {
+		t.Fatalf("resume roundtrip mismatch: %+v", got)
+	}
+
+	buf.Reset()
+	if _, err := WriteTransportHello(&buf, &TransportHello{ID: id, ResumeDenied: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err = ReadTransportHello(&buf); err != nil || !got.ResumeDenied {
+		t.Fatalf("denied roundtrip: %+v, %v", got, err)
+	}
+}
+
+func TestReliableMuxFrame(t *testing.T) {
+	for _, typ := range []uint8{MuxOpen, MuxAccept, MuxReset, MuxData, MuxFin, MuxWindow} {
+		if !ReliableMuxFrame(typ) {
+			t.Fatalf("type %d should be reliable", typ)
+		}
+	}
+	for _, typ := range []uint8{MuxPing, MuxPong, MuxAck, 0, 99} {
+		if ReliableMuxFrame(typ) {
+			t.Fatalf("type %d should not be reliable", typ)
+		}
+	}
+}
+
 func TestReadTransportHelloRejectsOversize(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0x4e, 0x54, 0xFF, 0xFF, 0xFF, 0xFF})
@@ -82,7 +125,7 @@ func TestSniffTransport(t *testing.T) {
 }
 
 func TestMuxHeaderRoundTrip(t *testing.T) {
-	for _, typ := range []uint8{MuxOpen, MuxAccept, MuxReset, MuxData, MuxFin, MuxWindow} {
+	for _, typ := range []uint8{MuxOpen, MuxAccept, MuxReset, MuxData, MuxFin, MuxWindow, MuxPing, MuxPong, MuxAck} {
 		b := AppendMuxHeader(nil, typ, 0x0102030405060708, 77)
 		if len(b) != MuxHeaderSize {
 			t.Fatalf("header length %d, want %d", len(b), MuxHeaderSize)

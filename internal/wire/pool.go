@@ -28,8 +28,9 @@ var payloadPools [len(payloadClasses)]sync.Pool
 // Pool effectiveness counters, exported to the observability layer through
 // PoolStats (registered as /metrics gauges by the core controller).
 var (
-	poolHits   atomic.Uint64
-	poolMisses atomic.Uint64
+	poolHits    atomic.Uint64
+	poolMisses  atomic.Uint64
+	poolReturns atomic.Uint64
 )
 
 // PoolStats reports the cumulative payload-pool hits (Get served from a
@@ -37,6 +38,11 @@ var (
 func PoolStats() (hits, misses uint64) {
 	return poolHits.Load(), poolMisses.Load()
 }
+
+// PoolReturns reports the cumulative count of buffers returned through
+// PutPayload — paired with PoolStats it lets leak tests assert that every
+// pooled segment a component took ownership of eventually came back.
+func PoolReturns() uint64 { return poolReturns.Load() }
 
 // classFor returns the index of the smallest class with capacity >= n, or
 // -1 when n exceeds the largest class.
@@ -78,6 +84,7 @@ func PutPayload(b []byte) {
 		if c >= payloadClasses[i] {
 			b = b[:payloadClasses[i]]
 			payloadPools[i].Put(&b)
+			poolReturns.Add(1)
 			return
 		}
 	}
