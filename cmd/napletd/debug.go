@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strconv"
 	"time"
 
 	"naplet"
@@ -14,8 +16,13 @@ import (
 
 // startDebugServer exposes the node's observability surface over HTTP:
 //
-//	/metrics  — the registry snapshot as JSON (counters, gauges, histograms)
-//	/connz    — the per-connection state table (text, or JSON with ?format=json)
+//	/metrics  — the registry snapshot as JSON, or Prometheus text
+//	            exposition format with ?format=prom
+//	/connz    — the per-connection state table (text, or JSON with
+//	            ?format=json), including each shared transport's resume
+//	            window, last-keepalive time, and flight-recorder events
+//	/tracez   — recent migration/connection traces with per-phase
+//	            durations (text, ?format=json, ?n=<k> for the k slowest)
 //	/debug/pprof/ — the standard net/http/pprof handlers
 //
 // It returns the running server and its bound address.
@@ -26,7 +33,12 @@ func startDebugServer(addr string, node *naplet.Node, reg *obs.Registry) (*http.
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -55,17 +67,73 @@ func startDebugServer(addr string, node *naplet.Node, reg *obs.Registry) (*http.
 				in.NextSendSeq, in.LastEnqueued, in.RecvBufferedMsgs, in.RecvBufferedBytes, in.SendLogBytes,
 				in.Transport)
 		}
+		now := time.Now()
 		fmt.Fprintf(w, "\n%d shared transports\n\n", len(transports))
-		fmt.Fprintf(w, "%-32s %-12s %-22s %-8s %7s %-10s %-18s\n",
-			"ID", "PEER", "ADDR", "ROLE", "STREAMS", "AGE", "STATE")
+		fmt.Fprintf(w, "%-32s %-12s %-22s %-8s %7s %-10s %-18s %-15s %-10s\n",
+			"ID", "PEER", "ADDR", "ROLE", "STREAMS", "AGE", "STATE", "RESUME-DEADLINE", "LAST-KA")
 		for _, tr := range transports {
 			role := "accept"
 			if tr.Dialer {
 				role = "dial"
 			}
-			fmt.Fprintf(w, "%-32s %-12s %-22s %-8s %7d %-10s %-18s\n",
+			deadline, lastKA := "-", "-"
+			if !tr.ResumeDeadline.IsZero() {
+				deadline = tr.ResumeDeadline.Sub(now).Round(time.Millisecond).String()
+			}
+			if !tr.LastKeepalive.IsZero() {
+				lastKA = now.Sub(tr.LastKeepalive).Round(time.Millisecond).String() + " ago"
+			}
+			fmt.Fprintf(w, "%-32s %-12s %-22s %-8s %7d %-10s %-18s %-15s %-10s\n",
 				tr.ID, tr.PeerHost, tr.PeerAddr, role, tr.Streams,
-				time.Since(tr.Opened).Round(time.Second), tr.State)
+				time.Since(tr.Opened).Round(time.Second), tr.State, deadline, lastKA)
+			for _, ev := range tr.Events {
+				fmt.Fprintf(w, "    %s %-18s %s\n", ev.At.Format("15:04:05.000"), ev.Kind, ev.Detail)
+			}
+		}
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		tr := node.Tracer()
+		traces := tr.Snapshot()
+		if nstr := r.URL.Query().Get("n"); nstr != "" {
+			n, err := strconv.Atoi(nstr)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			traces = tr.Slowest(n)
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Host    string              `json:"host"`
+				Dropped uint64              `json:"dropped_spans"`
+				Traces  []obs.TraceSnapshot `json:"traces"`
+			}{tr.Host(), tr.Dropped(), traces})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "%d traces on %s at %s (%d spans dropped)\n",
+			len(traces), tr.Host(), time.Now().Format(time.RFC3339), tr.Dropped())
+		for _, ts := range traces {
+			fmt.Fprintf(w, "\ntrace %s  root=%s  start=%s  duration=%.3fms\n",
+				ts.ID, ts.Root, ts.Start.Format("15:04:05.000000"), ts.DurationMs)
+			phases := make([]string, 0, len(ts.Phases))
+			for name := range ts.Phases {
+				phases = append(phases, name)
+			}
+			sort.Strings(phases)
+			for _, name := range phases {
+				fmt.Fprintf(w, "  phase %-14s %10.3fms\n", name, ts.Phases[name])
+			}
+			for _, sp := range ts.Spans {
+				fmt.Fprintf(w, "  span  %-14s %10.3fms  host=%s  [%s<-%s]\n",
+					sp.Name, sp.DurationMs(), sp.Host, sp.SpanHex, sp.ParentHex)
+				for _, note := range sp.Notes {
+					fmt.Fprintf(w, "        note: %s\n", note)
+				}
+			}
 		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -79,7 +147,7 @@ func startDebugServer(addr string, node *naplet.Node, reg *obs.Registry) (*http.
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "napletd %s debug surface\n\n/metrics\n/connz (?format=json)\n/debug/pprof/\n", node.Name())
+		fmt.Fprintf(w, "napletd %s debug surface\n\n/metrics (?format=prom)\n/connz (?format=json)\n/tracez (?format=json&n=5)\n/debug/pprof/\n", node.Name())
 	})
 
 	srv := &http.Server{Handler: mux}

@@ -21,6 +21,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"syscall"
@@ -53,8 +55,35 @@ var (
 	jrnSync    = flag.String("journal-sync", "interval", "journal fsync policy: always, interval, or never")
 	heartbeat  = flag.Duration("heartbeat-interval", 0, "probe peer controllers at this interval and fail connections to confirmed-dead peers (off when zero)")
 	nameTTL    = flag.Duration("name-ttl", 0, "expire location service entries not refreshed within this duration (only with -nameserver-listen; off when zero)")
+	version    = flag.Bool("version", false, "print build information and exit")
 	launches   launchList
 )
+
+// buildInfo returns the VCS commit this binary was built from (or "unknown")
+// and the Go toolchain version.
+func buildInfo() (commit, goVersion string) {
+	commit, goVersion = "unknown", runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			commit = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty && commit != "unknown" {
+		commit += "-dirty"
+	}
+	return
+}
 
 func main() {
 	flag.Var(&launches, "launch", "agent to launch, as <id>:<kind>[:<k>=<v>[,<k>=<v>...]]; kinds: echo, pinger, roamer, streamer, sink, maillog (repeatable)")
@@ -62,11 +91,20 @@ func main() {
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	log.SetPrefix("napletd: ")
 
+	commit, goVersion := buildInfo()
+	if *version {
+		fmt.Printf("napletd commit=%s go=%s\n", commit, goVersion)
+		return
+	}
+
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
 		log.Fatalf("-log-level: %v", err)
 	}
 	metrics := obs.NewRegistry()
+	// A constant-1 gauge whose labels carry the build identity — the
+	// standard Prometheus idiom for joining metrics against build metadata.
+	metrics.Gauge(fmt.Sprintf("build.info{commit=%q,go=%q}", commit, goVersion)).Set(1)
 
 	cfg := naplet.Config{
 		Name:              *name,

@@ -97,6 +97,10 @@ type Config struct {
 	// Metrics, when non-nil, receives the agent runtime's counters: agent
 	// launches, terminations, dispatches, and migration latency.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records a span tree per outbound migration
+	// (depart, transfer) and publishes the active migration trace under the
+	// agent id so co-located hooks (the NapletSocket controller) join it.
+	Tracer *obs.Tracer
 }
 
 // maxBundleSize bounds an inbound migration bundle.
@@ -395,9 +399,22 @@ func (h *Host) migrate(r *running, b Behavior, epoch uint64, destDock string) {
 	hooks := append([]Hook(nil), h.hooks...)
 	h.mu.Unlock()
 
+	// Root the migration trace and publish it under the agent id: hooks
+	// (PreDepart suspends) start their spans as children of this root, and
+	// the sealed trace context travels in the bundle so arrival work on the
+	// destination joins the same trace.
+	root := h.cfg.Tracer.StartTrace("migrate " + r.id)
+	root.Annotate("dest=" + destDock)
+	h.cfg.Tracer.SetActive(r.id, root.Context())
+	defer func() {
+		h.cfg.Tracer.ClearActive(r.id)
+		root.End()
+	}()
+
 	blobs := make(map[string][]byte, len(hooks))
 	departed := make([]Hook, 0, len(hooks))
 	fail := func(err error) {
+		root.Annotate("failed: " + err.Error())
 		h.migrationFailures.Inc()
 		h.log.Warnf("migration of %s to %s failed: %v; re-arriving locally", r.id, destDock, err)
 		for _, hook := range departed {
@@ -437,13 +454,18 @@ func (h *Host) migrate(r *running, b Behavior, epoch uint64, destDock string) {
 	h.mu.Unlock()
 
 	bd := bundle{AgentID: r.id, Epoch: epoch + 1, Behavior: b, Blobs: blobs}
+	xfer := root.Child("transfer")
+	xfer.Annotate("dest=" + destDock)
 	if err := sendBundle(destDock, &bd, h.cfg.ClusterSecret, h.dockDialTO, h.bundleTO); err != nil {
+		xfer.Annotate("failed: " + err.Error())
+		xfer.End()
 		h.mu.Lock()
 		h.agents[r.id] = r
 		h.mu.Unlock()
 		fail(err)
 		return
 	}
+	xfer.End()
 	h.migrations.Inc()
 	h.migrateMs.ObserveDuration(time.Since(start))
 	h.log.Infof("agent %s migrated to %s in %v (epoch %d)",

@@ -2,8 +2,12 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"net"
+	"os"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -64,6 +68,7 @@ func TestChaosSoakExactlyOnce(t *testing.T) {
 	}
 
 	regs := make(map[string]*obs.Registry)
+	tracers := make(map[string]*obs.Tracer)
 	chaos := func(c *Config) {
 		c.DialData = dialViaProxy
 		c.ControlDropFn = faults.DropFn()
@@ -74,6 +79,9 @@ func TestChaosSoakExactlyOnce(t *testing.T) {
 		r := obs.NewRegistry()
 		regs[c.HostName] = r
 		c.Metrics = r
+		tr := obs.NewTracer(c.HostName)
+		tracers[c.HostName] = tr
+		c.Tracer = tr
 	}
 	env := newEnv(t, []string{"h1", "h2", "h3"}, insecure(), chaos)
 
@@ -213,4 +221,68 @@ func TestChaosSoakExactlyOnce(t *testing.T) {
 	}
 	t.Logf("soak: %d streams x %d msgs, %d resets, %d reconnects, %d streams resumed",
 		streams, msgsPerStream, resets, reconnects, resumedStreams)
+
+	saveSlowestTraces(t, tracers)
+}
+
+// saveSlowestTraces writes the five slowest migration traces of the soak —
+// each host's spans merged by trace id — as JSON to $CHAOS_TRACE_OUT, so CI
+// can keep them as a build artifact. A no-op when the variable is unset.
+func saveSlowestTraces(t *testing.T, tracers map[string]*obs.Tracer) {
+	out := os.Getenv("CHAOS_TRACE_OUT")
+	if out == "" {
+		return
+	}
+	type mergedTrace struct {
+		ID         string             `json:"id"`
+		Root       string             `json:"root"`
+		DurationMs float64            `json:"duration_ms"`
+		Phases     map[string]float64 `json:"phases_ms"`
+		Spans      []obs.SpanRecord   `json:"spans"`
+	}
+	byID := make(map[string]*mergedTrace)
+	for _, tr := range tracers {
+		for _, ts := range tr.Snapshot() {
+			m := byID[ts.ID]
+			if m == nil {
+				m = &mergedTrace{ID: ts.ID, Root: ts.Root, Phases: make(map[string]float64)}
+				byID[ts.ID] = m
+			}
+			// Migration traces root at "migrate <agent>" or "depart"; keep
+			// the most descriptive root seen.
+			if strings.HasPrefix(ts.Root, "migrate ") {
+				m.Root = ts.Root
+			}
+			m.Spans = append(m.Spans, ts.Spans...)
+			for name, ms := range ts.Phases {
+				m.Phases[name] += ms
+			}
+			if ts.DurationMs > m.DurationMs {
+				m.DurationMs = ts.DurationMs
+			}
+		}
+	}
+	migrations := make([]*mergedTrace, 0, len(byID))
+	for _, m := range byID {
+		if strings.HasPrefix(m.Root, "migrate ") || m.Root == "depart" {
+			migrations = append(migrations, m)
+		}
+	}
+	sort.Slice(migrations, func(i, j int) bool { return migrations[i].DurationMs > migrations[j].DurationMs })
+	if len(migrations) > 5 {
+		migrations = migrations[:5]
+	}
+	raw, err := json.MarshalIndent(struct {
+		SavedAt time.Time      `json:"saved_at"`
+		Traces  []*mergedTrace `json:"traces"`
+	}{time.Now(), migrations}, "", "  ")
+	if err != nil {
+		t.Errorf("marshaling slowest traces: %v", err)
+		return
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		t.Errorf("writing %s: %v", out, err)
+		return
+	}
+	t.Logf("saved %d slowest migration traces to %s", len(migrations), out)
 }

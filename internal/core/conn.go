@@ -10,6 +10,7 @@ import (
 
 	"naplet/internal/dhkx"
 	"naplet/internal/fsm"
+	"naplet/internal/obs"
 	"naplet/internal/wire"
 )
 
@@ -104,6 +105,12 @@ type Socket struct {
 	// fresh socket outside mu: send-log payload buffers must not be
 	// recycled to the pool while the retransmitter may still read them.
 	retxPending bool
+
+	// traceSpan is the span of the in-flight traced operation on this
+	// socket (a migration's suspend or resume); while set, every outgoing
+	// control message carries its context so the peer's handling joins
+	// the same trace, and FSM edges are annotated onto it.
+	traceSpan *obs.Span
 
 	// Receive side (the NapletInputStream of Section 3.1).
 	recvBuf   []bufEntry
@@ -335,6 +342,22 @@ func (s *Socket) markClosedLocked(err error) {
 		s.fw = nil
 	}
 	s.cond.Broadcast()
+}
+
+// setTraceSpan installs (or, with nil, clears) the span whose context is
+// stamped onto this socket's outgoing control messages and onto which FSM
+// lifecycle edges are annotated.
+func (s *Socket) setTraceSpan(sp *obs.Span) {
+	s.mu.Lock()
+	s.traceSpan = sp
+	s.mu.Unlock()
+}
+
+// curTraceSpan returns the socket's in-flight traced-operation span, if any.
+func (s *Socket) curTraceSpan() *obs.Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traceSpan
 }
 
 // waitState blocks until the machine is in one of the wanted states, the

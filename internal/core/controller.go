@@ -126,6 +126,10 @@ type Config struct {
 	// latency histograms, FSM transition counts, and load gauges
 	// (including the control channel's RUDP stats).
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records distributed spans for connection
+	// opens and migrations; the trace context propagates over the wire so
+	// one migration yields one trace across every host involved.
+	Tracer *obs.Tracer
 }
 
 func (c Config) opTimeout() time.Duration {
@@ -255,6 +259,7 @@ func NewController(cfg Config) (*Controller, error) {
 		KeepaliveTimeout:  cfg.TransportKeepaliveTimeout,
 		ResumeWindow:      cfg.TransportResumeWindow,
 		Metrics:           cfg.Metrics,
+		Tracer:            cfg.Tracer,
 	})
 	ctrl.registerGauges()
 	if ctrl.det != nil {
@@ -328,6 +333,10 @@ func (ctrl *Controller) ConnInfos() []Info {
 
 // Metrics returns the controller's registry (nil when not configured).
 func (ctrl *Controller) Metrics() *obs.Registry { return ctrl.obs.met }
+
+// Tracer returns the controller's tracer (nil when not configured); the
+// /tracez debug endpoint reads recent traces through it.
+func (ctrl *Controller) Tracer() *obs.Tracer { return ctrl.obs.tr }
 
 // Close shuts the controller down; open connections are torn down locally.
 func (ctrl *Controller) Close() error {
@@ -467,6 +476,16 @@ func (ctrl *Controller) handleControl(_ *net.UDPAddr, req []byte) []byte {
 		ctrl.logf("control %s: %v", ctrl.cfg.HostName, err)
 		return rejectReply(m.ConnID, "authentication failed")
 	}
+	// A message stamped with a trace context gets its handling recorded as
+	// a span of the sender's trace — this is how the stationary peer's side
+	// of a migration (suspend grant, resume grant, redirector update) lands
+	// in the same trace as the mover's.
+	rtc := obs.SpanContext{Trace: obs.TraceID(m.TraceID), Span: obs.SpanID(m.SpanID)}
+	if rtc.Valid() {
+		sp := ctrl.obs.tr.StartSpan(rtc, "handle."+m.Type.String())
+		sp.Annotate("from=" + m.From)
+		defer sp.End()
+	}
 	switch m.Type {
 	case wire.MsgIDExchange:
 		return s.handleIDExchange(m)
@@ -564,6 +583,11 @@ func (ctrl *Controller) openAs(agentID string, cred [security.CredentialSize]byt
 	ctx, cancel := context.WithTimeout(context.Background(), ctrl.cfg.opTimeout())
 	defer cancel()
 
+	// Each open is its own trace; the CONNECT stamp carries it to the
+	// server so both halves of establishment share an id.
+	sp := ctrl.obs.tr.StartTrace("connect " + agentID + "->" + target)
+	defer sp.End()
+
 	// Security check: authenticate the requesting agent and verify policy
 	// (skipped in the paper's "w/o security" configuration).
 	if !ctrl.cfg.Insecure {
@@ -599,7 +623,7 @@ func (ctrl *Controller) openAs(agentID string, cred [security.CredentialSize]byt
 	// configuration the transport handshake does no DH, so its cost is
 	// socket establishment, not key exchange.
 	start = time.Now()
-	tr, err := ctrl.tm.Transport(rec.Loc.DataAddr, ctrl.cfg.opTimeout())
+	tr, err := ctrl.tm.TransportTraced(rec.Loc.DataAddr, ctrl.cfg.opTimeout(), sp.Context())
 	if ctrl.cfg.Insecure {
 		bd.Add(metrics.PhaseOpenSocket, time.Since(start))
 	} else {
@@ -619,6 +643,8 @@ func (ctrl *Controller) openAs(agentID string, cred [security.CredentialSize]byt
 		To:          target,
 		DataAddr:    ctrl.DataAddr(),
 		ControlAddr: ctrl.ControlAddr(),
+		TraceID:     sp.Context().Trace,
+		SpanID:      sp.Context().Span,
 	}
 	if !ctrl.cfg.Insecure {
 		m.TransportID = tr.ID()
@@ -724,9 +750,10 @@ func (s *Socket) openDataStream(purpose wire.HandoffPurpose) (net.Conn, error) {
 		FromAgent:   s.localAgent,
 		Nonce:       s.sendNonce,
 	}
+	tc := s.traceSpan.Context()
 	s.mu.Unlock()
 	hdr.Token = s.auth.Sign(hdr.SigningBytes())
-	return s.ctrl.tm.OpenStream(addr, hdr, s.ctrl.cfg.opTimeout())
+	return s.ctrl.tm.OpenStreamTraced(addr, hdr, s.ctrl.cfg.opTimeout(), tc)
 }
 
 // handleConnect serves a CONNECT request on the server side: policy check,
@@ -734,6 +761,11 @@ func (s *Socket) openDataStream(purpose wire.HandoffPurpose) (net.Conn, error) {
 // creation, and redirector arming. Establishment completes when both the
 // data stream (via the transport) and the client's ID message arrive.
 func (ctrl *Controller) handleConnect(m *wire.ControlMsg) []byte {
+	if rtc := (obs.SpanContext{Trace: obs.TraceID(m.TraceID), Span: obs.SpanID(m.SpanID)}); rtc.Valid() {
+		sp := ctrl.obs.tr.StartSpan(rtc, "handle.CONNECT")
+		sp.Annotate("from=" + m.From)
+		defer sp.End()
+	}
 	target := m.To
 	ctrl.mu.Lock()
 	ss := ctrl.listeners[target]

@@ -50,6 +50,12 @@ type hookBlob struct {
 	// Backlog lists queued-but-unaccepted connection ids, to repopulate
 	// the restored server socket's accept queue.
 	Backlog [][16]byte
+	// Trace is the marshaled span context of the origin's depart span, so
+	// the destination's arrival spans join the same migration trace.
+	Trace []byte
+	// DepartedAt is the origin's clock when the blob was sealed; the
+	// arrival side uses it to attribute the in-flight gap.
+	DepartedAt time.Time
 }
 
 // HookName keys the controller's blob in migration bundles.
@@ -82,9 +88,24 @@ func (ctrl *Controller) PreDepart(agentID string) ([]byte, error) {
 	o := ctrl.obs
 	o.departs.Inc()
 
+	// Join the migration trace the agent layer rooted (published under the
+	// agent id), or root one here when the hook is driven directly.
+	var depart *obs.Span
+	if tc := o.tr.Active(agentID); tc.Valid() {
+		depart = o.tr.StartSpan(tc, "depart")
+	} else {
+		depart = o.tr.StartTrace("migrate " + agentID)
+	}
+	defer depart.End()
+
 	blob := hookBlob{}
 	for _, s := range conns {
+		susSp := depart.Child("suspend")
+		susSp.Annotate("conn=" + s.id.String())
+		s.setTraceSpan(susSp)
 		if err := s.Suspend(); err != nil {
+			susSp.Annotate("failed: " + err.Error())
+			susSp.End()
 			if err == ErrClosed {
 				ctrl.dropConn(s)
 				continue
@@ -93,9 +114,12 @@ func (ctrl *Controller) PreDepart(agentID string) ([]byte, error) {
 			s.Close()
 			continue
 		}
+		susSp.End()
+		ckSp := depart.Child("checkpoint")
 		szStart := time.Now()
 		st := s.serialize()
 		o.suspendBD.Add(metrics.PhaseSerialize, time.Since(szStart))
+		ckSp.End()
 		blob.Conns = append(blob.Conns, st)
 		o.connsShipped.Inc()
 		ctrl.dropConn(s)
@@ -118,6 +142,8 @@ func (ctrl *Controller) PreDepart(agentID string) ([]byte, error) {
 		ctrl.mu.Unlock()
 	}
 
+	blob.Trace = depart.Context().Marshal()
+	blob.DepartedAt = time.Now()
 	szStart := time.Now()
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&blob); err != nil {
@@ -197,6 +223,17 @@ func (ctrl *Controller) PostArrive(agentID string, blob []byte) error {
 	ctrl.obs.arrivals.Inc()
 	ctrl.olog(obs.LevelInfo, "agent %s arrived with %d connections", agentID, len(hb.Conns))
 
+	// Join the migration trace the origin sealed into the blob; arrival
+	// work (restore, resume) lands under it on this host's tracer.
+	var arrive *obs.Span
+	if tc, ok := obs.UnmarshalSpanContext(hb.Trace); ok {
+		arrive = ctrl.obs.tr.StartSpan(tc, "arrive")
+		if !hb.DepartedAt.IsZero() {
+			arrive.Annotate(fmt.Sprintf("in-flight=%v", time.Since(hb.DepartedAt).Round(time.Microsecond)))
+		}
+	}
+	defer arrive.End()
+
 	var ss *ServerSocket
 	if hb.HasListener {
 		var err error
@@ -211,19 +248,28 @@ func (ctrl *Controller) PostArrive(agentID string, blob []byte) error {
 	}
 
 	for _, st := range hb.Conns {
+		restSp := arrive.Child("restore")
 		s, err := ctrl.restoreConn(st, 0)
 		if err != nil {
+			restSp.Annotate("failed: " + err.Error())
+			restSp.End()
 			return err
 		}
 		// The connection now lives here: journal it so a crash before the
 		// post-arrival resume completes still recovers it.
 		ctrl.checkpointConn(s)
+		restSp.End()
 
 		if ss != nil && !st.Accepted && backlog[st.ID] {
 			ss.push(s)
 		}
 
-		go func(s *Socket, owes bool) {
+		resSp := arrive.Child("resume")
+		resSp.Annotate("conn=" + s.id.String())
+		s.setTraceSpan(resSp)
+		go func(s *Socket, owes bool, sp *obs.Span) {
+			defer sp.End()
+			defer s.setTraceSpan(nil)
 			if owes {
 				// Release the parked peer; it migrates next and will
 				// resume toward us (Fig 4(a)).
@@ -233,9 +279,10 @@ func (ctrl *Controller) PostArrive(agentID string, blob []byte) error {
 				return
 			}
 			if err := s.Resume(); err != nil && err != ErrClosed {
+				sp.Annotate("failed: " + err.Error())
 				ctrl.logf("conn %s: resume after migration: %v", s.id, err)
 			}
-		}(s, st.OwesSusRes)
+		}(s, st.OwesSusRes, resSp)
 	}
 	return nil
 }

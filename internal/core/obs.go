@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"log"
 	"time"
 
@@ -19,6 +20,9 @@ import (
 type ctrlObs struct {
 	log *obs.Logger
 	met *obs.Registry
+	// tr records migration/connection spans; nil-safe like everything
+	// else here.
+	tr *obs.Tracer
 
 	opens, openErrors       *obs.Counter
 	accepts                 *obs.Counter
@@ -65,6 +69,7 @@ func newCtrlObs(cfg Config) *ctrlObs {
 	o := &ctrlObs{
 		log:              lg,
 		met:              met,
+		tr:               cfg.Tracer,
 		opens:            met.Counter("conn.opens"),
 		openErrors:       met.Counter("conn.open_errors"),
 		accepts:          met.Counter("conn.accepts"),
@@ -209,16 +214,22 @@ func (s *Socket) olog(lv obs.Level, format string, args ...any) {
 }
 
 // observeFSM installs the observability hooks on a socket's state
-// machine: the aggregate and per-edge transition counters, plus a debug
-// line per transition.
+// machine: the aggregate and per-edge transition counters, a debug line
+// per transition, and — when a traced operation (suspend, resume) is in
+// flight on the socket — a timestamped annotation of the edge on its span.
 func (s *Socket) observeFSM() {
 	o := s.ctrl.obs
-	if o.met == nil && !o.log.Enabled(obs.LevelDebug) {
+	if o.met == nil && o.tr == nil && !o.log.Enabled(obs.LevelDebug) {
 		return
 	}
+	// The observer fires from step(), which runs under s.mu, so traceSpan
+	// is read directly rather than through an accessor.
 	s.m.SetObserver(func(tr fsm.Transition) {
 		o.fsmTransitions.Inc()
 		o.met.Counter("fsm.transition." + tr.From.String() + "->" + tr.To.String()).Inc()
+		if sp := s.traceSpan; sp != nil {
+			sp.Annotate(fmt.Sprintf("fsm %s->%s @%s", tr.From, tr.To, tr.At.UTC().Format("15:04:05.000000")))
+		}
 		if o.log.Enabled(obs.LevelDebug) && !s.ctrl.closing.Load() {
 			o.log.With("conn", s.id).Debugf("fsm %s --[%s]--> %s", tr.From, tr.Event, tr.To)
 		}

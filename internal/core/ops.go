@@ -33,11 +33,13 @@ func (s *Socket) request(ctx context.Context, typ wire.MsgType, build func(m *wi
 	s.mu.Lock()
 	s.sendNonce++
 	m := &wire.ControlMsg{
-		Type:   typ,
-		ConnID: s.id,
-		From:   s.localAgent,
-		To:     s.remoteAgent,
-		Nonce:  s.sendNonce,
+		Type:    typ,
+		ConnID:  s.id,
+		From:    s.localAgent,
+		To:      s.remoteAgent,
+		Nonce:   s.sendNonce,
+		TraceID: s.traceSpan.Context().Trace,
+		SpanID:  s.traceSpan.Context().Span,
 	}
 	addr := s.peerControlAddr
 	s.mu.Unlock()
@@ -782,12 +784,19 @@ func (s *Socket) handleResume(m *wire.ControlMsg) []byte {
 func (s *Socket) grantResume(m *wire.ControlMsg) []byte {
 	ch := s.ctrl.rv.arm(connKey{id: s.id, agent: s.localAgent})
 	peerHasUpTo := m.LastSeq
+	// The redirect span covers the stationary peer's half of the resume:
+	// redirector armed, the mover's handoff socket landing, and the swap to
+	// ESTABLISHED. It joins the mover's migration trace via the RES stamp.
+	redirect := s.ctrl.obs.tr.StartSpan(
+		obs.SpanContext{Trace: obs.TraceID(m.TraceID), Span: obs.SpanID(m.SpanID)}, "redirect")
 	go func() {
+		defer redirect.End()
 		t := time.NewTimer(s.ctrl.cfg.opTimeout())
 		defer t.Stop()
 		select {
 		case sock := <-ch:
 			if err := s.installSocket(sock, peerHasUpTo); err != nil {
+				redirect.Annotate("install failed: " + err.Error())
 				s.ctrl.logf("conn %s: installing resumed socket: %v", s.id, err)
 				s.mu.Lock()
 				if s.m.State() == fsm.ResAcked {
@@ -805,6 +814,7 @@ func (s *Socket) grantResume(m *wire.ControlMsg) []byte {
 			s.noteRecovered()
 			s.ctrl.checkpointConn(s)
 		case <-t.C:
+			redirect.Annotate("handoff timeout")
 			s.ctrl.rv.disarm(connKey{id: s.id, agent: s.localAgent})
 			s.mu.Lock()
 			if s.m.State() == fsm.ResAcked {

@@ -11,6 +11,7 @@ package fsm
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // State is a NapletSocket connection state (Table 1 of the paper).
@@ -323,6 +324,9 @@ type Transition struct {
 	From  State
 	Event Event
 	To    State
+	// At is when the step was applied; observers and the tracing layer
+	// use it to attribute lifecycle edges to migration phases.
+	At time.Time
 }
 
 // Observer receives every successful transition of a Machine, in step
@@ -375,7 +379,7 @@ func (m *Machine) Step(e Event) (State, error) {
 		m.mu.Unlock()
 		return from, err
 	}
-	tr := Transition{From: m.state, Event: e, To: to}
+	tr := Transition{From: m.state, Event: e, To: to, At: time.Now()}
 	m.history = append(m.history, tr)
 	if len(m.history) > m.maxHistory {
 		m.history = m.history[len(m.history)-m.maxHistory:]

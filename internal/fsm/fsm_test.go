@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // walk applies a sequence of events to a fresh machine, failing the test on
@@ -356,6 +357,10 @@ func TestObserverSeesTransitions(t *testing.T) {
 		t.Fatalf("observer saw %d transitions, want %d", len(got), len(want))
 	}
 	for i := range want {
+		if got[i].At.IsZero() {
+			t.Errorf("transition %d has no timestamp", i)
+		}
+		got[i].At = time.Time{}
 		if got[i] != want[i] {
 			t.Errorf("transition %d = %+v, want %+v", i, got[i], want[i])
 		}

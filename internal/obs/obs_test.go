@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 	"sync"
@@ -116,6 +117,84 @@ func TestHistogramSmallAndEdge(t *testing.T) {
 	if h2.Count() != 2 || h2.Quantile(100) != 1e-9 {
 		t.Fatalf("edge samples: count=%d max=%v", h2.Count(), h2.Quantile(100))
 	}
+}
+
+func TestHistogramAllEqualSamples(t *testing.T) {
+	// Every quantile of a constant series is that constant: the bucketed
+	// estimate must return the exact tracked min/max, not a bucket bound.
+	h := &Histogram{}
+	for i := 0; i < 1000; i++ {
+		h.Observe(37.5)
+	}
+	for _, p := range []float64{0, 1, 50, 95, 99, 99.9, 100} {
+		if got := h.Quantile(p); got != 37.5 {
+			t.Errorf("all-equal p%v = %v, want 37.5", p, got)
+		}
+	}
+	snap := h.snapshot()
+	if snap.Min != 37.5 || snap.Max != 37.5 || snap.Mean != 37.5 {
+		t.Errorf("all-equal snapshot = %+v", snap)
+	}
+
+	// Empty series: every field and quantile is zero.
+	empty := (&Histogram{}).snapshot()
+	if empty.Count != 0 || empty.Min != 0 || empty.Max != 0 ||
+		empty.Mean != 0 || empty.P50 != 0 || empty.P99 != 0 {
+		t.Errorf("empty snapshot = %+v", empty)
+	}
+	if got := (&Histogram{}).Quantile(99.9); got != 0 {
+		t.Errorf("empty p99.9 = %v", got)
+	}
+}
+
+// TestRegistrySnapshotDuringWrites hammers one registry with concurrent
+// instrument registration, updates, and Snapshot/WritePrometheus readers;
+// the race detector is the assertion.
+func TestRegistrySnapshotDuringWrites(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter(fmt.Sprintf("c%d", i%7)).Inc()
+				r.Gauge(fmt.Sprintf("g%d", g)).Set(float64(i))
+				r.Histogram(fmt.Sprintf("h%d", i%3)).Observe(float64(i % 100))
+				if i%10 == 0 {
+					r.Func(fmt.Sprintf("f%d.%d", g, i%5), func() float64 { return float64(i) })
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				if snap.Counters == nil {
+					t.Error("snapshot lost counters map")
+					return
+				}
+				r.WritePrometheus(io.Discard)
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
 }
 
 func TestHistogramConcurrent(t *testing.T) {

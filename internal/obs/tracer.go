@@ -1,0 +1,384 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file adds distributed tracing to the observability layer: bounded
+// in-memory spans grouped into traces whose identity travels across hosts
+// with the migration itself. A trace is born where a migration (or
+// connection open) starts; its context — trace id plus parent span id —
+// rides the control messages and transport hellos so the suspend on the
+// origin host, the handoff on the stationary peer, and the resume on the
+// destination host all land under one id. Each host keeps only its own
+// spans; /tracez (or a test) merges the per-host views by trace id.
+
+// TraceID identifies one distributed trace (a migration, a connection
+// open). It is 16 random bytes, rendered as hex.
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the id is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the id is unset.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the id as lowercase hex.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the id as lowercase hex.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated half of a span: enough for a remote host
+// to attach its own spans to the same trace.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context names a real trace.
+func (c SpanContext) Valid() bool { return !c.Trace.IsZero() }
+
+// spanContextLen is the wire size of a marshaled SpanContext.
+const spanContextLen = 16 + 8
+
+// Marshal returns the 24-byte wire form of c, or nil when invalid; the
+// transport hello and migration blob carry it opaquely.
+func (c SpanContext) Marshal() []byte {
+	if !c.Valid() {
+		return nil
+	}
+	b := make([]byte, 0, spanContextLen)
+	b = append(b, c.Trace[:]...)
+	return append(b, c.Span[:]...)
+}
+
+// UnmarshalSpanContext parses a Marshal'd context; ok is false for empty
+// or malformed input.
+func UnmarshalSpanContext(b []byte) (SpanContext, bool) {
+	if len(b) != spanContextLen {
+		return SpanContext{}, false
+	}
+	var c SpanContext
+	copy(c.Trace[:], b[:16])
+	copy(c.Span[:], b[16:])
+	return c, c.Valid()
+}
+
+// Span is one timed operation inside a trace. Spans are recorded into the
+// tracer's store when ended; a span that is never ended is never visible.
+// All methods are safe on a nil *Span, so call sites need no tracing
+// guards.
+type Span struct {
+	tracer *Tracer
+	ctx    SpanContext
+	parent SpanID
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	notes []string
+	ended bool
+}
+
+// Tracer records spans for one host into a bounded store: at most
+// maxTraces traces (oldest evicted first) of at most maxSpans spans each.
+// A nil *Tracer is valid and records nothing.
+type Tracer struct {
+	host string
+
+	mu     sync.Mutex
+	traces map[TraceID]*traceEntry
+	order  []TraceID // insertion order, for eviction
+	active map[string]SpanContext
+
+	maxTraces int
+	maxSpans  int
+	dropped   uint64
+}
+
+type traceEntry struct {
+	first time.Time
+	spans []SpanRecord
+}
+
+const (
+	defaultMaxTraces        = 256
+	defaultMaxSpansPerTrace = 512
+)
+
+// NewTracer returns a tracer whose spans are attributed to host.
+func NewTracer(host string) *Tracer {
+	return &Tracer{
+		host:      host,
+		traces:    make(map[TraceID]*traceEntry),
+		active:    make(map[string]SpanContext),
+		maxTraces: defaultMaxTraces,
+		maxSpans:  defaultMaxSpansPerTrace,
+	}
+}
+
+// Host returns the host name spans are attributed to.
+func (t *Tracer) Host() string {
+	if t == nil {
+		return ""
+	}
+	return t.host
+}
+
+func randomBytes(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failure is unrecoverable in practice; leave zeros,
+		// which render as an invalid (ignored) context.
+		for i := range b {
+			b[i] = 0
+		}
+	}
+}
+
+// StartTrace begins a new trace rooted at a span called name.
+func (t *Tracer) StartTrace(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	var ctx SpanContext
+	randomBytes(ctx.Trace[:])
+	randomBytes(ctx.Span[:])
+	return &Span{tracer: t, ctx: ctx, name: name, start: time.Now()}
+}
+
+// StartSpan begins a child span of parent, which may have been created on
+// another host. An invalid parent yields a nil span.
+func (t *Tracer) StartSpan(parent SpanContext, name string) *Span {
+	return t.StartSpanAt(parent, name, time.Now())
+}
+
+// StartSpanAt is StartSpan with an explicit start time, for spans whose
+// beginning was observed before the tracer got involved (e.g. a transfer
+// span backdated to the departure timestamp carried in the migration
+// blob).
+func (t *Tracer) StartSpanAt(parent SpanContext, name string, start time.Time) *Span {
+	if t == nil || !parent.Valid() {
+		return nil
+	}
+	ctx := SpanContext{Trace: parent.Trace}
+	randomBytes(ctx.Span[:])
+	return &Span{tracer: t, ctx: ctx, parent: parent.Span, name: name, start: start}
+}
+
+// Context returns the span's propagable context (zero for a nil span).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.ctx
+}
+
+// Child begins a child span of s on the same tracer.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.StartSpan(s.ctx, name)
+}
+
+// Annotate attaches a free-form note to the span.
+func (s *Span) Annotate(note string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.notes) < 32 {
+		s.notes = append(s.notes, note)
+	}
+	s.mu.Unlock()
+}
+
+// End records the span into the tracer's store. Ending twice is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	notes := s.notes
+	s.mu.Unlock()
+	s.tracer.record(SpanRecord{
+		Trace:  s.ctx.Trace,
+		Span:   s.ctx.Span,
+		Parent: s.parent,
+		Name:   s.name,
+		Host:   s.tracer.host,
+		Start:  s.start,
+		End:    now,
+		Notes:  notes,
+	})
+}
+
+// SpanRecord is one finished span as stored and served by /tracez.
+type SpanRecord struct {
+	Trace  TraceID   `json:"-"`
+	Span   SpanID    `json:"-"`
+	Parent SpanID    `json:"-"`
+	Name   string    `json:"name"`
+	Host   string    `json:"host"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+	Notes  []string  `json:"notes,omitempty"`
+
+	// Hex forms for JSON consumers.
+	SpanHex   string `json:"span"`
+	ParentHex string `json:"parent,omitempty"`
+}
+
+// DurationMs returns the span's duration in milliseconds.
+func (r SpanRecord) DurationMs() float64 {
+	return float64(r.End.Sub(r.Start)) / float64(time.Millisecond)
+}
+
+func (t *Tracer) record(r SpanRecord) {
+	r.SpanHex = r.Span.String()
+	if !r.Parent.IsZero() {
+		r.ParentHex = r.Parent.String()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.traces[r.Trace]
+	if e == nil {
+		for len(t.order) >= t.maxTraces {
+			delete(t.traces, t.order[0])
+			t.order = t.order[1:]
+		}
+		e = &traceEntry{first: r.Start}
+		t.traces[r.Trace] = e
+		t.order = append(t.order, r.Trace)
+	}
+	if len(e.spans) >= t.maxSpans {
+		t.dropped++
+		return
+	}
+	if r.Start.Before(e.first) {
+		e.first = r.Start
+	}
+	e.spans = append(e.spans, r)
+}
+
+// SetActive publishes the span context of an in-flight operation under a
+// key (e.g. a migrating agent's id), so a layer that cannot be handed the
+// context directly can still join the trace.
+func (t *Tracer) SetActive(key string, ctx SpanContext) {
+	if t == nil || !ctx.Valid() {
+		return
+	}
+	t.mu.Lock()
+	t.active[key] = ctx
+	t.mu.Unlock()
+}
+
+// Active returns the context published under key (zero when absent).
+func (t *Tracer) Active(key string) SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.active[key]
+}
+
+// ClearActive removes the context published under key.
+func (t *Tracer) ClearActive(key string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	delete(t.active, key)
+	t.mu.Unlock()
+}
+
+// TraceSnapshot is one trace as served by /tracez: this host's spans plus
+// derived per-phase durations.
+type TraceSnapshot struct {
+	ID    string    `json:"id"`
+	Root  string    `json:"root"`
+	Start time.Time `json:"start"`
+	// DurationMs spans the earliest start to the latest end among this
+	// host's spans.
+	DurationMs float64            `json:"duration_ms"`
+	Spans      []SpanRecord       `json:"spans"`
+	Phases     map[string]float64 `json:"phases_ms"`
+}
+
+// Snapshot returns the stored traces, most recent first.
+func (t *Tracer) Snapshot() []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TraceSnapshot, 0, len(t.order))
+	for i := len(t.order) - 1; i >= 0; i-- {
+		id := t.order[i]
+		e := t.traces[id]
+		ts := TraceSnapshot{
+			ID:     id.String(),
+			Start:  e.first,
+			Spans:  append([]SpanRecord(nil), e.spans...),
+			Phases: make(map[string]float64, len(e.spans)),
+		}
+		out = append(out, ts)
+	}
+	t.mu.Unlock()
+
+	for i := range out {
+		ts := &out[i]
+		var last time.Time
+		rootStart := time.Time{}
+		for _, sp := range ts.Spans {
+			ts.Phases[sp.Name] += sp.DurationMs()
+			if sp.End.After(last) {
+				last = sp.End
+			}
+			if rootStart.IsZero() || sp.Start.Before(rootStart) {
+				rootStart = sp.Start
+				ts.Root = sp.Name
+			}
+		}
+		if !last.IsZero() {
+			ts.DurationMs = float64(last.Sub(ts.Start)) / float64(time.Millisecond)
+		}
+	}
+	return out
+}
+
+// Slowest returns the n stored traces with the largest durations, slowest
+// first.
+func (t *Tracer) Slowest(n int) []TraceSnapshot {
+	all := t.Snapshot()
+	sort.SliceStable(all, func(i, j int) bool { return all[i].DurationMs > all[j].DurationMs })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Dropped returns the count of spans discarded because their trace was
+// full.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

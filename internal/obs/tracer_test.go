@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanContextMarshalRoundtrip(t *testing.T) {
+	tr := NewTracer("h1")
+	sp := tr.StartTrace("migrate a1")
+	ctx := sp.Context()
+	if !ctx.Valid() {
+		t.Fatal("root span context invalid")
+	}
+	b := ctx.Marshal()
+	if len(b) != 24 {
+		t.Fatalf("marshal length = %d, want 24", len(b))
+	}
+	back, ok := UnmarshalSpanContext(b)
+	if !ok || back != ctx {
+		t.Fatalf("roundtrip = %+v ok=%v, want %+v", back, ok, ctx)
+	}
+
+	if (SpanContext{}).Marshal() != nil {
+		t.Fatal("invalid context marshals non-nil")
+	}
+	for _, bad := range [][]byte{nil, {}, make([]byte, 23), make([]byte, 25), make([]byte, 24)} {
+		if _, ok := UnmarshalSpanContext(bad); ok {
+			t.Fatalf("unmarshal accepted %d zero/odd bytes", len(bad))
+		}
+	}
+}
+
+func TestTracerSpanTreeAcrossHosts(t *testing.T) {
+	// One trace whose spans land on two tracers, stitched by trace id —
+	// exactly how a migration spreads over origin and destination hosts.
+	origin := NewTracer("origin")
+	dest := NewTracer("dest")
+
+	root := origin.StartTrace("migrate a1")
+	sus := root.Child("suspend")
+	sus.Annotate("conn=abc")
+	sus.End()
+	xfer := root.Child("transfer")
+	xfer.End()
+	root.End()
+
+	// The context travels (marshaled) to the destination host.
+	ctx, ok := UnmarshalSpanContext(root.Context().Marshal())
+	if !ok {
+		t.Fatal("context did not survive the wire")
+	}
+	arrive := dest.StartSpan(ctx, "arrive")
+	res := arrive.Child("resume")
+	res.End()
+	arrive.End()
+
+	osnap := origin.Snapshot()
+	dsnap := dest.Snapshot()
+	if len(osnap) != 1 || len(dsnap) != 1 {
+		t.Fatalf("traces: origin=%d dest=%d, want 1 each", len(osnap), len(dsnap))
+	}
+	if osnap[0].ID != dsnap[0].ID {
+		t.Fatalf("trace ids differ: %s vs %s", osnap[0].ID, dsnap[0].ID)
+	}
+	if osnap[0].Root != "migrate a1" {
+		t.Fatalf("origin root = %q", osnap[0].Root)
+	}
+	if len(osnap[0].Spans) != 3 || len(dsnap[0].Spans) != 2 {
+		t.Fatalf("spans: origin=%d dest=%d", len(osnap[0].Spans), len(dsnap[0].Spans))
+	}
+	for _, name := range []string{"migrate a1", "suspend", "transfer"} {
+		if _, ok := osnap[0].Phases[name]; !ok {
+			t.Errorf("origin missing phase %q", name)
+		}
+	}
+	for _, sp := range osnap[0].Spans {
+		if sp.Host != "origin" {
+			t.Errorf("span %s host = %q", sp.Name, sp.Host)
+		}
+		if sp.End.Before(sp.Start) {
+			t.Errorf("span %s ends before it starts", sp.Name)
+		}
+		if sp.Name == "suspend" {
+			if sp.ParentHex != root.Context().Span.String() {
+				t.Errorf("suspend parent = %s, want root %s", sp.ParentHex, root.Context().Span)
+			}
+			if len(sp.Notes) != 1 || sp.Notes[0] != "conn=abc" {
+				t.Errorf("suspend notes = %v", sp.Notes)
+			}
+		}
+	}
+}
+
+func TestTracerNeverEndedInvisible(t *testing.T) {
+	tr := NewTracer("h")
+	sp := tr.StartTrace("r")
+	sp.Child("x").End()
+	// sp itself never ends; only the child shows.
+	snap := tr.Snapshot()
+	if len(snap) != 1 || len(snap[0].Spans) != 1 || snap[0].Spans[0].Name != "x" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Double End is a no-op.
+	c := tr.StartTrace("y")
+	c.End()
+	c.End()
+	if n := len(tr.Snapshot()); n != 2 {
+		t.Fatalf("traces = %d, want 2", n)
+	}
+}
+
+func TestTracerEvictionAndSpanCap(t *testing.T) {
+	tr := NewTracer("h")
+	tr.maxTraces = 4
+	tr.maxSpans = 3
+	var first *Span
+	for i := 0; i < 6; i++ {
+		sp := tr.StartTrace(fmt.Sprintf("t%d", i))
+		if i == 0 {
+			first = sp
+		}
+		sp.End()
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("traces after eviction = %d, want 4", len(snap))
+	}
+	// Most recent first.
+	if snap[0].Root != "t5" || snap[3].Root != "t2" {
+		t.Fatalf("order = %s .. %s", snap[0].Root, snap[3].Root)
+	}
+	// A late span of an evicted trace re-registers it (new entry).
+	child := tr.StartSpan(first.Context(), "late")
+	child.End()
+
+	// Span cap: the 4th span of one trace is dropped and counted.
+	root := tr.StartTrace("full")
+	for i := 0; i < 3; i++ {
+		root.Child(fmt.Sprintf("s%d", i)).End()
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped = %d before cap", tr.Dropped())
+	}
+	root.Child("overflow").End()
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", tr.Dropped())
+	}
+}
+
+func TestTracerActiveRegistry(t *testing.T) {
+	tr := NewTracer("h")
+	if tr.Active("a1").Valid() {
+		t.Fatal("unset key is valid")
+	}
+	sp := tr.StartTrace("migrate a1")
+	tr.SetActive("a1", sp.Context())
+	if got := tr.Active("a1"); got != sp.Context() {
+		t.Fatalf("Active = %+v", got)
+	}
+	tr.ClearActive("a1")
+	if tr.Active("a1").Valid() {
+		t.Fatal("cleared key still valid")
+	}
+	// Invalid contexts are not stored.
+	tr.SetActive("a2", SpanContext{})
+	if tr.Active("a2").Valid() {
+		t.Fatal("invalid context stored")
+	}
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartTrace("x")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	sp.Annotate("note")
+	sp.End()
+	child := sp.Child("y")
+	child.End()
+	if sp.Context().Valid() {
+		t.Fatal("nil span context valid")
+	}
+	tr.SetActive("k", SpanContext{})
+	_ = tr.Active("k")
+	tr.ClearActive("k")
+	if tr.Snapshot() != nil || tr.Slowest(3) != nil || tr.Dropped() != 0 || tr.Host() != "" {
+		t.Fatal("nil tracer leaks state")
+	}
+	// An invalid parent yields a nil (inert) span.
+	real := NewTracer("h")
+	if real.StartSpan(SpanContext{}, "x") != nil {
+		t.Fatal("invalid parent produced a live span")
+	}
+}
+
+func TestTracerSlowest(t *testing.T) {
+	tr := NewTracer("h")
+	for i, d := range []time.Duration{5 * time.Millisecond, 20 * time.Millisecond, 1 * time.Millisecond} {
+		start := time.Now().Add(-d)
+		sp := tr.StartSpanAt(SpanContext{}, "ignored", start)
+		if sp != nil {
+			t.Fatal("invalid parent must be inert")
+		}
+		root := tr.StartTrace(fmt.Sprintf("t%d", i))
+		// Backdate via a child started in the past so durations differ.
+		tr.record(SpanRecord{Trace: root.Context().Trace, Span: root.Context().Span,
+			Name: fmt.Sprintf("t%d", i), Host: "h", Start: start, End: time.Now()})
+	}
+	top := tr.Slowest(2)
+	if len(top) != 2 || top[0].Root != "t1" || top[1].Root != "t0" {
+		t.Fatalf("slowest = %+v", top)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer("h")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				root := tr.StartTrace(fmt.Sprintf("t%d", g))
+				c := root.Child("work")
+				c.Annotate("i")
+				c.End()
+				root.End()
+				tr.SetActive(fmt.Sprintf("k%d", g), root.Context())
+				tr.Active(fmt.Sprintf("k%d", g))
+				tr.ClearActive(fmt.Sprintf("k%d", g))
+				if i%50 == 0 {
+					tr.Snapshot()
+					tr.Slowest(3)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(tr.Snapshot()) != tr.maxTraces {
+		t.Fatalf("traces = %d, want full store %d", len(tr.Snapshot()), tr.maxTraces)
+	}
+}

@@ -58,6 +58,10 @@ type Config struct {
 	// Metrics receives the transport.reconnects / transport.resumed_streams
 	// / transport.keepalive_timeouts counters; nil records nothing.
 	Metrics *obs.Registry
+	// Tracer records transport dial/accept spans; a fresh dial performed
+	// with a trace context (TransportTraced) joins that trace and carries
+	// it to the acceptor in the hello. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // Manager owns every shared transport of one host: at most one live
@@ -208,6 +212,14 @@ func (m *Manager) dial(addr string, timeout time.Duration) (net.Conn, error) {
 // share a single dial. Closing the manager fails an in-flight dial or
 // handshake promptly.
 func (m *Manager) Transport(addr string, timeout time.Duration) (*Transport, error) {
+	return m.TransportTraced(addr, timeout, obs.SpanContext{})
+}
+
+// TransportTraced is Transport with a tracing context: when the lookup
+// misses and a fresh dial runs, the dial gets a span under tc and the
+// hello carries the context to the acceptor, so cross-host operations see
+// the transport establishment they paid for inside their own trace.
+func (m *Manager) TransportTraced(addr string, timeout time.Duration, tc obs.SpanContext) (*Transport, error) {
 	if t, ok := m.lookup(addr); ok {
 		return t, nil
 	}
@@ -224,6 +236,15 @@ func (m *Manager) Transport(addr string, timeout time.Duration) (*Transport, err
 	if timeout <= 0 {
 		timeout = m.cfg.HandshakeTimeout
 	}
+	sp := m.cfg.Tracer.StartSpan(tc, "transport.dial")
+	sp.Annotate("addr=" + addr)
+	defer sp.End()
+	// Propagate the dial span when we have one, else the caller's context
+	// untouched — a tracing acceptor can join either way.
+	trace := sp.Context().Marshal()
+	if trace == nil {
+		trace = tc.Marshal()
+	}
 	conn, err := m.dial(addr, timeout)
 	if err != nil {
 		return nil, err
@@ -235,7 +256,7 @@ func (m *Manager) Transport(addr string, timeout time.Duration) (*Transport, err
 		return nil, ErrClosed
 	}
 	conn.SetDeadline(time.Now().Add(m.cfg.HandshakeTimeout))
-	id, secret, peer, err := clientHandshake(conn, &m.cfg)
+	id, secret, peer, err := clientHandshake(conn, &m.cfg, trace)
 	m.untrackPending(conn)
 	if err != nil {
 		conn.Close()
@@ -275,11 +296,17 @@ func (m *Manager) HandleConn(conn net.Conn) error {
 		m.untrackPending(conn)
 		return err
 	}
+	started := time.Now()
 	id, secret, err := serverHandshake(conn, &m.cfg, peer, recvd)
 	m.untrackPending(conn)
 	if err != nil {
 		conn.Close()
 		return err
+	}
+	if tc, ok := obs.UnmarshalSpanContext(peer.Trace); ok {
+		sp := m.cfg.Tracer.StartSpanAt(tc, "transport.accept", started)
+		sp.Annotate("peer=" + peer.Host)
+		sp.End()
 	}
 	conn.SetDeadline(time.Time{})
 	// Register under the peer's advertised redirector address so our own
@@ -333,8 +360,14 @@ func (m *Manager) register(conn net.Conn, id wire.ConnID, secret []byte, peer *w
 		opened:     time.Now(),
 		localAddr:  conn.LocalAddr(),
 		remoteAddr: conn.RemoteAddr(),
+		rec:        newFlightRecorder(),
 	}
 	t.lastRead.Store(time.Now().UnixNano())
+	if dialer {
+		t.rec.record("dial", "peer=%s remote=%s", peer.Host, conn.RemoteAddr())
+	} else {
+		t.rec.record("accept", "peer=%s remote=%s", peer.Host, conn.RemoteAddr())
+	}
 	if dialer {
 		t.nextID = 1
 	} else {
@@ -380,9 +413,15 @@ func (m *Manager) remove(t *Transport, cause error) {
 // shared transport first if needed. If a warm transport dies between
 // lookup and open, the open is retried once on a fresh transport.
 func (m *Manager) OpenStream(addr string, hdr *wire.HandoffHeader, timeout time.Duration) (*Stream, error) {
+	return m.OpenStreamTraced(addr, hdr, timeout, obs.SpanContext{})
+}
+
+// OpenStreamTraced is OpenStream carrying a tracing context into any
+// fresh transport dial the open triggers.
+func (m *Manager) OpenStreamTraced(addr string, hdr *wire.HandoffHeader, timeout time.Duration, tc obs.SpanContext) (*Stream, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		t, err := m.Transport(addr, timeout)
+		t, err := m.TransportTraced(addr, timeout, tc)
 		if err != nil {
 			return nil, err
 		}
@@ -459,6 +498,18 @@ type Info struct {
 	// State is "connected", "reconnecting(n)" with n the attempt count of
 	// the current outage, or "lost (<cause>)" for a tombstone.
 	State string
+	// ResumeDeadline is when the current outage's resume window expires
+	// (zero unless reconnecting): past it the transport fails with
+	// ErrTransportLost.
+	ResumeDeadline time.Time
+	// LastKeepalive is when the transport last saw any inbound frame
+	// (data or keepalive), feeding the half-open detector.
+	LastKeepalive time.Time
+	// Events is the transport's flight-recorder ring, oldest first;
+	// EventCounts are cumulative per-kind totals that survive ring
+	// eviction.
+	Events      []RecorderEvent
+	EventCounts map[string]uint64
 }
 
 // info snapshots one transport's debug state.
@@ -472,15 +523,20 @@ func (t *Transport) info() Info {
 		state = "lost"
 	}
 	info := Info{
-		ID:       t.id,
-		PeerHost: t.peerHost,
-		PeerAddr: t.peerAddr,
-		Dialer:   t.dialer,
-		Streams:  len(t.streams),
-		Opened:   t.opened,
-		State:    state,
+		ID:             t.id,
+		PeerHost:       t.peerHost,
+		PeerAddr:       t.peerAddr,
+		Dialer:         t.dialer,
+		Streams:        len(t.streams),
+		Opened:         t.opened,
+		State:          state,
+		ResumeDeadline: t.resumeDeadline,
 	}
 	t.mu.Unlock()
+	if nanos := t.lastRead.Load(); nanos != 0 {
+		info.LastKeepalive = time.Unix(0, nanos)
+	}
+	info.Events, info.EventCounts = t.rec.snapshot()
 	return info
 }
 

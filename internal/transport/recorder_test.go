@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"naplet/internal/netem"
+	"naplet/internal/obs"
+)
+
+func TestFlightRecorderRingAndCounts(t *testing.T) {
+	rec := newFlightRecorder()
+	for i := 0; i < recorderCap+10; i++ {
+		rec.record("redial", "attempt=%d", i)
+	}
+	rec.record("broken", "cause=x")
+	events, counts := rec.snapshot()
+	if len(events) != recorderCap {
+		t.Fatalf("ring holds %d events, want %d", len(events), recorderCap)
+	}
+	// Oldest-first: the first retained redial is attempt 11 (10 evicted by
+	// wraparound plus one more for the broken event).
+	if events[0].Kind != "redial" || events[0].Detail != "attempt=11" {
+		t.Fatalf("oldest event = %+v", events[0])
+	}
+	if events[len(events)-1].Kind != "broken" {
+		t.Fatalf("newest event = %+v", events[len(events)-1])
+	}
+	// Cumulative counts survive eviction.
+	if counts["redial"] != recorderCap+10 || counts["broken"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if rec.count("redial") != recorderCap+10 || rec.count("missing") != 0 {
+		t.Fatalf("count() = %d / %d", rec.count("redial"), rec.count("missing"))
+	}
+
+	// Timestamps are monotone non-decreasing oldest-to-newest.
+	for i := 1; i < len(events); i++ {
+		if events[i].At.Before(events[i-1].At) {
+			t.Fatalf("event %d out of order", i)
+		}
+	}
+
+	// A nil recorder is inert.
+	var nilRec *flightRecorder
+	nilRec.record("x", "y")
+	if ev, c := nilRec.snapshot(); ev != nil || c != nil {
+		t.Fatal("nil recorder leaks state")
+	}
+	if nilRec.count("x") != 0 {
+		t.Fatal("nil recorder counts")
+	}
+	nilRec.dump(nil, "t", nil)
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	rec := newFlightRecorder()
+	rec.record("dial", "peer=b addr=1.2.3.4:5")
+	rec.record("broken", "cause=eof window=10s")
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	rec.dump(logf, "tid (peer b)", ErrTransportLost)
+	if len(lines) < 3 {
+		t.Fatalf("dump wrote %d lines: %q", len(lines), lines)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"tid (peer b)", "session lost", "dial", "peer=b addr=1.2.3.4:5", "broken", "cause=eof"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("dump missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestFlightRecorderCapturesNetemFaults is the chaos-soak follow-up from
+// the issue: every RST the netem proxy injects must show up in the dialing
+// transport's flight recorder — the recorder's broken/resumed counts equal
+// the proxy's injected fault count exactly.
+func TestFlightRecorderCapturesNetemFaults(t *testing.T) {
+	faults := netem.NewFaults(0xF11647)
+	met := obs.NewRegistry()
+	b := newTestPeerCfg(t, "b", true, resumable(10*time.Second))
+	proxy, err := netem.NewProxy(b.addr(), faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+
+	a := newTestPeerCfg(t, "a", true, func(cfg *Config) {
+		cfg.ResumeWindow = 10 * time.Second
+		cfg.Metrics = met
+		// Every dial — including resumption redials — crosses the fault
+		// proxy, so the proxy sees exactly the transport's connections.
+		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", proxy.Addr(), timeout)
+		}
+	})
+
+	cs, err := a.mgr.OpenStream(b.addr(), testHeader(t), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := recvStream(t, b)
+
+	roundTrip := func(k int) {
+		t.Helper()
+		msg := []byte(fmt.Sprintf("ping-%d", k))
+		if _, err := cs.Write(msg); err != nil {
+			t.Fatalf("round %d write: %v", k, err)
+		}
+		buf := make([]byte, 64)
+		n, err := ss.Read(buf)
+		if err != nil || string(buf[:n]) != string(msg) {
+			t.Fatalf("round %d read: %q, %v", k, buf[:n], err)
+		}
+	}
+	waitFlows := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for proxy.FlowCount() != n {
+			if time.Now().After(deadline) {
+				t.Fatalf("proxy flows = %d, want %d", proxy.FlowCount(), n)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	const rounds = 4
+	roundTrip(0)
+	for k := 1; k <= rounds; k++ {
+		waitFlows(1)
+		if killed := proxy.ResetAll(); killed != 1 {
+			t.Fatalf("round %d: reset killed %d flows, want 1", k, killed)
+		}
+		// The round trip blocks until the session has resumed over a fresh
+		// connection, so each injected fault is fully absorbed before the
+		// next one fires.
+		roundTrip(k)
+	}
+
+	var info *Info
+	for _, in := range a.mgr.Infos() {
+		if in.Dialer {
+			in := in
+			info = &in
+		}
+	}
+	if info == nil {
+		t.Fatal("no dialer transport in Infos()")
+	}
+	resets := proxy.Resets()
+	if resets != rounds {
+		t.Fatalf("proxy injected %d resets, want %d", resets, rounds)
+	}
+	if got := info.EventCounts["broken"]; got != resets {
+		t.Errorf("recorder broken count = %d, want %d (one per injected RST)", got, resets)
+	}
+	if got := info.EventCounts["resumed"]; got != resets {
+		t.Errorf("recorder resumed count = %d, want %d", got, resets)
+	}
+	if got := met.Counter("transport.reconnects").Value(); got != resets {
+		t.Errorf("transport.reconnects = %d, want %d", got, resets)
+	}
+	if info.EventCounts["redial"] < resets {
+		t.Errorf("recorder redial count = %d, want >= %d", info.EventCounts["redial"], resets)
+	}
+	// The ring itself holds the narrative: a dial, then broken/redial/
+	// resumed triples.
+	var kinds []string
+	for _, ev := range info.Events {
+		kinds = append(kinds, ev.Kind)
+	}
+	if kinds[0] != "dial" {
+		t.Errorf("first event = %q, want dial (events: %v)", kinds[0], kinds)
+	}
+}

@@ -94,8 +94,10 @@ func (t *Transport) connBroken(conn net.Conn, cause error) {
 	readerDone := t.readerDone
 	window := t.mgr.cfg.ResumeWindow
 	deadline := time.Now().Add(window)
+	t.resumeDeadline = deadline
 	t.mu.Unlock()
 	conn.Close()
+	t.rec.record("broken", "cause=%v window=%v", cause, window)
 	t.logf("transport %s: connection broken (%v); holding %d streams for resume within %v",
 		t.peerHost, cause, t.streamCount(), window)
 	if t.dialer {
@@ -151,6 +153,7 @@ func (t *Transport) reconnectLoop(gen int, readerDone chan struct{}, deadline ti
 			t.fail(fmt.Errorf("%w: resume window expired after %d attempts: %v", ErrTransportLost, attempt-1, cause))
 			return
 		}
+		t.rec.record("redial", "attempt=%d addr=%s", attempt, t.dialAddr)
 		conn, err := t.mgr.dial(t.dialAddr, t.mgr.cfg.HandshakeTimeout)
 		if err == nil {
 			var peer *wire.TransportHello
@@ -163,6 +166,7 @@ func (t *Transport) reconnectLoop(gen int, readerDone chan struct{}, deadline ti
 			}
 			conn.Close()
 			if errors.Is(err, errResumeDenied) {
+				t.rec.record("resume-denied", "attempt=%d", attempt)
 				t.fail(fmt.Errorf("%w: %v (after %v)", ErrTransportLost, err, cause))
 				return
 			}
@@ -331,6 +335,7 @@ func (t *Transport) adopt(conn net.Conn, peerRecvSeq uint64, gen int) bool {
 	t.reconnecting = false
 	attempts := t.attempts
 	t.attempts = 0
+	t.resumeDeadline = time.Time{}
 	t.readerDone = make(chan struct{})
 	readerDone := t.readerDone
 	t.localAddr, t.remoteAddr = conn.LocalAddr(), conn.RemoteAddr()
@@ -350,6 +355,7 @@ func (t *Transport) adopt(conn net.Conn, peerRecvSeq uint64, gen int) bool {
 	t.wmu.Unlock()
 	t.mgr.reconnects.Inc()
 	t.mgr.resumedStreams.Add(uint64(nstreams))
+	t.rec.record("resumed", "attempts=%d streams=%d replayed=%d", attempts, nstreams, replayed)
 	if werr != nil {
 		t.logf("transport %s: resumed connection broke during replay: %v", t.peerHost, werr)
 		t.connBroken(conn, werr)
@@ -388,6 +394,7 @@ func (t *Transport) keepalive(conn net.Conn) {
 		idle := time.Since(time.Unix(0, t.lastRead.Load()))
 		if idle >= timeout {
 			t.mgr.keepaliveTimeouts.Inc()
+			t.rec.record("keepalive-timeout", "idle=%v", idle.Round(time.Millisecond))
 			t.connBroken(conn, fmt.Errorf("transport: keepalive timeout after %v of silence", idle.Round(time.Millisecond)))
 			return
 		}

@@ -321,6 +321,9 @@ func (s *Stream) Read(p []byte) (int, error) {
 // slow kernel write on the shared connection never holds the stream lock.
 func (s *Stream) Write(p []byte) (int, error) {
 	written := 0
+	// stalled throttles the flight-recorder event to one per Write call
+	// that runs out of credit, not one per wait wakeup.
+	stalled := false
 	for len(p) > 0 {
 		s.mu.Lock()
 		for {
@@ -335,6 +338,10 @@ func (s *Stream) Write(p []byte) (int, error) {
 			}
 			if s.sendWindow > 0 {
 				break
+			}
+			if !stalled {
+				stalled = true
+				s.t.rec.record("credit-stall", "stream=%d", s.id)
 			}
 			if err := s.waitLocked(s.wdeadline); err != nil {
 				s.mu.Unlock()

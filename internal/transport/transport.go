@@ -130,11 +130,14 @@ type Transport struct {
 	// attempts counts reconnect attempts in the current outage (the n of
 	// the debug surface's "reconnecting(n)").
 	attempts int
-	streams  map[uint64]*Stream
-	nextID   uint64
-	closed   bool
-	closeErr error
-	opened   time.Time
+	// resumeDeadline is when the current outage's resume window expires;
+	// zero while connected. Surfaced on Info for /connz.
+	resumeDeadline time.Time
+	streams        map[uint64]*Stream
+	nextID         uint64
+	closed         bool
+	closeErr       error
+	opened         time.Time
 	// cached endpoint addresses of the most recent connection, so streams
 	// can answer LocalAddr/RemoteAddr while the transport is between
 	// connections.
@@ -145,6 +148,11 @@ type Transport struct {
 	// unix-nano time of the last inbound frame (keepalive freshness).
 	recvSeq  atomic.Uint64
 	lastRead atomic.Int64
+
+	// rec is the transport's flight recorder: a bounded ring of lifecycle
+	// events dumped into the log when the session dies with
+	// ErrTransportLost.
+	rec *flightRecorder
 }
 
 // ID returns the transport id shared by both ends.
@@ -192,13 +200,13 @@ func transcriptTag(auth *dhkx.Authenticator, label string, clientHello, serverHe
 
 // clientHandshake runs the dialer's half of the transport handshake on a
 // fresh connection whose deadline the caller has already set.
-func clientHandshake(conn net.Conn, cfg *Config) (id wire.ConnID, secret []byte, peer *wire.TransportHello, err error) {
+func clientHandshake(conn net.Conn, cfg *Config, trace []byte) (id wire.ConnID, secret []byte, peer *wire.TransportHello, err error) {
 	id, err = wire.NewConnID()
 	if err != nil {
 		return id, nil, nil, err
 	}
 	var kp *dhkx.KeyPair
-	hello := &wire.TransportHello{ID: id, Insecure: cfg.Insecure, Host: cfg.HostName, Addr: cfg.AdvertiseAddr}
+	hello := &wire.TransportHello{ID: id, Insecure: cfg.Insecure, Host: cfg.HostName, Addr: cfg.AdvertiseAddr, Trace: trace}
 	if !cfg.Insecure {
 		if kp, err = dhkx.GenerateKeyPair(); err != nil {
 			return id, nil, nil, err
@@ -681,6 +689,12 @@ func (t *Transport) fail(cause error) {
 	t.sendLog = nil
 	t.sendLogBytes = 0
 	t.wmu.Unlock()
+	// A session lost for good gets its black box on record before the
+	// tombstone replaces it.
+	if errors.Is(cause, ErrTransportLost) {
+		t.rec.record("lost", "%v", cause)
+		t.rec.dump(t.logf, fmt.Sprintf("%s (peer %s)", t.id, t.peerHost), cause)
+	}
 	if t.mgr != nil {
 		t.mgr.remove(t, cause)
 	}

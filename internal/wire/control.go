@@ -129,6 +129,13 @@ type ControlMsg struct {
 	// amortising the Diffie-Hellman exchange across every stream the
 	// transport carries. Zero in insecure mode.
 	TransportID ConnID
+	// TraceID and SpanID propagate the sender's tracing context so the
+	// suspend/resume exchanges of one migration form a single cross-host
+	// trace (observability extension, not part of the paper protocol).
+	// All-zero when the sender is not tracing; covered by the HMAC like
+	// every other field.
+	TraceID [16]byte
+	SpanID  [8]byte
 	// Payload carries message-specific bytes.
 	Payload []byte
 	// Tag authenticates the message; all-zero for messages sent before a
@@ -226,6 +233,8 @@ func (m *ControlMsg) Encode() []byte {
 	b = appendString(b, m.ControlAddr)
 	b = binary.BigEndian.AppendUint64(b, m.LastSeq)
 	b = append(b, m.TransportID[:]...)
+	b = append(b, m.TraceID[:]...)
+	b = append(b, m.SpanID[:]...)
 	b = appendBytes(b, m.Payload)
 	b = append(b, m.Tag[:]...)
 	return b
@@ -271,6 +280,12 @@ func DecodeControlMsg(b []byte) (*ControlMsg, error) {
 	}
 	copy(m.TransportID[:], b[:16])
 	b = b[16:]
+	if len(b) < 16+8 {
+		return nil, errShort
+	}
+	copy(m.TraceID[:], b[:16])
+	copy(m.SpanID[:], b[16:24])
+	b = b[24:]
 	if m.Payload, b, err = takeBytes(b); err != nil {
 		return nil, err
 	}

@@ -23,6 +23,12 @@ func sampleMsg() *ControlMsg {
 		LastSeq:     12345,
 		Payload:     []byte{1, 2, 3},
 	}
+	for i := range m.TraceID {
+		m.TraceID[i] = byte(0xA0 + i)
+	}
+	for i := range m.SpanID {
+		m.SpanID[i] = byte(0xB0 + i)
+	}
 	for i := range m.Tag {
 		m.Tag[i] = byte(255 - i)
 	}

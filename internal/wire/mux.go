@@ -73,6 +73,10 @@ type TransportHello struct {
 	// dialer held the session being resumed before the acceptor commits
 	// any state to it.
 	ResumeTag []byte
+	// Trace is the dialer's marshaled tracing span context (empty when
+	// not tracing): a dial performed on behalf of a migration carries the
+	// migration's trace so the acceptor's handshake span joins it.
+	Trace []byte
 }
 
 // ErrBadTransport reports a malformed transport hello or mux frame.
@@ -100,6 +104,7 @@ func (h *TransportHello) encode() []byte {
 	b = appendBytes(b, h.Public)
 	b = binary.BigEndian.AppendUint64(b, h.RecvSeq)
 	b = appendBytes(b, h.ResumeTag)
+	b = appendBytes(b, h.Trace)
 	return b
 }
 
@@ -180,6 +185,9 @@ func decodeTransportHello(b []byte) (*TransportHello, error) {
 	h.RecvSeq = binary.BigEndian.Uint64(b)
 	b = b[8:]
 	if h.ResumeTag, b, err = takeBytes(b); err != nil {
+		return nil, err
+	}
+	if h.Trace, b, err = takeBytes(b); err != nil {
 		return nil, err
 	}
 	if len(b) != 0 {

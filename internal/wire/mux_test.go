@@ -17,6 +17,7 @@ func TestTransportHelloRoundTrip(t *testing.T) {
 		Host:   "alpha",
 		Addr:   "127.0.0.1:4410",
 		Public: bytes.Repeat([]byte{0xAB}, 256),
+		Trace:  bytes.Repeat([]byte{0xC3}, 24),
 	}
 	var buf bytes.Buffer
 	raw, err := WriteTransportHello(&buf, h)

@@ -142,6 +142,10 @@ type Config struct {
 	// registered under fixed names and a shared registry would report only
 	// the last node's values.
 	Metrics *obs.Registry
+	// Tracer records migration and connection traces (span trees with
+	// cross-host context propagation) for the /tracez debug view. Nil
+	// auto-creates one per node; tracing is cheap and always on.
+	Tracer *obs.Tracer
 	// Core tunes the NapletSocket controller timeouts (optional).
 	Core core.Config
 }
@@ -188,6 +192,11 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 	}
 
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(cfg.Name)
+	}
+
 	ccfg := cfg.Core
 	ccfg.HostName = cfg.Name
 	ccfg.ControlAddr = cfg.ControlAddr
@@ -206,6 +215,9 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if ccfg.Metrics == nil {
 		ccfg.Metrics = cfg.Metrics
+	}
+	if ccfg.Tracer == nil {
+		ccfg.Tracer = tracer
 	}
 	if ccfg.Logf == nil {
 		ccfg.Logf = cfg.Logf
@@ -251,6 +263,7 @@ func NewNode(cfg Config) (*Node, error) {
 		Logf:            cfg.Logf,
 		Logger:          cfg.Logger,
 		Metrics:         cfg.Metrics,
+		Tracer:          ccfg.Tracer,
 		Journal:         jnl,
 	}
 	host, err := agent.NewHost(hcfg)
@@ -287,6 +300,9 @@ func (n *Node) Controller() *core.Controller { return n.ctrl }
 
 // Metrics returns the node's registry (nil when not configured).
 func (n *Node) Metrics() *obs.Registry { return n.metrics }
+
+// Tracer returns the node's migration/connection tracer.
+func (n *Node) Tracer() *obs.Tracer { return n.ctrl.Tracer() }
 
 // Launch starts an agent on this node.
 func (n *Node) Launch(agentID string, b Behavior) error { return n.host.Launch(agentID, b) }
