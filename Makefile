@@ -6,7 +6,7 @@ GO ?= go
 NETEM_SEED ?= 42
 NETEM_LOSS ?= 0.3
 
-.PHONY: build test vet lint race check integration fuzz-smoke bench bench-smoke chaos-smoke
+.PHONY: build test vet lint race check integration fuzz-smoke bench bench-smoke chaos-smoke naming-smoke
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,16 @@ race:
 # detector, uncached so it really runs every time.
 chaos-smoke:
 	$(GO) test ./internal/core -run TestChaosSoakExactlyOnce -race -short -count=1 -v
+
+# naming-smoke is the CI gate for the naming control plane: the
+# kill-one-shard chaos test under the race detector (a 3x2 cluster with 2%
+# control loss loses a shard leader mid-migration-wave), then benchgate
+# reruns the lookup benchmark in short mode and fails if the cached/direct
+# speedup regresses more than 50% against BENCH_naming.json or the hit
+# rate under the migration storm drops below 90%.
+naming-smoke:
+	$(GO) test ./internal/naming/cluster -run TestKillOneShardLeader -race -count=1 -v
+	$(GO) run ./cmd/benchgate -naming-baseline BENCH_naming.json -naming-short
 
 # integration runs only the subprocess tests (two-process deployment and
 # crash recovery), uncached.

@@ -4,15 +4,22 @@
 // tolerance below the baseline's. Comparing ratios rather than absolute
 // Mbps keeps the gate meaningful on whatever machine CI happens to run on.
 //
+// With -naming-baseline it instead gates the naming control plane: the
+// sharded-cluster lookup benchmark is rerun and fails when the
+// cached/direct speedup regresses past the tolerance or the hit rate
+// under the migration storm drops below the absolute floor.
+//
 // Usage:
 //
 //	benchgate [-baseline BENCH_fig9.json] [-tolerance 0.5] [-total 16777216]
+//	benchgate -naming-baseline BENCH_naming.json [-naming-short] [-tolerance 0.5]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"naplet/internal/experiments"
 )
@@ -21,10 +28,43 @@ var (
 	baseline  = flag.String("baseline", "BENCH_fig9.json", "committed baseline file")
 	tolerance = flag.Float64("tolerance", 0.5, "allowed fractional ratio drop before failing")
 	total     = flag.Int64("total", 16<<20, "bytes per measurement point")
+
+	namingBaseline = flag.String("naming-baseline", "", "committed naming baseline (BENCH_naming.json); when set, gate the naming benchmark instead of Fig 9")
+	namingShort    = flag.Bool("naming-short", false, "run the naming benchmark at a reduced population and window (CI smoke)")
 )
+
+func namingGate() {
+	b, err := experiments.LoadBenchNaming(*namingBaseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := experiments.NamingBenchConfig{Agents: b.Agents}
+	if *namingShort {
+		cfg.Agents = 1000
+		cfg.Duration = time.Second
+	}
+	res, err := experiments.RunNamingBench(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	report, err := experiments.CompareNaming(b, res, *tolerance)
+	fmt.Print(report)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok (naming speedup within %.0f%% of %s, hit rate above %.0f%%)\n",
+		*tolerance*100, *namingBaseline, experiments.MinNamingHitRate*100)
+}
 
 func main() {
 	flag.Parse()
+	if *namingBaseline != "" {
+		namingGate()
+		return
+	}
 	b, err := experiments.LoadBenchFig9(*baseline)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)

@@ -8,9 +8,11 @@ import (
 	"net/http/pprof"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"naplet"
+	"naplet/internal/naming/cluster"
 	"naplet/internal/obs"
 )
 
@@ -21,12 +23,18 @@ import (
 //	/connz    — the per-connection state table (text, or JSON with
 //	            ?format=json), including each shared transport's resume
 //	            window, last-keepalive time, and flight-recorder events
+//	/namez    — the naming control plane: hosted cluster shard replicas
+//	            (role, term, leader, record counts, staleness) and the
+//	            controller's location-cache hit rate (text, ?format=json)
 //	/tracez   — recent migration/connection traces with per-phase
 //	            durations (text, ?format=json, ?n=<k> for the k slowest)
 //	/debug/pprof/ — the standard net/http/pprof handlers
 //
+// cnode is the naming cluster node hosted by this process, or nil when the
+// host is not part of the naming control plane.
+//
 // It returns the running server and its bound address.
-func startDebugServer(addr string, node *naplet.Node, reg *obs.Registry) (*http.Server, string, error) {
+func startDebugServer(addr string, node *naplet.Node, reg *obs.Registry, cnode *cluster.Node) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("debug listener: %w", err)
@@ -91,6 +99,51 @@ func startDebugServer(addr string, node *naplet.Node, reg *obs.Registry) (*http.
 			}
 		}
 	})
+	mux.HandleFunc("/namez", func(w http.ResponseWriter, r *http.Request) {
+		var shards []cluster.ShardInfo
+		if cnode != nil {
+			shards = cnode.Infos()
+		}
+		cacheStats, cacheOn := node.Controller().LocationCacheStats()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Shards        any  `json:"shards"`
+				CacheEnabled  bool `json:"cache_enabled"`
+				LocationCache any  `json:"location_cache"`
+			}{shards, cacheOn, cacheStats})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if cnode == nil {
+			fmt.Fprintf(w, "no naming cluster node hosted here at %s\n", time.Now().Format(time.RFC3339))
+		} else {
+			fmt.Fprintf(w, "%d naming shard replicas at %s\n\n", len(shards), time.Now().Format(time.RFC3339))
+			fmt.Fprintf(w, "%-6s %-9s %6s %-22s %8s %9s %7s %9s %-32s\n",
+				"SHARD", "ROLE", "TERM", "LEADER", "RECORDS", "MAXEPOCH", "SYNCED", "AGE-MS", "REPLICAS")
+			for _, in := range shards {
+				age := "-"
+				if in.Role == "follower" {
+					age = fmt.Sprintf("%.1f", in.Age)
+				}
+				fmt.Fprintf(w, "%-6d %-9s %6d %-22s %8d %9d %7t %9s %-32s\n",
+					in.Shard, in.Role, in.Term, in.Leader,
+					in.Records, in.MaxEpoch, in.Synced, age, strings.Join(in.Replicas, ","))
+			}
+		}
+		fmt.Fprintf(w, "\nlocation cache")
+		if !cacheOn {
+			fmt.Fprintf(w, ": disabled\n")
+			return
+		}
+		fmt.Fprintf(w, " (%d entries)\n\n", cacheStats.Entries)
+		fmt.Fprintf(w, "%10s %10s %13s %10s %9s\n", "HITS", "MISSES", "INVALIDATIONS", "ADVANCES", "HIT-RATE")
+		fmt.Fprintf(w, "%10d %10d %13d %10d %8.1f%%\n",
+			cacheStats.Hits, cacheStats.Misses, cacheStats.Invalidations,
+			cacheStats.Advances, cacheStats.HitRate*100)
+	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
 		tr := node.Tracer()
 		traces := tr.Snapshot()
@@ -147,7 +200,7 @@ func startDebugServer(addr string, node *naplet.Node, reg *obs.Registry) (*http.
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "napletd %s debug surface\n\n/metrics (?format=prom)\n/connz (?format=json)\n/tracez (?format=json&n=5)\n/debug/pprof/\n", node.Name())
+		fmt.Fprintf(w, "napletd %s debug surface\n\n/metrics (?format=prom)\n/connz (?format=json)\n/namez (?format=json)\n/tracez (?format=json&n=5)\n/debug/pprof/\n", node.Name())
 	})
 
 	srv := &http.Server{Handler: mux}

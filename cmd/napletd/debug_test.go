@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"naplet/internal/behaviors"
 	"naplet/internal/core"
 	"naplet/internal/naming"
+	"naplet/internal/naming/cluster"
 	"naplet/internal/obs"
 	"naplet/internal/transport"
 )
@@ -71,7 +73,7 @@ func TestDebugServerAcrossMigration(t *testing.T) {
 	n1, met1 := newNode("h1")
 	n2, _ := newNode("h2")
 
-	srv, addr, err := startDebugServer("127.0.0.1:0", n1, met1)
+	srv, addr, err := startDebugServer("127.0.0.1:0", n1, met1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +165,7 @@ func TestDebugServerEndpoints(t *testing.T) {
 	}
 	t.Cleanup(func() { node.Close() })
 
-	srv, addr, err := startDebugServer("127.0.0.1:0", node, met)
+	srv, addr, err := startDebugServer("127.0.0.1:0", node, met, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +284,7 @@ func TestConnzTransportState(t *testing.T) {
 	n2 := newNode("h2")
 
 	met := obs.NewRegistry() // fresh registry just for the server arg
-	srv, addr, err := startDebugServer("127.0.0.1:0", n1, met)
+	srv, addr, err := startDebugServer("127.0.0.1:0", n1, met, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,5 +342,129 @@ func TestConnzTransportState(t *testing.T) {
 		if tr.State != "connected" {
 			t.Errorf("transport %s state = %q, want \"connected\"", tr.ID, tr.State)
 		}
+	}
+}
+
+// TestNamezEndpoint runs a napletd-shaped node against a single-process
+// naming cluster node and checks the /namez rendering: the hosted shard
+// table and the controller's location-cache stats, in both text and JSON.
+func TestNamezEndpoint(t *testing.T) {
+	// Reserve a loopback UDP address so the layout can name the cluster
+	// node before it binds.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	caddr := pc.LocalAddr().String()
+	pc.Close()
+
+	layout, err := cluster.BuildLayout([]string{caddr}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnode, err := cluster.NewNode(cluster.NodeConfig{Addr: caddr, Layout: layout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cnode.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	cli, err := cluster.NewClient(ctx, cluster.ClientConfig{Seeds: []string{caddr}})
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+
+	breg := naplet.NewRegistry()
+	behaviors.RegisterAll(breg)
+	met := obs.NewRegistry()
+	node, err := naplet.NewNode(naplet.Config{
+		Name:      "h1",
+		Directory: cli,
+		Registry:  breg,
+		Metrics:   met,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+
+	srv, addr, err := startDebugServer("127.0.0.1:0", node, met, cnode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	// Register agents through the cluster and drive a connection so the
+	// location cache sees at least one lookup.
+	if err := node.Launch("echoer", &behaviors.Echo{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Launch("pinger", &behaviors.Pinger{Target: "echoer", Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer waitCancel()
+	for {
+		if _, err := cli.Lookup(waitCtx, "pinger"); errors.Is(err, naming.ErrNotFound) {
+			break
+		}
+		select {
+		case <-waitCtx.Done():
+			t.Fatal("pinger never finished")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	resp, err := http.Get("http://" + addr + "/namez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/namez status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{"naming shard replicas", "leader", "location cache", "HIT-RATE"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/namez missing %q:\n%s", want, text)
+		}
+	}
+
+	resp, err = http.Get("http://" + addr + "/namez?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var namez struct {
+		Shards       []cluster.ShardInfo `json:"shards"`
+		CacheEnabled bool                `json:"cache_enabled"`
+		Cache        naming.CacheStats   `json:"location_cache"`
+	}
+	if err := json.Unmarshal(body, &namez); err != nil {
+		t.Fatalf("decoding /namez json: %v\n%s", err, body)
+	}
+	if len(namez.Shards) != 2 {
+		t.Fatalf("hosted shards = %d, want 2", len(namez.Shards))
+	}
+	records := 0
+	for _, sh := range namez.Shards {
+		if sh.Role != "leader" {
+			t.Errorf("single-replica shard %d role = %q, want leader", sh.Shard, sh.Role)
+		}
+		records += sh.Records
+	}
+	if records == 0 {
+		t.Error("cluster shows zero records after launches")
+	}
+	if !namez.CacheEnabled {
+		t.Error("location cache reported disabled")
+	}
+	if namez.Cache.Hits+namez.Cache.Misses == 0 {
+		t.Errorf("location cache saw no lookups: %+v", namez.Cache)
 	}
 }

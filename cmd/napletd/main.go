@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,10 +27,12 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"naplet"
 	"naplet/internal/behaviors"
 	"naplet/internal/naming"
+	"naplet/internal/naming/cluster"
 	"naplet/internal/obs"
 )
 
@@ -46,6 +49,11 @@ var (
 	mail       = flag.String("mail", "127.0.0.1:0", "post office (UDP) address")
 	nsListen   = flag.String("nameserver-listen", "", "also host the location service on this address")
 	nsAddr     = flag.String("nameserver", "", "address of the deployment's location service")
+	namingSeeds  = flag.String("naming-seeds", "", "comma-separated addresses of the sharded naming cluster; the node resolves agents through it instead of a single name server")
+	namingListen = flag.String("naming-cluster-listen", "", "also host a naming cluster node on this address (must appear in -naming-cluster-peers)")
+	namingPeers  = flag.String("naming-cluster-peers", "", "comma-separated addresses of every naming cluster node, identical on all hosts (defaults to -naming-cluster-listen alone)")
+	namingShards = flag.Int("naming-shards", 3, "shard count of the naming cluster (identical on all hosts)")
+	namingRepl   = flag.Int("naming-replication", 2, "replicas per naming shard (identical on all hosts)")
 	postoffice = flag.Bool("postoffice", true, "run a post office on this host")
 	insecure   = flag.Bool("insecure", false, "disable security (the paper's w/o-security mode)")
 	clusterKey = flag.String("cluster-secret", "", "shared secret authenticating the docking channel between hosts")
@@ -125,10 +133,68 @@ func main() {
 		cfg.ClusterSecret = []byte(*clusterKey)
 	}
 
-	// Location service: hosted locally, or a client of a remote one.
+	tracer := obs.NewTracer(*name)
+	cfg.Tracer = tracer
+
+	split := func(s string) []string {
+		var out []string
+		for _, p := range strings.Split(s, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+
+	// Location service: a sharded replicated cluster, a single name server
+	// hosted locally, or a client of a remote one.
+	var clusterNode *cluster.Node
 	switch {
+	case *namingListen != "" || *namingSeeds != "":
+		logger := obs.NewLogger(log.Printf, level)
+		if *namingListen != "" {
+			peers := split(*namingPeers)
+			if len(peers) == 0 {
+				peers = []string{*namingListen}
+			}
+			layout, err := cluster.BuildLayout(peers, *namingShards, *namingRepl)
+			if err != nil {
+				log.Fatalf("naming cluster layout: %v", err)
+			}
+			clusterNode, err = cluster.NewNode(cluster.NodeConfig{
+				Addr:    *namingListen,
+				Layout:  layout,
+				TTL:     *nameTTL,
+				Metrics: metrics,
+				Tracer:  tracer,
+				Logger:  logger,
+			})
+			if err != nil {
+				log.Fatalf("starting naming cluster node: %v", err)
+			}
+			defer clusterNode.Close()
+			log.Printf("naming cluster node listening on %s (%d shards x %d replicas)",
+				clusterNode.Addr(), layout.Shards, *namingRepl)
+		}
+		seeds := split(*namingSeeds)
+		if len(seeds) == 0 {
+			seeds = []string{*namingListen}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		cli, err := cluster.NewClient(ctx, cluster.ClientConfig{
+			Seeds:   seeds,
+			Metrics: metrics,
+			Logger:  logger,
+		})
+		cancel()
+		if err != nil {
+			log.Fatalf("connecting to naming cluster %v: %v", seeds, err)
+		}
+		defer cli.Close()
+		cfg.Directory = cli
 	case *nsListen != "":
 		svc := naming.NewService()
+		svc.SetMetrics(metrics)
 		if *nameTTL > 0 {
 			svc.SetTTL(*nameTTL)
 		}
@@ -152,7 +218,7 @@ func main() {
 		defer cli.Close()
 		cfg.Directory = cli
 	default:
-		log.Fatal("one of -nameserver or -nameserver-listen is required")
+		log.Fatal("one of -nameserver, -nameserver-listen, -naming-seeds, or -naming-cluster-listen is required")
 	}
 
 	reg := naplet.NewRegistry()
@@ -167,7 +233,7 @@ func main() {
 	log.Printf("host %s up: dock=%s", node.Name(), node.DockAddr())
 
 	if *debugAddr != "" {
-		srv, addr, err := startDebugServer(*debugAddr, node, metrics)
+		srv, addr, err := startDebugServer(*debugAddr, node, metrics, clusterNode)
 		if err != nil {
 			log.Fatalf("starting debug server: %v", err)
 		}

@@ -65,7 +65,7 @@ func TestTracezAcrossMigration(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { node.Close() })
-		srv, addr, err := startDebugServer("127.0.0.1:0", node, met)
+		srv, addr, err := startDebugServer("127.0.0.1:0", node, met, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -328,7 +328,7 @@ func TestMetricsPromFormat(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { node.Close() })
-	srv, addr, err := startDebugServer("127.0.0.1:0", node, met)
+	srv, addr, err := startDebugServer("127.0.0.1:0", node, met, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,7 @@ var (
 	charts    = flag.Bool("chart", true, "render ASCII charts for the figures")
 	csvDir    = flag.String("csv", "", "directory to write per-figure CSV files into")
 	benchJSON = flag.String("bench-json", "", "path to BENCH_fig9.json: fig9 refreshes its After series there (Before is preserved)")
+	namingJSON = flag.String("naming-json", "", "path to BENCH_naming.json: naming refreshes the committed baseline there (Note is preserved)")
 )
 
 // writeCSV writes one figure's CSV when -csv is set.
@@ -54,7 +55,7 @@ func main() {
 	var list []string
 	for _, a := range args {
 		if a == "all" {
-			list = []string{"table1", "suspres", "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig12a", "fig12b", "fig13", "motivation", "wan", "ablations"}
+			list = []string{"table1", "suspres", "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig12a", "fig12b", "fig13", "motivation", "wan", "ablations", "naming"}
 			break
 		}
 		list = append(list, strings.ToLower(a))
@@ -84,6 +85,7 @@ experiments:
   motivation  Section 1: round trip over NapletSocket vs the PostOffice mailbox
   wan      Table 1/§4.2 latencies under emulated network delay (1/5/10 ms one-way)
   ablations design-choice ablations (handoff, control transport, failure-resume)
+  naming   sharded location-service lookups under a migration storm (cached vs direct)
   all      everything above
 
 flags:
@@ -265,6 +267,30 @@ func run(name string) error {
 			return err
 		}
 		fmt.Print(f.Table())
+
+	case "naming":
+		header("Naming control plane: sharded-cluster lookups under a migration storm")
+		cfg := experiments.NamingBenchConfig{}
+		if *quick {
+			cfg.Agents = 1000
+			cfg.Duration = time.Second
+		}
+		res, err := experiments.RunNamingBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
+		if *namingJSON != "" {
+			b := experiments.BenchNamingFrom(res)
+			old, err := experiments.LoadBenchNaming(*namingJSON)
+			if err == nil {
+				b.Note = old.Note
+			}
+			if err := experiments.WriteBenchNaming(*namingJSON, b); err != nil {
+				return fmt.Errorf("writing %s: %w", *namingJSON, err)
+			}
+			fmt.Printf("(bench baseline: %s)\n", *namingJSON)
+		}
 
 	default:
 		return fmt.Errorf("unknown experiment %q", name)

@@ -270,6 +270,21 @@ func (h *Host) AddHook(hook Hook) {
 	h.hooks = append(h.hooks, hook)
 }
 
+// noteLocationEpoch tells hooks that track directory epochs (the
+// NapletSocket controller's migration-aware location caching, matched
+// structurally) which epoch this host's directory entry for the agent now
+// carries.
+func (h *Host) noteLocationEpoch(agentID string, epoch uint64) {
+	h.mu.Lock()
+	hooks := append([]Hook(nil), h.hooks...)
+	h.mu.Unlock()
+	for _, hook := range hooks {
+		if n, ok := hook.(interface{ NoteLocationEpoch(string, uint64) }); ok {
+			n.NoteLocationEpoch(agentID, epoch)
+		}
+	}
+}
+
 // SetExtension publishes a host service to behaviours under name.
 func (h *Host) SetExtension(name string, svc any) {
 	h.mu.Lock()
@@ -319,6 +334,7 @@ func (h *Host) Launch(agentID string, b Behavior) error {
 	if err := h.cfg.Directory.Register(h.rootCtx, agentID, h.Location()); err != nil {
 		return fmt.Errorf("agent: registering %q: %w", agentID, err)
 	}
+	h.noteLocationEpoch(agentID, 1)
 	h.launches.Inc()
 	h.log.Infof("agent %s launched", agentID)
 	if err := h.checkpointAgent(agentID, b, 1); err != nil {
@@ -645,6 +661,10 @@ func (h *Host) handleDock(conn net.Conn) {
 		reply("location update: " + err.Error())
 		return
 	}
+	// Hooks learn the epoch before PostArrive runs, so the SUS_RES/RES
+	// messages sent while resuming the restored connections already carry
+	// the post-migration epoch for their receivers' location caches.
+	h.noteLocationEpoch(bd.AgentID, bd.Epoch)
 	for _, hook := range hooks {
 		if err := hook.PostArrive(bd.AgentID, bd.Blobs[hook.HookName()]); err != nil {
 			reply(fmt.Sprintf("hook %s PostArrive: %v", hook.HookName(), err))

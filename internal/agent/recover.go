@@ -103,6 +103,7 @@ func (h *Host) Recover() (int, error) {
 			h.log.Warnf("recover: re-registering %q: %v", agentID, err)
 			continue
 		}
+		h.noteLocationEpoch(agentID, epoch)
 		if err := h.checkpointAgent(agentID, st.Behavior, epoch); err != nil {
 			h.log.Warnf("recover: %v", err)
 		}

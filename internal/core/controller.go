@@ -44,6 +44,15 @@ type Config struct {
 	Guard *security.Guard
 	// Locator resolves agents at connection setup (required).
 	Locator Locator
+	// DisableLocationCache turns off the controller's migration-aware
+	// location cache, so every lookup consults Locator directly. The cache
+	// is keyed by agent id, guarded by Record.Epoch, and invalidated by
+	// the SUS/SUS_RES/RES control messages rather than by TTL expiry.
+	DisableLocationCache bool
+	// LocationCacheTTL overrides the cache's safety-net TTL (the expiry
+	// for entries no migration notification ever touches). Zero picks the
+	// naming package default (30s); negative disables expiry.
+	LocationCacheTTL time.Duration
 	// Insecure disables the Diffie-Hellman key exchange and the
 	// authentication/authorization checks at setup — the paper's
 	// "NapletSocket w/o security" configuration. Control messages are
@@ -183,6 +192,16 @@ type Controller struct {
 	tm *transport.Manager
 	// det is the peer failure detector; nil unless HeartbeatInterval is set.
 	det *fault.Detector
+	// loc caches Locator results keyed by agent id, guarded by epoch and
+	// proactively invalidated off the control-message path; nil when
+	// disabled by config.
+	loc *naming.Cache
+
+	// epochMu guards locEpochs: the directory epoch each resident agent's
+	// location entry carries, reported by the agent host after every
+	// register/update and stamped onto outgoing SUS_RES/RES messages.
+	epochMu   sync.Mutex
+	locEpochs map[string]uint64
 
 	mu        sync.Mutex
 	conns     map[connKey]*Socket
@@ -212,7 +231,14 @@ func NewController(cfg Config) (*Controller, error) {
 		byAgent:   make(map[string]map[wire.ConnID]*Socket),
 		listeners: make(map[string]*ServerSocket),
 		migrating: make(map[string]bool),
+		locEpochs: make(map[string]uint64),
 		done:      make(chan struct{}),
+	}
+	if !cfg.DisableLocationCache {
+		ctrl.loc = naming.NewCache(cfg.Locator, naming.CacheConfig{
+			TTL:     cfg.LocationCacheTTL,
+			Metrics: cfg.Metrics,
+		})
 	}
 	rcfg := rudp.Config{SendDelay: cfg.ControlSendDelay, DropFn: cfg.ControlDropFn}
 	if cfg.HeartbeatInterval > 0 {
@@ -444,6 +470,72 @@ func (ctrl *Controller) AgentSockets(agentID string) []*Socket {
 	return out
 }
 
+// ---- migration-aware location cache ----
+
+// lookupAgent resolves an agent's location, through the cache when one is
+// enabled.
+func (ctrl *Controller) lookupAgent(ctx context.Context, agentID string) (naming.Record, error) {
+	if ctrl.loc != nil {
+		return ctrl.loc.Lookup(ctx, agentID)
+	}
+	return ctrl.cfg.Locator.Lookup(ctx, agentID)
+}
+
+// invalidateLocation drops the agent's cached location: called when a
+// connect against the cached addresses failed, or when a SUS announces
+// the agent is about to move and its current entry is living on borrowed
+// time.
+func (ctrl *Controller) invalidateLocation(agentID string) {
+	if ctrl.loc != nil {
+		ctrl.loc.Invalidate(agentID)
+	}
+}
+
+// advanceLocation moves the agent's cached location forward to the
+// addresses a SUS_RES/RES announced, at the mover's stamped epoch — the
+// piggyback path that keeps the cache fresh without re-consulting the
+// registry. A zero epoch (mover predates the stamp, or its host never
+// learned its epoch) degrades to unconditional invalidation.
+func (ctrl *Controller) advanceLocation(agentID string, loc naming.Location, epoch uint64) {
+	if ctrl.loc != nil {
+		ctrl.loc.Advance(agentID, loc, epoch)
+	}
+}
+
+// NoteLocationEpoch records the directory epoch this host's entry for a
+// resident agent carries (reported by the agent host after each
+// register/update; satisfied structurally as its optional hook
+// extension). Outgoing SUS_RES/RES messages stamp it so peers can
+// epoch-guard their caches. Epoch zero forgets the agent.
+func (ctrl *Controller) NoteLocationEpoch(agentID string, epoch uint64) {
+	ctrl.epochMu.Lock()
+	defer ctrl.epochMu.Unlock()
+	if epoch == 0 {
+		delete(ctrl.locEpochs, agentID)
+		return
+	}
+	if epoch > ctrl.locEpochs[agentID] {
+		ctrl.locEpochs[agentID] = epoch
+	}
+}
+
+// locationEpoch returns the last epoch noted for a resident agent (zero
+// when unknown).
+func (ctrl *Controller) locationEpoch(agentID string) uint64 {
+	ctrl.epochMu.Lock()
+	defer ctrl.epochMu.Unlock()
+	return ctrl.locEpochs[agentID]
+}
+
+// LocationCacheStats reports the location cache's effectiveness; ok is
+// false when the cache is disabled.
+func (ctrl *Controller) LocationCacheStats() (naming.CacheStats, bool) {
+	if ctrl.loc == nil {
+		return naming.CacheStats{}, false
+	}
+	return ctrl.loc.Stats(), true
+}
+
 // sessionKeyFor derives the connection's session key: from the DH shared
 // secret normally, or from the connection id alone in insecure mode (keeps
 // the tagging machinery uniform without the key exchange cost).
@@ -485,6 +577,20 @@ func (ctrl *Controller) handleControl(_ *net.UDPAddr, req []byte) []byte {
 		sp := ctrl.obs.tr.StartSpan(rtc, "handle."+m.Type.String())
 		sp.Annotate("from=" + m.From)
 		defer sp.End()
+	}
+	// Location-cache maintenance piggybacks on the (authenticated)
+	// migration messages: a SUS means the sender's cached location is about
+	// to go stale; a SUS_RES or RES carries the sender's new addresses and
+	// post-migration epoch, so the cache moves forward without a registry
+	// round trip.
+	switch m.Type {
+	case wire.MsgSuspend:
+		ctrl.invalidateLocation(m.From)
+	case wire.MsgSusRes, wire.MsgResume:
+		ctrl.advanceLocation(m.From, naming.Location{
+			ControlAddr: m.ControlAddr,
+			DataAddr:    m.DataAddr,
+		}, m.LocEpoch)
 	}
 	switch m.Type {
 	case wire.MsgIDExchange:
@@ -607,7 +713,7 @@ func (ctrl *Controller) openAs(agentID string, cred [security.CredentialSize]byt
 	if err != nil {
 		return nil, err
 	}
-	rec, err := ctrl.cfg.Locator.Lookup(ctx, target)
+	rec, err := ctrl.lookupAgent(ctx, target)
 	bd.Add(metrics.PhaseManagement, time.Since(start))
 	if err != nil {
 		return nil, fmt.Errorf("napletsocket: locating agent %q: %w", target, err)
@@ -630,6 +736,9 @@ func (ctrl *Controller) openAs(agentID string, cred [security.CredentialSize]byt
 		bd.Add(metrics.PhaseKeyExchange, time.Since(start))
 	}
 	if err != nil {
+		// The cached location may be the reason the host is unreachable;
+		// drop it so the retry path re-resolves.
+		ctrl.invalidateLocation(target)
 		return nil, fmt.Errorf("napletsocket: transport to %q's host: %w", target, err)
 	}
 
@@ -653,6 +762,7 @@ func (ctrl *Controller) openAs(agentID string, cred [security.CredentialSize]byt
 	raw, err := ctrl.ep.Request(ctx, rec.Loc.ControlAddr, m.Encode())
 	bd.Add(metrics.PhaseHandshaking, time.Since(start))
 	if err != nil {
+		ctrl.invalidateLocation(target)
 		return nil, fmt.Errorf("napletsocket: CONNECT to %q: %w", target, err)
 	}
 	reply, err := wire.DecodeControlReply(raw)
@@ -660,6 +770,10 @@ func (ctrl *Controller) openAs(agentID string, cred [security.CredentialSize]byt
 		return nil, err
 	}
 	if reply.Verdict != wire.VerdictAck {
+		// "Not listening here" usually means the target migrated (or has not
+		// landed); either way the cached record must not pin the retry loop
+		// to this host until the TTL saves it.
+		ctrl.invalidateLocation(target)
 		return nil, fmt.Errorf("napletsocket: connection to %q refused: %s", target, reply.Reason)
 	}
 

@@ -289,6 +289,7 @@ func (ctrl *Controller) PostArrive(agentID string, blob []byte) error {
 
 // OnTerminate closes a finished agent's connections and listener.
 func (ctrl *Controller) OnTerminate(agentID string) {
+	ctrl.NoteLocationEpoch(agentID, 0)
 	ctrl.mu.Lock()
 	conns := make([]*Socket, 0, len(ctrl.byAgent[agentID]))
 	for _, s := range ctrl.byAgent[agentID] {

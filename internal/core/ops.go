@@ -435,6 +435,7 @@ func (s *Socket) sendSusRes() error {
 		reply, err := s.request(ctx, wire.MsgSusRes, func(m *wire.ControlMsg) {
 			m.ControlAddr = s.ctrl.ControlAddr()
 			m.DataAddr = s.ctrl.DataAddr()
+			m.LocEpoch = s.ctrl.locationEpoch(s.localAgent)
 		})
 		cancel()
 		if err != nil {
@@ -598,6 +599,7 @@ func (s *Socket) resumeAttempt() (done bool, err error) {
 		m.ControlAddr = s.ctrl.ControlAddr()
 		m.DataAddr = s.ctrl.DataAddr()
 		m.LastSeq = s.delivered()
+		m.LocEpoch = s.ctrl.locationEpoch(s.localAgent)
 	})
 	s.ctrl.obs.resumeBD.Add(metrics.PhaseHandshaking, time.Since(hsStart))
 	if rerr != nil {
@@ -658,10 +660,14 @@ func (s *Socket) resumeAttempt() (done bool, err error) {
 }
 
 // relookupPeer refreshes the peer's addresses from the location service.
+// The resume loop only re-resolves after failing to reach the peer at its
+// last known addresses, so the cached entry is evicted first: serving it
+// back would pin the chase to the address that just failed.
 func (s *Socket) relookupPeer() {
 	ctx, cancel := context.WithTimeout(context.Background(), s.ctrl.cfg.opTimeout())
 	defer cancel()
-	rec, err := s.ctrl.cfg.Locator.Lookup(ctx, s.remoteAgent)
+	s.ctrl.invalidateLocation(s.remoteAgent)
+	rec, err := s.ctrl.lookupAgent(ctx, s.remoteAgent)
 	if err != nil {
 		return
 	}

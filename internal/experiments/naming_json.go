@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchNaming is the committed naming-benchmark baseline
+// (BENCH_naming.json): lookup throughput against the sharded cluster at
+// the baseline population under the migration storm, with and without the
+// migration-aware cache. The gate compares the speedup ratio rather than
+// absolute lookups/sec — the ratio factors out the machine — and holds
+// the hit rate to an absolute floor, because a cache the storm defeats is
+// a design regression no hardware can excuse.
+type BenchNaming struct {
+	Note             string  `json:"note,omitempty"`
+	Agents           int     `json:"agents"`
+	MigrationsPerSec float64 `json:"migrations_per_sec"`
+	CachedPerSec     float64 `json:"cached_lookups_per_sec"`
+	DirectPerSec     float64 `json:"direct_lookups_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	HitRate          float64 `json:"hit_rate"`
+}
+
+// MinNamingHitRate is the absolute hit-rate floor the gate enforces: the
+// piggybacked Advance notifications must keep at least this fraction of
+// storm-era lookups off the registry.
+const MinNamingHitRate = 0.9
+
+// BenchNamingFrom converts a measured run to the committed form.
+func BenchNamingFrom(r *NamingBenchResult) *BenchNaming {
+	return &BenchNaming{
+		Agents:           r.Config.Agents,
+		MigrationsPerSec: round1(r.StormAchieved),
+		CachedPerSec:     round1(r.CachedPerSec),
+		DirectPerSec:     round1(r.DirectPerSec),
+		Speedup:          round3(r.Speedup()),
+		HitRate:          round3(r.HitRate),
+	}
+}
+
+// LoadBenchNaming reads a committed naming baseline file.
+func LoadBenchNaming(path string) (*BenchNaming, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b BenchNaming
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBenchNaming writes the baseline in a stable, diff-friendly form.
+func WriteBenchNaming(path string, b *BenchNaming) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CompareNaming checks a fresh run against the committed baseline. Two
+// conditions gate:
+//
+//   - the cached/direct speedup must not fall more than tolerance
+//     (fractional) below the baseline's;
+//   - the storm-era hit rate must stay at or above MinNamingHitRate,
+//     regardless of what the baseline recorded.
+//
+// It returns a human-readable report and an error listing any failures.
+func CompareNaming(baseline *BenchNaming, fresh *NamingBenchResult, tolerance float64) (string, error) {
+	report := fmt.Sprintf("cached %.0f/s direct %.0f/s speedup %.2fx (baseline %.2fx), hit rate %.1f%% (floor %.0f%%)\n",
+		fresh.CachedPerSec, fresh.DirectPerSec, fresh.Speedup(), baseline.Speedup,
+		fresh.HitRate*100, MinNamingHitRate*100)
+	var failures []string
+	if baseline.Speedup > 0 && fresh.Speedup() < baseline.Speedup*(1-tolerance) {
+		failures = append(failures,
+			fmt.Sprintf("cached/direct speedup %.2fx is more than %.0f%% below baseline %.2fx",
+				fresh.Speedup(), tolerance*100, baseline.Speedup))
+	}
+	if fresh.HitRate < MinNamingHitRate {
+		failures = append(failures,
+			fmt.Sprintf("hit rate %.3f under the migration storm is below the %.2f floor",
+				fresh.HitRate, MinNamingHitRate))
+	}
+	if len(failures) > 0 {
+		msg := ""
+		for _, f := range failures {
+			msg += f + "\n"
+		}
+		return report, fmt.Errorf("naming benchmark regressions:\n%s", msg)
+	}
+	return report, nil
+}

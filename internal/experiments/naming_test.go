@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNamingBenchSmoke runs the naming benchmark at a small population
+// and short windows — enough to exercise the cluster bring-up, the
+// registration pool, the storm, and both lookup phases, and to check the
+// properties the full-size gate depends on.
+func TestNamingBenchSmoke(t *testing.T) {
+	res, err := RunNamingBench(NamingBenchConfig{
+		Agents:    200,
+		StormRate: 50,
+		Duration:  400 * time.Millisecond,
+		Workers:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Table())
+	if res.CachedPerSec <= 0 || res.DirectPerSec <= 0 {
+		t.Fatalf("empty measurement: %+v", res)
+	}
+	if res.CachedPerSec <= res.DirectPerSec {
+		t.Errorf("cache slower than direct cluster lookups: %.0f/s vs %.0f/s",
+			res.CachedPerSec, res.DirectPerSec)
+	}
+	if res.HitRate < MinNamingHitRate {
+		t.Errorf("storm-era hit rate %.3f below the %.2f floor", res.HitRate, MinNamingHitRate)
+	}
+	if res.Advances == 0 {
+		t.Error("storm produced no cache advances; the piggyback path is dead")
+	}
+	if res.StormAchieved <= 0 {
+		t.Error("storm made no migrations")
+	}
+
+	// The round trip through the committed-baseline form must gate a run
+	// against itself cleanly.
+	b := BenchNamingFrom(res)
+	if report, err := CompareNaming(b, res, 0.5); err != nil {
+		t.Errorf("self-comparison failed: %v\n%s", err, report)
+	}
+}

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"naplet/internal/naming"
+	"naplet/internal/netem"
+	"naplet/internal/obs"
+)
+
+// TestKillOneShardLeader is the kill-one-shard chaos test: a 3-shard,
+// 2-replica cluster under seeded 2% control-channel loss serves a
+// migration wave (a storm of epoch-bumping Updates) while the node
+// leading shard 0 is killed mid-wave. The invariants checked:
+//
+//   - zero lost lookups: every lookup issued before, during, and after
+//     the failover gets an answer (patience bounded by a generous
+//     context, not by luck);
+//   - no stale serve past the staleness bound: a lookup never returns an
+//     epoch below what was already acknowledged for that agent when the
+//     lookup started — acked writes are replicated synchronously, so not
+//     even the failover window may roll an agent's visible location back.
+func TestKillOneShardLeader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	faults := netem.NewFaults(7)
+	faults.SetLoss(0.02)
+	drop := faults.DropFn()
+
+	tc := startCluster(t, 3, 3, 2, func(cfg *NodeConfig) {
+		cfg.DropFn = drop
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const agents = 120
+	ids := make([]string, agents)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("agent-%d", i)
+		if err := tc.client.Register(ctx, ids[i], loc("h1", 1)); err != nil {
+			t.Fatalf("register %s: %v", ids[i], err)
+		}
+	}
+
+	// acked tracks, per agent, the highest epoch a client was told
+	// succeeded. Lookups must never observe less.
+	var ackedMu sync.Mutex
+	acked := make(map[string]uint64, agents)
+	for _, id := range ids {
+		acked[id] = 1
+	}
+
+	var (
+		stop     atomic.Bool
+		failures atomic.Int64
+		lookups  atomic.Int64
+		updates  atomic.Int64
+		wg       sync.WaitGroup
+	)
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		t.Errorf(format, args...)
+	}
+
+	// The migration wave: W workers each own a disjoint slice of agents
+	// (so per-agent epochs advance sequentially) and bump them at ~100
+	// migrations/sec in aggregate.
+	const workers = 4
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			next := w
+			for !stop.Load() {
+				id := ids[next%agents]
+				next += workers
+				ackedMu.Lock()
+				epoch := acked[id] + 1
+				ackedMu.Unlock()
+				uctx, ucancel := context.WithTimeout(ctx, 15*time.Second)
+				err := tc.client.Update(uctx, id, loc(fmt.Sprintf("h-e%d", epoch), epoch), epoch)
+				ucancel()
+				if err != nil {
+					// An unacked write may or may not have landed; the
+					// next attempt re-reads the acked epoch. Stale means a
+					// retried duplicate of a write that did land: adopt it.
+					if errors.Is(err, naming.ErrStale) {
+						ackedMu.Lock()
+						if acked[id] < epoch {
+							acked[id] = epoch
+						}
+						ackedMu.Unlock()
+					}
+					continue
+				}
+				updates.Add(1)
+				ackedMu.Lock()
+				if acked[id] < epoch {
+					acked[id] = epoch
+				}
+				ackedMu.Unlock()
+				time.Sleep(time.Duration(30+rand.Intn(20)) * time.Millisecond) // ~100/s across 4 workers
+			}
+		}(w)
+	}
+
+	// The lookup load: every answer is checked against the acked epoch
+	// captured before the lookup was issued.
+	for l := 0; l < 4; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + l)))
+			for !stop.Load() {
+				id := ids[rng.Intn(agents)]
+				ackedMu.Lock()
+				floor := acked[id]
+				ackedMu.Unlock()
+				lctx, lcancel := context.WithTimeout(ctx, 20*time.Second)
+				rec, err := tc.client.Lookup(lctx, id)
+				lcancel()
+				if err != nil {
+					fail("lost lookup for %s: %v", id, err)
+					return
+				}
+				if rec.Epoch < floor {
+					fail("stale serve for %s: epoch %d below acked %d", id, rec.Epoch, floor)
+					return
+				}
+				lookups.Add(1)
+			}
+		}(l)
+	}
+
+	// Let the wave run, then SIGKILL the node leading shard 0 (which also
+	// hosts a follower of another shard — the kill wounds two shards at
+	// once) and keep the storm going through failover.
+	time.Sleep(500 * time.Millisecond)
+	victim := tc.layout.Replicas[0][0]
+	tc.nodes[victim].Kill()
+	t.Logf("killed %s mid-wave", victim)
+	time.Sleep(2 * time.Second)
+
+	stop.Store(true)
+	wg.Wait()
+
+	if failures.Load() > 0 {
+		t.Fatalf("%d invariant violations (see errors above)", failures.Load())
+	}
+	if lookups.Load() == 0 || updates.Load() == 0 {
+		t.Fatalf("storm did no work: %d lookups, %d updates", lookups.Load(), updates.Load())
+	}
+	if got := tc.reg.Counter("naming.lease_transfers").Value(); got == 0 {
+		t.Fatal("no lease transfer recorded despite killing a leader")
+	}
+
+	// Post-mortem: every agent still resolves, at or above its acked
+	// epoch, against the surviving 2-node cluster.
+	for _, id := range ids {
+		rec, err := tc.client.Lookup(ctx, id)
+		if err != nil {
+			t.Fatalf("post-failover lookup %s: %v", id, err)
+		}
+		ackedMu.Lock()
+		floor := acked[id]
+		ackedMu.Unlock()
+		if rec.Epoch < floor {
+			t.Fatalf("post-failover stale serve for %s: epoch %d below acked %d", id, rec.Epoch, floor)
+		}
+	}
+	t.Logf("storm: %d lookups, %d acked updates, %d lease transfers",
+		lookups.Load(), updates.Load(), tc.reg.Counter("naming.lease_transfers").Value())
+}
+
+// TestLeaseTransferTraced asserts the observability contract: a leader
+// kill emits a lease-transfer trace with the term handoff annotated.
+func TestLeaseTransferTraced(t *testing.T) {
+	tracer := obs.NewTracer("cluster-test")
+	tc := startCluster(t, 2, 1, 2, func(cfg *NodeConfig) {
+		cfg.Tracer = tracer
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := tc.client.Register(ctx, "a", loc("h1", 1)); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	tc.nodes[tc.layout.Replicas[0][0]].Kill()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var found bool
+		for _, ts := range tracer.Snapshot() {
+			if ts.Root == "lease-transfer shard 0" {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no lease-transfer trace recorded after leader kill")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

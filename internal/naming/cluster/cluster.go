@@ -1,0 +1,228 @@
+// Package cluster shards and replicates the agent location service so the
+// naming control plane survives individual-node failure and scales past a
+// single registry process.
+//
+// The namespace is partitioned by a consistent-hash ring over agent ids
+// into a fixed number of shards; each shard is replicated across M nodes
+// with a simple leader-lease scheme:
+//
+//   - Exactly one replica per shard acts as leader at a time, identified
+//     by a monotonically increasing term. Every reply carries the term
+//     and the replier's view of the leadership, so clients converge on
+//     the leader without a directory of directories.
+//   - The leader applies writes locally, then replicates them
+//     synchronously to every follower before acknowledging — with the
+//     small replication factors the design targets (M=2..3), an acked
+//     write survives the loss of the leader.
+//   - Replication batches carry a per-leader sequence number. A follower
+//     that detects a gap (it was down, or a new term began) refuses the
+//     batch and is brought back with a full-state transfer before it
+//     counts as caught up.
+//   - The replication stream doubles as the lease: a follower that has
+//     applied an in-sequence batch within the staleness bound may serve
+//     reads (its data can lag the leader by at most one unacknowledged
+//     batch, which by definition no client has seen acked). Past the
+//     bound it refuses reads and points the client at the leader.
+//   - When the lease expires, followers take over staggered by their
+//     replica rank (rank r waits r extra lease intervals), bumping the
+//     term; the rank stagger makes simultaneous takeovers unlikely
+//     without requiring consensus. Leadership changes surface as
+//     lease-transfer events on the tracer and a naming.lease_transfers
+//     counter.
+//
+// The scheme trades strict consistency under partition for simplicity:
+// two replicas partitioned from each other can both claim leadership, and
+// the higher term wins on heal. That matches the location service's
+// failure model — a wrong location is detected at connect time and
+// retried — and keeps the protocol small enough to reason about.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"naplet/internal/naming"
+)
+
+// Layout is the static cluster topology: which node hosts which replica
+// of which shard. Every node and every client holds the same layout
+// (derived deterministically from the sorted peer list), so routing needs
+// no lookups of its own.
+type Layout struct {
+	// Shards is the shard count; agent ids map onto [0, Shards) via the
+	// ring.
+	Shards int
+	// Replicas[s] lists the node addresses hosting shard s, in replica
+	// rank order; index 0 is the initial leader.
+	Replicas [][]string
+}
+
+// Validate checks internal consistency.
+func (l Layout) Validate() error {
+	if l.Shards <= 0 || len(l.Replicas) != l.Shards {
+		return fmt.Errorf("cluster: layout has %d shards but %d replica sets", l.Shards, len(l.Replicas))
+	}
+	for s, reps := range l.Replicas {
+		if len(reps) == 0 {
+			return fmt.Errorf("cluster: shard %d has no replicas", s)
+		}
+		seen := map[string]bool{}
+		for _, addr := range reps {
+			if addr == "" {
+				return fmt.Errorf("cluster: shard %d has an empty replica address", s)
+			}
+			if seen[addr] {
+				return fmt.Errorf("cluster: shard %d lists %s twice", s, addr)
+			}
+			seen[addr] = true
+		}
+	}
+	return nil
+}
+
+// Nodes returns the distinct node addresses in the layout, sorted.
+func (l Layout) Nodes() []string {
+	seen := map[string]bool{}
+	for _, reps := range l.Replicas {
+		for _, addr := range reps {
+			seen[addr] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for addr := range seen {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildLayout derives the deterministic layout for the given peers: peers
+// are sorted, and shard s is hosted by peers[(s+r) mod len(peers)] for
+// replica ranks r in [0, replication). Every participant computing the
+// layout from the same peer list gets the same answer, which is what lets
+// the cluster bootstrap from a flag instead of a coordination service.
+func BuildLayout(peers []string, shards, replication int) (Layout, error) {
+	if len(peers) == 0 {
+		return Layout{}, errors.New("cluster: no peers")
+	}
+	if shards <= 0 {
+		return Layout{}, fmt.Errorf("cluster: invalid shard count %d", shards)
+	}
+	if replication <= 0 {
+		return Layout{}, fmt.Errorf("cluster: invalid replication factor %d", replication)
+	}
+	if replication > len(peers) {
+		return Layout{}, fmt.Errorf("cluster: replication %d exceeds %d peers", replication, len(peers))
+	}
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return Layout{}, fmt.Errorf("cluster: duplicate peer %s", sorted[i])
+		}
+	}
+	l := Layout{Shards: shards, Replicas: make([][]string, shards)}
+	for s := 0; s < shards; s++ {
+		reps := make([]string, replication)
+		for r := 0; r < replication; r++ {
+			reps[r] = sorted[(s+r)%len(sorted)]
+		}
+		l.Replicas[s] = reps
+	}
+	return l, nil
+}
+
+// ShardInfo describes one hosted shard replica for the /namez debug
+// surface.
+type ShardInfo struct {
+	Shard    int       `json:"shard"`
+	Role     string    `json:"role"` // "leader" or "follower"
+	Term     uint64    `json:"term"`
+	Leader   string    `json:"leader"`
+	Replicas []string  `json:"replicas"`
+	Records  int       `json:"records"`
+	MaxEpoch uint64    `json:"max_epoch"`
+	Age      float64   `json:"age_ms"` // ms since last leader contact (0 for leaders)
+	Synced   bool      `json:"synced"`
+	Since    time.Time `json:"-"`
+}
+
+// --- wire protocol (gob over rudp, shared by node and client) ---
+
+type msgKind uint8
+
+const (
+	kindClient msgKind = iota + 1 // client namespace operation
+	kindRep                      // leader → follower replication / heartbeat
+	kindGossip                   // node ↔ node term-vector exchange
+	kindMap                      // fetch the layout + leadership hints
+)
+
+type opKind uint8
+
+const (
+	opLookup opKind = iota + 1
+	opRegister
+	opUpdate
+	opDeregister
+)
+
+// shardTerm is one entry of a gossip/leadership vector.
+type shardTerm struct {
+	Shard  int
+	Term   uint64
+	Leader int
+}
+
+type request struct {
+	Kind  msgKind
+	Shard int
+
+	// kindClient
+	Op        opKind
+	AgentID   string
+	Loc       naming.Location
+	Epoch     uint64
+	Forwarded bool // set on a leader-forwarded write; never re-forwarded
+
+	// kindRep
+	Term    uint64
+	Leader  int
+	Seq     uint64
+	Full    bool // Recs is a full-state transfer, not an incremental batch
+	Recs    []naming.Record
+	Removes []string
+
+	// kindGossip
+	Vec []shardTerm
+}
+
+type response struct {
+	Err string
+	// NotLeader redirects the caller: the replica refused the operation
+	// and LeaderAddr (possibly empty when unknown) is its best hint.
+	NotLeader  bool
+	LeaderAddr string
+	// Term and Leader report the replier's leadership view for the shard,
+	// carried on every reply so callers converge without extra rounds.
+	Term   uint64
+	Leader int
+	// AgeMs is the replier's data age: 0 from a leader, time since the
+	// last in-sequence replication batch from a follower.
+	AgeMs int64
+	// NeedSync tells a replicating leader the follower has a sequence gap
+	// and needs a full-state transfer.
+	NeedSync bool
+	Rec      naming.Record
+	Layout   *Layout
+	Vec      []shardTerm
+}
+
+// Sentinel errors.
+var (
+	// ErrUnavailable reports that no replica of the target shard could
+	// serve the operation within the attempt budget.
+	ErrUnavailable = errors.New("cluster: shard unavailable")
+)

@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"naplet/internal/naming"
+)
+
+// This file is the per-shard replica state machine: the client-facing
+// operation handlers, the leader's synchronous replication, and the
+// follower's lease-expiry takeover.
+
+// handleClient serves one namespace operation against this replica.
+func (r *replica) handleClient(req request) response {
+	if req.Op == opLookup {
+		return r.handleLookup(req)
+	}
+	return r.handleWrite(req)
+}
+
+func (r *replica) handleLookup(req request) response {
+	r.mu.Lock()
+	isLeader := r.leader == r.self
+	term, leader := r.term, r.leader
+	age := time.Since(r.lastContact)
+	synced := r.synced
+	r.mu.Unlock()
+
+	resp := response{Term: term, Leader: leader}
+	if !isLeader {
+		if !synced || age > r.n.cfg.StalenessBound {
+			// The replica cannot bound how far behind it is; refusing
+			// keeps the "never serve past the staleness bound" promise.
+			resp.NotLeader = true
+			resp.LeaderAddr = r.peers[leader]
+			return resp
+		}
+		resp.AgeMs = age.Milliseconds()
+	}
+	r.lookups.Inc()
+	rec, err := r.store.Lookup(context.Background(), req.AgentID)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Rec = rec
+	return resp
+}
+
+func (r *replica) handleWrite(req request) response {
+	r.mu.Lock()
+	if r.leader != r.self {
+		leaderAddr := r.peers[r.leader]
+		term, leader := r.term, r.leader
+		r.mu.Unlock()
+		if req.Forwarded {
+			// Never forward a forward: the sender's leadership view is as
+			// stale as ours, and a loop helps no one.
+			return response{NotLeader: true, LeaderAddr: leaderAddr, Term: term, Leader: leader}
+		}
+		fwd := req
+		fwd.Forwarded = true
+		ctx, cancel := context.WithTimeout(context.Background(), r.n.cfg.LeaseDuration)
+		resp, err := r.n.call(ctx, leaderAddr, fwd)
+		cancel()
+		if err != nil {
+			return response{NotLeader: true, Term: term, Leader: leader}
+		}
+		return resp
+	}
+	term, leader := r.term, r.leader
+	r.mu.Unlock()
+
+	resp := response{Term: term, Leader: leader}
+	var err error
+	remove := false
+	switch req.Op {
+	case opRegister:
+		r.registers.Inc()
+		err = r.store.Register(req.AgentID, req.Loc)
+	case opUpdate:
+		err = r.store.Update(req.AgentID, req.Loc, req.Epoch)
+	case opDeregister:
+		err = r.store.Deregister(req.AgentID)
+		remove = true
+	default:
+		err = fmt.Errorf("cluster: unknown op %d", req.Op)
+	}
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	// Synchronous replication before the ack: once the client hears
+	// success, every in-sync follower holds the write, so losing the
+	// leader loses nothing acknowledged.
+	r.replicateWrite(req.AgentID, remove)
+	if rec, lerr := r.store.Lookup(context.Background(), req.AgentID); lerr == nil {
+		resp.Rec = rec
+	}
+	return resp
+}
+
+// replicateWrite ships the named agent's post-apply state to every
+// follower. repMu serializes batches so sequence numbers arrive in order.
+func (r *replica) replicateWrite(agentID string, remove bool) {
+	var recs []naming.Record
+	var removes []string
+	if remove {
+		removes = []string{agentID}
+	} else if rec, err := r.store.Lookup(context.Background(), agentID); err == nil {
+		recs = []naming.Record{rec}
+	}
+	r.repMu.Lock()
+	defer r.repMu.Unlock()
+	r.mu.Lock()
+	r.repSeq++
+	req := request{Kind: kindRep, Shard: r.shard, Term: r.term, Leader: r.leader, Seq: r.repSeq, Recs: recs, Removes: removes}
+	r.mu.Unlock()
+	r.fanOut(req, r.n.cfg.LeaseDuration, false)
+}
+
+// heartbeat re-asserts the lease (and catches lagging followers up) with
+// an empty batch at the current sequence number. Suspect followers are
+// still probed — the heartbeat is how a revived follower rejoins.
+func (r *replica) heartbeat() {
+	r.repMu.Lock()
+	defer r.repMu.Unlock()
+	r.mu.Lock()
+	req := request{Kind: kindRep, Shard: r.shard, Term: r.term, Leader: r.leader, Seq: r.repSeq}
+	r.mu.Unlock()
+	timeout := r.n.cfg.LeaseInterval
+	if timeout < 50*time.Millisecond {
+		timeout = 50 * time.Millisecond
+	}
+	r.fanOut(req, timeout, true)
+}
+
+// maxRepFailures is the consecutive-failure count after which a follower
+// is suspected dead and per-write replication stops blocking on it
+// (heartbeats keep probing; a sequence gap full-syncs it on revival).
+const maxRepFailures = 3
+
+// fanOut sends one replication request to every follower, adopting any
+// higher term seen in the responses. Callers hold repMu.
+func (r *replica) fanOut(req request, timeout time.Duration, probeSuspects bool) {
+	for i, peer := range r.peers {
+		if i == r.self {
+			continue
+		}
+		r.mu.Lock()
+		// Replication targets the peers that are not (believed) leader;
+		// when we are not leader anymore, stop.
+		if r.leader != r.self {
+			r.mu.Unlock()
+			return
+		}
+		suspect := r.repFails[i] >= maxRepFailures
+		r.mu.Unlock()
+		if suspect && !probeSuspects {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		resp, err := r.n.call(ctx, peer, req)
+		cancel()
+		r.mu.Lock()
+		if err != nil {
+			r.repFails[i]++
+			r.mu.Unlock()
+			continue
+		}
+		r.repFails[i] = 0
+		if resp.Term > r.term {
+			// A newer leadership exists; step down and let it drive.
+			r.term = resp.Term
+			if resp.Leader >= 0 && resp.Leader < len(r.peers) {
+				r.leader = resp.Leader
+			}
+			r.synced = false
+			r.lastContact = time.Now()
+			r.mu.Unlock()
+			r.n.cfg.Logger.Infof("cluster: shard %d stepping down to term %d", r.shard, resp.Term)
+			return
+		}
+		r.mu.Unlock()
+		if resp.NeedSync {
+			r.fullSync(i, peer, timeout)
+		}
+	}
+}
+
+// fullSync ships the entire store to one lagging follower. Callers hold
+// repMu, so the dump is consistent with the sequence number sent.
+func (r *replica) fullSync(idx int, peer string, timeout time.Duration) {
+	r.mu.Lock()
+	req := request{Kind: kindRep, Shard: r.shard, Term: r.term, Leader: r.leader, Seq: r.repSeq, Full: true, Recs: r.store.Dump()}
+	r.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout*4)
+	_, err := r.n.call(ctx, peer, req)
+	cancel()
+	if err != nil {
+		r.mu.Lock()
+		r.repFails[idx]++
+		r.mu.Unlock()
+		return
+	}
+	r.n.cfg.Logger.Infof("cluster: shard %d full-synced follower %s (%d records)", r.shard, peer, len(req.Recs))
+}
+
+// handleReplicate applies a replication batch (or heartbeat) from the
+// shard leader.
+func (r *replica) handleReplicate(req request) response {
+	r.mu.Lock()
+	if req.Term < r.term {
+		// A deposed leader is still replicating; our term tells it so.
+		resp := response{Term: r.term, Leader: r.leader, NotLeader: true}
+		r.mu.Unlock()
+		return resp
+	}
+	if req.Term > r.term || r.leader != req.Leader {
+		if req.Leader < 0 || req.Leader >= len(r.peers) {
+			r.mu.Unlock()
+			return response{Err: fmt.Sprintf("cluster: bad leader index %d", req.Leader)}
+		}
+		wasLeader := r.leader == r.self
+		r.term = req.Term
+		r.leader = req.Leader
+		r.synced = false
+		if wasLeader {
+			r.n.cfg.Logger.Infof("cluster: shard %d deposed by term %d from %s", r.shard, req.Term, r.peers[req.Leader])
+		}
+	}
+	if r.leader == r.self {
+		resp := response{Err: "cluster: replicate addressed to leader", Term: r.term, Leader: r.leader}
+		r.mu.Unlock()
+		return resp
+	}
+	// A write batch advances the sequence by exactly one; a heartbeat
+	// (empty batch) re-asserts the current sequence. Anything else is a
+	// gap — including a heartbeat one past us, which means a write was
+	// skipped while this follower was suspect.
+	isWrite := len(req.Recs) > 0 || len(req.Removes) > 0
+	var inSeq bool
+	if isWrite {
+		inSeq = r.synced && r.lastTerm == req.Term && req.Seq == r.lastSeq+1
+	} else {
+		inSeq = r.synced && r.lastTerm == req.Term && req.Seq == r.lastSeq
+	}
+	if !req.Full && !inSeq {
+		// Gap (we were down, or a new term began): ask for a full sync;
+		// lastContact is left alone, since un-synced time is stale time.
+		resp := response{NeedSync: true, Term: r.term, Leader: r.leader}
+		r.mu.Unlock()
+		return resp
+	}
+	term, leader := r.term, r.leader
+	r.mu.Unlock()
+
+	for _, rec := range req.Recs {
+		r.store.Apply(rec)
+	}
+	for _, id := range req.Removes {
+		r.store.Remove(id)
+	}
+	if req.Full {
+		// Reconcile deletions: anything we hold that the leader does not
+		// was removed while we were away.
+		keep := make(map[string]bool, len(req.Recs))
+		for _, rec := range req.Recs {
+			keep[rec.AgentID] = true
+		}
+		for _, id := range r.store.Agents() {
+			if !keep[id] {
+				r.store.Remove(id)
+			}
+		}
+	}
+
+	r.mu.Lock()
+	r.lastSeq = req.Seq
+	r.lastTerm = req.Term
+	r.lastContact = time.Now()
+	r.synced = true
+	r.mu.Unlock()
+	return response{Term: term, Leader: leader}
+}
+
+// tick advances the replica's lease machinery: leaders heartbeat,
+// followers check for lease expiry and take over when it lapses.
+func (r *replica) tick() {
+	r.mu.Lock()
+	if r.leader == r.self {
+		r.mu.Unlock()
+		r.heartbeat()
+		return
+	}
+	age := time.Since(r.lastContact)
+	// Stagger takeovers by replica rank relative to the failed leader so
+	// the first live follower claims the lease alone; later ranks only
+	// move if it too is gone.
+	rank := (r.self - r.leader + len(r.peers)) % len(r.peers)
+	wait := r.n.cfg.LeaseDuration + time.Duration(rank-1)*r.n.cfg.LeaseDuration/2
+	if age <= wait {
+		r.mu.Unlock()
+		return
+	}
+	r.term++
+	oldLeader := r.peers[r.leader]
+	r.leader = r.self
+	// Anything unreplicated on the dead leader was never acked; what we
+	// hold is, by construction, everything any client was told succeeded.
+	r.synced = true
+	r.lastContact = time.Now()
+	for i := range r.repFails {
+		r.repFails[i] = 0
+	}
+	term := r.term
+	r.mu.Unlock()
+
+	r.n.transfers.Inc()
+	r.n.cfg.Logger.Warnf("cluster: shard %d lease expired (leader %s silent %.0fms); taking over at term %d",
+		r.shard, oldLeader, float64(age.Milliseconds()), term)
+	span := r.n.cfg.Tracer.StartTrace(fmt.Sprintf("lease-transfer shard %d", r.shard))
+	span.Annotate(fmt.Sprintf("term %d -> %d, failed leader %s, new leader %s (rank %d)", term-1, term, oldLeader, r.peers[r.self], rank))
+	span.End()
+	// Assert the new term immediately; surviving followers full-sync off
+	// the term change.
+	r.heartbeat()
+}

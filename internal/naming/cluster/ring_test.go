@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndInRange(t *testing.T) {
+	a, b := NewRing(5), NewRing(5)
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("agent-%d", i)
+		sa, sb := a.ShardOf(id), b.ShardOf(id)
+		if sa != sb {
+			t.Fatalf("ring not deterministic: %s -> %d vs %d", id, sa, sb)
+		}
+		if sa < 0 || sa >= 5 {
+			t.Fatalf("shard out of range: %s -> %d", id, sa)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const shards, ids = 4, 20000
+	r := NewRing(shards)
+	counts := make([]int, shards)
+	for i := 0; i < ids; i++ {
+		counts[r.ShardOf(fmt.Sprintf("agent-%d", i))]++
+	}
+	mean := ids / shards
+	for s, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Fatalf("shard %d owns %d of %d ids (mean %d): unbalanced %v", s, c, ids, mean, counts)
+		}
+	}
+}
+
+func TestRingSmoothness(t *testing.T) {
+	// Growing the ring by one shard must remap only a minority of ids —
+	// the property that bounds resharding churn.
+	const ids = 10000
+	before, after := NewRing(4), NewRing(5)
+	moved := 0
+	for i := 0; i < ids; i++ {
+		id := fmt.Sprintf("agent-%d", i)
+		if before.ShardOf(id) != after.ShardOf(id) {
+			moved++
+		}
+	}
+	// Ideal is 1/5 = 20%; allow generous slack for hash variance.
+	if moved > ids*40/100 {
+		t.Fatalf("adding one shard moved %d/%d ids; consistent hashing should move ~20%%", moved, ids)
+	}
+}
+
+func TestBuildLayout(t *testing.T) {
+	l, err := BuildLayout([]string{"c", "a", "b"}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic regardless of input order.
+	l2, err := BuildLayout([]string{"a", "b", "c"}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range l.Replicas {
+		for r := range l.Replicas[s] {
+			if l.Replicas[s][r] != l2.Replicas[s][r] {
+				t.Fatalf("layout not order-independent: %v vs %v", l.Replicas, l2.Replicas)
+			}
+		}
+	}
+	if got := l.Replicas[0][0]; got != "a" {
+		t.Fatalf("shard 0 leader = %s, want a", got)
+	}
+	if got := l.Replicas[1][1]; got != "c" {
+		t.Fatalf("shard 1 follower = %s, want c", got)
+	}
+	if _, err := BuildLayout([]string{"a"}, 2, 2); err == nil {
+		t.Fatal("replication beyond peer count should fail")
+	}
+	if _, err := BuildLayout([]string{"a", "a"}, 1, 1); err == nil {
+		t.Fatal("duplicate peers should fail")
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"naplet/internal/obs"
 )
 
 // Location is the set of addresses at which an agent's current host can be
@@ -88,6 +90,10 @@ type Service struct {
 	ttl time.Duration
 	// now is a test seam.
 	now func() time.Time
+
+	// The naming.* counter family; nil (and therefore no-op) until
+	// SetMetrics installs a registry.
+	lookups, lookupMisses, registers, updates, deregisters *obs.Counter
 }
 
 // NewService returns an empty registry.
@@ -98,6 +104,21 @@ func NewService() *Service {
 		watchers: make(map[string][]chan struct{}),
 		now:      time.Now,
 	}
+}
+
+// SetMetrics wires the registry's operation counters (naming.lookups,
+// naming.lookup_misses, naming.registers, naming.updates,
+// naming.deregisters) into reg. Counters are shared by name, so several
+// services (e.g. the shard replicas of a cluster node) feeding one
+// registry accumulate into one family.
+func (s *Service) SetMetrics(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lookups = reg.Counter("naming.lookups")
+	s.lookupMisses = reg.Counter("naming.lookup_misses")
+	s.registers = reg.Counter("naming.registers")
+	s.updates = reg.Counter("naming.updates")
+	s.deregisters = reg.Counter("naming.deregisters")
 }
 
 // SetTTL makes entries expire when not refreshed (by Register or Update)
@@ -123,6 +144,7 @@ func (s *Service) Register(agentID string, loc Location) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.registers.Inc()
 	epoch := uint64(1)
 	if old, ok := s.records[agentID]; ok {
 		if !s.expiredLocked(old) {
@@ -142,6 +164,7 @@ func (s *Service) Register(agentID string, loc Location) error {
 func (s *Service) Update(agentID string, loc Location, epoch uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.updates.Inc()
 	rec, ok := s.records[agentID]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, agentID)
@@ -161,6 +184,7 @@ func (s *Service) Update(agentID string, loc Location, epoch uint64) error {
 func (s *Service) Deregister(agentID string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.deregisters.Inc()
 	if _, ok := s.records[agentID]; !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, agentID)
 	}
@@ -172,11 +196,74 @@ func (s *Service) Deregister(agentID string) error {
 func (s *Service) Lookup(_ context.Context, agentID string) (Record, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	s.lookups.Inc()
 	rec, ok := s.records[agentID]
 	if !ok || s.expiredLocked(rec) {
+		s.lookupMisses.Inc()
 		return Record{}, fmt.Errorf("%w: %q", ErrNotFound, agentID)
 	}
 	return *rec, nil
+}
+
+// Apply installs a replicated record verbatim, keeping whichever of the
+// existing and incoming entries carries the higher epoch (latest-wins). It
+// bypasses the Register/Update transition rules: replication ships
+// already-validated state, so a replica only has to converge, not
+// re-validate. It reports whether the record was installed.
+func (s *Service) Apply(rec Record) bool {
+	if rec.AgentID == "" {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.records[rec.AgentID]; ok && old.Epoch >= rec.Epoch && !s.expiredLocked(old) {
+		return false
+	}
+	cp := rec
+	s.records[rec.AgentID] = &cp
+	s.appendTraceLocked(rec.AgentID, Move{When: rec.UpdatedAt, Loc: rec.Loc, Epoch: rec.Epoch})
+	s.notifyLocked(rec.AgentID)
+	return true
+}
+
+// Remove deletes an agent without the not-found error of Deregister; the
+// idempotent form replication needs.
+func (s *Service) Remove(agentID string) {
+	s.mu.Lock()
+	delete(s.records, agentID)
+	s.mu.Unlock()
+}
+
+// Dump returns a copy of every live record, the full-state transfer used
+// to bring a lagging replica back in sync.
+func (s *Service) Dump() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Record, 0, len(s.records))
+	for _, rec := range s.records {
+		if s.expiredLocked(rec) {
+			continue
+		}
+		out = append(out, *rec)
+	}
+	return out
+}
+
+// Stats reports the live record count and the highest epoch held, for the
+// /namez debug surface.
+func (s *Service) Stats() (records int, maxEpoch uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, rec := range s.records {
+		if s.expiredLocked(rec) {
+			continue
+		}
+		records++
+		if rec.Epoch > maxEpoch {
+			maxEpoch = rec.Epoch
+		}
+	}
+	return records, maxEpoch
 }
 
 // WaitFor blocks until agentID is registered (or ctx is done) and returns

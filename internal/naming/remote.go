@@ -52,8 +52,15 @@ type Server struct {
 
 // NewServer starts serving svc on addr ("" for an ephemeral loopback port).
 func NewServer(svc *Service, addr string) (*Server, error) {
+	return NewServerWithConfig(svc, addr, rudp.Config{})
+}
+
+// NewServerWithConfig is NewServer with an explicit transport
+// configuration — the seam fault-injection tests and cluster replicas use
+// to shape the control channel (e.g. a seeded netem DropFn).
+func NewServerWithConfig(svc *Service, addr string, rcfg rudp.Config) (*Server, error) {
 	s := &Server{svc: svc}
-	ep, err := rudp.Listen(addr, s.handle, rudp.Config{})
+	ep, err := rudp.Listen(addr, s.handle, rcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +143,13 @@ type Client struct {
 
 // NewClient creates a client of the location server at serverAddr.
 func NewClient(serverAddr string) (*Client, error) {
-	ep, err := rudp.Listen("127.0.0.1:0", nil, rudp.Config{})
+	return NewClientWithConfig(serverAddr, rudp.Config{})
+}
+
+// NewClientWithConfig is NewClient with an explicit transport
+// configuration, mirroring NewServerWithConfig.
+func NewClientWithConfig(serverAddr string, rcfg rudp.Config) (*Client, error) {
+	ep, err := rudp.Listen("127.0.0.1:0", nil, rcfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,108 @@
+package naming
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"naplet/internal/netem"
+	"naplet/internal/rudp"
+)
+
+// TestRemoteNamingUnderControlLoss drives the remote naming client/server
+// pair through a seeded 2% control-channel drop plan and asserts that
+//
+//   - every operation completes within the transport's bounded retry
+//     budget (no op hangs past the per-op deadline),
+//   - the epoch sequence never regresses or duplicates: retransmitted
+//     requests are absorbed by the response cache, and an explicit
+//     duplicate update is rejected with ErrStale rather than applied
+//     twice.
+func TestRemoteNamingUnderControlLoss(t *testing.T) {
+	faults := netem.NewFaults(42)
+	faults.SetLoss(0.02)
+	drop := faults.DropFn()
+	var dropped atomic.Int64
+	countingDrop := func(p []byte) bool {
+		if drop(p) {
+			dropped.Add(1)
+			return true
+		}
+		return false
+	}
+
+	svc := NewService()
+	srv, err := NewServerWithConfig(svc, "127.0.0.1:0", rudp.Config{DropFn: countingDrop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := NewClientWithConfig(srv.Addr(), rudp.Config{DropFn: countingDrop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// perOp bounds each operation: the rudp retry budget (10 retransmits
+	// with capped backoff) resolves well inside it, so hitting the bound
+	// means retries are not bounded the way they should be.
+	const perOp = 10 * time.Second
+	const agents = 40
+	loc := func(host string) Location {
+		return Location{Host: host, ControlAddr: "10.0.0.1:1", DataAddr: "10.0.0.1:2"}
+	}
+
+	for i := 0; i < agents; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), perOp)
+		err := cli.Register(ctx, fmt.Sprintf("agent-%d", i), loc("h1"))
+		cancel()
+		if err != nil {
+			t.Fatalf("register agent-%d under loss: %v", i, err)
+		}
+	}
+
+	// Sequential migrations: each epoch must land exactly once.
+	for epoch := uint64(2); epoch <= 6; epoch++ {
+		for i := 0; i < agents; i++ {
+			id := fmt.Sprintf("agent-%d", i)
+			ctx, cancel := context.WithTimeout(context.Background(), perOp)
+			err := cli.Update(ctx, id, loc(fmt.Sprintf("h%d", epoch)), epoch)
+			cancel()
+			if err != nil {
+				t.Fatalf("update %s to epoch %d under loss: %v", id, epoch, err)
+			}
+			// A duplicate of an applied update is a stale write, not a
+			// second application.
+			ctx, cancel = context.WithTimeout(context.Background(), perOp)
+			err = cli.Update(ctx, id, loc("dup"), epoch)
+			cancel()
+			if !errors.Is(err, ErrStale) {
+				t.Fatalf("duplicate update %s epoch %d: got %v, want ErrStale", id, epoch, err)
+			}
+		}
+	}
+
+	for i := 0; i < agents; i++ {
+		id := fmt.Sprintf("agent-%d", i)
+		ctx, cancel := context.WithTimeout(context.Background(), perOp)
+		rec, err := cli.Lookup(ctx, id)
+		cancel()
+		if err != nil {
+			t.Fatalf("lookup %s under loss: %v", id, err)
+		}
+		if rec.Epoch != 6 {
+			t.Fatalf("%s ended at epoch %d, want exactly 6 (duplicate or lost update)", id, rec.Epoch)
+		}
+		if rec.Loc.Host != "h6" {
+			t.Fatalf("%s ended at %q, want h6", id, rec.Loc.Host)
+		}
+	}
+
+	if dropped.Load() == 0 {
+		t.Fatal("fault plan never dropped a packet; the loss path was not exercised")
+	}
+	t.Logf("completed under loss: %d packets dropped", dropped.Load())
+}

@@ -2,20 +2,16 @@ package naming
 
 import (
 	"context"
-	"errors"
 	"math/rand"
 	"time"
 )
 
 // RetryConfig tunes LookupRetry. The zero value selects the defaults.
 type RetryConfig struct {
-	// Initial is the first retry gap. Default 10ms.
+	// Initial is the first backoff ceiling. Default 10ms.
 	Initial time.Duration
-	// Max caps the gap as it doubles. Default 500ms.
+	// Max caps the ceiling as it doubles. Default 500ms.
 	Max time.Duration
-	// Jitter is the fraction (0..1) by which each gap is perturbed.
-	// Default 0.2.
-	Jitter float64
 }
 
 func (c RetryConfig) withDefaults() RetryConfig {
@@ -25,24 +21,27 @@ func (c RetryConfig) withDefaults() RetryConfig {
 	if c.Max <= 0 {
 		c.Max = 500 * time.Millisecond
 	}
-	if c.Jitter <= 0 {
-		c.Jitter = 0.2
-	}
 	return c
 }
 
-// LookupRetry resolves agentID, retrying with jittered exponential
+// LookupRetry resolves agentID, retrying with full-jitter exponential
 // backoff until ctx is done. It exists for the recovery paths: right
 // after a crash the target agent's entry may be missing (expired by TTL)
 // or still pointing at the dead host, and a single lookup would either
 // fail or poison the resume attempt with a stale address. Retrying rides
 // out the window until the recovered host re-registers.
 //
+// Each attempt sleeps a uniformly random duration in (0, ceiling], where
+// the ceiling doubles from Initial up to Max — "full jitter", which
+// decorrelates the retry herd a thundering cluster of clients would
+// otherwise form against a recovering name server. The sleep is
+// interruptible: ctx cancellation between attempts returns immediately.
+//
 // Lookup errors other than ErrNotFound (e.g. a briefly unreachable name
 // server) are retried too; the last error is returned when ctx expires.
 func LookupRetry(ctx context.Context, r Resolver, agentID string, cfg RetryConfig) (Record, error) {
 	cfg = cfg.withDefaults()
-	gap := cfg.Initial
+	ceiling := cfg.Initial
 	var lastErr error
 	for {
 		rec, err := r.Lookup(ctx, agentID)
@@ -50,18 +49,22 @@ func LookupRetry(ctx context.Context, r Resolver, agentID string, cfg RetryConfi
 			return rec, nil
 		}
 		lastErr = err
-		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if ctx.Err() != nil {
 			break
 		}
-		jittered := time.Duration(float64(gap) * (1 + cfg.Jitter*(rand.Float64()-0.5)))
+		// Full jitter: sleep anywhere up to the current ceiling. The +1
+		// keeps the gap strictly positive so a zero draw cannot busy-spin.
+		gap := time.Duration(rand.Int63n(int64(ceiling))) + 1
+		timer := time.NewTimer(gap)
 		select {
 		case <-ctx.Done():
+			timer.Stop()
 			return Record{}, lastErr
-		case <-time.After(jittered):
+		case <-timer.C:
 		}
-		gap *= 2
-		if gap > cfg.Max {
-			gap = cfg.Max
+		ceiling *= 2
+		if ceiling > cfg.Max {
+			ceiling = cfg.Max
 		}
 	}
 	return Record{}, lastErr

@@ -136,6 +136,12 @@ type ControlMsg struct {
 	// every other field.
 	TraceID [16]byte
 	SpanID  [8]byte
+	// LocEpoch is the sender's location epoch in the naming service: a
+	// mover stamps its post-migration epoch on MsgResume and MsgSusRes so
+	// the peer can advance (or epoch-guard-invalidate) its location cache
+	// without re-consulting the registry. Zero when unknown, which peers
+	// must treat as "invalidate unconditionally".
+	LocEpoch uint64
 	// Payload carries message-specific bytes.
 	Payload []byte
 	// Tag authenticates the message; all-zero for messages sent before a
@@ -235,6 +241,7 @@ func (m *ControlMsg) Encode() []byte {
 	b = append(b, m.TransportID[:]...)
 	b = append(b, m.TraceID[:]...)
 	b = append(b, m.SpanID[:]...)
+	b = binary.BigEndian.AppendUint64(b, m.LocEpoch)
 	b = appendBytes(b, m.Payload)
 	b = append(b, m.Tag[:]...)
 	return b
@@ -286,6 +293,11 @@ func DecodeControlMsg(b []byte) (*ControlMsg, error) {
 	copy(m.TraceID[:], b[:16])
 	copy(m.SpanID[:], b[16:24])
 	b = b[24:]
+	if len(b) < 8 {
+		return nil, errShort
+	}
+	m.LocEpoch = binary.BigEndian.Uint64(b)
+	b = b[8:]
 	if m.Payload, b, err = takeBytes(b); err != nil {
 		return nil, err
 	}

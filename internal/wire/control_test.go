@@ -21,6 +21,7 @@ func sampleMsg() *ControlMsg {
 		DataAddr:    "127.0.0.1:9000",
 		ControlAddr: "127.0.0.1:9001",
 		LastSeq:     12345,
+		LocEpoch:    42,
 		Payload:     []byte{1, 2, 3},
 	}
 	for i := range m.TraceID {
@@ -47,11 +48,11 @@ func TestControlMsgRoundTrip(t *testing.T) {
 }
 
 func TestControlMsgRoundTripProperty(t *testing.T) {
-	f := func(typ uint8, id [16]byte, from, to, addr, caddr string, nonce, lastSeq uint64, payload []byte, tag [32]byte) bool {
+	f := func(typ uint8, id [16]byte, from, to, addr, caddr string, nonce, lastSeq, locEpoch uint64, payload []byte, tag [32]byte) bool {
 		mt := MsgType(typ%uint8(MsgHeartbeat)) + 1
 		in := &ControlMsg{
 			Type: mt, ConnID: ConnID(id), From: from, To: to,
-			Nonce: nonce, DataAddr: addr, ControlAddr: caddr, LastSeq: lastSeq, Payload: payload, Tag: tag,
+			Nonce: nonce, DataAddr: addr, ControlAddr: caddr, LastSeq: lastSeq, LocEpoch: locEpoch, Payload: payload, Tag: tag,
 		}
 		if len(from) > 65535 || len(to) > 65535 || len(addr) > 65535 || len(caddr) > 65535 {
 			return true // encoder length prefix is uint16; core never sends such names
@@ -118,6 +119,7 @@ func TestSigningBytesCoversAllFields(t *testing.T) {
 		func(m *ControlMsg) { m.DataAddr = "10.0.0.1:1" },
 		func(m *ControlMsg) { m.ControlAddr = "10.0.0.1:2" },
 		func(m *ControlMsg) { m.LastSeq++ },
+		func(m *ControlMsg) { m.LocEpoch++ },
 		func(m *ControlMsg) { m.Payload = append([]byte(nil), 9) },
 	}
 	ref := base.SigningBytes()
