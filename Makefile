@@ -6,7 +6,7 @@ GO ?= go
 NETEM_SEED ?= 42
 NETEM_LOSS ?= 0.3
 
-.PHONY: build test vet lint race check integration fuzz-smoke bench bench-smoke chaos-smoke naming-smoke
+.PHONY: build test vet fmt lint race check integration fuzz-smoke bench bench-smoke chaos-smoke naming-smoke storm-smoke
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs staticcheck when it is on PATH (CI installs it; locally run
-# `go install honnef.co/go/tools/cmd/staticcheck@latest` once). It is kept
-# out of `check` so an uninstalled linter never blocks the local gate.
-lint:
+# fmt fails if any file is not gofmt-clean, printing the offenders.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt violations:"; echo "$$out"; exit 1; \
+	fi
+
+# lint enforces gofmt, then runs staticcheck when it is on PATH (CI
+# installs it; locally run
+# `go install honnef.co/go/tools/cmd/staticcheck@latest` once). staticcheck
+# is kept out of `check` so an uninstalled linter never blocks the local
+# gate.
+lint: fmt
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
@@ -45,6 +54,15 @@ chaos-smoke:
 naming-smoke:
 	$(GO) test ./internal/naming/cluster -run TestKillOneShardLeader -race -count=1 -v
 	$(GO) run ./cmd/benchgate -naming-baseline BENCH_naming.json -naming-short
+
+# storm-smoke is the CI connection-scaling gate: the live storm at a
+# reduced population (10k conns, 1k-conn migration wave), checked against
+# the committed 100k baseline — heap per connection and wave p99 within
+# tolerance, goroutine growth under the O(1) ceiling. The goroutine-leak
+# regression test runs first, under the race detector.
+storm-smoke:
+	$(GO) test ./internal/core -run TestGoroutineCountFlatAcrossConns -race -count=1
+	$(GO) run ./cmd/benchgate -c10k-baseline BENCH_c10k.json -c10k-short
 
 # integration runs only the subprocess tests (two-process deployment and
 # crash recovery), uncached.

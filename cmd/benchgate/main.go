@@ -9,10 +9,17 @@
 // cached/direct speedup regresses past the tolerance or the hit rate
 // under the migration storm drops below the absolute floor.
 //
+// With -c10k-baseline it gates connection scaling: the live connection
+// storm is rerun (at a reduced population with -c10k-short) and fails
+// when heap-per-connection or the wave p99 regress past the tolerance,
+// or when goroutine growth across the population exceeds the O(1)
+// ceiling — i.e. a per-connection goroutine crept back in.
+//
 // Usage:
 //
 //	benchgate [-baseline BENCH_fig9.json] [-tolerance 0.5] [-total 16777216]
 //	benchgate -naming-baseline BENCH_naming.json [-naming-short] [-tolerance 0.5]
+//	benchgate -c10k-baseline BENCH_c10k.json [-c10k-short] [-tolerance 0.5]
 package main
 
 import (
@@ -31,6 +38,9 @@ var (
 
 	namingBaseline = flag.String("naming-baseline", "", "committed naming baseline (BENCH_naming.json); when set, gate the naming benchmark instead of Fig 9")
 	namingShort    = flag.Bool("naming-short", false, "run the naming benchmark at a reduced population and window (CI smoke)")
+
+	c10kBaseline = flag.String("c10k-baseline", "", "committed storm baseline (BENCH_c10k.json); when set, gate the connection storm instead of Fig 9")
+	c10kShort    = flag.Bool("c10k-short", false, "run the storm at a reduced population (CI smoke: 10k conns, 1k wave)")
 )
 
 func namingGate() {
@@ -59,10 +69,40 @@ func namingGate() {
 		*tolerance*100, *namingBaseline, experiments.MinNamingHitRate*100)
 }
 
+func c10kGate() {
+	b, err := experiments.LoadBenchC10K(*c10kBaseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := experiments.C10KConfig{Conns: b.Conns, Wave: b.Wave}
+	if *c10kShort {
+		cfg.Conns = 10_000
+		cfg.Wave = 1_000
+	}
+	res, err := experiments.RunC10K(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	report, err := experiments.CompareC10K(b, res, *tolerance)
+	fmt.Print(report)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok (per-conn footprint within %.0f%% of %s, goroutine growth under %d)\n",
+		*tolerance*100, *c10kBaseline, experiments.MaxC10KGoroutineGrowth)
+}
+
 func main() {
 	flag.Parse()
 	if *namingBaseline != "" {
 		namingGate()
+		return
+	}
+	if *c10kBaseline != "" {
+		c10kGate()
 		return
 	}
 	b, err := experiments.LoadBenchFig9(*baseline)

@@ -42,29 +42,29 @@ func (l *launchList) String() string     { return strings.Join(*l, " ") }
 func (l *launchList) Set(v string) error { *l = append(*l, v); return nil }
 
 var (
-	name       = flag.String("name", "host", "host name")
-	dock       = flag.String("dock", "127.0.0.1:0", "docking listener address")
-	control    = flag.String("control", "127.0.0.1:0", "control channel (UDP) address")
-	data       = flag.String("data", "127.0.0.1:0", "redirector (TCP) address")
-	mail       = flag.String("mail", "127.0.0.1:0", "post office (UDP) address")
-	nsListen   = flag.String("nameserver-listen", "", "also host the location service on this address")
-	nsAddr     = flag.String("nameserver", "", "address of the deployment's location service")
+	name         = flag.String("name", "host", "host name")
+	dock         = flag.String("dock", "127.0.0.1:0", "docking listener address")
+	control      = flag.String("control", "127.0.0.1:0", "control channel (UDP) address")
+	data         = flag.String("data", "127.0.0.1:0", "redirector (TCP) address")
+	mail         = flag.String("mail", "127.0.0.1:0", "post office (UDP) address")
+	nsListen     = flag.String("nameserver-listen", "", "also host the location service on this address")
+	nsAddr       = flag.String("nameserver", "", "address of the deployment's location service")
 	namingSeeds  = flag.String("naming-seeds", "", "comma-separated addresses of the sharded naming cluster; the node resolves agents through it instead of a single name server")
 	namingListen = flag.String("naming-cluster-listen", "", "also host a naming cluster node on this address (must appear in -naming-cluster-peers)")
 	namingPeers  = flag.String("naming-cluster-peers", "", "comma-separated addresses of every naming cluster node, identical on all hosts (defaults to -naming-cluster-listen alone)")
 	namingShards = flag.Int("naming-shards", 3, "shard count of the naming cluster (identical on all hosts)")
 	namingRepl   = flag.Int("naming-replication", 2, "replicas per naming shard (identical on all hosts)")
-	postoffice = flag.Bool("postoffice", true, "run a post office on this host")
-	insecure   = flag.Bool("insecure", false, "disable security (the paper's w/o-security mode)")
-	clusterKey = flag.String("cluster-secret", "", "shared secret authenticating the docking channel between hosts")
-	debugAddr  = flag.String("debug-addr", "", "serve /metrics, /connz and pprof on this address (off when empty)")
-	logLevel   = flag.String("log-level", "info", "runtime log level: debug, info, warn, error")
-	journalDir = flag.String("journal-dir", "", "checkpoint agent and connection state into a journal under this directory; restarting with the same directory recovers them (off when empty)")
-	jrnSync    = flag.String("journal-sync", "interval", "journal fsync policy: always, interval, or never")
-	heartbeat  = flag.Duration("heartbeat-interval", 0, "probe peer controllers at this interval and fail connections to confirmed-dead peers (off when zero)")
-	nameTTL    = flag.Duration("name-ttl", 0, "expire location service entries not refreshed within this duration (only with -nameserver-listen; off when zero)")
-	version    = flag.Bool("version", false, "print build information and exit")
-	launches   launchList
+	postoffice   = flag.Bool("postoffice", true, "run a post office on this host")
+	insecure     = flag.Bool("insecure", false, "disable security (the paper's w/o-security mode)")
+	clusterKey   = flag.String("cluster-secret", "", "shared secret authenticating the docking channel between hosts")
+	debugAddr    = flag.String("debug-addr", "", "serve /metrics, /connz and pprof on this address (off when empty)")
+	logLevel     = flag.String("log-level", "info", "runtime log level: debug, info, warn, error")
+	journalDir   = flag.String("journal-dir", "", "checkpoint agent and connection state into a journal under this directory; restarting with the same directory recovers them (off when empty)")
+	jrnSync      = flag.String("journal-sync", "interval", "journal fsync policy: always, interval, or never")
+	heartbeat    = flag.Duration("heartbeat-interval", 0, "probe peer controllers at this interval and fail connections to confirmed-dead peers (off when zero)")
+	nameTTL      = flag.Duration("name-ttl", 0, "expire location service entries not refreshed within this duration (only with -nameserver-listen; off when zero)")
+	version      = flag.Bool("version", false, "print build information and exit")
+	launches     launchList
 )
 
 // buildInfo returns the VCS commit this binary was built from (or "unknown")

@@ -22,12 +22,12 @@ import (
 )
 
 var (
-	iters     = flag.Int("iters", 100, "iterations for latency experiments (table1, suspres, fig8)")
-	quick     = flag.Bool("quick", false, "smaller volumes and sweeps for a fast pass")
-	seed      = flag.Int64("seed", 1, "seed for the Section 5 simulations")
-	charts    = flag.Bool("chart", true, "render ASCII charts for the figures")
-	csvDir    = flag.String("csv", "", "directory to write per-figure CSV files into")
-	benchJSON = flag.String("bench-json", "", "path to BENCH_fig9.json: fig9 refreshes its After series there (Before is preserved)")
+	iters      = flag.Int("iters", 100, "iterations for latency experiments (table1, suspres, fig8)")
+	quick      = flag.Bool("quick", false, "smaller volumes and sweeps for a fast pass")
+	seed       = flag.Int64("seed", 1, "seed for the Section 5 simulations")
+	charts     = flag.Bool("chart", true, "render ASCII charts for the figures")
+	csvDir     = flag.String("csv", "", "directory to write per-figure CSV files into")
+	benchJSON  = flag.String("bench-json", "", "path to BENCH_fig9.json: fig9 refreshes its After series there (Before is preserved)")
 	namingJSON = flag.String("naming-json", "", "path to BENCH_naming.json: naming refreshes the committed baseline there (Note is preserved)")
 )
 

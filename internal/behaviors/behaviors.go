@@ -89,6 +89,9 @@ func (p *Pinger) Run(ctx *naplet.Context) error {
 		return fmt.Errorf("pinger: dialing %s: %w", p.Target, err)
 	}
 	defer conn.Close()
+	// One reused pacing timer for the whole run, not a fresh time.After
+	// channel per iteration.
+	var pace *time.Timer
 	for i := 0; i < p.Count; i++ {
 		start := time.Now()
 		if err := conn.WriteMsg([]byte(fmt.Sprintf("ping-%d", i))); err != nil {
@@ -100,8 +103,15 @@ func (p *Pinger) Run(ctx *naplet.Context) error {
 		}
 		ctx.Logf("pinger: %s -> rtt %v", reply, time.Since(start).Round(time.Microsecond))
 		if p.IntervalMs > 0 {
+			interval := time.Duration(p.IntervalMs) * time.Millisecond
+			if pace == nil {
+				pace = time.NewTimer(interval)
+				defer pace.Stop()
+			} else {
+				pace.Reset(interval)
+			}
 			select {
-			case <-time.After(time.Duration(p.IntervalMs) * time.Millisecond):
+			case <-pace.C:
 			case <-ctx.Done():
 				return nil
 			}
@@ -216,6 +226,7 @@ func (s *Streamer) Run(ctx *naplet.Context) error {
 		}
 		ctx.Logf("streamer: resuming at message %d", s.Next)
 	}
+	var pace *time.Timer // reused across iterations; time.After would allocate one per message
 	for s.Next < uint64(s.Count) {
 		payload := make([]byte, s.Size)
 		binary.BigEndian.PutUint64(payload, s.Next)
@@ -227,8 +238,15 @@ func (s *Streamer) Run(ctx *naplet.Context) error {
 			ctx.Logf("streamer: checkpoint: %v", err)
 		}
 		if s.IntervalMs > 0 {
+			interval := time.Duration(s.IntervalMs) * time.Millisecond
+			if pace == nil {
+				pace = time.NewTimer(interval)
+				defer pace.Stop()
+			} else {
+				pace.Reset(interval)
+			}
 			select {
-			case <-time.After(time.Duration(s.IntervalMs) * time.Millisecond):
+			case <-pace.C:
 			case <-ctx.Done():
 				return nil
 			}

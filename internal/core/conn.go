@@ -6,11 +6,13 @@ import (
 	"hash/fnv"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"naplet/internal/dhkx"
 	"naplet/internal/fsm"
 	"naplet/internal/obs"
+	"naplet/internal/transport"
 	"naplet/internal/wire"
 )
 
@@ -105,6 +107,27 @@ type Socket struct {
 	// fresh socket outside mu: send-log payload buffers must not be
 	// recycled to the pool while the retransmitter may still read them.
 	retxPending bool
+
+	// Event-driven data plane (transport-stream path). pumpSrc is the
+	// current generation's stream when the connection runs goroutine-free:
+	// readable/writable callbacks enqueue the socket on the controller's
+	// shared worker pool instead of waking dedicated loops. pumpPaused
+	// marks the pump stopped for receive-buffer backpressure; the reader
+	// restarts it when the application catches up. All three are guarded
+	// by mu; pumpMu (taken without mu) single-flights pump passes.
+	pumpMu     sync.Mutex
+	pumpSrc    *transport.Stream
+	pumpPaused bool
+	// pumpDec is the generation's incremental frame decoder (one per
+	// installed stream, swapped under mu, used under pumpMu): it carries
+	// partial-frame state across pump passes, so frames larger than the
+	// stream's flow-control window decode as their bytes arrive.
+	pumpDec *wire.FrameDecoder
+	// dpQueued dedups pool entries; pumpReq/flushReq are the level-triggered
+	// event flags a pool pass consumes. flushSpare is the flush batch's
+	// recycled backing buffer, guarded by flushMu.
+	dpQueued, pumpReq, flushReq atomic.Bool
+	flushSpare                  []byte
 
 	// traceSpan is the span of the in-flight traced operation on this
 	// socket (a migration's suspend or resume); while set, every outgoing
@@ -336,6 +359,7 @@ func (s *Socket) markClosedLocked(err error) {
 	s.closed = true
 	s.closeErr = err
 	s.stopFlusherLocked()
+	s.pumpSrc = nil
 	if s.sock != nil {
 		s.sock.Close()
 		s.sock = nil

@@ -203,11 +203,20 @@ type Controller struct {
 	epochMu   sync.Mutex
 	locEpochs map[string]uint64
 
+	// tab is the sharded resident-connection table (conns, per-agent
+	// index, migrating flags), striped by agent hash so the per-conn hot
+	// path never funnels through one controller-wide lock.
+	tab *connTable
+
+	// dp is the shared data-plane worker pool: connections riding a
+	// transport stream have no pump/flush goroutines of their own, their
+	// readable/writable events are serviced here.
+	dp *dpPool
+
+	// mu guards the listener map and the closed flag — control-plane
+	// state touched at listen/accept/shutdown rate, not per connection.
 	mu        sync.Mutex
-	conns     map[connKey]*Socket
-	byAgent   map[string]map[wire.ConnID]*Socket
 	listeners map[string]*ServerSocket
-	migrating map[string]bool
 	closed    bool
 
 	// closing silences diagnostics once Close begins (the logger may be a
@@ -227,10 +236,9 @@ func NewController(cfg Config) (*Controller, error) {
 		cfg:       cfg,
 		obs:       newCtrlObs(cfg),
 		rv:        newRendezvous(),
-		conns:     make(map[connKey]*Socket),
-		byAgent:   make(map[string]map[wire.ConnID]*Socket),
+		tab:       newConnTable(),
+		dp:        newDPPool(),
 		listeners: make(map[string]*ServerSocket),
-		migrating: make(map[string]bool),
 		locEpochs: make(map[string]uint64),
 		done:      make(chan struct{}),
 	}
@@ -261,6 +269,7 @@ func NewController(cfg Config) (*Controller, error) {
 	ep, err := rudp.Listen(cfg.ControlAddr, ctrl.handleControl, rcfg)
 	if err != nil {
 		ctrl.det.Close()
+		ctrl.dp.close()
 		return nil, err
 	}
 	ctrl.ep = ep
@@ -268,6 +277,7 @@ func NewController(cfg Config) (*Controller, error) {
 	if err != nil {
 		ctrl.det.Close()
 		ep.Close()
+		ctrl.dp.close()
 		return nil, err
 	}
 	ctrl.red = red
@@ -318,20 +328,16 @@ type Stats struct {
 // Stats returns a snapshot of the controller's load, for monitoring and
 // tests.
 func (ctrl *Controller) Stats() Stats {
+	conns := ctrl.tab.all()
 	ctrl.mu.Lock()
-	conns := make([]*Socket, 0, len(ctrl.conns))
-	for _, s := range ctrl.conns {
-		conns = append(conns, s)
-	}
-	st := Stats{
-		Connections: len(ctrl.conns),
-		ByState:     make(map[string]int),
-		Listeners:   len(ctrl.listeners),
-	}
-	for range ctrl.migrating {
-		st.MigratingAgents++
-	}
+	listeners := len(ctrl.listeners)
 	ctrl.mu.Unlock()
+	st := Stats{
+		Connections:     len(conns),
+		ByState:         make(map[string]int),
+		Listeners:       listeners,
+		MigratingAgents: ctrl.tab.migratingCount(),
+	}
 	for _, s := range conns {
 		st.ByState[s.State().String()]++
 	}
@@ -341,12 +347,7 @@ func (ctrl *Controller) Stats() Stats {
 // ConnInfos snapshots every resident connection endpoint, sorted by
 // connection id — the data source of the /connz debug view.
 func (ctrl *Controller) ConnInfos() []Info {
-	ctrl.mu.Lock()
-	conns := make([]*Socket, 0, len(ctrl.conns))
-	for _, s := range ctrl.conns {
-		conns = append(conns, s)
-	}
-	ctrl.mu.Unlock()
+	conns := ctrl.tab.all()
 	infos := make([]Info, 0, len(conns))
 	for _, s := range conns {
 		infos = append(infos, s.Info())
@@ -373,11 +374,8 @@ func (ctrl *Controller) Close() error {
 	}
 	ctrl.closed = true
 	ctrl.closing.Store(true)
-	conns := make([]*Socket, 0, len(ctrl.conns))
-	for _, s := range ctrl.conns {
-		conns = append(conns, s)
-	}
 	ctrl.mu.Unlock()
+	conns := ctrl.tab.all()
 	close(ctrl.done)
 	ctrl.det.Close()
 	ctrl.tm.Close()
@@ -386,6 +384,7 @@ func (ctrl *Controller) Close() error {
 		s.markClosedLocked(nil)
 		s.mu.Unlock()
 	}
+	ctrl.dp.close()
 	err := ctrl.red.close()
 	if eerr := ctrl.ep.Close(); err == nil {
 		err = eerr
@@ -401,22 +400,12 @@ func (ctrl *Controller) logf(format string, args ...any) {
 }
 
 func (ctrl *Controller) isMigrating(agentID string) bool {
-	ctrl.mu.Lock()
-	defer ctrl.mu.Unlock()
-	return ctrl.migrating[agentID]
+	return ctrl.tab.isMigrating(agentID)
 }
 
 // registerConn adds a socket to the controller's tables.
 func (ctrl *Controller) registerConn(s *Socket) {
-	ctrl.mu.Lock()
-	defer ctrl.mu.Unlock()
-	ctrl.conns[connKey{id: s.id, agent: s.localAgent}] = s
-	agents := ctrl.byAgent[s.localAgent]
-	if agents == nil {
-		agents = make(map[wire.ConnID]*Socket)
-		ctrl.byAgent[s.localAgent] = agents
-	}
-	agents[s.id] = s
+	ctrl.tab.register(s)
 }
 
 // dropConn removes a socket from the tables. This is also the point a
@@ -425,34 +414,21 @@ func (ctrl *Controller) registerConn(s *Socket) {
 // resurrect it. (Controller.Close deliberately does not drop connections,
 // so a graceful shutdown stays recoverable like a crash.)
 func (ctrl *Controller) dropConn(s *Socket) {
-	ctrl.mu.Lock()
-	delete(ctrl.conns, connKey{id: s.id, agent: s.localAgent})
-	if agents := ctrl.byAgent[s.localAgent]; agents != nil {
-		delete(agents, s.id)
-		if len(agents) == 0 {
-			delete(ctrl.byAgent, s.localAgent)
-		}
-	}
+	ctrl.tab.drop(s)
 	ctrl.rv.disarm(connKey{id: s.id, agent: s.localAgent})
-	ctrl.mu.Unlock()
 	ctrl.dropConnJournal(s.localAgent, s.id)
 }
 
 // connByKey fetches a resident connection endpoint by id and local agent.
 func (ctrl *Controller) connByKey(id wire.ConnID, localAgent string) (*Socket, bool) {
-	ctrl.mu.Lock()
-	defer ctrl.mu.Unlock()
-	s, ok := ctrl.conns[connKey{id: id, agent: localAgent}]
-	return s, ok
+	return ctrl.tab.byKey(id, localAgent)
 }
 
 // AgentSocket re-attaches an agent to one of its connections by id — the
 // post-migration handle, since live Socket values cannot travel inside a
 // gob-encoded behaviour.
 func (ctrl *Controller) AgentSocket(agentID string, id wire.ConnID) (*Socket, error) {
-	ctrl.mu.Lock()
-	defer ctrl.mu.Unlock()
-	s, ok := ctrl.byAgent[agentID][id]
+	s, ok := ctrl.tab.agentSocket(agentID, id)
 	if !ok {
 		return nil, fmt.Errorf("napletsocket: agent %s has no connection %s here", agentID, id)
 	}
@@ -461,13 +437,7 @@ func (ctrl *Controller) AgentSocket(agentID string, id wire.ConnID) (*Socket, er
 
 // AgentSockets lists an agent's resident connections.
 func (ctrl *Controller) AgentSockets(agentID string) []*Socket {
-	ctrl.mu.Lock()
-	defer ctrl.mu.Unlock()
-	out := make([]*Socket, 0, len(ctrl.byAgent[agentID]))
-	for _, s := range ctrl.byAgent[agentID] {
-		out = append(out, s)
-	}
-	return out
+	return ctrl.tab.agentSockets(agentID)
 }
 
 // ---- migration-aware location cache ----
@@ -947,28 +917,32 @@ func (ctrl *Controller) handleConnect(m *wire.ControlMsg) []byte {
 	ctrl.registerConn(s)
 
 	// Await the handoff socket; establishment completes in
-	// completeEstablishment once the ID message has arrived too.
-	ch := ctrl.rv.arm(connKey{id: s.id, agent: s.localAgent})
-	go func() {
-		t := time.NewTimer(ctrl.cfg.opTimeout())
-		defer t.Stop()
-		select {
-		case sock := <-ch:
+	// completeEstablishment once the ID message has arrived too. The wait
+	// is a rendezvous callback plus one timer-wheel entry, not a parked
+	// goroutine: a connect storm of 10k concurrent opens adds nothing to
+	// the goroutine count.
+	ctrl.rv.armFunc(connKey{id: s.id, agent: s.localAgent}, ctrl.cfg.opTimeout(),
+		func(sock net.Conn) {
+			if ctrl.closing.Load() {
+				sock.Close()
+				return
+			}
 			if err := s.installSocket(sock, 0); err != nil {
 				ctrl.logf("conn %s: installing accepted socket: %v", s.id, err)
 				ctrl.dropConn(s)
 				return
 			}
 			s.completeEstablishment(ss)
-		case <-t.C:
-			ctrl.rv.disarm(connKey{id: s.id, agent: s.localAgent})
+		},
+		func() {
+			if ctrl.closing.Load() {
+				return
+			}
 			ctrl.dropConn(s)
 			s.mu.Lock()
 			s.markClosedLocked(errors.New("napletsocket: connect handoff never arrived"))
 			s.mu.Unlock()
-		case <-ctrl.done:
-		}
-	}()
+		})
 
 	r := &wire.ControlReply{Verdict: wire.VerdictAck, ConnID: m.ConnID}
 	r.Tag = s.auth.Sign(r.SigningBytes())

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"naplet/internal/fsm"
+	"naplet/internal/timerwheel"
 	"naplet/internal/transport"
 	"naplet/internal/wire"
 )
@@ -40,6 +41,10 @@ const (
 	// wakeup. It stays below the frame writer's buffer so bufio never
 	// force-flushes mid-frame on its own schedule.
 	coalesceFlushBytes = 32 << 10
+	// pumpBatchFrames bounds the frames one pump pass decodes before
+	// re-checking the receive budget, so a firehose peer cannot pin a pool
+	// worker or blow far past maxRecvBuffer between checks.
+	pumpBatchFrames = 32
 )
 
 // installSocket adopts a fresh data socket: retransmits anything the peer
@@ -90,7 +95,22 @@ func (s *Socket) installSocket(sock net.Conn, peerHasUpTo uint64) error {
 	s.gen++
 	gen := s.gen
 	s.fw = wire.NewFrameWriter(sock, s.nextSendSeq)
-	s.flushCh = make(chan struct{}, 1)
+	// Transport streams run the goroutine-free event path: the stream's
+	// readable/writable callbacks drive pump and flush passes on the
+	// controller's shared worker pool, so a host with 100k connections
+	// runs O(pool) data-plane goroutines, not O(conns). Raw sockets
+	// (tests, legacy paths) keep the dedicated reader/flusher pair.
+	st, eventMode := sock.(*transport.Stream)
+	if eventMode {
+		s.pumpSrc = st
+		s.pumpDec = &wire.FrameDecoder{}
+		s.pumpPaused = false
+		s.flushCh = nil
+	} else {
+		s.pumpSrc = nil
+		s.pumpDec = nil
+		s.flushCh = make(chan struct{}, 1)
+	}
 	s.suspending = false
 	s.peerFlushSeen = false
 	s.drained = false
@@ -104,9 +124,158 @@ func (s *Socket) installSocket(sock net.Conn, peerHasUpTo uint64) error {
 	fw, flushCh := s.fw, s.flushCh
 	s.mu.Unlock()
 
+	if eventMode {
+		// Registration fires the hook immediately if data or credit is
+		// already pending, so nothing that raced in before this point is
+		// lost.
+		st.SetReadable(s.schedulePump)
+		st.SetWritable(s.scheduleFlush)
+		return nil
+	}
 	go s.readerLoop(sock, gen)
 	go s.flusherLoop(fw, sock, gen, flushCh)
 	return nil
+}
+
+// schedulePump requests a pump pass for this socket on the shared worker
+// pool. Level-triggered and deduped; safe from any goroutine, including
+// the transport read loop and callers holding s.mu.
+func (s *Socket) schedulePump() {
+	s.pumpReq.Store(true)
+	s.ctrl.dp.enqueue(s)
+}
+
+// scheduleFlush requests a flush pass on the shared worker pool.
+func (s *Socket) scheduleFlush() {
+	s.flushReq.Store(true)
+	s.ctrl.dp.enqueue(s)
+}
+
+// pumpEvent is one event-driven pump pass: decode every frame the stream
+// has fully buffered into the receive buffer, without ever blocking on
+// the network. It stops when the stream runs dry, when the receive
+// buffer is over budget (backpressure: not reading means the stream
+// grants the peer no more flow-control credit), or when the stream
+// reports a terminal condition. pumpMu single-flights passes so a
+// re-enqueue during a pass cannot interleave decodes.
+func (s *Socket) pumpEvent() {
+	s.pumpMu.Lock()
+	defer s.pumpMu.Unlock()
+	for {
+		s.mu.Lock()
+		st, gen, dec := s.pumpSrc, s.gen, s.pumpDec
+		if st == nil || s.closed {
+			s.mu.Unlock()
+			return
+		}
+		if s.recvBytes > maxRecvBuffer && !s.suspending {
+			s.pumpPaused = true
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+
+		batch, err := pumpDecode(st, dec)
+		if len(batch) > 0 {
+			if !s.enqueueFrames(gen, batch, false) {
+				return
+			}
+		}
+		if err != nil {
+			s.readerExit(gen, err)
+			return
+		}
+		if len(batch) == 0 {
+			// Stream ran dry mid-pass with no decode error: either it is
+			// simply idle again (a later readable event re-arms us), or it
+			// ended — EOF, reset, or a FIN that cut a frame short.
+			if termErr, terminal := st.TermStatus(); terminal {
+				if termErr == io.EOF && dec.Partial() {
+					termErr = io.ErrUnexpectedEOF
+				}
+				dec.Release()
+				s.readerExit(gen, termErr)
+			}
+			return
+		}
+	}
+}
+
+// pumpDecode pulls one bounded batch of frames off the stream's user-space
+// buffer. It never blocks: the decoder only consumes bytes the stream
+// already holds, parking partial-frame state between passes.
+func pumpDecode(st *transport.Stream, dec *wire.FrameDecoder) ([]wire.Frame, error) {
+	var batch []wire.Frame
+	for len(batch) < pumpBatchFrames {
+		f, ok, err := dec.Next(st)
+		if err != nil {
+			return batch, err
+		}
+		if !ok {
+			break
+		}
+		batch = append(batch, f)
+	}
+	return batch, nil
+}
+
+// maybeResumePumpLocked restarts the event-driven pump after receive-side
+// backpressure clears: the application drained below the budget, or a
+// suspend drain lifted the bound. Caller holds mu.
+func (s *Socket) maybeResumePumpLocked() {
+	if s.pumpPaused && (s.recvBytes <= maxRecvBuffer || s.suspending) {
+		s.pumpPaused = false
+		s.schedulePump()
+	}
+}
+
+// flushEvent is one event-driven flush pass: detach the frame writer's
+// coalesced batch and push it to the stream. A batch the stream lacks
+// send credit for is handed to a transient goroutine that rides out the
+// stall holding flushMu, so pool workers never block on a slow peer.
+func (s *Socket) flushEvent() {
+	s.writeMu.Lock()
+	s.mu.Lock()
+	st, fw, sock := s.pumpSrc, s.fw, s.sock
+	closed := s.closed
+	s.mu.Unlock()
+	if closed || st == nil || fw == nil || sock == nil || fw.Buffered() == 0 {
+		s.writeMu.Unlock()
+		return
+	}
+	if !s.flushMu.TryLock() {
+		// A flush (possibly credit-stalled) is already in flight; it
+		// re-schedules on completion, so this pass just stands down.
+		s.writeMu.Unlock()
+		return
+	}
+	batch := fw.Take(s.flushSpare)
+	s.flushSpare = nil
+	// writeMu releases before the write: writers coalesce the next batch
+	// while this one's syscall is in flight, exactly like flusherLoop did.
+	s.writeMu.Unlock()
+	if st.SendWindow() < len(batch) {
+		go s.flushFinish(sock, batch)
+		return
+	}
+	s.flushFinish(sock, batch)
+}
+
+// flushFinish writes one detached batch and releases flushMu (held by the
+// caller), then re-arms the flush event for anything that accumulated
+// while the write was in flight.
+func (s *Socket) flushFinish(sock net.Conn, batch []byte) {
+	_, err := sock.Write(batch)
+	s.flushSpare = batch
+	s.flushMu.Unlock()
+	if err != nil {
+		s.mu.Lock()
+		s.failLocked(err)
+		s.mu.Unlock()
+		return
+	}
+	s.ctrl.obs.dataFlushes.Inc()
+	s.scheduleFlush()
 }
 
 func (s *Socket) clearRetxPending() {
@@ -126,9 +295,14 @@ func (s *Socket) stopFlusherLocked() {
 
 // signalFlushLocked nudges the background flusher: buffered frames are
 // waiting in the frame writer. Caller holds mu (which serializes against
-// stopFlusherLocked's close). The channel has capacity one; a pending
-// signal already covers us.
+// stopFlusherLocked's close). On the event path the socket is enqueued on
+// the worker pool; on the legacy path the channel has capacity one, so a
+// pending signal already covers us.
 func (s *Socket) signalFlushLocked() {
+	if s.pumpSrc != nil {
+		s.scheduleFlush()
+		return
+	}
 	if s.flushCh == nil {
 		return
 	}
@@ -221,7 +395,7 @@ func (s *Socket) readerLoop(sock net.Conn, gen int) {
 			}
 			batch = append(batch, f)
 		}
-		if !s.enqueueFrames(gen, batch) {
+		if !s.enqueueFrames(gen, batch, true) {
 			return
 		}
 		if err != nil {
@@ -234,7 +408,11 @@ func (s *Socket) readerLoop(sock net.Conn, gen int) {
 // enqueueFrames delivers one batch of frames into the receive buffer under
 // a single lock acquisition. It reports false when the socket generation
 // ended underneath the reader; undelivered pooled payloads are recycled.
-func (s *Socket) enqueueFrames(gen int, batch []wire.Frame) bool {
+// block selects the flow-control style: the dedicated reader goroutine
+// waits in place when the buffer is over budget; the event-driven pump
+// must never block a pool worker, so it enqueues the (already bounded)
+// batch and stops pulling from the stream instead.
+func (s *Socket) enqueueFrames(gen int, batch []wire.Frame, block bool) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	enqueued := false
@@ -254,7 +432,7 @@ func (s *Socket) enqueueFrames(gen int, batch []wire.Frame) bool {
 			// Flow control: hold off when the application is behind —
 			// except while draining for a suspend, when everything in
 			// flight must be captured into the buffer.
-			for s.recvBytes > maxRecvBuffer && !s.suspending && !s.closed && gen == s.gen {
+			for block && s.recvBytes > maxRecvBuffer && !s.suspending && !s.closed && gen == s.gen {
 				if enqueued {
 					s.cond.Broadcast()
 					enqueued = false
@@ -343,6 +521,7 @@ func (s *Socket) failLocked(cause error) {
 	}
 	s.step(fsm.Fail)
 	s.stopFlusherLocked()
+	s.pumpSrc = nil
 	if s.sock != nil {
 		s.sock.Close()
 		s.sock = nil
@@ -364,44 +543,49 @@ func (s *Socket) failLocked(cause error) {
 	if s.ctrl.cfg.DisableFailureResume {
 		return
 	}
-	delay := s.ctrl.cfg.failureResumeDelay(s.highPriority)
-	go s.failureResume(delay)
+	s.scheduleFailureResume(s.ctrl.cfg.failureResumeDelay(s.highPriority))
 }
 
-// failureResume re-resumes a connection that degraded to SUSPENDED. The
-// high-priority side fires first; the low-priority side is a late fallback,
-// and the resume-race rules sort out collisions. While the peer stays
-// unreachable (crashed and not yet restarted, or partitioned away) attempts
-// are retried with capped exponential backoff, so the connection heals as
-// soon as the peer returns rather than stranding after one failed try.
-func (s *Socket) failureResume(delay time.Duration) {
+// scheduleFailureResume arms a failure-recovery attempt on the shared
+// timer wheel: a suspended-by-failure connection costs one wheel entry,
+// not a parked goroutine. The high-priority side fires first; the
+// low-priority side is a late fallback, and the resume-race rules sort
+// out collisions. While the peer stays unreachable (crashed and not yet
+// restarted, or partitioned away) attempts re-arm with capped exponential
+// backoff, so the connection heals as soon as the peer returns rather
+// than stranding after one failed try. The wheel callback only inspects
+// state; the resume handshake itself runs on a transient goroutine.
+func (s *Socket) scheduleFailureResume(delay time.Duration) {
 	const maxDelay = 5 * time.Second
-	for {
-		timer := time.NewTimer(delay)
+	timerwheel.AfterFunc(delay, func() {
 		select {
-		case <-timer.C:
 		case <-s.ctrl.done:
-			timer.Stop()
 			return
+		default:
 		}
 		s.mu.Lock()
 		stillDown := s.failing && !s.closed && s.m.State() == fsm.Suspended
-		migrating := s.ctrl.isMigrating(s.localAgent)
 		s.mu.Unlock()
 		if !stillDown {
 			return
 		}
-		if !migrating {
+		next := delay * 2
+		if next > maxDelay {
+			next = maxDelay
+		}
+		if s.ctrl.isMigrating(s.localAgent) {
+			s.scheduleFailureResume(next)
+			return
+		}
+		go func() {
 			err := s.Resume()
 			if err == nil || errors.Is(err, ErrClosed) || errors.Is(err, ErrMigrated) {
 				return
 			}
 			s.ctrl.logf("conn %s: failure resume: %v", s.id, err)
-		}
-		if delay *= 2; delay > maxDelay {
-			delay = maxDelay
-		}
-	}
+			s.scheduleFailureResume(next)
+		}()
+	})
 }
 
 // Read reads application bytes, serving the migrated buffer before the live
@@ -456,6 +640,7 @@ func (s *Socket) Read(p []byte) (int, error) {
 			}
 		}
 		if n > 0 {
+			s.maybeResumePumpLocked()
 			s.cond.Broadcast() // reader may be flow-controlled
 			return n, nil
 		}
@@ -495,6 +680,7 @@ func (s *Socket) ReadMsg() ([]byte, error) {
 			s.recvBuf[0] = bufEntry{} // drop the slot's payload reference
 			s.recvBuf = s.recvBuf[1:]
 			s.recvBytes -= len(e.Payload)
+			s.maybeResumePumpLocked()
 			s.cond.Broadcast()
 			if obs := s.observer; obs != nil {
 				obs(e.Seq, e.Payload, e.ViaBuffer)
@@ -693,6 +879,9 @@ func (s *Socket) drainAndClose() {
 	}
 	s.suspending = true
 	sock := s.sock
+	// The drain must capture everything in flight: lift receive-side
+	// backpressure so a paused pump resumes pulling immediately.
+	s.maybeResumePumpLocked()
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
@@ -727,6 +916,7 @@ func (s *Socket) drainAndClose() {
 	}
 	graceful := s.drained
 	s.stopFlusherLocked()
+	s.pumpSrc = nil
 	if s.sock != nil {
 		s.sock.Close()
 		s.sock = nil
@@ -765,27 +955,25 @@ func (s *Socket) releaseSendLogLocked() {
 var condTimerFires atomic.Uint64
 
 // waitCond waits on c until a broadcast or until d elapses, implemented
-// with a one-shot helper timer because sync.Cond has no native timed wait.
-// It reports false when d was already non-positive (deadline passed). The
-// timer fires at most once per call — at the caller's true deadline — so
-// a blocked operation costs zero wakeups until something actually happens.
+// with a one-shot entry on the shared timer wheel because sync.Cond has no
+// native timed wait. It reports false when d was already non-positive
+// (deadline passed). The wheel entry fires at most once per call — at or
+// just after the caller's true deadline — so a blocked operation costs
+// zero wakeups until something actually happens, and 100k blocked
+// operations share one timer goroutine instead of owning one runtime
+// timer each. A wakeup broadcast that lands after the wait already
+// returned is a harmless spurious broadcast (all cond users loop).
 func waitCond(c *sync.Cond, d time.Duration) bool {
 	if d <= 0 {
 		return false
 	}
-	done := make(chan struct{})
-	t := time.AfterFunc(d, func() {
+	t := timerwheel.AfterFunc(d, func() {
 		c.L.Lock()
-		select {
-		case <-done:
-		default:
-			condTimerFires.Add(1)
-			c.Broadcast()
-		}
+		condTimerFires.Add(1)
+		c.Broadcast()
 		c.L.Unlock()
 	})
 	c.Wait()
-	close(done)
 	t.Stop()
 	return true
 }

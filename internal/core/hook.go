@@ -65,19 +65,11 @@ func (ctrl *Controller) HookName() string { return "napletsocket" }
 // connections. Connections whose suspend cannot complete are closed rather
 // than blocking the migration forever.
 func (ctrl *Controller) PreDepart(agentID string) ([]byte, error) {
+	conns := ctrl.tab.setMigrating(agentID, true)
 	ctrl.mu.Lock()
-	ctrl.migrating[agentID] = true
-	conns := make([]*Socket, 0, len(ctrl.byAgent[agentID]))
-	for _, s := range ctrl.byAgent[agentID] {
-		conns = append(conns, s)
-	}
 	ss := ctrl.listeners[agentID]
 	ctrl.mu.Unlock()
-	defer func() {
-		ctrl.mu.Lock()
-		delete(ctrl.migrating, agentID)
-		ctrl.mu.Unlock()
-	}()
+	defer ctrl.tab.setMigrating(agentID, false)
 
 	// Deterministic suspend order, so multi-connection concurrent
 	// migrations interleave the way Section 3.2 analyzes.
@@ -290,11 +282,8 @@ func (ctrl *Controller) PostArrive(agentID string, blob []byte) error {
 // OnTerminate closes a finished agent's connections and listener.
 func (ctrl *Controller) OnTerminate(agentID string) {
 	ctrl.NoteLocationEpoch(agentID, 0)
+	conns := ctrl.tab.agentSockets(agentID)
 	ctrl.mu.Lock()
-	conns := make([]*Socket, 0, len(ctrl.byAgent[agentID]))
-	for _, s := range ctrl.byAgent[agentID] {
-		conns = append(conns, s)
-	}
 	ss := ctrl.listeners[agentID]
 	ctrl.mu.Unlock()
 	for _, s := range conns {

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settledGoroutines samples runtime.NumGoroutine until it reaches target
+// (when target > 0) or holds steady across consecutive samples, bounded by
+// a deadline. Connection teardown is asynchronous (drainAndClose
+// goroutines, redirector handshakes), so a single instantaneous sample
+// would race with in-flight cleanup.
+func settledGoroutines(t *testing.T, target int) int {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	last := runtime.NumGoroutine()
+	for {
+		time.Sleep(100 * time.Millisecond)
+		n := runtime.NumGoroutine()
+		if target > 0 && n <= target {
+			return n
+		}
+		if time.Now().After(deadline) {
+			return n
+		}
+		if target == 0 && n == last {
+			return n
+		}
+		last = n
+	}
+}
+
+// TestGoroutineCountFlatAcrossConns guards the goroutine collapse behind
+// the 100k-connection target: opening and closing many connections must
+// not leave per-connection goroutines behind. Steady state is
+// O(transports + worker pool + timer wheel), not O(conns), so after a
+// churn of N connections the count must return to the post-warmup
+// baseline (slack covers runtime and test-harness noise).
+func TestGoroutineCountFlatAcrossConns(t *testing.T) {
+	env := newEnv(t, []string{"h1", "h2"}, noFailureResume())
+
+	churn := func(i int) {
+		t.Helper()
+		client, server := env.pair(fmt.Sprintf("leak-c%d", i), "h1", fmt.Sprintf("leak-s%d", i), "h2")
+		if _, err := client.Write([]byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(server, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Warm up the shared machinery (host-pair transports, data-plane
+	// worker pool, timer wheel) so it lands in the baseline, not in the
+	// churn delta.
+	churn(-1)
+	base := settledGoroutines(t, 0)
+
+	const conns = 48
+	for i := 0; i < conns; i++ {
+		churn(i)
+	}
+
+	const slack = 8
+	after := settledGoroutines(t, base+slack)
+	if after > base+slack {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutines grew from %d to %d after churning %d conns (slack %d)\n%s",
+			base, after, conns, slack, buf[:n])
+	}
+	t.Logf("goroutines: baseline %d, after %d conns: %d", base, conns, after)
+}

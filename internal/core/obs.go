@@ -136,9 +136,7 @@ func (ctrl *Controller) registerGauges() {
 		return
 	}
 	met.Func("conn.resident", func() float64 {
-		ctrl.mu.Lock()
-		defer ctrl.mu.Unlock()
-		return float64(len(ctrl.conns))
+		return float64(ctrl.tab.count())
 	})
 	met.Func("conn.listeners", func() float64 {
 		ctrl.mu.Lock()
@@ -146,9 +144,7 @@ func (ctrl *Controller) registerGauges() {
 		return float64(len(ctrl.listeners))
 	})
 	met.Func("agents.migrating", func() float64 {
-		ctrl.mu.Lock()
-		defer ctrl.mu.Unlock()
-		return float64(len(ctrl.migrating))
+		return float64(ctrl.tab.migratingCount())
 	})
 	met.Func("transport.active", func() float64 {
 		transports, _ := ctrl.transportCounts()

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"net"
 	"strings"
 	"time"
 
@@ -786,21 +787,23 @@ func (s *Socket) handleResume(m *wire.ControlMsg) []byte {
 }
 
 // grantResume arms the redirector rendezvous, acks the RES, and completes
-// establishment when the mover's handoff lands.
+// establishment when the mover's handoff lands. The wait is a rendezvous
+// callback with a timer-wheel deadline, not a parked goroutine: a
+// migration wave resuming 10k connections arms 10k map entries.
 func (s *Socket) grantResume(m *wire.ControlMsg) []byte {
-	ch := s.ctrl.rv.arm(connKey{id: s.id, agent: s.localAgent})
 	peerHasUpTo := m.LastSeq
 	// The redirect span covers the stationary peer's half of the resume:
 	// redirector armed, the mover's handoff socket landing, and the swap to
 	// ESTABLISHED. It joins the mover's migration trace via the RES stamp.
 	redirect := s.ctrl.obs.tr.StartSpan(
 		obs.SpanContext{Trace: obs.TraceID(m.TraceID), Span: obs.SpanID(m.SpanID)}, "redirect")
-	go func() {
-		defer redirect.End()
-		t := time.NewTimer(s.ctrl.cfg.opTimeout())
-		defer t.Stop()
-		select {
-		case sock := <-ch:
+	s.ctrl.rv.armFunc(connKey{id: s.id, agent: s.localAgent}, s.ctrl.cfg.opTimeout(),
+		func(sock net.Conn) {
+			defer redirect.End()
+			if s.ctrl.closing.Load() {
+				sock.Close()
+				return
+			}
 			if err := s.installSocket(sock, peerHasUpTo); err != nil {
 				redirect.Annotate("install failed: " + err.Error())
 				s.ctrl.logf("conn %s: installing resumed socket: %v", s.id, err)
@@ -819,17 +822,19 @@ func (s *Socket) grantResume(m *wire.ControlMsg) []byte {
 			s.mu.Unlock()
 			s.noteRecovered()
 			s.ctrl.checkpointConn(s)
-		case <-t.C:
+		},
+		func() {
+			defer redirect.End()
+			if s.ctrl.closing.Load() {
+				return
+			}
 			redirect.Annotate("handoff timeout")
-			s.ctrl.rv.disarm(connKey{id: s.id, agent: s.localAgent})
 			s.mu.Lock()
 			if s.m.State() == fsm.ResAcked {
 				s.step(fsm.Timeout) // back to SUSPENDED
 			}
 			s.mu.Unlock()
-		case <-s.ctrl.done:
-		}
-	}()
+		})
 	return s.reply(wire.VerdictAck, func(r *wire.ControlReply) { r.LastSeq = s.delivered() })
 }
 

@@ -65,13 +65,7 @@ func (ctrl *Controller) watchReconciler(interval time.Duration) {
 }
 
 func (ctrl *Controller) reconcileWatches() {
-	ctrl.mu.Lock()
-	conns := make([]*Socket, 0, len(ctrl.conns))
-	for _, s := range ctrl.conns {
-		conns = append(conns, s)
-	}
-	ctrl.mu.Unlock()
-
+	conns := ctrl.tab.all()
 	want := make(map[string]bool)
 	for _, s := range conns {
 		s.mu.Lock()
@@ -101,13 +95,7 @@ func (ctrl *Controller) onFaultEvent(ev fault.Event) {
 	if ev.Kind != fault.EventConfirm {
 		return
 	}
-	ctrl.mu.Lock()
-	conns := make([]*Socket, 0, len(ctrl.conns))
-	for _, s := range ctrl.conns {
-		conns = append(conns, s)
-	}
-	ctrl.mu.Unlock()
-	for _, s := range conns {
+	for _, s := range ctrl.tab.all() {
 		s.mu.Lock()
 		if !s.closed && s.peerControlAddr == ev.Peer && s.m.State() == fsm.Established {
 			s.failLocked(fmt.Errorf("napletsocket: peer controller %s confirmed down (phi %.1f after %d failed probes)",

@@ -7,13 +7,16 @@ import (
 	"sync"
 	"time"
 
+	"naplet/internal/timerwheel"
 	"naplet/internal/wire"
 )
 
 // rendezvous pairs arriving data sockets with the NapletSocket endpoints
-// waiting for them. Both sides — the redirector delivering a socket, and a
-// connection arming itself to receive one — meet on a per-connection
-// channel, whichever arrives first.
+// waiting for them. An endpoint arms a callback; the redirector (or the
+// transport layer) delivers a socket; whichever side arrives first waits
+// for the other. A waiting endpoint costs one map entry and one shared
+// timer-wheel slot — not a parked goroutine with its own timer — so 10k
+// in-flight opens or resumes add no goroutines.
 // connKey identifies a connection endpoint on a host: both endpoints of a
 // connection can live on the same host, so the connection id alone is not
 // unique.
@@ -22,55 +25,122 @@ type connKey struct {
 	agent string
 }
 
+// rvWaiter is an endpoint armed for its socket: the claim callback plus
+// the wheel entry that expires the wait.
+type rvWaiter struct {
+	onSock func(net.Conn)
+	timer  *timerwheel.Timer
+}
+
+// rvParked is a socket that arrived before its endpoint armed. The
+// delivering goroutine blocks on res (it is a per-delivery goroutine,
+// entitled to wait); true means an endpoint claimed the socket.
+type rvParked struct {
+	sock net.Conn
+	res  chan bool
+}
+
 type rendezvous struct {
-	mu    sync.Mutex
-	chans map[connKey]chan net.Conn
+	mu      sync.Mutex
+	waiters map[connKey]*rvWaiter
+	parked  map[connKey]*rvParked
 }
 
 func newRendezvous() *rendezvous {
-	return &rendezvous{chans: make(map[connKey]chan net.Conn)}
-}
-
-func (r *rendezvous) channel(id connKey) chan net.Conn {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	ch, ok := r.chans[id]
-	if !ok {
-		ch = make(chan net.Conn, 1)
-		r.chans[id] = ch
+	return &rendezvous{
+		waiters: make(map[connKey]*rvWaiter),
+		parked:  make(map[connKey]*rvParked),
 	}
-	return ch
 }
 
-// arm returns the channel a waiting endpoint receives its socket on.
-func (r *rendezvous) arm(id connKey) <-chan net.Conn { return r.channel(id) }
+// armFunc registers onSock to receive id's data socket. If the socket is
+// already parked, onSock runs immediately (on a fresh goroutine — arming
+// happens on control-message handlers that must not block on socket
+// installs). Otherwise the callback waits for a deliver; if none lands
+// within timeout, onTimeout runs instead and the arm is forgotten. A
+// later disarm cancels a still-pending arm without either callback.
+func (r *rendezvous) armFunc(id connKey, timeout time.Duration, onSock func(net.Conn), onTimeout func()) {
+	r.mu.Lock()
+	if p, ok := r.parked[id]; ok {
+		delete(r.parked, id)
+		r.mu.Unlock()
+		p.res <- true
+		go onSock(p.sock)
+		return
+	}
+	w := &rvWaiter{onSock: onSock}
+	w.timer = timerwheel.AfterFunc(timeout, func() {
+		r.mu.Lock()
+		if r.waiters[id] != w {
+			r.mu.Unlock()
+			return
+		}
+		delete(r.waiters, id)
+		r.mu.Unlock()
+		if onTimeout != nil {
+			// The wheel goroutine only expires the arm; the caller's
+			// timeout handling (teardown, logging) gets its own goroutine.
+			go onTimeout()
+		}
+	})
+	r.waiters[id] = w
+	r.mu.Unlock()
+}
 
 // deliver hands a socket to the endpoint armed for id, waiting up to
-// timeout for one to arm. It reports whether the socket was taken.
+// timeout for one to arm. It reports whether the socket was taken. The
+// claim callback runs on this goroutine when an endpoint is already
+// armed — deliverers (redirector handlers, transport serveOpen) are
+// per-socket goroutines that may block.
 func (r *rendezvous) deliver(id connKey, sock net.Conn, timeout time.Duration) bool {
-	t := time.NewTimer(timeout)
-	defer t.Stop()
-	select {
-	case r.channel(id) <- sock:
+	r.mu.Lock()
+	if w, ok := r.waiters[id]; ok {
+		delete(r.waiters, id)
+		r.mu.Unlock()
+		w.timer.Stop()
+		w.onSock(sock)
 		return true
-	case <-t.C:
-		return false
+	}
+	p := &rvParked{sock: sock, res: make(chan bool, 1)}
+	r.parked[id] = p
+	r.mu.Unlock()
+
+	expired := make(chan struct{})
+	t := timerwheel.AfterFunc(timeout, func() { close(expired) })
+	select {
+	case taken := <-p.res:
+		t.Stop()
+		return taken
+	case <-expired:
+		r.mu.Lock()
+		if r.parked[id] == p {
+			// Still unclaimed — and, removed under the lock, it can no
+			// longer be claimed.
+			delete(r.parked, id)
+			r.mu.Unlock()
+			return false
+		}
+		r.mu.Unlock()
+		// A claim or disarm won the race; its verdict is imminent.
+		return <-p.res
 	}
 }
 
-// disarm discards the channel for id (endpoint no longer waiting). Any
-// socket already queued is closed.
+// disarm cancels a pending arm for id (endpoint no longer waiting). A
+// socket already parked for it is closed and its deliverer released.
 func (r *rendezvous) disarm(id connKey) {
 	r.mu.Lock()
-	ch, ok := r.chans[id]
-	delete(r.chans, id)
+	w, hadWaiter := r.waiters[id]
+	delete(r.waiters, id)
+	p, hadParked := r.parked[id]
+	delete(r.parked, id)
 	r.mu.Unlock()
-	if ok {
-		select {
-		case sock := <-ch:
-			sock.Close()
-		default:
-		}
+	if hadWaiter {
+		w.timer.Stop()
+	}
+	if hadParked {
+		p.sock.Close()
+		p.res <- false
 	}
 }
 

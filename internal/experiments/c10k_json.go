@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchC10K is the committed connection-storm baseline (BENCH_c10k.json).
+// The gate holds the scaling *invariants* rather than absolute speed:
+// heap bytes per connection and the goroutine growth across the whole
+// population are machine-independent properties of the data-plane design,
+// and the wave p99 is compared with a wide latency tolerance because CI
+// machines vary.
+type BenchC10K struct {
+	Note  string `json:"note,omitempty"`
+	Conns int    `json:"conns"`
+	Wave  int    `json:"wave"`
+	// MemPerConnBytes is the GC-settled heap growth per connection.
+	MemPerConnBytes float64 `json:"mem_per_conn_bytes"`
+	// GoroutineGrowth is steady-state minus baseline goroutines with the
+	// full population up — O(transports + worker pool), never O(conns).
+	GoroutineGrowth int `json:"goroutine_growth"`
+	// WaveP99Ms is the per-connection suspend-to-resumed p99 across the
+	// migration wave.
+	WaveP99Ms float64 `json:"wave_p99_ms"`
+}
+
+// MaxC10KGoroutineGrowth is the absolute ceiling on goroutine growth
+// between zero connections and the full population. It is deliberately a
+// constant, not a baseline ratio: any O(conns) goroutine regression blows
+// through it at the smoke scale already.
+const MaxC10KGoroutineGrowth = 64
+
+// BenchC10KFrom converts a measured storm to the committed form.
+func BenchC10KFrom(r *C10KResult) *BenchC10K {
+	return &BenchC10K{
+		Conns:           r.Config.Conns,
+		Wave:            r.Config.Wave,
+		MemPerConnBytes: round1(r.MemPerConnBytes),
+		GoroutineGrowth: r.SteadyGoroutines - r.BaselineGoroutines,
+		WaveP99Ms:       round3(r.WaveP99.Seconds() * 1000),
+	}
+}
+
+// LoadBenchC10K reads a committed storm baseline file.
+func LoadBenchC10K(path string) (*BenchC10K, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b BenchC10K
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBenchC10K writes the baseline in a stable, diff-friendly form.
+func WriteBenchC10K(path string, b *BenchC10K) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CompareC10K checks a fresh storm against the committed baseline. Three
+// conditions gate:
+//
+//   - heap per connection must not exceed the baseline's by more than
+//     tolerance (fractional);
+//   - goroutine growth across the population must stay under the absolute
+//     MaxC10KGoroutineGrowth ceiling, regardless of the baseline;
+//   - the wave p99 must not exceed the baseline's by more than twice the
+//     tolerance (latency is the noisiest of the three on shared CI).
+//
+// It returns a human-readable report and an error listing any failures.
+func CompareC10K(baseline *BenchC10K, fresh *C10KResult, tolerance float64) (string, error) {
+	growth := fresh.SteadyGoroutines - fresh.BaselineGoroutines
+	p99ms := fresh.WaveP99.Seconds() * 1000
+	report := fmt.Sprintf("%d conns: %.0f B/conn (baseline %.0f), goroutine growth %d (ceiling %d), wave p99 %.1fms (baseline %.1fms)\n",
+		fresh.Config.Conns, fresh.MemPerConnBytes, baseline.MemPerConnBytes,
+		growth, MaxC10KGoroutineGrowth, p99ms, baseline.WaveP99Ms)
+	var failures []string
+	if baseline.MemPerConnBytes > 0 && fresh.MemPerConnBytes > baseline.MemPerConnBytes*(1+tolerance) {
+		failures = append(failures,
+			fmt.Sprintf("heap per connection %.0f B is more than %.0f%% above baseline %.0f B",
+				fresh.MemPerConnBytes, tolerance*100, baseline.MemPerConnBytes))
+	}
+	if growth > MaxC10KGoroutineGrowth {
+		failures = append(failures,
+			fmt.Sprintf("goroutine growth %d across %d conns exceeds the O(1) ceiling %d — a per-connection goroutine is back",
+				growth, fresh.Config.Conns, MaxC10KGoroutineGrowth))
+	}
+	if baseline.WaveP99Ms > 0 && p99ms > baseline.WaveP99Ms*(1+2*tolerance) {
+		failures = append(failures,
+			fmt.Sprintf("wave p99 %.1fms is more than %.0f%% above baseline %.1fms",
+				p99ms, 2*tolerance*100, baseline.WaveP99Ms))
+	}
+	if len(failures) > 0 {
+		msg := ""
+		for _, f := range failures {
+			msg += f + "\n"
+		}
+		return report, fmt.Errorf("connection storm regressions:\n%s", msg)
+	}
+	return report, nil
+}

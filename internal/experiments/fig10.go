@@ -107,12 +107,18 @@ func (m *mobileAgent) pump(msgSize int, stop <-chan struct{}) {
 	)
 	interval := time.Duration(float64(msgSize*8*batch) / (offeredRateMbps * 1e6) * float64(time.Second))
 	next := time.Now()
+	// One reused pacing timer for the whole run; time.After would allocate
+	// a timer per wakeup at millisecond rates.
+	pace := time.NewTimer(time.Hour)
+	pace.Stop()
+	defer pace.Stop()
 	for {
 		if d := time.Until(next); d > 0 {
+			pace.Reset(d)
 			select {
 			case <-stop:
 				return
-			case <-time.After(d):
+			case <-pace.C:
 			}
 		} else {
 			select {

@@ -250,13 +250,19 @@ func RunNamingBench(cfg NamingBenchConfig) (*NamingBenchResult, error) {
 			// ticks, so the average rate stays at the target.
 			interval := time.Duration(float64(time.Second) * stormWorkers / cfg.StormRate)
 			next := time.Now()
+			// Reused pacing timer: at storm rates a per-tick time.After
+			// would churn thousands of runtime timers per second.
+			pace := time.NewTimer(time.Hour)
+			pace.Stop()
+			defer pace.Stop()
 			for {
 				next = next.Add(interval)
 				if d := time.Until(next); d > 0 {
+					pace.Reset(d)
 					select {
 					case <-stormCtx.Done():
 						return
-					case <-time.After(d):
+					case <-pace.C:
 					}
 				} else if stormCtx.Err() != nil {
 					return

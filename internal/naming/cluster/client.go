@@ -165,6 +165,7 @@ func (c *Client) do(ctx context.Context, req request) (response, error) {
 	req.Kind = kindClient
 	req.Shard = shard
 	var lastErr error
+	var retry *time.Timer
 	for sweep := 0; ; sweep++ {
 		for _, addr := range c.candidates(shard) {
 			if ctx.Err() != nil {
@@ -190,11 +191,18 @@ func (c *Client) do(ctx context.Context, req request) (response, error) {
 			return resp, nil
 		}
 		// Whole replica set swept without an answer; wait out a slice of
-		// the failover window before sweeping again.
+		// the failover window before sweeping again, on one reused timer
+		// rather than a fresh time.After allocation per sweep.
+		if retry == nil {
+			retry = time.NewTimer(50 * time.Millisecond)
+			defer retry.Stop()
+		} else {
+			retry.Reset(50 * time.Millisecond)
+		}
 		select {
 		case <-ctx.Done():
 			return response{}, c.exhausted(shard, lastErr, ctx)
-		case <-time.After(50 * time.Millisecond):
+		case <-retry.C:
 		}
 	}
 }

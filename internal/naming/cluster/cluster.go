@@ -155,9 +155,9 @@ type msgKind uint8
 
 const (
 	kindClient msgKind = iota + 1 // client namespace operation
-	kindRep                      // leader → follower replication / heartbeat
-	kindGossip                   // node ↔ node term-vector exchange
-	kindMap                      // fetch the layout + leadership hints
+	kindRep                       // leader → follower replication / heartbeat
+	kindGossip                    // node ↔ node term-vector exchange
+	kindMap                       // fetch the layout + leadership hints
 )
 
 type opKind uint8

@@ -105,15 +105,28 @@ var histBounds = func() [histBuckets]float64 {
 
 // Histogram accumulates samples into log-scale buckets and reports
 // nearest-rank quantiles with bounded relative error (one bucket growth
-// factor). Samples are conventionally latencies in milliseconds. These
-// record control-plane operations (opens, suspends, resumes), so a
-// mutex is plenty fast.
+// factor). Samples are conventionally latencies in milliseconds. The
+// fields are atomics rather than a mutex: during a migration wave every
+// suspending connection observes into the same suspend/resume histograms
+// concurrently, and a single lock there serializes the wave. Reads
+// (snapshot, quantile) are consequently only approximately consistent
+// with in-flight writes, which is fine for monitoring.
 type Histogram struct {
-	mu       sync.Mutex
-	count    uint64
-	sum      float64
-	min, max float64
-	buckets  [histBuckets]uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+	// minEnc/maxEnc hold math.Float64bits(v)+1, so the zero value means
+	// "no sample yet" and &Histogram{} stays fully usable.
+	minEnc  atomic.Uint64
+	maxEnc  atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// histDecode undoes the bits+1 encoding of minEnc/maxEnc.
+func histDecode(enc uint64) float64 {
+	if enc == 0 {
+		return 0
+	}
+	return math.Float64frombits(enc - 1)
 }
 
 // bucketIndex returns the bucket whose range contains v.
@@ -136,17 +149,33 @@ func (h *Histogram) Observe(v float64) {
 	if v < 0 {
 		v = 0
 	}
-	h.mu.Lock()
-	h.buckets[bucketIndex(v)]++
-	if h.count == 0 || v < h.min {
-		h.min = v
+	h.buckets[bucketIndex(v)].Add(1)
+	enc := math.Float64bits(v) + 1
+	for {
+		old := h.minEnc.Load()
+		if old != 0 && v >= histDecode(old) {
+			break
+		}
+		if h.minEnc.CompareAndSwap(old, enc) {
+			break
+		}
 	}
-	if h.count == 0 || v > h.max {
-		h.max = v
+	for {
+		old := h.maxEnc.Load()
+		if old != 0 && v <= histDecode(old) {
+			break
+		}
+		if h.maxEnc.CompareAndSwap(old, enc) {
+			break
+		}
 	}
-	h.count++
-	h.sum += v
-	h.mu.Unlock()
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	h.count.Add(1)
 }
 
 // ObserveDuration records a duration sample in milliseconds.
@@ -159,9 +188,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
+	return h.count.Load()
 }
 
 // Quantile returns the p-th percentile (0 <= p <= 100) by nearest rank
@@ -172,40 +199,42 @@ func (h *Histogram) Quantile(p float64) float64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.quantileLocked(p)
+	return h.quantile(h.count.Load(), p)
 }
 
-func (h *Histogram) quantileLocked(p float64) float64 {
-	if h.count == 0 {
+// quantile answers against a caller-captured count, so one snapshot's
+// percentiles agree on the sample population even while writers race.
+func (h *Histogram) quantile(count uint64, p float64) float64 {
+	if count == 0 {
 		return 0
 	}
+	min := histDecode(h.minEnc.Load())
+	max := histDecode(h.maxEnc.Load())
 	if p <= 0 {
-		return h.min
+		return min
 	}
 	if p >= 100 {
-		return h.max
+		return max
 	}
-	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
+	rank := uint64(math.Ceil(p / 100 * float64(count)))
 	if rank < 1 {
 		rank = 1
 	}
 	var cum uint64
-	for i, n := range h.buckets {
-		cum += n
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
 		if cum >= rank {
 			v := histBounds[i]
-			if v < h.min {
-				v = h.min
+			if v < min {
+				v = min
 			}
-			if v > h.max {
-				v = h.max
+			if v > max {
+				v = max
 			}
 			return v
 		}
 	}
-	return h.max
+	return max
 }
 
 // HistogramSnapshot is the JSON form of a histogram.
@@ -221,19 +250,18 @@ type HistogramSnapshot struct {
 
 // snapshot captures the histogram's summary statistics.
 func (h *Histogram) snapshot() HistogramSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	count := h.count.Load()
+	if count == 0 {
 		return HistogramSnapshot{}
 	}
 	return HistogramSnapshot{
-		Count: h.count,
-		Mean:  h.sum / float64(h.count),
-		Min:   h.min,
-		Max:   h.max,
-		P50:   h.quantileLocked(50),
-		P95:   h.quantileLocked(95),
-		P99:   h.quantileLocked(99),
+		Count: count,
+		Mean:  math.Float64frombits(h.sumBits.Load()) / float64(count),
+		Min:   histDecode(h.minEnc.Load()),
+		Max:   histDecode(h.maxEnc.Load()),
+		P50:   h.quantile(count, 50),
+		P95:   h.quantile(count, 95),
+		P99:   h.quantile(count, 99),
 	}
 }
 
@@ -260,11 +288,16 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 	return json.Marshal(alias(s))
 }
 
-// Registry is a named collection of metrics. Metric constructors return
-// the existing metric when the name is already registered, so independent
-// subsystems can share names safely. A nil *Registry hands out nil
-// metrics, which record nothing.
-type Registry struct {
+// regShards is the stripe count for the registry's name→metric maps.
+// Lookups hash the metric name to a shard, so get-or-create calls from
+// different subsystems (which overwhelmingly use different names) take
+// different locks. 16 stripes is plenty: the maps are small and the
+// per-sample hot path (Counter.Add, Histogram.Observe) never touches
+// them once the caller holds the metric pointer.
+const regShards = 16
+
+// regShard is one stripe of the registry.
+type regShard struct {
 	mu     sync.Mutex
 	counts map[string]*Counter
 	gauges map[string]*Gauge
@@ -272,14 +305,40 @@ type Registry struct {
 	hists  map[string]*Histogram
 }
 
+// Registry is a named collection of metrics, striped regShards ways by
+// metric-name hash. Metric constructors return the existing metric when
+// the name is already registered, so independent subsystems can share
+// names safely. A nil *Registry hands out nil metrics, which record
+// nothing.
+type Registry struct {
+	shards [regShards]regShard
+}
+
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		counts: make(map[string]*Counter),
-		gauges: make(map[string]*Gauge),
-		funcs:  make(map[string]func() float64),
-		hists:  make(map[string]*Histogram),
+	r := &Registry{}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.counts = make(map[string]*Counter)
+		s.gauges = make(map[string]*Gauge)
+		s.funcs = make(map[string]func() float64)
+		s.hists = make(map[string]*Histogram)
 	}
+	return r
+}
+
+// shard maps a metric name to its stripe (FNV-1a).
+func (r *Registry) shard(name string) *regShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return &r.shards[h%regShards]
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -287,12 +346,13 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counts[name]
+	s := r.shard(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counts[name]
 	if !ok {
 		c = &Counter{}
-		r.counts[name] = c
+		s.counts[name] = c
 	}
 	return c
 }
@@ -302,12 +362,13 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	s := r.shard(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.gauges[name]
 	if !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		s.gauges[name] = g
 	}
 	return g
 }
@@ -320,9 +381,10 @@ func (r *Registry) Func(name string, fn func() float64) {
 	if r == nil || fn == nil {
 		return
 	}
-	r.mu.Lock()
-	r.funcs[name] = fn
-	r.mu.Unlock()
+	s := r.shard(name)
+	s.mu.Lock()
+	s.funcs[name] = fn
+	s.mu.Unlock()
 }
 
 // Histogram returns the named histogram, creating it on first use.
@@ -330,18 +392,20 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.hists[name]
+	s := r.shard(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.hists[name]
 	if !ok {
 		h = &Histogram{}
-		r.hists[name] = h
+		s.hists[name] = h
 	}
 	return h
 }
 
 // Snapshot captures every metric. Func gauges are evaluated outside the
-// registry lock, so callbacks may themselves take locks.
+// shard locks, so callbacks may themselves take locks (including other
+// registry shards).
 func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{
 		Counters:   map[string]uint64{},
@@ -351,21 +415,29 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return snap
 	}
-	r.mu.Lock()
-	for name, c := range r.counts {
-		snap.Counters[name] = c.Value()
+	var funcs map[string]func() float64
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for name, c := range s.counts {
+			snap.Counters[name] = c.Value()
+		}
+		for name, g := range s.gauges {
+			snap.Gauges[name] = g.Value()
+		}
+		for name, h := range s.hists {
+			snap.Histograms[name] = h.snapshot()
+		}
+		if len(s.funcs) > 0 {
+			if funcs == nil {
+				funcs = make(map[string]func() float64, len(s.funcs))
+			}
+			for name, fn := range s.funcs {
+				funcs[name] = fn
+			}
+		}
+		s.mu.Unlock()
 	}
-	for name, g := range r.gauges {
-		snap.Gauges[name] = g.Value()
-	}
-	for name, h := range r.hists {
-		snap.Histograms[name] = h.snapshot()
-	}
-	funcs := make(map[string]func() float64, len(r.funcs))
-	for name, fn := range r.funcs {
-		funcs[name] = fn
-	}
-	r.mu.Unlock()
 	for name, fn := range funcs {
 		snap.Gauges[name] = fn()
 	}
@@ -377,21 +449,24 @@ func (r *Registry) Names() []string {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	names := make([]string, 0, len(r.counts)+len(r.gauges)+len(r.funcs)+len(r.hists))
-	for n := range r.counts {
-		names = append(names, n)
+	var names []string
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for n := range s.counts {
+			names = append(names, n)
+		}
+		for n := range s.gauges {
+			names = append(names, n)
+		}
+		for n := range s.funcs {
+			names = append(names, n)
+		}
+		for n := range s.hists {
+			names = append(names, n)
+		}
+		s.mu.Unlock()
 	}
-	for n := range r.gauges {
-		names = append(names, n)
-	}
-	for n := range r.funcs {
-		names = append(names, n)
-	}
-	for n := range r.hists {
-		names = append(names, n)
-	}
-	r.mu.Unlock()
 	sort.Strings(names)
 	return names
 }

@@ -1,0 +1,226 @@
+package timerwheel
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitUntil polls cond (with a real sleep, this is test scaffolding) until
+// it holds or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !cond() {
+		t.Fatalf("condition not reached within %v", d)
+	}
+}
+
+// TestFireOrdering schedules timers at strictly increasing delays and
+// asserts they fire in deadline order, each no earlier than its delay.
+func TestFireOrdering(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Close()
+
+	const n = 10
+	var mu sync.Mutex
+	var order []int
+	start := time.Now()
+	fireAt := make([]time.Duration, n)
+	delays := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		i := i
+		// 10ms apart: far coarser than the tick, so ordering is defined.
+		delays[i] = time.Duration(i+1) * 10 * time.Millisecond
+		w.AfterFunc(delays[i], func() {
+			mu.Lock()
+			order = append(order, i)
+			fireAt[i] = time.Since(start)
+			mu.Unlock()
+		})
+	}
+	waitUntil(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(order) == n
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("timers fired out of deadline order: %v", order)
+	}
+	for i, d := range delays {
+		if fireAt[i] < d {
+			t.Errorf("timer %d fired early: %v < %v", i, fireAt[i], d)
+		}
+	}
+}
+
+// TestAccuracyBounds asserts the coarse-tick contract: never early, and
+// late only by ticks plus scheduling noise.
+func TestAccuracyBounds(t *testing.T) {
+	const tick = 5 * time.Millisecond
+	w := New(tick)
+	defer w.Close()
+
+	// Generous upper slack: CI under the race detector schedules lazily.
+	const slack = 250 * time.Millisecond
+	for _, d := range []time.Duration{0, tick / 2, 3 * tick, 20 * tick} {
+		done := make(chan time.Duration, 1)
+		start := time.Now()
+		w.AfterFunc(d, func() { done <- time.Since(start) })
+		select {
+		case got := <-done:
+			if got < d {
+				t.Errorf("AfterFunc(%v) fired early at %v", d, got)
+			}
+			if got > d+2*tick+slack {
+				t.Errorf("AfterFunc(%v) fired late at %v", d, got)
+			}
+		case <-time.After(d + 5*time.Second):
+			t.Fatalf("AfterFunc(%v) never fired", d)
+		}
+	}
+}
+
+// TestCascade exercises deadlines past level 0's span so timers must
+// cascade down from a coarser level before firing.
+func TestCascade(t *testing.T) {
+	const tick = time.Millisecond // level 0 spans 256ms
+	w := New(tick)
+	defer w.Close()
+
+	var fired atomic.Int32
+	start := time.Now()
+	d := 600 * time.Millisecond // level 1 territory
+	var at atomic.Int64
+	w.AfterFunc(d, func() {
+		at.Store(int64(time.Since(start)))
+		fired.Add(1)
+	})
+	waitUntil(t, 5*time.Second, func() bool { return fired.Load() == 1 })
+	if got := time.Duration(at.Load()); got < d {
+		t.Fatalf("cascaded timer fired early: %v < %v", got, d)
+	}
+}
+
+// TestStop covers cancellation: a stopped timer never fires, Stop is
+// true exactly once, and Stop after firing reports false.
+func TestStop(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Close()
+
+	var fired atomic.Int32
+	tm := w.AfterFunc(time.Hour, func() { fired.Add(1) })
+	if !tm.Stop() {
+		t.Fatal("first Stop of a pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+
+	done := make(chan struct{})
+	tm2 := w.AfterFunc(time.Millisecond, func() { close(done) })
+	<-done
+	if tm2.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+// TestClose verifies a closed wheel drops pending timers and accepts
+// (and swallows) new ones without panicking.
+func TestClose(t *testing.T) {
+	w := New(time.Millisecond)
+	var fired atomic.Int32
+	w.AfterFunc(50*time.Millisecond, func() { fired.Add(1) })
+	w.Close()
+	w.Close() // idempotent
+	tm := w.AfterFunc(time.Millisecond, func() { fired.Add(1) })
+	if tm.Stop() {
+		t.Fatal("timer on closed wheel claims to be pending")
+	}
+	time.Sleep(80 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Fatalf("timers fired after Close: %d", fired.Load())
+	}
+}
+
+// TestConcurrentScheduleCancel is the -race stress: many goroutines
+// schedule and cancel against one wheel, mimicking timeout arm/disarm
+// from many connections. Every timer either fires exactly once or is
+// stopped successfully exactly once, never both.
+func TestConcurrentScheduleCancel(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Close()
+
+	const (
+		workers   = 8
+		perWorker = 200
+	)
+	var fired, stopped, leaked atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				var count atomic.Int32
+				d := time.Duration(rnd.Intn(20)) * time.Millisecond
+				tm := w.AfterFunc(d, func() {
+					if count.Add(1) > 1 {
+						leaked.Add(1)
+					}
+					fired.Add(1)
+				})
+				if rnd.Intn(2) == 0 {
+					if tm.Stop() {
+						stopped.Add(1)
+						if count.Load() != 0 {
+							leaked.Add(1)
+						}
+					}
+				}
+			}
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+	total := int64(workers * perWorker)
+	waitUntil(t, 10*time.Second, func() bool {
+		return fired.Load()+stopped.Load() == total
+	})
+	if leaked.Load() != 0 {
+		t.Fatalf("%d timers double-fired or fired after a successful Stop", leaked.Load())
+	}
+}
+
+// TestIdleThenSchedule regresses the idle-lag bug: after the wheel sits
+// idle (wheel time lagging wall time), a fresh timer must still honour
+// its full delay rather than expiring in the catch-up sweep.
+func TestIdleThenSchedule(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Close()
+	time.Sleep(300 * time.Millisecond) // let the driver go idle and lag
+
+	start := time.Now()
+	done := make(chan time.Duration, 1)
+	d := 50 * time.Millisecond
+	w.AfterFunc(d, func() { done <- time.Since(start) })
+	got := <-done
+	if got < d {
+		t.Fatalf("timer after idle period fired early: %v < %v", got, d)
+	}
+}

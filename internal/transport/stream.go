@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"naplet/internal/timerwheel"
 	"naplet/internal/wire"
 )
 
@@ -64,6 +65,15 @@ type Stream struct {
 
 	rdeadline time.Time
 	wdeadline time.Time
+
+	// readable/writable are event hooks for callers that drive the stream
+	// as a state machine instead of parking a goroutine in Read/Write:
+	// readable fires (outside s.mu, on the transport read loop) whenever
+	// read progress becomes possible — data, FIN, reset, transport
+	// failure, close — and writable fires when send credit arrives or the
+	// stream dies. Both must be non-blocking.
+	readable func()
+	writable func()
 }
 
 func newStream(t *Transport, id uint64, local bool) *Stream {
@@ -88,6 +98,12 @@ func (s *Stream) broadcastLocked() {
 
 // waitLocked releases s.mu until the next broadcast or the deadline; it
 // returns os.ErrDeadlineExceeded on timeout. s.mu is held on return.
+// Deadlines ride the shared timer wheel rather than a per-wait
+// time.Timer: with 100k streams each blocked in a deadline-bearing
+// Read/Write, per-wait timers put 100k entries in the runtime timer
+// heap; the wheel pays one bucket node each, and the callback only
+// broadcasts (every caller loops re-checking its condition, so a
+// coarse-tick or spurious wake is harmless).
 func (s *Stream) waitLocked(deadline time.Time) error {
 	ch := s.cond
 	s.mu.Unlock()
@@ -101,16 +117,18 @@ func (s *Stream) waitLocked(deadline time.Time) error {
 		s.mu.Lock()
 		return os.ErrDeadlineExceeded
 	}
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	select {
-	case <-ch:
+	tm := timerwheel.AfterFunc(d, func() {
 		s.mu.Lock()
-		return nil
-	case <-timer.C:
-		s.mu.Lock()
+		s.broadcastLocked()
+		s.mu.Unlock()
+	})
+	<-ch
+	tm.Stop()
+	s.mu.Lock()
+	if !time.Now().Before(deadline) {
 		return os.ErrDeadlineExceeded
 	}
+	return nil
 }
 
 // waitOpened blocks the opener until the peer accepts, refuses, or the
@@ -161,7 +179,14 @@ func (s *Stream) remoteReset(reason string) {
 		s.err = err
 	}
 	s.broadcastLocked()
+	rfn, wfn := s.readable, s.writable
 	s.mu.Unlock()
+	if rfn != nil {
+		rfn()
+	}
+	if wfn != nil {
+		wfn()
+	}
 }
 
 // transportFailed fails the stream because the shared transport died for
@@ -181,7 +206,14 @@ func (s *Stream) transportFailed(cause error) {
 		s.openErr = s.err
 	}
 	s.broadcastLocked()
+	rfn, wfn := s.readable, s.writable
 	s.mu.Unlock()
+	if rfn != nil {
+		rfn()
+	}
+	if wfn != nil {
+		wfn()
+	}
 }
 
 // pushData queues one inbound payload segment, taking ownership of the
@@ -197,7 +229,11 @@ func (s *Stream) pushData(owned []byte) {
 	}
 	s.segs = append(s.segs, owned)
 	s.broadcastLocked()
+	fn := s.readable
 	s.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
 // Buffered reports how many received bytes Read can return without
@@ -245,7 +281,11 @@ func (s *Stream) finReceived() {
 	s.mu.Lock()
 	s.finSeen = true
 	s.broadcastLocked()
+	fn := s.readable
 	s.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
 // addSendWindow credits the send window from a peer MuxWindow grant.
@@ -253,7 +293,11 @@ func (s *Stream) addSendWindow(n int) {
 	s.mu.Lock()
 	s.sendWindow += n
 	s.broadcastLocked()
+	fn := s.writable
 	s.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
 // Read implements net.Conn. A clean peer half-close yields io.EOF after
@@ -402,7 +446,14 @@ func (s *Stream) Close() error {
 	s.segs = nil
 	s.roff = 0
 	s.broadcastLocked()
+	rfn, wfn := s.readable, s.writable
 	s.mu.Unlock()
+	if rfn != nil {
+		rfn()
+	}
+	if wfn != nil {
+		wfn()
+	}
 	s.t.removeStream(s.id)
 	if !clean && !failed && s.t.alive() {
 		s.t.writeFrame(wire.MuxReset, s.id, nil)
@@ -449,4 +500,70 @@ func (s *Stream) SetWriteDeadline(t time.Time) error {
 	s.broadcastLocked()
 	s.mu.Unlock()
 	return nil
+}
+
+// ---- event-driven access (the C10K pump path) ----
+//
+// The methods below let a caller drive the stream as a state machine
+// instead of parking a goroutine per stream in Read/Write: register a
+// readable hook, decode frames only while Buffered says a whole one is
+// queued, and probe TermStatus for the EOF/reset/close verdict that a
+// blocking Read would have returned.
+
+// SetReadable installs fn as the readable hook; it fires (on the
+// transport read loop — it must not block) whenever read progress
+// becomes possible: data queued, FIN, reset, transport failure, or local
+// close. If the stream is already readable or terminal, fn fires once
+// immediately so a registration after the fact misses nothing.
+func (s *Stream) SetReadable(fn func()) {
+	s.mu.Lock()
+	s.readable = fn
+	fire := fn != nil && (len(s.segs) > 0 || s.finSeen || s.err != nil || s.closed)
+	s.mu.Unlock()
+	if fire {
+		fn()
+	}
+}
+
+// SetWritable installs fn as the writable hook; it fires when send
+// credit arrives or the stream dies. If the stream already has credit or
+// is terminal, fn fires once immediately.
+func (s *Stream) SetWritable(fn func()) {
+	s.mu.Lock()
+	s.writable = fn
+	fire := fn != nil && (s.sendWindow > 0 || s.err != nil || s.closed || s.writeClosed)
+	s.mu.Unlock()
+	if fire {
+		fn()
+	}
+}
+
+// SendWindow reports the remaining peer-granted send credit.
+func (s *Stream) SendWindow() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sendWindow
+}
+
+// TermStatus reports whether the stream is terminal for reading and the
+// error a blocking Read would return once the queue drains: local close,
+// the stream/transport error, or io.EOF after a clean FIN. Callers probe
+// it only after consuming every complete frame they could, so bytes
+// still buffered when the FIN is down are a truncated trailing record
+// that can never complete — terminal with ErrUnexpectedEOF rather than a
+// wait that no future event would end.
+func (s *Stream) TermStatus() (error, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return ErrStreamClosed, true
+	case s.err != nil:
+		return s.err, true
+	case s.finSeen && len(s.segs) == 0:
+		return io.EOF, true
+	case s.finSeen:
+		return io.ErrUnexpectedEOF, true
+	}
+	return nil, false
 }

@@ -137,6 +137,113 @@ func FrameBuffered(br PeekReader) bool {
 	return n <= MaxFramePayload && br.Buffered() >= frameHeaderSize+int(n)
 }
 
+// PeekSource is the byte source an incremental decoder drains: reads of
+// at most Buffered() bytes complete without blocking.
+type PeekSource interface {
+	io.Reader
+	PeekReader
+}
+
+// FrameDecoder decodes frames incrementally from a non-blocking source,
+// carrying partial header and payload state across calls. Unlike the
+// FrameBuffered/ReadFramePooled pair — which only advances on frames the
+// source holds in full — the decoder consumes a frame's bytes as they
+// arrive, so an event-driven reader makes progress on frames larger than
+// the source's buffering or flow-control window: draining the partial
+// payload is exactly what frees window for the sender to push the rest.
+// The zero value is ready to use. Not safe for concurrent use.
+type FrameDecoder struct {
+	hdr     [frameHeaderSize]byte
+	hdrN    int
+	haveHdr bool
+	// payload is the pooled in-progress payload buffer; payN bytes of it
+	// are filled. fr carries the decoded header fields until the payload
+	// completes.
+	payload []byte
+	payN    int
+	fr      Frame
+}
+
+// Next returns the next complete frame assembled from src's buffered
+// bytes. ok=false with a nil error means src ran dry mid-frame: call
+// again when more bytes arrive. Payload buffers come from the payload
+// pool, exactly like ReadFramePooled; the caller takes ownership.
+func (d *FrameDecoder) Next(src PeekSource) (Frame, bool, error) {
+	for d.hdrN < frameHeaderSize {
+		avail := src.Buffered()
+		if avail == 0 {
+			return Frame{}, false, nil
+		}
+		if avail > frameHeaderSize-d.hdrN {
+			avail = frameHeaderSize - d.hdrN
+		}
+		m, err := src.Read(d.hdr[d.hdrN : d.hdrN+avail])
+		d.hdrN += m
+		if err != nil {
+			return Frame{}, false, err
+		}
+	}
+	if !d.haveHdr {
+		if binary.BigEndian.Uint16(d.hdr[0:2]) != frameMagic {
+			return Frame{}, false, fmt.Errorf("%w: bad magic %#04x", ErrBadFrame, binary.BigEndian.Uint16(d.hdr[0:2]))
+		}
+		if d.hdr[2] != frameVersion {
+			return Frame{}, false, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, d.hdr[2])
+		}
+		n := binary.BigEndian.Uint32(d.hdr[12:16])
+		if n > MaxFramePayload {
+			return Frame{}, false, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadFrame, n)
+		}
+		d.haveHdr = true
+		d.fr = Frame{Flags: d.hdr[3], Seq: binary.BigEndian.Uint64(d.hdr[4:12])}
+		if n > 0 {
+			d.payload = GetPayload(int(n))
+			d.payN = 0
+		}
+	}
+	for d.payN < len(d.payload) {
+		avail := src.Buffered()
+		if avail == 0 {
+			return Frame{}, false, nil
+		}
+		if avail > len(d.payload)-d.payN {
+			avail = len(d.payload) - d.payN
+		}
+		m, err := src.Read(d.payload[d.payN : d.payN+avail])
+		d.payN += m
+		if err != nil {
+			return Frame{}, false, err
+		}
+	}
+	f := d.fr
+	f.Payload = d.payload
+	d.reset()
+	return f, true, nil
+}
+
+// Partial reports whether the decoder sits mid-frame — a source that ends
+// now ends on a truncated frame, not a frame boundary.
+func (d *FrameDecoder) Partial() bool {
+	return d.hdrN > 0 || d.payload != nil
+}
+
+// Release returns an abandoned in-progress payload buffer to the pool and
+// resets the decoder; for teardown paths that stop decoding mid-frame.
+func (d *FrameDecoder) Release() {
+	if d.payload != nil {
+		PutPayload(d.payload)
+	}
+	d.reset()
+}
+
+func (d *FrameDecoder) reset() {
+	d.hdrN = 0
+	d.haveHdr = false
+	d.payload = nil
+	d.payN = 0
+	d.fr = Frame{}
+}
+
 func readFrame(r io.Reader, alloc func(int) []byte) (Frame, error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
