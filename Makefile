@@ -41,9 +41,12 @@ race:
 
 # chaos-smoke is the CI fault-injection gate: the chaos soak (16 streams,
 # 2 migrations, RST storms, a 2s partition) in short mode under the race
-# detector, uncached so it really runs every time.
+# detector, uncached so it really runs every time — once over the default
+# cleartext transports and once with the AEAD record layer on
+# (CHAOS_SECURE=1), so fault injection shakes the encrypted resume path too.
 chaos-smoke:
 	$(GO) test ./internal/core -run TestChaosSoakExactlyOnce -race -short -count=1 -v
+	CHAOS_SECURE=1 $(GO) test ./internal/core -run TestChaosSoakExactlyOnce -race -short -count=1 -v
 
 # naming-smoke is the CI gate for the naming control plane: the
 # kill-one-shard chaos test under the race detector (a 3x2 cluster with 2%
@@ -72,9 +75,10 @@ integration:
 # fuzz-smoke gives every fuzz target a short budget — enough to replay the
 # seed corpora and shake the parsers with a few mutations.
 fuzz-smoke:
-	for target in FuzzReadFrame FuzzDecodeControlMsg FuzzDecodeControlReply FuzzReadHandoffHeader; do \
+	for target in FuzzReadFrame FuzzDecodeControlMsg FuzzDecodeControlReply FuzzReadHandoffHeader FuzzReadTransportHello; do \
 		$(GO) test ./internal/wire -run '^$$' -fuzz "^$$target$$" -fuzztime 10s || exit 1; \
 	done
+	$(GO) test ./internal/security -run '^$$' -fuzz '^FuzzOpenRecord$$' -fuzztime 10s
 	$(GO) test ./internal/journal -run '^$$' -fuzz '^FuzzReplay$$' -fuzztime 10s
 
 # bench runs the Figure 9 throughput benchmark (TCP vs NapletSocket per
@@ -84,11 +88,14 @@ bench:
 
 # bench-smoke is the CI throughput gate: a single-iteration pass over the
 # benchmark (catches panics and pathological slowdowns), then benchgate
-# reruns the Fig 9 workload and fails if any NapletSocket/TCP throughput
-# ratio regresses more than 50% against the committed BENCH_fig9.json.
+# reruns the Fig 9 workload — cleartext and with the AEAD record layer on —
+# and fails if any NapletSocket/TCP throughput ratio regresses more than
+# 50% against the committed BENCH_fig9.json, or the encrypted ratios fall
+# below the calibrated fraction of the cleartext baseline at 1KB+.
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkFig9_Throughput -benchtime 1x .
 	$(GO) run ./cmd/benchgate -baseline BENCH_fig9.json -tolerance 0.5
+	$(GO) run ./cmd/benchgate -baseline BENCH_fig9.json -tolerance 0.5 -encrypted
 
 # check is the gate CI runs: vet, build, and the full suite under the race
 # detector.

@@ -35,6 +35,7 @@ var (
 	baseline  = flag.String("baseline", "BENCH_fig9.json", "committed baseline file")
 	tolerance = flag.Float64("tolerance", 0.5, "allowed fractional ratio drop before failing")
 	total     = flag.Int64("total", 16<<20, "bytes per measurement point")
+	encrypted = flag.Bool("encrypted", false, "gate the AEAD record layer: rerun Fig 9 with AES-256-GCM on and compare against the baseline's encrypted series plus the cleartext-relative floor")
 
 	namingBaseline = flag.String("naming-baseline", "", "committed naming baseline (BENCH_naming.json); when set, gate the naming benchmark instead of Fig 9")
 	namingShort    = flag.Bool("naming-short", false, "run the naming benchmark at a reduced population and window (CI smoke)")
@@ -113,6 +114,30 @@ func main() {
 	if len(b.After) == 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %s has no After series to gate against\n", *baseline)
 		os.Exit(1)
+	}
+	if *encrypted {
+		if len(b.Encrypted) == 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %s has no Encrypted series to gate against\n", *baseline)
+			os.Exit(1)
+		}
+		sizes := make([]int, 0, len(b.Encrypted))
+		for _, p := range b.Encrypted {
+			sizes = append(sizes, p.MsgSize)
+		}
+		res, err := experiments.RunFig9Encrypted(sizes, *total)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		report, err := experiments.CompareFig9Encrypted(b, res, *tolerance)
+		fmt.Print(report)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: ok (encrypted ratios within %.0f%% of %s and above %.0f%% of cleartext at >=%dB)\n",
+			*tolerance*100, *baseline, experiments.EncryptedFloorFrac*100, experiments.EncryptedFloorMinSize)
+		return
 	}
 	sizes := make([]int, 0, len(b.After))
 	for _, p := range b.After {

@@ -258,32 +258,35 @@ func TestDebugServerEndpoints(t *testing.T) {
 	}
 }
 
-// TestConnzTransportState pins the transport health column on /connz: an
+// TestConnzTransportState pins the transport health columns on /connz: an
 // inter-host connection must show its shared transport with STATE
-// "connected" in both the text table and the JSON rendering.
+// "connected", the negotiated CIPHER, and the negotiated LIMITS in both the
+// text table and the JSON rendering. Both nodes here run with encryption on
+// (the default), so the session must report aes256gcm and the encrypted
+// session counter must surface in the Prometheus exposition.
 func TestConnzTransportState(t *testing.T) {
 	svc := naming.NewService()
 	breg := naplet.NewRegistry()
 	behaviors.RegisterAll(breg)
 
-	newNode := func(name string) *naplet.Node {
+	newNode := func(name string) (*naplet.Node, *obs.Registry) {
+		met := obs.NewRegistry()
 		node, err := naplet.NewNode(naplet.Config{
 			Name:      name,
 			Directory: naming.Local{Svc: svc},
 			Registry:  breg,
-			Metrics:   obs.NewRegistry(),
+			Metrics:   met,
 			Logf:      t.Logf,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { node.Close() })
-		return node
+		return node, met
 	}
-	n1 := newNode("h1")
-	n2 := newNode("h2")
+	n1, met := newNode("h1")
+	n2, _ := newNode("h2")
 
-	met := obs.NewRegistry() // fresh registry just for the server arg
 	srv, addr, err := startDebugServer("127.0.0.1:0", n1, met, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -324,8 +327,13 @@ func TestConnzTransportState(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if !strings.Contains(table, "STATE") {
-		t.Errorf("/connz transport table missing STATE column:\n%s", table)
+	for _, col := range []string{"STATE", "CIPHER", "LIMITS"} {
+		if !strings.Contains(table, col) {
+			t.Errorf("/connz transport table missing %s column:\n%s", col, table)
+		}
+	}
+	if !strings.Contains(table, "aes256gcm") {
+		t.Errorf("/connz transport table missing negotiated cipher:\n%s", table)
 	}
 
 	var connz struct {
@@ -342,6 +350,24 @@ func TestConnzTransportState(t *testing.T) {
 		if tr.State != "connected" {
 			t.Errorf("transport %s state = %q, want \"connected\"", tr.ID, tr.State)
 		}
+		if tr.Cipher != "aes256gcm" {
+			t.Errorf("transport %s cipher = %q, want \"aes256gcm\"", tr.ID, tr.Cipher)
+		}
+		if tr.Limits.MaxPayload == 0 || tr.Limits.InitialWindow == 0 {
+			t.Errorf("transport %s reports zero limits: %+v", tr.ID, tr.Limits)
+		}
+	}
+
+	// The encrypted-session counter must reach the Prometheus exposition
+	// under the dots-to-underscores name mapping.
+	prom := get("/metrics?format=prom")
+	if !strings.Contains(prom, "# TYPE transport_encrypted counter") ||
+		!strings.Contains(prom, "\ntransport_encrypted ") ||
+		strings.Contains(prom, "\ntransport_encrypted 0\n") {
+		t.Errorf("/metrics?format=prom missing nonzero transport_encrypted counter:\n%s", prom)
+	}
+	if !strings.Contains(prom, "\ntransport_cleartext_legacy 0\n") {
+		t.Errorf("/metrics?format=prom missing transport_cleartext_legacy counter:\n%s", prom)
 	}
 }
 

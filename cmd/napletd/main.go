@@ -56,6 +56,9 @@ var (
 	namingRepl   = flag.Int("naming-replication", 2, "replicas per naming shard (identical on all hosts)")
 	postoffice   = flag.Bool("postoffice", true, "run a post office on this host")
 	insecure     = flag.Bool("insecure", false, "disable security (the paper's w/o-security mode)")
+	tpEncrypt    = flag.Bool("transport-encrypt", true, "seal shared-transport frames with the negotiated AEAD cipher (secure mode only; false keeps authenticated-handshake cleartext framing)")
+	tpMaxPayload = flag.Uint("transport-max-payload", 0, "advertised max mux frame payload in bytes, 1KiB..64KiB (0 = wire default 64KiB; the session uses the min of both hosts)")
+	tpWindow     = flag.Uint("transport-window", 0, "advertised per-stream credit window in bytes, 4KiB..1GiB (0 = wire default 1MiB; the session uses the min of both hosts)")
 	clusterKey   = flag.String("cluster-secret", "", "shared secret authenticating the docking channel between hosts")
 	debugAddr    = flag.String("debug-addr", "", "serve /metrics, /connz and pprof on this address (off when empty)")
 	logLevel     = flag.String("log-level", "info", "runtime log level: debug, info, warn, error")
@@ -132,6 +135,9 @@ func main() {
 	if *clusterKey != "" {
 		cfg.ClusterSecret = []byte(*clusterKey)
 	}
+	cfg.Core.DisableTransportEncryption = !*tpEncrypt
+	cfg.Core.TransportLimits.MaxPayload = uint32(*tpMaxPayload)
+	cfg.Core.TransportLimits.InitialWindow = uint32(*tpWindow)
 
 	tracer := obs.NewTracer(*name)
 	cfg.Tracer = tracer

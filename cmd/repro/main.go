@@ -153,6 +153,13 @@ func run(name string) error {
 			fmt.Print(res.Chart())
 		}
 		writeCSV("fig9", res.CSV())
+		fmt.Println("\nwith AES-256-GCM record layer:")
+		enc, err := experiments.RunFig9Encrypted(experiments.DefaultFig9Sizes(), total)
+		if err != nil {
+			return err
+		}
+		fmt.Print(enc.Table())
+		writeCSV("fig9_encrypted", enc.CSV())
 		if *benchJSON != "" {
 			b, err := experiments.LoadBenchFig9(*benchJSON)
 			if err != nil {
@@ -160,6 +167,7 @@ func run(name string) error {
 			}
 			b.TotalBytes = total
 			b.After = experiments.BenchPoints(res)
+			b.Encrypted = experiments.BenchPoints(enc)
 			if err := experiments.WriteBenchFig9(*benchJSON, b); err != nil {
 				return fmt.Errorf("writing %s: %w", *benchJSON, err)
 			}

@@ -105,6 +105,17 @@ type Config struct {
 	// a broken transport fails streams immediately into the connection-
 	// level recovery path.
 	TransportResumeWindow time.Duration
+	// DisableTransportEncryption keeps the negotiated shared transport's
+	// frames cleartext: the version-2 hello advertises no cipher suites,
+	// while the DH exchange, transcript tags, and resume tokens still run
+	// in secure mode. Benchmarks use it to isolate the AEAD record
+	// layer's cost; Insecure implies it.
+	DisableTransportEncryption bool
+	// TransportLimits overrides the advertised transport protocol limits
+	// field by field (max frame payload, per-stream window, ack cadence);
+	// zero fields keep the wire defaults. The effective limits of each
+	// host pair are the field-wise minimum of both advertisements.
+	TransportLimits wire.Limits
 	// OpenBreakdown, when non-nil, accumulates the Figure 8 phase timings
 	// of every Open issued through this controller.
 	OpenBreakdown *metrics.Breakdown
@@ -294,6 +305,8 @@ func NewController(cfg Config) (*Controller, error) {
 		KeepaliveInterval: cfg.TransportKeepaliveInterval,
 		KeepaliveTimeout:  cfg.TransportKeepaliveTimeout,
 		ResumeWindow:      cfg.TransportResumeWindow,
+		DisableEncryption: cfg.DisableTransportEncryption,
+		Limits:            cfg.TransportLimits,
 		Metrics:           cfg.Metrics,
 		Tracer:            cfg.Tracer,
 	})

@@ -58,6 +58,7 @@ type deployOption func(*deployConfig)
 
 type deployConfig struct {
 	insecure        bool
+	noEncryption    bool
 	noFailureResume bool
 	breakdown       *metrics.Breakdown
 	breakdowns      map[string]*metrics.Breakdown
@@ -68,6 +69,11 @@ type deployConfig struct {
 }
 
 func withInsecure() deployOption { return func(c *deployConfig) { c.insecure = true } }
+
+// withoutEncryption keeps the secure handshake but negotiates cleartext
+// data records, matching the transport the committed cleartext baselines
+// were measured over.
+func withoutEncryption() deployOption { return func(c *deployConfig) { c.noEncryption = true } }
 
 // withNoFailureResume disables the fault-tolerance extension.
 func withNoFailureResume() deployOption {
@@ -109,16 +115,17 @@ func newDeployment(names []string, opts ...deployOption) (*deployment, error) {
 			bd = cfg.breakdowns[name]
 		}
 		ccfg := core.Config{
-			HostName:             name,
-			Guard:                guard,
-			Locator:              d.svc,
-			Insecure:             cfg.insecure,
-			DisableFailureResume: cfg.noFailureResume,
-			OpenBreakdown:        bd,
-			OpTimeout:            5 * time.Second,
-			ParkTimeout:          30 * time.Second,
-			DrainTimeout:         5 * time.Second,
-			Logf:                 func(string, ...any) {},
+			HostName:                   name,
+			Guard:                      guard,
+			Locator:                    d.svc,
+			Insecure:                   cfg.insecure,
+			DisableTransportEncryption: cfg.noEncryption,
+			DisableFailureResume:       cfg.noFailureResume,
+			OpenBreakdown:              bd,
+			OpTimeout:                  5 * time.Second,
+			ParkTimeout:                30 * time.Second,
+			DrainTimeout:               5 * time.Second,
+			Logf:                       func(string, ...any) {},
 		}
 		if cfg.netemDelay > 0 {
 			ccfg.WrapData = wrapDelay(cfg.netemDelay)

@@ -69,7 +69,23 @@ func bestOf(n int, measure func() (float64, error)) (float64, error) {
 // RunFig9 measures TTCP throughput for each message size over both socket
 // types. totalBytes bounds each transfer; small messages automatically use
 // a proportionally smaller volume so the tiny-message points stay fast.
+//
+// The NapletSocket side runs with the secure handshake but cleartext data
+// records — the transport the committed BENCH_fig9.json Before/After series
+// were measured over. RunFig9Encrypted measures the AEAD record layer.
 func RunFig9(sizes []int, totalBytes int64) (*Fig9Result, error) {
+	return runFig9(sizes, totalBytes, withoutEncryption())
+}
+
+// RunFig9Encrypted is the Figure 9 workload with the negotiated AEAD record
+// layer on: every data frame is sealed with AES-256-GCM on the way out and
+// authenticated on the way in. Its series quantifies the encryption cost
+// against RunFig9's cleartext numbers.
+func RunFig9Encrypted(sizes []int, totalBytes int64) (*Fig9Result, error) {
+	return runFig9(sizes, totalBytes)
+}
+
+func runFig9(sizes []int, totalBytes int64, opts ...deployOption) (*Fig9Result, error) {
 	if len(sizes) == 0 {
 		sizes = DefaultFig9Sizes()
 	}
@@ -87,7 +103,7 @@ func RunFig9(sizes []int, totalBytes int64) (*Fig9Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig9: tcp size %d: %w", size, err)
 		}
-		napMbps, err := bestOf(fig9Passes, func() (float64, error) { return napletThroughput(size, vol) })
+		napMbps, err := bestOf(fig9Passes, func() (float64, error) { return napletThroughput(size, vol, opts...) })
 		if err != nil {
 			return nil, fmt.Errorf("fig9: naplet size %d: %w", size, err)
 		}
@@ -137,8 +153,8 @@ func tcpThroughput(msgSize int, total int64) (float64, error) {
 
 // napletThroughput runs the TTCP workload over an established NapletSocket
 // connection between two stationary agents.
-func napletThroughput(msgSize int, total int64) (float64, error) {
-	d, err := newDeployment([]string{"h1", "h2"})
+func napletThroughput(msgSize int, total int64, opts ...deployOption) (float64, error) {
+	d, err := newDeployment([]string{"h1", "h2"}, opts...)
 	if err != nil {
 		return 0, err
 	}

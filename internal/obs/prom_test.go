@@ -154,6 +154,34 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusTransportSessionCounters pins the exposition names of
+// the transport-plane session counters: dotted registry names map to valid
+// underscore-separated Prometheus families, and zero-valued counters are
+// still exported (a cleartext_legacy flat line at 0 is the signal that every
+// session negotiated encryption).
+func TestWritePrometheusTransportSessionCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("transport.encrypted").Add(2)
+	r.Counter("transport.cleartext_legacy")
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if n := ValidatePromText(t, text); n != 2 {
+		t.Fatalf("samples = %d, want 2\n%s", n, text)
+	}
+	for _, want := range []string{
+		"# TYPE transport_encrypted counter\ntransport_encrypted 2\n",
+		"# TYPE transport_cleartext_legacy counter\ntransport_cleartext_legacy 0\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q\n%s", want, text)
+		}
+	}
+}
+
 func TestWritePrometheusSnapshotFallbackSum(t *testing.T) {
 	// Without explicit sums, a histogram's _sum reconstructs as mean*count.
 	s := Snapshot{Histograms: map[string]HistogramSnapshot{

@@ -1,0 +1,145 @@
+package security
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func testKeys(t testing.TB) (*Sealer, *Opener) {
+	t.Helper()
+	ks := NewKeySchedule([]byte("record test secret"), []byte("record test conn"))
+	dk, _ := ks.SealKeys(TranscriptHash([]byte("d"), []byte("a")))
+	s, err := NewSealer(dk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOpener(dk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, o
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	s, o := testKeys(t)
+	aad := []byte{4, 0, 0, 0, 0, 0, 0, 0, 1}
+	for i, msg := range [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xA5}, 64<<10-RecordOverhead)} {
+		rec, err := s.Seal(nil, msg, aad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec) != len(msg)+RecordOverhead {
+			t.Fatalf("record %d: sealed %d bytes for %d plaintext", i, len(rec), len(msg))
+		}
+		got, err := o.Open(nil, rec, aad)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("record %d: plaintext mismatch", i)
+		}
+	}
+}
+
+func TestRecordOpenInPlace(t *testing.T) {
+	s, o := testKeys(t)
+	msg := bytes.Repeat([]byte{7}, 1000)
+	rec, _ := s.Seal(nil, msg, nil)
+	got, err := o.Open(rec[:0], rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("in-place open corrupted plaintext")
+	}
+}
+
+func TestRecordRejects(t *testing.T) {
+	s, o := testKeys(t)
+	aad := []byte("hdr")
+	rec, _ := s.Seal(nil, []byte("payload"), aad)
+
+	flipped := append([]byte(nil), rec...)
+	flipped[0] ^= 1
+	if _, err := o.Open(nil, flipped, aad); !errors.Is(err, ErrRecordAuth) {
+		t.Fatalf("tampered ciphertext: %v", err)
+	}
+	if _, err := o.Open(nil, rec[:len(rec)-1], aad); !errors.Is(err, ErrRecordAuth) {
+		t.Fatalf("truncated tag: %v", err)
+	}
+	if _, err := o.Open(nil, rec, []byte("HDR")); !errors.Is(err, ErrRecordAuth) {
+		t.Fatalf("tampered aad: %v", err)
+	}
+	// Counter did not advance on failures: the genuine record still opens.
+	if _, err := o.Open(nil, rec, aad); err != nil {
+		t.Fatalf("genuine record after failed opens: %v", err)
+	}
+	// Replay: the same record cannot open twice (counter advanced).
+	if _, err := o.Open(nil, rec, aad); !errors.Is(err, ErrRecordAuth) {
+		t.Fatalf("replayed record: %v", err)
+	}
+}
+
+func TestRecordOrderEnforced(t *testing.T) {
+	s, o := testKeys(t)
+	r1, _ := s.Seal(nil, []byte("one"), nil)
+	r2, _ := s.Seal(nil, []byte("two"), nil)
+	if _, err := o.Open(nil, r2, nil); !errors.Is(err, ErrRecordAuth) {
+		t.Fatalf("out-of-order record: %v", err)
+	}
+	if _, err := o.Open(nil, r1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Open(nil, r2, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordDirectionSeparation(t *testing.T) {
+	ks := NewKeySchedule([]byte("s"), []byte("c"))
+	dk, ak := ks.SealKeys(TranscriptHash([]byte("d"), []byte("a")))
+	s, _ := NewSealer(dk)
+	wrong, _ := NewOpener(ak)
+	rec, _ := s.Seal(nil, []byte("x"), nil)
+	if _, err := wrong.Open(nil, rec, nil); !errors.Is(err, ErrRecordAuth) {
+		t.Fatalf("cross-direction record: %v", err)
+	}
+}
+
+func TestRecordBadKeySizes(t *testing.T) {
+	if _, err := NewSealer(make([]byte, 16)); err == nil {
+		t.Fatal("16-byte key accepted")
+	}
+	if _, err := NewOpener(nil); err == nil {
+		t.Fatal("nil key accepted")
+	}
+}
+
+func FuzzOpenRecord(f *testing.F) {
+	ks := NewKeySchedule([]byte("fuzz secret"), []byte("fuzz conn"))
+	dk, _ := ks.SealKeys(TranscriptHash([]byte("d"), []byte("a")))
+	s, _ := NewSealer(dk)
+	genuine, _ := s.Seal(nil, []byte("fuzz seed payload"), []byte("aad"))
+	f.Add(genuine, []byte("aad"))
+	f.Add([]byte{}, []byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, RecordOverhead), []byte("aad"))
+	f.Fuzz(func(t *testing.T, record, aad []byte) {
+		o, err := NewOpener(dk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := o.Open(nil, record, aad)
+		if err != nil {
+			if !errors.Is(err, ErrRecordAuth) {
+				t.Fatalf("open failed with %v, want ErrRecordAuth", err)
+			}
+			return
+		}
+		// The only openable record under a fresh opener is the genuine
+		// first record with its genuine aad.
+		if !bytes.Equal(record, genuine) || !bytes.Equal(aad, []byte("aad")) {
+			t.Fatalf("forged record authenticated: %d plaintext bytes", len(got))
+		}
+	})
+}

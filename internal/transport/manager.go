@@ -7,7 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"naplet/internal/dhkx"
 	"naplet/internal/obs"
+	"naplet/internal/security"
 	"naplet/internal/wire"
 )
 
@@ -20,6 +22,18 @@ type Config struct {
 	AdvertiseAddr string
 	// Insecure disables the DH exchange (the paper's "w/o security" mode).
 	Insecure bool
+	// DisableEncryption keeps a secure transport's frames cleartext: the
+	// version-2 hello advertises no cipher suites, so negotiation settles
+	// on cleartext framing while the DH exchange, transcript tags, and
+	// resume tokens still run. Benchmarks use it to isolate the record
+	// layer's cost; Insecure implies it.
+	DisableEncryption bool
+	// Limits overrides the advertised protocol limits field by field; zero
+	// fields keep wire.DefaultLimits. A session's effective limits are the
+	// field-wise minimum of both sides' advertisements (KeepaliveMs is
+	// advertised from KeepaliveInterval, not from here). Invalid overrides
+	// are logged and replaced with the defaults.
+	Limits wire.Limits
 	// Dial opens the underlying connection; nil means net.DialTimeout.
 	// Tests count calls through this hook to prove transport sharing.
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
@@ -62,6 +76,22 @@ type Config struct {
 	// with a trace context (TransportTraced) joins that trace and carries
 	// it to the acceptor in the hello. Nil disables tracing.
 	Tracer *obs.Tracer
+
+	// advertised is the validated limits advertisement NewManager computed
+	// from Limits and KeepaliveInterval; hellos carry it verbatim.
+	advertised wire.Limits
+}
+
+// helloNegotiation fills the version-2 negotiation section of an outbound
+// fresh-session hello: the supported versions, the cipher suites this
+// side will encrypt under (none when encryption is off — negotiation then
+// settles on cleartext), and the advertised limits.
+func (cfg *Config) helloNegotiation(h *wire.TransportHello) {
+	h.Versions = wire.SupportedVersions()
+	if !cfg.Insecure && !cfg.DisableEncryption {
+		h.Ciphers = []uint16{wire.CipherAES256GCM}
+	}
+	h.Limits = cfg.advertised
 }
 
 // Manager owns every shared transport of one host: at most one live
@@ -78,6 +108,11 @@ type Manager struct {
 	reconnects        *obs.Counter
 	resumedStreams    *obs.Counter
 	keepaliveTimeouts *obs.Counter
+	// Session-security metrics: how many transport sessions negotiated an
+	// AEAD record layer versus settling on cleartext framing (version-1
+	// peers, insecure mode, or encryption disabled).
+	encrypted       *obs.Counter
+	cleartextLegacy *obs.Counter
 
 	mu     sync.Mutex
 	byAddr map[string]*Transport
@@ -124,17 +159,65 @@ func NewManager(cfg Config) *Manager {
 	if cfg.ResumeLogBudget <= 0 {
 		cfg.ResumeLogBudget = 64 << 20
 	}
+	cfg.advertised = advertisedLimits(&cfg)
 	return &Manager{
 		cfg:               cfg,
 		done:              make(chan struct{}),
 		reconnects:        cfg.Metrics.Counter("transport.reconnects"),
 		resumedStreams:    cfg.Metrics.Counter("transport.resumed_streams"),
 		keepaliveTimeouts: cfg.Metrics.Counter("transport.keepalive_timeouts"),
+		encrypted:         cfg.Metrics.Counter("transport.encrypted"),
+		cleartextLegacy:   cfg.Metrics.Counter("transport.cleartext_legacy"),
 		byAddr:            make(map[string]*Transport),
 		all:               make(map[*Transport]struct{}),
 		pending:           make(map[net.Conn]struct{}),
 		dialMu:            make(map[string]*sync.Mutex),
 	}
+}
+
+// maxAdvertiseKeepaliveMs clamps the keepalive advertisement to the
+// protocol's 24h bound.
+const maxAdvertiseKeepaliveMs = 24 * 60 * 60 * 1000
+
+// advertisedLimits builds the limits a defaulted Config advertises in its
+// hellos: wire defaults overlaid field-wise with non-zero Limits
+// overrides, keepalive taken from KeepaliveInterval (0 = probing
+// disabled locally). Invalid overrides are logged and dropped so a bad
+// flag can never wedge the handshake.
+func advertisedLimits(cfg *Config) wire.Limits {
+	var kaMs uint32
+	if cfg.KeepaliveInterval > 0 {
+		ms := cfg.KeepaliveInterval.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		if ms > maxAdvertiseKeepaliveMs {
+			ms = maxAdvertiseKeepaliveMs
+		}
+		kaMs = uint32(ms)
+	}
+	adv := wire.DefaultLimits()
+	if cfg.Limits.MaxPayload != 0 {
+		adv.MaxPayload = cfg.Limits.MaxPayload
+	}
+	if cfg.Limits.InitialWindow != 0 {
+		adv.InitialWindow = cfg.Limits.InitialWindow
+	}
+	if cfg.Limits.AckFrames != 0 {
+		adv.AckFrames = cfg.Limits.AckFrames
+	}
+	if cfg.Limits.AckBytes != 0 {
+		adv.AckBytes = cfg.Limits.AckBytes
+	}
+	adv.KeepaliveMs = kaMs
+	if err := adv.Validate(); err != nil {
+		if cfg.Logf != nil {
+			cfg.Logf("transport: invalid limits override (%v); advertising defaults", err)
+		}
+		adv = wire.DefaultLimits()
+		adv.KeepaliveMs = kaMs
+	}
+	return adv
 }
 
 func (m *Manager) addrLock(addr string) *sync.Mutex {
@@ -256,7 +339,7 @@ func (m *Manager) TransportTraced(addr string, timeout time.Duration, tc obs.Spa
 		return nil, ErrClosed
 	}
 	conn.SetDeadline(time.Now().Add(m.cfg.HandshakeTimeout))
-	id, secret, peer, err := clientHandshake(conn, &m.cfg, trace)
+	hs, err := clientHandshake(conn, &m.cfg, trace)
 	m.untrackPending(conn)
 	if err != nil {
 		conn.Close()
@@ -266,7 +349,7 @@ func (m *Manager) TransportTraced(addr string, timeout time.Duration, tc obs.Spa
 		return nil, err
 	}
 	conn.SetDeadline(time.Time{})
-	t := m.register(conn, id, secret, peer, true, addr)
+	t := m.register(conn, hs, true, addr)
 	if t == nil {
 		return nil, ErrClosed
 	}
@@ -297,7 +380,7 @@ func (m *Manager) HandleConn(conn net.Conn) error {
 		return err
 	}
 	started := time.Now()
-	id, secret, err := serverHandshake(conn, &m.cfg, peer, recvd)
+	hs, err := serverHandshake(conn, &m.cfg, peer, recvd)
 	m.untrackPending(conn)
 	if err != nil {
 		conn.Close()
@@ -314,7 +397,7 @@ func (m *Manager) HandleConn(conn net.Conn) error {
 	// deliberately skips the dial lock: the dialer side may be mid-
 	// handshake holding it (loopback, or crossed simultaneous dials), and
 	// blocking here would deadlock both.
-	if m.register(conn, id, secret, peer, false, peer.Addr) == nil {
+	if m.register(conn, hs, false, peer.Addr) == nil {
 		return ErrClosed
 	}
 	return nil
@@ -336,24 +419,37 @@ func (m *Manager) byID(id wire.ConnID) *Transport {
 // addrKey may be "" (peer without a redirector); an existing entry for the
 // same address is left in place — both transports stay usable, the table
 // just keeps steering new opens at the incumbent.
-func (m *Manager) register(conn net.Conn, id wire.ConnID, secret []byte, peer *wire.TransportHello, dialer bool, addrKey string) *Transport {
+func (m *Manager) register(conn net.Conn, hs *handshakeResult, dialer bool, addrKey string) *Transport {
 	if m.cfg.WrapData != nil {
 		conn = m.cfg.WrapData(conn)
 	}
-	auth, err := newResumeAuth(secret)
+	auth, err := newResumeAuth(hs.secret)
 	if err != nil {
 		conn.Close()
 		return nil
 	}
+	// Version-2 secure sessions sign resume tokens under a dedicated
+	// HKDF-derived key; version-1 sessions keep the legacy single-key
+	// behaviour so mixed deployments resume across versions of this code.
+	resumeAuth := auth
+	if hs.ks != nil {
+		if resumeAuth, err = dhkx.NewAuthenticator(hs.ks.ResumeTagKey()); err != nil {
+			conn.Close()
+			return nil
+		}
+	}
 	t := &Transport{
 		mgr:        m,
 		conn:       conn,
-		id:         id,
-		secret:     secret,
+		id:         hs.id,
+		secret:     hs.secret,
 		auth:       auth,
+		resumeAuth: resumeAuth,
+		neg:        hs.neg,
+		ks:         hs.ks,
 		dialer:     dialer,
-		peerHost:   peer.Host,
-		peerAddr:   peer.Addr,
+		peerHost:   hs.peer.Host,
+		peerAddr:   hs.peer.Addr,
 		gen:        1,
 		readerDone: make(chan struct{}),
 		streams:    make(map[uint64]*Stream),
@@ -362,11 +458,53 @@ func (m *Manager) register(conn net.Conn, id wire.ConnID, secret []byte, peer *w
 		remoteAddr: conn.RemoteAddr(),
 		rec:        newFlightRecorder(),
 	}
+	t.kaInterval = m.cfg.KeepaliveInterval
+	if hs.neg.Version >= wire.TransportVersion2 {
+		lim := hs.neg.Limits
+		t.maxPlain = int(lim.MaxPayload)
+		t.streamWindow = int(lim.InitialWindow)
+		t.streamWindowAt = int(lim.InitialWindow / 2)
+		t.ackFrames = int(lim.AckFrames)
+		t.ackBytes = int(lim.AckBytes)
+		// The negotiated probe interval is the min of both advertisements,
+		// so probing never gets slower than the local config asked for; a
+		// locally disabled keepalive stays disabled regardless of the peer.
+		if m.cfg.KeepaliveInterval > 0 && lim.KeepaliveMs > 0 {
+			t.kaInterval = time.Duration(lim.KeepaliveMs) * time.Millisecond
+		}
+	}
+	var opener *security.Opener
+	if hs.neg.Cipher == wire.CipherAES256GCM {
+		// Sealed containers ride inside the negotiated frame limit: the
+		// container plaintext cap shrinks by the AEAD tag so every sealed
+		// container still fits a pooled buffer of the negotiated class, and
+		// one frame's payload additionally leaves room for its inner header
+		// so a full-size data frame always fits a container alone.
+		t.containerPlain = t.maxPlain - security.RecordOverhead
+		t.maxPlain = t.containerPlain - wire.MuxHeaderSize
+		dialKey, acceptKey := hs.ks.SealKeys(hs.transcript)
+		sealKey, openKey := dialKey, acceptKey
+		if !dialer {
+			sealKey, openKey = acceptKey, dialKey
+		}
+		sealer, serr := security.NewSealer(sealKey)
+		op, oerr := security.NewOpener(openKey)
+		if serr != nil || oerr != nil {
+			conn.Close()
+			return nil
+		}
+		t.sealer = sealer
+		opener = op
+		t.flusher = newRecordFlusher(t)
+		m.encrypted.Inc()
+	} else {
+		m.cleartextLegacy.Inc()
+	}
 	t.lastRead.Store(time.Now().UnixNano())
 	if dialer {
-		t.rec.record("dial", "peer=%s remote=%s", peer.Host, conn.RemoteAddr())
+		t.rec.record("dial", "peer=%s remote=%s cipher=%s", hs.peer.Host, conn.RemoteAddr(), wire.CipherName(hs.neg.Cipher))
 	} else {
-		t.rec.record("accept", "peer=%s remote=%s", peer.Host, conn.RemoteAddr())
+		t.rec.record("accept", "peer=%s remote=%s cipher=%s", hs.peer.Host, conn.RemoteAddr(), wire.CipherName(hs.neg.Cipher))
 	}
 	if dialer {
 		t.nextID = 1
@@ -387,7 +525,10 @@ func (m *Manager) register(conn net.Conn, id wire.ConnID, secret []byte, peer *w
 		}
 	}
 	m.mu.Unlock()
-	go t.readLoop(conn, t.readerDone)
+	if t.flusher != nil {
+		go t.flusher.run()
+	}
+	go t.readLoop(conn, t.readerDone, opener)
 	go t.keepalive(conn)
 	return t
 }
@@ -495,6 +636,11 @@ type Info struct {
 	Dialer   bool
 	Streams  int
 	Opened   time.Time
+	// Cipher names the record-layer cipher the session negotiated
+	// ("cleartext" for version-1 peers, insecure mode, or encryption
+	// disabled); Limits are the effective negotiated limits.
+	Cipher string
+	Limits wire.Limits
 	// State is "connected", "reconnecting(n)" with n the attempt count of
 	// the current outage, or "lost (<cause>)" for a tombstone.
 	State string
@@ -529,6 +675,8 @@ func (t *Transport) info() Info {
 		Dialer:         t.dialer,
 		Streams:        len(t.streams),
 		Opened:         t.opened,
+		Cipher:         wire.CipherName(t.neg.Cipher),
+		Limits:         t.neg.Limits,
 		State:          state,
 		ResumeDeadline: t.resumeDeadline,
 	}

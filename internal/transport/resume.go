@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"naplet/internal/dhkx"
+	"naplet/internal/security"
 	"naplet/internal/wire"
 )
 
@@ -60,14 +61,16 @@ func newResumeAuth(secret []byte) (*dhkx.Authenticator, error) {
 }
 
 // resumeTag authenticates a resume hello: possession of the prior
-// transport secret, bound to the transport id and the claimed receive
-// count.
+// session, bound to the transport id and the claimed receive count. It
+// signs under the dedicated resume-tag key on version-2 sessions (the
+// session key on version-1 ones), so a leaked resume token can never
+// double as a transcript-tag or record key.
 func (t *Transport) resumeTag(recvSeq uint64) [wire.TagSize]byte {
 	msg := make([]byte, 0, len(resumeTagLabel)+len(t.id)+8)
 	msg = append(msg, resumeTagLabel...)
 	msg = append(msg, t.id[:]...)
 	msg = binary.BigEndian.AppendUint64(msg, recvSeq)
-	return t.auth.Sign(msg)
+	return t.resumeAuth.Sign(msg)
 }
 
 // connBroken reports that one connection generation died. If resumption is
@@ -97,6 +100,12 @@ func (t *Transport) connBroken(conn net.Conn, cause error) {
 	t.resumeDeadline = deadline
 	t.mu.Unlock()
 	conn.Close()
+	// Records sealed for the dead generation are dropped, not flushed:
+	// their plaintext is still in the reliable send log, and the resume
+	// replay reseals it under the next generation's keys.
+	if t.flusher != nil {
+		t.flusher.purge(conn)
+	}
 	t.rec.record("broken", "cause=%v window=%v", cause, window)
 	t.logf("transport %s: connection broken (%v); holding %d streams for resume within %v",
 		t.peerHost, cause, t.streamCount(), window)
@@ -157,9 +166,10 @@ func (t *Transport) reconnectLoop(gen int, readerDone chan struct{}, deadline ti
 		conn, err := t.mgr.dial(t.dialAddr, t.mgr.cfg.HandshakeTimeout)
 		if err == nil {
 			var peer *wire.TransportHello
-			peer, err = t.clientResume(conn)
+			var transcript []byte
+			peer, transcript, err = t.clientResume(conn)
 			if err == nil {
-				if !t.adopt(conn, peer.RecvSeq, gen) {
+				if !t.adopt(conn, peer.RecvSeq, gen, transcript) {
 					conn.Close()
 				}
 				return
@@ -188,8 +198,10 @@ func (t *Transport) reconnectLoop(gen int, readerDone chan struct{}, deadline ti
 
 // clientResume runs the dialer's half of the resume handshake on a fresh
 // connection: resume hello out, peer hello back, then the same transcript
-// tag exchange as a fresh handshake, all under the prior transport secret.
-func (t *Transport) clientResume(conn net.Conn) (*wire.TransportHello, error) {
+// tag exchange as a fresh handshake, all under the prior session's keys.
+// It also returns the dialer-order transcript hash of the resume
+// handshake, which adopt binds the new generation's seal keys to.
+func (t *Transport) clientResume(conn net.Conn) (*wire.TransportHello, []byte, error) {
 	conn.SetDeadline(time.Now().Add(t.mgr.cfg.HandshakeTimeout))
 	recvSeq := t.recvSeq.Load()
 	tag := t.resumeTag(recvSeq)
@@ -204,31 +216,31 @@ func (t *Transport) clientResume(conn net.Conn) (*wire.TransportHello, error) {
 	}
 	sent, err := wire.WriteTransportHello(conn, hello)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	peer, recvd, err := wire.ReadTransportHello(conn)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if peer.ResumeDenied {
-		return nil, errResumeDenied
+		return nil, nil, errResumeDenied
 	}
 	if !peer.Resume || peer.ID != t.id {
-		return nil, fmt.Errorf("%w: peer answered resume with a non-resume hello", ErrHandshake)
+		return nil, nil, fmt.Errorf("%w: peer answered resume with a non-resume hello", ErrHandshake)
 	}
 	var srvTag [wire.TagSize]byte
 	if _, err := io.ReadFull(conn, srvTag[:]); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if want := transcriptTag(t.auth, serverTagLabel, sent, recvd); !hmacEqual(want, srvTag) {
-		return nil, fmt.Errorf("%w: bad server transcript tag on resume", ErrHandshake)
+		return nil, nil, fmt.Errorf("%w: bad server transcript tag on resume", ErrHandshake)
 	}
 	cliTag := transcriptTag(t.auth, clientTagLabel, sent, recvd)
 	if _, err := conn.Write(cliTag[:]); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	conn.SetDeadline(time.Time{})
-	return peer, nil
+	return peer, security.TranscriptHash(sent, recvd), nil
 }
 
 // handleResume routes an inbound resume hello to the transport it names,
@@ -306,7 +318,7 @@ func (t *Transport) serverResume(conn net.Conn, peer *wire.TransportHello, recvd
 		return fmt.Errorf("%w: bad client transcript tag on resume", ErrHandshake)
 	}
 	conn.SetDeadline(time.Time{})
-	if !t.adopt(conn, peer.RecvSeq, gen) {
+	if !t.adopt(conn, peer.RecvSeq, gen, security.TranscriptHash(recvd, sent)) {
 		conn.Close()
 		return ErrClosed
 	}
@@ -319,7 +331,14 @@ func (t *Transport) serverResume(conn net.Conn, peer *wire.TransportHello, recvd
 // and every stalled stream simply carries on. The read loop starts before
 // the replay so two peers replaying large logs at each other cannot
 // deadlock on full kernel buffers.
-func (t *Transport) adopt(conn net.Conn, peerRecvSeq uint64, gen int) bool {
+//
+// Encrypted sessions rekey here: fresh per-direction seal keys are
+// expanded from the key schedule bound to the resume handshake's
+// transcript, and both directions' nonce counters restart from zero.
+// Replayed frames are resealed from their retained plaintext under the
+// new keys — a record captured from (or still queued for) the dead
+// generation can never authenticate on the new one.
+func (t *Transport) adopt(conn net.Conn, peerRecvSeq uint64, gen int, transcript []byte) bool {
 	if w := t.mgr.cfg.WrapData; w != nil {
 		conn = w(conn)
 	}
@@ -329,6 +348,23 @@ func (t *Transport) adopt(conn net.Conn, peerRecvSeq uint64, gen int) bool {
 		t.mu.Unlock()
 		t.wmu.Unlock()
 		return false
+	}
+	var opener *security.Opener
+	if t.flusher != nil {
+		dialKey, acceptKey := t.ks.SealKeys(transcript)
+		sealKey, openKey := dialKey, acceptKey
+		if !t.dialer {
+			sealKey, openKey = acceptKey, dialKey
+		}
+		sealer, serr := security.NewSealer(sealKey)
+		op, oerr := security.NewOpener(openKey)
+		if serr != nil || oerr != nil {
+			t.mu.Unlock()
+			t.wmu.Unlock()
+			return false
+		}
+		t.sealer = sealer
+		opener = op
 	}
 	t.gen++
 	t.conn = conn
@@ -342,13 +378,14 @@ func (t *Transport) adopt(conn net.Conn, peerRecvSeq uint64, gen int) bool {
 	nstreams := len(t.streams)
 	t.mu.Unlock()
 	t.lastRead.Store(time.Now().UnixNano())
-	go t.readLoop(conn, readerDone)
+	go t.readLoop(conn, readerDone, opener)
 	go t.keepalive(conn)
 	t.trimSendLogLocked(peerRecvSeq)
 	replayed := len(t.sendLog)
 	var werr error
+	var fatal bool
 	for _, e := range t.sendLog {
-		if werr = writeMux(conn, e.typ, e.stream, e.payload); werr != nil {
+		if werr, fatal = t.sendLocked(conn, e.typ, e.stream, e.payload); werr != nil {
 			break
 		}
 	}
@@ -357,6 +394,10 @@ func (t *Transport) adopt(conn net.Conn, peerRecvSeq uint64, gen int) bool {
 	t.mgr.resumedStreams.Add(uint64(nstreams))
 	t.rec.record("resumed", "attempts=%d streams=%d replayed=%d", attempts, nstreams, replayed)
 	if werr != nil {
+		if fatal {
+			t.fail(werr)
+			return true
+		}
 		t.logf("transport %s: resumed connection broke during replay: %v", t.peerHost, werr)
 		t.connBroken(conn, werr)
 		return true
@@ -366,13 +407,19 @@ func (t *Transport) adopt(conn net.Conn, peerRecvSeq uint64, gen int) bool {
 	return true
 }
 
-// keepalive probes one connection generation for liveness: after
-// KeepaliveInterval of inbound silence it sends a mux ping (whose payload
+// keepalive probes one connection generation for liveness: after the
+// probe interval of inbound silence it sends a mux ping (whose payload
 // doubles as an ack), and after KeepaliveTimeout of silence it declares
 // the connection half-open and breaks it into the resume path. It exits
-// when its generation is replaced or the manager closes.
+// when its generation is replaced or the manager closes. The probe
+// interval is the negotiated one on version-2 sessions — the min of both
+// sides' advertisements, so it is never slower than the local config and
+// KeepaliveTimeout's semantics are unchanged.
 func (t *Transport) keepalive(conn net.Conn) {
-	interval := t.mgr.cfg.KeepaliveInterval
+	interval := t.kaInterval
+	if interval == 0 {
+		interval = t.mgr.cfg.KeepaliveInterval
+	}
 	if interval <= 0 {
 		return
 	}

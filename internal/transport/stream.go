@@ -18,7 +18,9 @@ import (
 // has consumed at least windowUpdateAt bytes. A stream that stops reading
 // therefore stalls only its own sender — the transport read loop never
 // blocks on a full stream, so one bulk stream cannot head-of-line-starve
-// its siblings.
+// its siblings. A version-2 handshake negotiates the effective window
+// (wire.Limits.InitialWindow); these constants are the version-1
+// behaviour and the zero-value fallback.
 const (
 	initialWindow  = 1 << 20
 	windowUpdateAt = initialWindow / 2
@@ -82,7 +84,7 @@ func newStream(t *Transport, id uint64, local bool) *Stream {
 		id:         id,
 		local:      local,
 		cond:       make(chan struct{}),
-		sendWindow: initialWindow,
+		sendWindow: t.initialStreamWindow(),
 	}
 }
 
@@ -344,7 +346,7 @@ func (s *Stream) Read(p []byte) (int, error) {
 	}
 	s.consumed += n
 	var grant int
-	if s.consumed >= windowUpdateAt && s.err == nil && !s.finSeen {
+	if s.consumed >= s.t.streamGrantAt() && s.err == nil && !s.finSeen {
 		grant = s.consumed
 		s.consumed = 0
 	}
@@ -396,8 +398,8 @@ func (s *Stream) Write(p []byte) (int, error) {
 		if n > s.sendWindow {
 			n = s.sendWindow
 		}
-		if n > wire.MaxMuxPayload {
-			n = wire.MaxMuxPayload
+		if max := s.t.maxPayload(); n > max {
+			n = max
 		}
 		s.sendWindow -= n
 		s.mu.Unlock()

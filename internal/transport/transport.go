@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"naplet/internal/dhkx"
+	"naplet/internal/security"
 	"naplet/internal/wire"
 )
 
@@ -64,11 +65,13 @@ var (
 	ErrTransportLost = errors.New("transport: session lost")
 )
 
-// Acknowledgement cadence for reliable mux frames: the receiver confirms
-// its cumulative reliable-frame count after this many frames or bytes,
-// whichever comes first, bounding how much the sender retains for resume
-// replay. Keepalive pings and pongs also piggyback the count, so an idle
-// transport stays trimmed too.
+// Default acknowledgement cadence for reliable mux frames: the receiver
+// confirms its cumulative reliable-frame count after this many frames or
+// bytes, whichever comes first, bounding how much the sender retains for
+// resume replay. Keepalive pings and pongs also piggyback the count, so an
+// idle transport stays trimmed too. A version-2 handshake negotiates the
+// effective cadence (wire.Limits.AckFrames/AckBytes); these constants are
+// the version-1 behaviour and the zero-value fallback.
 const (
 	ackEveryFrames = 64
 	ackEveryBytes  = 256 << 10
@@ -90,9 +93,45 @@ type Transport struct {
 	mgr    *Manager
 	id     wire.ConnID
 	secret []byte
-	// auth signs and verifies resume tokens under the transport secret.
-	auth   *dhkx.Authenticator
-	dialer bool
+	// auth signs and verifies handshake transcript tags under the session
+	// key (the raw transport secret on version-1 sessions).
+	auth *dhkx.Authenticator
+	// resumeAuth signs and verifies resume tokens. On version-2 sessions
+	// it runs under a dedicated HKDF-derived resume-tag key; on version-1
+	// sessions it is auth (the legacy single-key behaviour).
+	resumeAuth *dhkx.Authenticator
+	// neg is the protocol agreement of the version-2 handshake (version,
+	// cipher suite, limits); version-1 sessions carry the defaults.
+	neg wire.Negotiated
+	// ks derives per-purpose keys for version-2 secure sessions (nil on
+	// version-1 or insecure sessions); rekey-on-resume expands fresh seal
+	// keys from it bound to the resume handshake transcript.
+	ks *security.KeySchedule
+	// flusher drains sealed records to the connection outside wmu (nil on
+	// cleartext sessions): sealing happens under wmu so nonce order is
+	// wire order, while the flusher's writev of already-sealed records
+	// overlaps the next frame's crypto.
+	flusher *recordFlusher
+	// sealer encrypts outbound records; guarded by wmu (rekey swaps it
+	// under wmu in adopt). Nil on cleartext sessions.
+	sealer *security.Sealer
+	// Negotiated limits, fixed at registration: maxPlain caps one frame's
+	// plaintext payload, streamWindow/streamWindowAt drive per-stream
+	// credit, ackFrames/ackBytes the ack cadence, kaInterval the keepalive
+	// probe cadence. Zero values fall back to the version-1 constants so
+	// hand-built Transports in tests keep working.
+	maxPlain int
+	// containerPlain caps one MuxSealed container's plaintext (the
+	// negotiated MaxPayload minus the AEAD tag); zero on cleartext
+	// sessions. The flusher packs consecutive frames up to this budget so
+	// one GCM pass and one writev cover a burst of small frames.
+	containerPlain int
+	streamWindow   int
+	streamWindowAt int
+	ackFrames      int
+	ackBytes       int
+	kaInterval     time.Duration
+	dialer         bool
 	// peerHost and peerAddr are what the peer advertised in its hello;
 	// peerAddr keys the manager's reuse table so either side can open
 	// streams over the one connection.
@@ -171,6 +210,55 @@ func (t *Transport) alive() bool {
 	return !t.closed
 }
 
+// maxPayload is the largest plaintext payload one mux frame may carry
+// under the negotiated limits (sealed frames still fit the wire-level
+// MaxPayload once the record overhead is added back).
+func (t *Transport) maxPayload() int {
+	if t.maxPlain > 0 {
+		return t.maxPlain
+	}
+	return wire.MaxMuxPayload
+}
+
+// containerCap is the largest plaintext one MuxSealed container may hold
+// under the negotiated limits (the sealed container then fits the
+// negotiated wire-level MaxPayload exactly).
+func (t *Transport) containerCap() int {
+	if t.containerPlain > 0 {
+		return t.containerPlain
+	}
+	return wire.MaxMuxPayload - security.RecordOverhead
+}
+
+// initialStreamWindow is the negotiated per-stream credit window.
+func (t *Transport) initialStreamWindow() int {
+	if t.streamWindow > 0 {
+		return t.streamWindow
+	}
+	return initialWindow
+}
+
+// streamGrantAt is the consumed-byte threshold past which a stream's
+// reader grants the peer more credit.
+func (t *Transport) streamGrantAt() int {
+	if t.streamWindowAt > 0 {
+		return t.streamWindowAt
+	}
+	return windowUpdateAt
+}
+
+// ackCadence is the negotiated reliable-frame acknowledgement cadence.
+func (t *Transport) ackCadence() (frames, bytes int) {
+	frames, bytes = t.ackFrames, t.ackBytes
+	if frames <= 0 {
+		frames = ackEveryFrames
+	}
+	if bytes <= 0 {
+		bytes = ackEveryBytes
+	}
+	return frames, bytes
+}
+
 // handshake constants.
 const (
 	serverTagLabel = "naplet-transport-server-v1"
@@ -189,7 +277,11 @@ func transportSecret(dhSecret []byte, id wire.ConnID, insecure bool) []byte {
 }
 
 // transcriptTag authenticates the handshake transcript under the transport
-// secret, proving the tagger derived the same secret.
+// secret, proving the tagger derived the same secret. Because the raw
+// hello bytes are covered, the tags double as downgrade protection: a
+// middlebox that rewrites a hello's version list, cipher list, or limits
+// desynchronises the two transcripts and the handshake fails on both
+// sides — the negotiation can never be silently steered.
 func transcriptTag(auth *dhkx.Authenticator, label string, clientHello, serverHello []byte) [wire.TagSize]byte {
 	msg := make([]byte, 0, len(label)+len(clientHello)+len(serverHello))
 	msg = append(msg, label...)
@@ -198,105 +290,149 @@ func transcriptTag(auth *dhkx.Authenticator, label string, clientHello, serverHe
 	return auth.Sign(msg)
 }
 
+// handshakeResult is everything a completed fresh-session handshake
+// produced: the identity and secret, the negotiated protocol, the key
+// schedule (version-2 secure sessions only), and the dialer-order
+// transcript hash the initial seal keys are bound to.
+type handshakeResult struct {
+	id         wire.ConnID
+	secret     []byte
+	ks         *security.KeySchedule
+	neg        wire.Negotiated
+	transcript []byte
+	peer       *wire.TransportHello
+}
+
+// deriveSessionSecret turns the raw DH secret into the session secret and,
+// for version-2 secure sessions, the per-purpose key schedule. Version-1
+// peers and insecure mode keep the legacy single-key derivation so mixed
+// deployments interoperate.
+func deriveSessionSecret(dhSecret []byte, id wire.ConnID, insecure bool, neg wire.Negotiated) ([]byte, *security.KeySchedule) {
+	if insecure || neg.Version < wire.TransportVersion2 {
+		return transportSecret(dhSecret, id, insecure), nil
+	}
+	ks := security.NewKeySchedule(dhSecret, id[:])
+	return ks.SessionKey(), ks
+}
+
 // clientHandshake runs the dialer's half of the transport handshake on a
 // fresh connection whose deadline the caller has already set.
-func clientHandshake(conn net.Conn, cfg *Config, trace []byte) (id wire.ConnID, secret []byte, peer *wire.TransportHello, err error) {
-	id, err = wire.NewConnID()
+func clientHandshake(conn net.Conn, cfg *Config, trace []byte) (*handshakeResult, error) {
+	id, err := wire.NewConnID()
 	if err != nil {
-		return id, nil, nil, err
+		return nil, err
 	}
 	var kp *dhkx.KeyPair
 	hello := &wire.TransportHello{ID: id, Insecure: cfg.Insecure, Host: cfg.HostName, Addr: cfg.AdvertiseAddr, Trace: trace}
+	cfg.helloNegotiation(hello)
 	if !cfg.Insecure {
 		if kp, err = dhkx.GenerateKeyPair(); err != nil {
-			return id, nil, nil, err
+			return nil, err
 		}
 		hello.Public = kp.PublicBytes()
 	}
 	sent, err := wire.WriteTransportHello(conn, hello)
 	if err != nil {
-		return id, nil, nil, err
+		return nil, err
 	}
 	peer, recvd, err := wire.ReadTransportHello(conn)
 	if err != nil {
-		return id, nil, nil, err
+		return nil, err
 	}
 	if peer.Insecure != cfg.Insecure {
-		return id, nil, nil, fmt.Errorf("%w: security mode mismatch with %s", ErrHandshake, peer.Host)
+		return nil, fmt.Errorf("%w: security mode mismatch with %s", ErrHandshake, peer.Host)
 	}
 	if peer.ID != id {
-		return id, nil, nil, fmt.Errorf("%w: peer echoed wrong transport id", ErrHandshake)
+		return nil, fmt.Errorf("%w: peer echoed wrong transport id", ErrHandshake)
+	}
+	neg, err := wire.Negotiate(hello, peer)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
 	}
 	var dhSecret []byte
 	if !cfg.Insecure {
 		if dhSecret, err = kp.SharedSecret(peer.Public); err != nil {
-			return id, nil, nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+			return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
 		}
 	}
-	secret = transportSecret(dhSecret, id, cfg.Insecure)
+	secret, ks := deriveSessionSecret(dhSecret, id, cfg.Insecure, neg)
 	auth, err := dhkx.NewAuthenticator(secret)
 	if err != nil {
-		return id, nil, nil, err
+		return nil, err
 	}
 	var srvTag [wire.TagSize]byte
 	if _, err = io.ReadFull(conn, srvTag[:]); err != nil {
-		return id, nil, nil, err
+		return nil, err
 	}
 	want := transcriptTag(auth, serverTagLabel, sent, recvd)
 	if !hmacEqual(want, srvTag) {
-		return id, nil, nil, fmt.Errorf("%w: bad server transcript tag", ErrHandshake)
+		return nil, fmt.Errorf("%w: bad server transcript tag", ErrHandshake)
 	}
 	cliTag := transcriptTag(auth, clientTagLabel, sent, recvd)
 	if _, err = conn.Write(cliTag[:]); err != nil {
-		return id, nil, nil, err
+		return nil, err
 	}
-	return id, secret, peer, nil
+	return &handshakeResult{
+		id: id, secret: secret, ks: ks, neg: neg,
+		transcript: security.TranscriptHash(sent, recvd),
+		peer:       peer,
+	}, nil
 }
 
 // serverHandshake runs the acceptor's half of a fresh-session handshake,
 // given the already-read client hello (HandleConn reads it first to tell
 // fresh sessions from resumes).
-func serverHandshake(conn net.Conn, cfg *Config, peer *wire.TransportHello, recvd []byte) (id wire.ConnID, secret []byte, err error) {
+func serverHandshake(conn net.Conn, cfg *Config, peer *wire.TransportHello, recvd []byte) (*handshakeResult, error) {
 	if peer.Insecure != cfg.Insecure {
-		return id, nil, fmt.Errorf("%w: security mode mismatch with %s", ErrHandshake, peer.Host)
+		return nil, fmt.Errorf("%w: security mode mismatch with %s", ErrHandshake, peer.Host)
 	}
-	id = peer.ID
+	id := peer.ID
 	var kp *dhkx.KeyPair
+	var err error
 	hello := &wire.TransportHello{ID: id, Insecure: cfg.Insecure, Host: cfg.HostName, Addr: cfg.AdvertiseAddr}
+	cfg.helloNegotiation(hello)
 	if !cfg.Insecure {
 		if kp, err = dhkx.GenerateKeyPair(); err != nil {
-			return id, nil, err
+			return nil, err
 		}
 		hello.Public = kp.PublicBytes()
 	}
 	sent, err := wire.WriteTransportHello(conn, hello)
 	if err != nil {
-		return id, nil, err
+		return nil, err
+	}
+	neg, err := wire.Negotiate(hello, peer)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
 	}
 	var dhSecret []byte
 	if !cfg.Insecure {
 		if dhSecret, err = kp.SharedSecret(peer.Public); err != nil {
-			return id, nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+			return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
 		}
 	}
-	secret = transportSecret(dhSecret, id, cfg.Insecure)
+	secret, ks := deriveSessionSecret(dhSecret, id, cfg.Insecure, neg)
 	auth, err := dhkx.NewAuthenticator(secret)
 	if err != nil {
-		return id, nil, err
+		return nil, err
 	}
 	srvTag := transcriptTag(auth, serverTagLabel, recvd, sent)
 	if _, err = conn.Write(srvTag[:]); err != nil {
-		return id, nil, err
+		return nil, err
 	}
 	var cliTag [wire.TagSize]byte
 	if _, err = io.ReadFull(conn, cliTag[:]); err != nil {
-		return id, nil, err
+		return nil, err
 	}
 	want := transcriptTag(auth, clientTagLabel, recvd, sent)
 	if !hmacEqual(want, cliTag) {
-		return id, nil, fmt.Errorf("%w: bad client transcript tag", ErrHandshake)
+		return nil, fmt.Errorf("%w: bad client transcript tag", ErrHandshake)
 	}
-	return id, secret, nil
+	return &handshakeResult{
+		id: id, secret: secret, ks: ks, neg: neg,
+		transcript: security.TranscriptHash(recvd, sent),
+		peer:       peer,
+	}, nil
 }
 
 // hmacEqual compares two already-HMAC'd tags; Verify recomputes, so plain
@@ -337,10 +473,16 @@ func seqPayload(v uint64) []byte {
 // they use a try-lock so the read loop can never deadlock against a resume
 // replay holding the write lock, and they vanish while disconnected.
 func (t *Transport) writeFrame(typ uint8, stream uint64, payload []byte) error {
-	if len(payload) > wire.MaxMuxPayload {
+	if len(payload) > t.maxPayload() {
 		return fmt.Errorf("transport: mux payload %d exceeds limit", len(payload))
 	}
 	reliable := wire.ReliableMuxFrame(typ)
+	if reliable && t.flusher != nil {
+		// Soft backpressure on the sealed-record queue, taken before wmu
+		// so a waiting writer can never deadlock the flusher (which needs
+		// no lock we hold while waiting).
+		t.flusher.waitSpace()
+	}
 	if reliable {
 		t.wmu.Lock()
 	} else if !t.wmu.TryLock() {
@@ -390,13 +532,34 @@ func (t *Transport) writeFrameLocked(typ uint8, stream uint64, payload []byte, r
 		}
 		return nil, nil
 	}
-	if werr := writeMux(conn, typ, stream, payload); werr != nil {
+	if werr, fatal := t.sendLocked(conn, typ, stream, payload); werr != nil {
+		if fatal {
+			return werr, werr
+		}
 		t.connBroken(conn, werr)
 		if !reliable {
 			return werr, nil
 		}
 	}
 	return nil, nil
+}
+
+// sendLocked transmits one frame on conn; the caller holds wmu. Cleartext
+// sessions write straight to the kernel. Encrypted sessions pack the
+// frame into the flusher's pending container — tagged with the current
+// generation's sealer, which resume swaps under this same lock — and the
+// flusher goroutine seals containers in queue order (so the AEAD nonce
+// order is exactly the wire order) and writevs multi-container batches.
+// Both the crypto and the flush syscall run outside wmu, overlapping the
+// next frame's production; seal failures (nonce exhaustion) fail the
+// transport from the flusher. A fatal=true error must fail the whole
+// transport; others are connection I/O errors that feed the resume path.
+func (t *Transport) sendLocked(conn net.Conn, typ uint8, stream uint64, payload []byte) (err error, fatal bool) {
+	if t.flusher == nil {
+		return writeMux(conn, typ, stream, payload), false
+	}
+	t.flusher.enqueue(conn, t.sealer, typ, stream, payload)
+	return nil, false
 }
 
 // trimSendLogLocked releases reliable frames the peer confirmed receiving.
@@ -503,6 +666,19 @@ func readPayloadInto(br *bufio.Reader, conn io.Reader, p []byte) error {
 	return nil
 }
 
+// muxReadState carries one connection generation's receive-side
+// bookkeeping across frames: the cumulative reliable-frame count the
+// resume contract advertises, plus the ack cadence counters and
+// thresholds. It is shared by the cleartext wire path and the sealed
+// container demux, so both count exactly the same logical frames.
+type muxReadState struct {
+	recvSeq        uint64
+	framesSinceAck int
+	bytesSinceAck  int
+	ackFrames      int
+	ackBytes       int
+}
+
 // readFailed classifies the end of one connection generation: a protocol
 // violation (desynchronised mux framing, malformed open) is unrecoverable
 // and fails the whole transport, while a plain I/O error means the
@@ -525,7 +701,16 @@ func (t *Transport) readFailed(conn net.Conn, err error) {
 // frame bumps the transport's cumulative receive count (advertised back to
 // the peer as ack cadence demands, and in the resume hello after a
 // failure), and every inbound frame refreshes the keepalive clock.
-func (t *Transport) readLoop(conn net.Conn, done chan struct{}) {
+//
+// On encrypted sessions opener holds the peer's per-generation seal key
+// (nil on cleartext sessions): every frame on the wire is a MuxSealed
+// container — one AEAD record, opened in place in the buffer the
+// ciphertext arrived in, whose plaintext is a sequence of complete mux
+// frames that amortise the GCM pass. An authentication failure (or a bare
+// cleartext frame) is a protocol violation, not an I/O blip — it fails the
+// transport rather than feeding the resume path, since a tampered stream
+// can never resynchronise.
+func (t *Transport) readLoop(conn net.Conn, done chan struct{}, opener *security.Opener) {
 	defer close(done)
 	// The buffer is deliberately small: it batches the 13-byte mux headers
 	// and small control frames, while readPayloadInto pulls the bulk of
@@ -533,19 +718,29 @@ func (t *Transport) readLoop(conn net.Conn, done chan struct{}) {
 	// a large buffer here would soak up payload bytes on header reads and
 	// force an extra copy for almost every data byte.
 	br := bufio.NewReaderSize(conn, 4<<10)
+	rl := muxReadState{recvSeq: t.recvSeq.Load()}
+	rl.ackFrames, rl.ackBytes = t.ackCadence()
+	if opener != nil {
+		t.readSealed(conn, br, opener, &rl)
+		return
+	}
 	var scratch []byte
-	recvSeq := t.recvSeq.Load()
-	framesSinceAck, bytesSinceAck := 0, 0
+	wireMax := t.maxPayload()
 	for {
 		h, err := wire.ReadMuxHeader(br)
 		if err != nil {
 			t.readFailed(conn, err)
 			return
 		}
+		if h.Type == wire.MuxSealed {
+			t.fail(fmt.Errorf("%w: sealed container on cleartext session", wire.ErrBadTransport))
+			return
+		}
+		if int(h.Length) > wireMax {
+			t.fail(fmt.Errorf("%w: mux payload %d exceeds negotiated limit %d", wire.ErrBadTransport, h.Length, wireMax))
+			return
+		}
 		t.lastRead.Store(time.Now().UnixNano())
-		t.mu.Lock()
-		s := t.streams[h.Stream]
-		t.mu.Unlock()
 		if h.Type == wire.MuxData {
 			var buf []byte
 			if h.Length > 0 {
@@ -556,20 +751,8 @@ func (t *Transport) readLoop(conn net.Conn, done chan struct{}) {
 					return
 				}
 			}
-			recvSeq++
-			t.recvSeq.Store(recvSeq)
-			framesSinceAck++
-			bytesSinceAck += int(h.Length)
-			if buf != nil {
-				if s != nil {
-					s.pushData(buf) // ownership moves to the stream
-				} else {
-					wire.PutPayload(buf) // stream already gone; drop the bytes
-				}
-			}
-			if framesSinceAck >= ackEveryFrames || bytesSinceAck >= ackEveryBytes {
-				framesSinceAck, bytesSinceAck = 0, 0
-				t.writeFrame(wire.MuxAck, 0, seqPayload(recvSeq))
+			if !t.handleFrame(h, buf, true, &rl) {
+				return
 			}
 			continue
 		}
@@ -584,70 +767,178 @@ func (t *Transport) readLoop(conn net.Conn, done chan struct{}) {
 				return
 			}
 		}
-		if wire.ReliableMuxFrame(h.Type) {
-			recvSeq++
-			t.recvSeq.Store(recvSeq)
-			if framesSinceAck++; framesSinceAck >= ackEveryFrames {
-				framesSinceAck, bytesSinceAck = 0, 0
-				t.writeFrame(wire.MuxAck, 0, seqPayload(recvSeq))
-			}
-		}
-		switch h.Type {
-		case wire.MuxOpen:
-			hdr, err := wire.ReadHandoffHeader(bytes.NewReader(payload))
-			if err != nil {
-				t.fail(fmt.Errorf("transport: bad stream open: %w", err))
-				return
-			}
-			if s != nil {
-				t.fail(fmt.Errorf("transport: stream %d reopened", h.Stream))
-				return
-			}
-			// Register before accepting so data racing behind the accept
-			// lands in the buffer rather than the void.
-			ns := newStream(t, h.Stream, false)
-			t.mu.Lock()
-			closed := t.closed
-			if !closed {
-				t.streams[h.Stream] = ns
-			}
-			t.mu.Unlock()
-			if closed {
-				return
-			}
-			go t.serveOpen(ns, hdr)
-		case wire.MuxAccept:
-			if s != nil {
-				s.opened()
-			}
-		case wire.MuxReset:
-			if s != nil {
-				t.removeStream(h.Stream)
-				s.remoteReset(string(payload))
-			}
-		case wire.MuxFin:
-			if s != nil {
-				s.finReceived()
-			}
-		case wire.MuxWindow:
-			if s != nil && h.Length == 4 {
-				s.addSendWindow(int(uint32(payload[0])<<24 | uint32(payload[1])<<16 | uint32(payload[2])<<8 | uint32(payload[3])))
-			}
-		case wire.MuxPing:
-			if len(payload) == 8 {
-				t.handleAck(binary.BigEndian.Uint64(payload))
-			}
-			t.writeFrame(wire.MuxPong, 0, seqPayload(recvSeq))
-		case wire.MuxPong:
-			if len(payload) == 8 {
-				t.handleAck(binary.BigEndian.Uint64(payload))
-			}
-		case wire.MuxAck:
-			if len(payload) == 8 {
-				t.handleAck(binary.BigEndian.Uint64(payload))
-			}
+		if !t.handleFrame(h, payload, false, &rl) {
+			return
 		}
 	}
+}
+
+// readSealed is the encrypted read loop: every wire frame must be a
+// MuxSealed container whose associated data is its own header
+// (AppendMuxHeader is deterministic, so the rebuilt bytes equal what the
+// peer sealed over). Each container is opened in place with one GCM pass,
+// then the inner frames are demultiplexed through the same handler the
+// cleartext loop uses — so reliable-frame counting, ack cadence, and the
+// resume contract see exactly the inner frames, never the container.
+func (t *Transport) readSealed(conn net.Conn, br *bufio.Reader, opener *security.Opener, rl *muxReadState) {
+	var aadBuf [wire.MuxHeaderSize]byte
+	wireMax := t.containerCap() + security.RecordOverhead
+	maxInner := t.maxPayload()
+	for {
+		h, err := wire.ReadMuxHeader(br)
+		if err != nil {
+			t.readFailed(conn, err)
+			return
+		}
+		if h.Type != wire.MuxSealed {
+			t.fail(fmt.Errorf("%w: cleartext frame type %d on encrypted session", wire.ErrBadTransport, h.Type))
+			return
+		}
+		if int(h.Length) > wireMax || h.Length < security.RecordOverhead {
+			t.fail(fmt.Errorf("%w: sealed container of %d bytes (cap %d)", wire.ErrBadTransport, h.Length, wireMax))
+			return
+		}
+		t.lastRead.Store(time.Now().UnixNano())
+		buf := wire.GetPayload(int(h.Length))
+		if err := readPayloadInto(br, conn, buf); err != nil {
+			wire.PutPayload(buf)
+			t.readFailed(conn, err)
+			return
+		}
+		aad := wire.AppendMuxHeader(aadBuf[:0], h.Type, h.Stream, int(h.Length))
+		pt, oerr := opener.Open(buf[:0], buf, aad)
+		if oerr != nil {
+			wire.PutPayload(buf)
+			t.fail(oerr)
+			return
+		}
+		ok := true
+		for off := 0; ok && off < len(pt); {
+			ih, derr := wire.DecodeMuxHeader(pt[off:])
+			if derr != nil {
+				wire.PutPayload(buf)
+				t.fail(derr)
+				return
+			}
+			off += wire.MuxHeaderSize
+			end := off + int(ih.Length)
+			if int(ih.Length) > maxInner || end > len(pt) {
+				wire.PutPayload(buf)
+				t.fail(fmt.Errorf("%w: inner mux frame of %d bytes overruns its container", wire.ErrBadTransport, ih.Length))
+				return
+			}
+			ok = t.handleFrame(ih, pt[off:end], false, rl)
+			off = end
+		}
+		wire.PutPayload(buf)
+		if !ok {
+			return
+		}
+	}
+}
+
+// handleFrame applies one demultiplexed mux frame — straight off a
+// cleartext wire or from inside an opened container — to the transport:
+// reliable-frame sequence counting, ack cadence, and stream dispatch.
+// payload is only valid for the duration of the call unless owned is true,
+// in which case it is a pooled buffer whose ownership transfers here (only
+// data frames arrive owned: the buffer moves to the receiving stream, or
+// back to the pool). It returns false when the read loop must exit; the
+// transport has already been failed or closed by then.
+func (t *Transport) handleFrame(h wire.MuxHeader, payload []byte, owned bool, rl *muxReadState) bool {
+	t.mu.Lock()
+	s := t.streams[h.Stream]
+	t.mu.Unlock()
+	if h.Type == wire.MuxData {
+		rl.recvSeq++
+		t.recvSeq.Store(rl.recvSeq)
+		rl.framesSinceAck++
+		rl.bytesSinceAck += len(payload)
+		buf := payload
+		if !owned && len(payload) > 0 {
+			// Container plaintext is recycled when the demux finishes, so
+			// data segments are copied out into their own pooled buffer
+			// before ownership moves to the stream.
+			buf = wire.GetPayload(len(payload))
+			copy(buf, payload)
+		}
+		if len(buf) > 0 {
+			if s != nil {
+				s.pushData(buf) // ownership moves to the stream
+			} else {
+				wire.PutPayload(buf) // stream already gone; drop the bytes
+			}
+		}
+		if rl.framesSinceAck >= rl.ackFrames || rl.bytesSinceAck >= rl.ackBytes {
+			rl.framesSinceAck, rl.bytesSinceAck = 0, 0
+			t.writeFrame(wire.MuxAck, 0, seqPayload(rl.recvSeq))
+		}
+		return true
+	}
+	if wire.ReliableMuxFrame(h.Type) {
+		rl.recvSeq++
+		t.recvSeq.Store(rl.recvSeq)
+		if rl.framesSinceAck++; rl.framesSinceAck >= rl.ackFrames {
+			rl.framesSinceAck, rl.bytesSinceAck = 0, 0
+			t.writeFrame(wire.MuxAck, 0, seqPayload(rl.recvSeq))
+		}
+	}
+	switch h.Type {
+	case wire.MuxOpen:
+		hdr, err := wire.ReadHandoffHeader(bytes.NewReader(payload))
+		if err != nil {
+			t.fail(fmt.Errorf("transport: bad stream open: %w", err))
+			return false
+		}
+		if s != nil {
+			t.fail(fmt.Errorf("transport: stream %d reopened", h.Stream))
+			return false
+		}
+		// Register before accepting so data racing behind the accept
+		// lands in the buffer rather than the void.
+		ns := newStream(t, h.Stream, false)
+		t.mu.Lock()
+		closed := t.closed
+		if !closed {
+			t.streams[h.Stream] = ns
+		}
+		t.mu.Unlock()
+		if closed {
+			return false
+		}
+		go t.serveOpen(ns, hdr)
+	case wire.MuxAccept:
+		if s != nil {
+			s.opened()
+		}
+	case wire.MuxReset:
+		if s != nil {
+			t.removeStream(h.Stream)
+			s.remoteReset(string(payload))
+		}
+	case wire.MuxFin:
+		if s != nil {
+			s.finReceived()
+		}
+	case wire.MuxWindow:
+		if s != nil && len(payload) == 4 {
+			s.addSendWindow(int(uint32(payload[0])<<24 | uint32(payload[1])<<16 | uint32(payload[2])<<8 | uint32(payload[3])))
+		}
+	case wire.MuxPing:
+		if len(payload) == 8 {
+			t.handleAck(binary.BigEndian.Uint64(payload))
+		}
+		t.writeFrame(wire.MuxPong, 0, seqPayload(rl.recvSeq))
+	case wire.MuxPong:
+		if len(payload) == 8 {
+			t.handleAck(binary.BigEndian.Uint64(payload))
+		}
+	case wire.MuxAck:
+		if len(payload) == 8 {
+			t.handleAck(binary.BigEndian.Uint64(payload))
+		}
+	}
+	return true
 }
 
 // fail tears the transport down for good: the shared connection closes,
@@ -673,6 +964,9 @@ func (t *Transport) fail(cause error) {
 	t.mu.Unlock()
 	if conn != nil {
 		conn.Close()
+	}
+	if t.flusher != nil {
+		t.flusher.close()
 	}
 	for _, s := range streams {
 		s.transportFailed(cause)

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -71,6 +72,59 @@ func FuzzDecodeControlReply(f *testing.F) {
 		}
 		if re.Verdict != rep.Verdict || re.Reason != rep.Reason || re.LastSeq != rep.LastSeq {
 			t.Fatal("reply round-trip mismatch")
+		}
+	})
+}
+
+func FuzzReadTransportHello(f *testing.F) {
+	id, _ := NewConnID()
+	var seed bytes.Buffer
+	WriteTransportHello(&seed, &TransportHello{
+		ID:       id,
+		Host:     "h",
+		Addr:     "a:1",
+		Public:   []byte{1, 2, 3},
+		Versions: []uint8{1, 2},
+		Ciphers:  []uint16{CipherAES256GCM},
+		Limits:   DefaultLimits(),
+	})
+	f.Add(seed.Bytes())
+	// A raw version-1 body under its prefix (back-compat decode path).
+	v1 := encodeV1Hello(&TransportHello{ID: id, Host: "legacy"})
+	var v1msg bytes.Buffer
+	v1msg.Write([]byte{0x4e, 0x54})
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(len(v1)))
+	v1msg.Write(lenb[:])
+	v1msg.Write(v1)
+	f.Add(v1msg.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x4e, 0x54, 0, 0, 0, 4, 0x4e, 0x54, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, _, err := ReadTransportHello(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted has validated limits and a non-empty version
+		// list, and (for version-2 hellos) re-encodes losslessly.
+		if len(h.Versions) == 0 {
+			t.Fatal("accepted hello with empty version list")
+		}
+		if err := h.Limits.Validate(); err != nil {
+			t.Fatalf("accepted hello with invalid limits: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := WriteTransportHello(&buf, h); err != nil {
+			t.Fatalf("accepted hello failed to encode: %v", err)
+		}
+		h2, _, err := ReadTransportHello(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if h2.ID != h.ID || h2.Host != h.Host || h2.RecvSeq != h.RecvSeq ||
+			!bytes.Equal(h2.Versions, h.Versions) || h2.Limits != h.Limits ||
+			len(h2.Ciphers) != len(h.Ciphers) {
+			t.Fatal("hello round-trip mismatch")
 		}
 	})
 }

@@ -20,8 +20,135 @@ import (
 // 4-byte length prefix always starts 0x00).
 const transportMagic = 0x4e54 // "NT"
 
-// transportVersion is the transport protocol version.
-const transportVersion = 1
+// Transport protocol versions. Version 1 is the original mux protocol:
+// cleartext frames, compile-time limits. Version 2 adds the negotiation
+// section to the hello — a supported-version list, a cipher-suite
+// preference list, and a Limits block — and, when a cipher is agreed, the
+// sealed-record framing that encrypts every mux payload. Both sides send
+// the highest version they speak plus the full list; the effective version
+// is the highest one both lists contain (see Negotiate). Downgrade
+// protection is inherited from the handshake: the transcript tags cover the
+// raw hello bytes, so a middlebox that rewrites either list breaks the tag
+// on both sides.
+const (
+	TransportVersion1 = 1
+	TransportVersion2 = 2
+	transportVersion  = TransportVersion2
+)
+
+// SupportedVersions is the version list a hello advertises by default.
+func SupportedVersions() []uint8 { return []uint8{TransportVersion1, TransportVersion2} }
+
+// Cipher suites negotiable in a version-2 hello, in wire form. Cleartext
+// (0) is never sent in a cipher list; it is the result of negotiation when
+// either side offers no suites (legacy peers, insecure mode, or encryption
+// explicitly disabled).
+const (
+	CipherCleartext uint16 = 0
+	// CipherAES256GCM seals every mux frame payload with AES-256-GCM under
+	// per-direction keys derived from the transport secret (the stdlib
+	// AEAD; hardware-accelerated on amd64/arm64).
+	CipherAES256GCM uint16 = 1
+)
+
+// CipherName renders a cipher suite for the debug surface.
+func CipherName(c uint16) string {
+	switch c {
+	case CipherCleartext:
+		return "cleartext"
+	case CipherAES256GCM:
+		return "aes256gcm"
+	default:
+		return fmt.Sprintf("cipher(%d)", c)
+	}
+}
+
+// Limits is the tunable-protocol block of a version-2 hello: every value
+// the transport used to fix at compile time, advertised per hop so the
+// effective limit is the minimum both ends accept. All bounds are
+// validated at decode — a zero or overflowing limit from the network is a
+// malformed hello, never a divide-by-zero or an unbounded allocation.
+type Limits struct {
+	// MaxPayload caps one mux frame's on-wire payload bytes (sealed
+	// length when a cipher is active), within [1 KiB, MaxMuxPayload].
+	MaxPayload uint32
+	// InitialWindow is the per-stream credit window in each direction,
+	// within [4 KiB, 1 GiB].
+	InitialWindow uint32
+	// AckFrames / AckBytes set the reliable-frame ack cadence: the
+	// receiver confirms its cumulative count after this many frames or
+	// payload bytes, whichever comes first.
+	AckFrames uint32
+	AckBytes  uint32
+	// KeepaliveMs is the advertised keepalive probe interval in
+	// milliseconds; 0 means the sender does not probe.
+	KeepaliveMs uint32
+}
+
+// DefaultLimits are the pre-negotiation constants of the version-1
+// protocol, advertised when the caller sets nothing else.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxPayload:    MaxMuxPayload,
+		InitialWindow: 1 << 20,
+		AckFrames:     64,
+		AckBytes:      256 << 10,
+		KeepaliveMs:   15_000,
+	}
+}
+
+// Limit bounds enforced at decode.
+const (
+	minLimitPayload = 1 << 10
+	minLimitWindow  = 4 << 10
+	maxLimitWindow  = 1 << 30
+	maxLimitFrames  = 1 << 20
+	minLimitAckB    = 1 << 10
+	maxLimitAckB    = 1 << 30
+	maxKeepaliveMs  = 24 * 60 * 60 * 1000
+)
+
+// Validate checks every limit against its protocol bounds.
+func (l Limits) Validate() error {
+	switch {
+	case l.MaxPayload < minLimitPayload || l.MaxPayload > MaxMuxPayload:
+		return fmt.Errorf("%w: max payload %d outside [%d, %d]", ErrBadTransport, l.MaxPayload, minLimitPayload, MaxMuxPayload)
+	case l.InitialWindow < minLimitWindow || l.InitialWindow > maxLimitWindow:
+		return fmt.Errorf("%w: initial window %d outside [%d, %d]", ErrBadTransport, l.InitialWindow, minLimitWindow, maxLimitWindow)
+	case l.AckFrames < 1 || l.AckFrames > maxLimitFrames:
+		return fmt.Errorf("%w: ack frame cadence %d outside [1, %d]", ErrBadTransport, l.AckFrames, maxLimitFrames)
+	case l.AckBytes < minLimitAckB || l.AckBytes > maxLimitAckB:
+		return fmt.Errorf("%w: ack byte cadence %d outside [%d, %d]", ErrBadTransport, l.AckBytes, minLimitAckB, maxLimitAckB)
+	case l.KeepaliveMs > maxKeepaliveMs:
+		return fmt.Errorf("%w: keepalive interval %dms above %dms", ErrBadTransport, l.KeepaliveMs, maxKeepaliveMs)
+	}
+	return nil
+}
+
+func minU32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Merge combines two advertised limit blocks into the effective set: the
+// minimum of each bound, so neither side is ever pushed past what it
+// offered. Keepalive merges to the smaller non-zero interval (a side that
+// does not probe still answers pings, so the eager side's cadence wins).
+func (l Limits) Merge(o Limits) Limits {
+	ka := minU32(l.KeepaliveMs, o.KeepaliveMs)
+	if ka == 0 {
+		ka = l.KeepaliveMs + o.KeepaliveMs // one of them is zero
+	}
+	return Limits{
+		MaxPayload:    minU32(l.MaxPayload, o.MaxPayload),
+		InitialWindow: minU32(l.InitialWindow, o.InitialWindow),
+		AckFrames:     minU32(l.AckFrames, o.AckFrames),
+		AckBytes:      minU32(l.AckBytes, o.AckBytes),
+		KeepaliveMs:   ka,
+	}
+}
 
 // transportFlagInsecure marks a hello from a host running the paper's
 // "w/o security" configuration; both sides must agree.
@@ -77,6 +204,18 @@ type TransportHello struct {
 	// not tracing): a dial performed on behalf of a migration carries the
 	// migration's trace so the acceptor's handshake span joins it.
 	Trace []byte
+	// Versions lists every protocol version the sender speaks (version-2
+	// hellos; a decoded version-1 hello reports [1]). Negotiation picks
+	// the highest version present in both lists.
+	Versions []uint8
+	// Ciphers lists the sender's acceptable cipher suites in preference
+	// order. Empty means the sender cannot (insecure mode) or will not
+	// (encryption disabled) seal records, and negotiation yields
+	// CipherCleartext.
+	Ciphers []uint16
+	// Limits advertises the sender's protocol limits; the effective set
+	// is the field-wise minimum of both sides (Limits.Merge).
+	Limits Limits
 }
 
 // ErrBadTransport reports a malformed transport hello or mux frame.
@@ -105,6 +244,28 @@ func (h *TransportHello) encode() []byte {
 	b = binary.BigEndian.AppendUint64(b, h.RecvSeq)
 	b = appendBytes(b, h.ResumeTag)
 	b = appendBytes(b, h.Trace)
+
+	// Version-2 negotiation section. A zero-value hello still encodes a
+	// valid advertisement: full version list, no ciphers, default limits.
+	versions := h.Versions
+	if len(versions) == 0 {
+		versions = SupportedVersions()
+	}
+	b = append(b, byte(len(versions)))
+	b = append(b, versions...)
+	b = append(b, byte(len(h.Ciphers)))
+	for _, c := range h.Ciphers {
+		b = binary.BigEndian.AppendUint16(b, c)
+	}
+	limits := h.Limits
+	if limits == (Limits{}) {
+		limits = DefaultLimits()
+	}
+	b = binary.BigEndian.AppendUint32(b, limits.MaxPayload)
+	b = binary.BigEndian.AppendUint32(b, limits.InitialWindow)
+	b = binary.BigEndian.AppendUint32(b, limits.AckFrames)
+	b = binary.BigEndian.AppendUint32(b, limits.AckBytes)
+	b = binary.BigEndian.AppendUint32(b, limits.KeepaliveMs)
 	return b
 }
 
@@ -159,8 +320,9 @@ func decodeTransportHello(b []byte) (*TransportHello, error) {
 	if len(b) < 2+16 {
 		return nil, fmt.Errorf("%w: truncated hello", ErrBadTransport)
 	}
-	if b[0] != transportVersion {
-		return nil, fmt.Errorf("%w: unsupported transport version %d", ErrBadTransport, b[0])
+	version := b[0]
+	if version != TransportVersion1 && version != TransportVersion2 {
+		return nil, fmt.Errorf("%w: unsupported transport version %d", ErrBadTransport, version)
 	}
 	h := &TransportHello{
 		Insecure:     b[1]&transportFlagInsecure != 0,
@@ -190,10 +352,130 @@ func decodeTransportHello(b []byte) (*TransportHello, error) {
 	if h.Trace, b, err = takeBytes(b); err != nil {
 		return nil, err
 	}
+	if version == TransportVersion1 {
+		// Legacy hello: no negotiation section. Report the implied
+		// capabilities — version 1 only, cleartext, compile-time limits.
+		if len(b) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing hello bytes", ErrBadTransport, len(b))
+		}
+		h.Versions = []uint8{TransportVersion1}
+		h.Limits = DefaultLimits()
+		return h, nil
+	}
+	if len(b) < 1 {
+		return nil, fmt.Errorf("%w: truncated hello version list", ErrBadTransport)
+	}
+	nv := int(b[0])
+	b = b[1:]
+	if nv == 0 {
+		return nil, fmt.Errorf("%w: empty hello version list", ErrBadTransport)
+	}
+	if len(b) < nv {
+		return nil, fmt.Errorf("%w: truncated hello version list", ErrBadTransport)
+	}
+	h.Versions = append([]uint8(nil), b[:nv]...)
+	b = b[nv:]
+	for _, v := range h.Versions {
+		if v == 0 {
+			return nil, fmt.Errorf("%w: version 0 in hello version list", ErrBadTransport)
+		}
+	}
+	if len(b) < 1 {
+		return nil, fmt.Errorf("%w: truncated hello cipher list", ErrBadTransport)
+	}
+	nc := int(b[0])
+	b = b[1:]
+	if len(b) < 2*nc {
+		return nil, fmt.Errorf("%w: truncated hello cipher list", ErrBadTransport)
+	}
+	if nc > 0 {
+		h.Ciphers = make([]uint16, nc)
+		for i := range h.Ciphers {
+			c := binary.BigEndian.Uint16(b[2*i:])
+			if c == CipherCleartext {
+				return nil, fmt.Errorf("%w: cleartext offered as a cipher suite", ErrBadTransport)
+			}
+			h.Ciphers[i] = c
+		}
+	}
+	b = b[2*nc:]
+	if len(b) < 20 {
+		return nil, fmt.Errorf("%w: truncated hello limits", ErrBadTransport)
+	}
+	h.Limits = Limits{
+		MaxPayload:    binary.BigEndian.Uint32(b[0:]),
+		InitialWindow: binary.BigEndian.Uint32(b[4:]),
+		AckFrames:     binary.BigEndian.Uint32(b[8:]),
+		AckBytes:      binary.BigEndian.Uint32(b[12:]),
+		KeepaliveMs:   binary.BigEndian.Uint32(b[16:]),
+	}
+	if err := h.Limits.Validate(); err != nil {
+		return nil, err
+	}
+	b = b[20:]
 	if len(b) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing hello bytes", ErrBadTransport, len(b))
 	}
 	return h, nil
+}
+
+// Negotiated is the protocol agreement two hellos resolve to.
+type Negotiated struct {
+	Version uint8
+	Cipher  uint16
+	Limits  Limits
+}
+
+// Negotiate resolves the local and remote hellos into the effective
+// protocol: the highest version both sides speak, the highest-numbered
+// cipher suite both offer (cleartext when either offers none or either
+// side is insecure), and the field-wise minimum of both limit blocks.
+// The function is symmetric — both ends compute the identical result —
+// and the handshake transcript tags cover both raw hellos, so a
+// middlebox that edits either side's advertisement breaks the handshake
+// rather than steering the negotiation.
+func Negotiate(local, remote *TransportHello) (Negotiated, error) {
+	version := uint8(0)
+	for _, lv := range local.Versions {
+		if lv <= version || lv > TransportVersion2 {
+			continue
+		}
+		for _, rv := range remote.Versions {
+			if rv == lv {
+				version = lv
+				break
+			}
+		}
+	}
+	if version == 0 {
+		return Negotiated{}, fmt.Errorf("%w: no common protocol version (local %v, remote %v)",
+			ErrBadTransport, local.Versions, remote.Versions)
+	}
+	n := Negotiated{Version: version, Limits: DefaultLimits()}
+	if version < TransportVersion2 {
+		// A version-1 session has no negotiation semantics: cleartext
+		// frames and the compile-time limits on both sides.
+		return n, nil
+	}
+	n.Limits = local.Limits.Merge(remote.Limits)
+	if err := n.Limits.Validate(); err != nil {
+		return Negotiated{}, err
+	}
+	if local.Insecure || remote.Insecure {
+		return n, nil
+	}
+	for _, lc := range local.Ciphers {
+		if lc <= n.Cipher {
+			continue
+		}
+		for _, rc := range remote.Ciphers {
+			if rc == lc {
+				n.Cipher = lc
+				break
+			}
+		}
+	}
+	return n, nil
 }
 
 // SniffTransport reports whether the two sniffed bytes open a transport
@@ -232,6 +514,14 @@ const (
 	// the 8-byte cumulative count of reliable frames received, letting the
 	// sender trim its resume replay log. Unreliable, like ping/pong.
 	MuxAck
+	// MuxSealed wraps one AEAD record on encrypted sessions: the payload
+	// is a sealed container whose plaintext is a sequence of complete mux
+	// frames (header + payload), so one GCM pass amortises over many
+	// small frames. Only the inner frames carry reliable sequence
+	// numbers; the container itself is transparent to the resume
+	// contract. Never valid inside another container (DecodeMuxHeader
+	// rejects it) and never valid on a cleartext session.
+	MuxSealed
 )
 
 // ReliableMuxFrame reports whether a frame type participates in the
@@ -286,11 +576,32 @@ func ReadMuxHeader(r io.Reader) (MuxHeader, error) {
 		Stream: binary.BigEndian.Uint64(hdr[1:9]),
 		Length: binary.BigEndian.Uint32(hdr[9:13]),
 	}
-	if h.Type < MuxOpen || h.Type > MuxAck {
+	if h.Type < MuxOpen || h.Type > MuxSealed {
 		return MuxHeader{}, fmt.Errorf("%w: unknown mux frame type %d", ErrBadTransport, h.Type)
 	}
 	if h.Length > MaxMuxPayload {
 		return MuxHeader{}, fmt.Errorf("%w: mux payload %d exceeds limit %d", ErrBadTransport, h.Length, MaxMuxPayload)
+	}
+	return h, nil
+}
+
+// DecodeMuxHeader decodes a mux frame header from the front of an opened
+// MuxSealed container. Containers never nest, so MuxSealed itself is
+// rejected here along with unknown types and oversized payloads.
+func DecodeMuxHeader(b []byte) (MuxHeader, error) {
+	if len(b) < MuxHeaderSize {
+		return MuxHeader{}, fmt.Errorf("%w: truncated inner mux header (%d bytes)", ErrBadTransport, len(b))
+	}
+	h := MuxHeader{
+		Type:   b[0],
+		Stream: binary.BigEndian.Uint64(b[1:9]),
+		Length: binary.BigEndian.Uint32(b[9:13]),
+	}
+	if h.Type < MuxOpen || h.Type > MuxAck {
+		return MuxHeader{}, fmt.Errorf("%w: unknown inner mux frame type %d", ErrBadTransport, h.Type)
+	}
+	if h.Length > MaxMuxPayload {
+		return MuxHeader{}, fmt.Errorf("%w: inner mux payload %d exceeds limit %d", ErrBadTransport, h.Length, MaxMuxPayload)
 	}
 	return h, nil
 }

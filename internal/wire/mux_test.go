@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"testing"
@@ -181,5 +182,255 @@ func TestControlMsgTransportIDRoundTrip(t *testing.T) {
 func TestMuxHeaderReaderEOF(t *testing.T) {
 	if _, err := ReadMuxHeader(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
 		t.Fatalf("want io.EOF on empty reader, got %v", err)
+	}
+}
+
+func TestTransportHelloNegotiationRoundTrip(t *testing.T) {
+	id, _ := NewConnID()
+	h := &TransportHello{
+		ID:       id,
+		Host:     "gamma",
+		Versions: []uint8{1, 2},
+		Ciphers:  []uint16{CipherAES256GCM, 7},
+		Limits: Limits{
+			MaxPayload:    32 << 10,
+			InitialWindow: 512 << 10,
+			AckFrames:     32,
+			AckBytes:      128 << 10,
+			KeepaliveMs:   5000,
+		},
+	}
+	var buf bytes.Buffer
+	if _, err := WriteTransportHello(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadTransportHello(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Versions, h.Versions) {
+		t.Fatalf("versions mismatch: %v vs %v", got.Versions, h.Versions)
+	}
+	if len(got.Ciphers) != 2 || got.Ciphers[0] != CipherAES256GCM || got.Ciphers[1] != 7 {
+		t.Fatalf("ciphers mismatch: %v", got.Ciphers)
+	}
+	if got.Limits != h.Limits {
+		t.Fatalf("limits mismatch: %+v vs %+v", got.Limits, h.Limits)
+	}
+}
+
+func TestTransportHelloDefaultsNegotiationSection(t *testing.T) {
+	// A hello built without negotiation fields (every call site before
+	// version 2) still advertises the full version list and the default
+	// limits on the wire.
+	id, _ := NewConnID()
+	var buf bytes.Buffer
+	if _, err := WriteTransportHello(&buf, &TransportHello{ID: id, Host: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadTransportHello(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Versions, SupportedVersions()) {
+		t.Fatalf("default versions = %v", got.Versions)
+	}
+	if len(got.Ciphers) != 0 {
+		t.Fatalf("default ciphers = %v", got.Ciphers)
+	}
+	if got.Limits != DefaultLimits() {
+		t.Fatalf("default limits = %+v", got.Limits)
+	}
+}
+
+// encodeV1Hello reproduces the version-1 hello body wire format (before the
+// negotiation section existed) so decode back-compat stays pinned.
+func encodeV1Hello(h *TransportHello) []byte {
+	b := binary.BigEndian.AppendUint16(nil, 0x4e54)
+	b = append(b, TransportVersion1)
+	var flags byte
+	if h.Insecure {
+		flags |= 0x01
+	}
+	b = append(b, flags)
+	b = append(b, h.ID[:]...)
+	b = appendString(b, h.Host)
+	b = appendString(b, h.Addr)
+	b = appendBytes(b, h.Public)
+	b = binary.BigEndian.AppendUint64(b, h.RecvSeq)
+	b = appendBytes(b, h.ResumeTag)
+	b = appendBytes(b, h.Trace)
+	return b
+}
+
+func TestTransportHelloV1Decode(t *testing.T) {
+	id, _ := NewConnID()
+	h := &TransportHello{ID: id, Host: "legacy", Addr: "127.0.0.1:1", Public: []byte{1, 2, 3}}
+	got, err := decodeTransportHello(encodeV1Hello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != id || got.Host != "legacy" {
+		t.Fatalf("v1 decode mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.Versions, []uint8{TransportVersion1}) {
+		t.Fatalf("v1 implied versions = %v", got.Versions)
+	}
+	if len(got.Ciphers) != 0 || got.Limits != DefaultLimits() {
+		t.Fatalf("v1 implied capabilities: ciphers=%v limits=%+v", got.Ciphers, got.Limits)
+	}
+	// Trailing bytes after a v1 body remain an error.
+	if _, err := decodeTransportHello(append(encodeV1Hello(h), 0)); !errors.Is(err, ErrBadTransport) {
+		t.Fatalf("v1 trailing bytes: %v", err)
+	}
+}
+
+func TestDecodeHelloRejectsMalformedNegotiation(t *testing.T) {
+	id, _ := NewConnID()
+	base := func() []byte {
+		var buf bytes.Buffer
+		if _, err := WriteTransportHello(&buf, &TransportHello{ID: id, Host: "x"}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()[6:] // strip magic + length prefix: raw body
+	}
+	valid := base()
+	if _, err := decodeTransportHello(valid); err != nil {
+		t.Fatal(err)
+	}
+	// The negotiation section is the final 2 + len(versions) + 20 bytes.
+	tail := 2 + len(SupportedVersions()) + 20
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := append([]byte(nil), valid...)
+		if _, err := decodeTransportHello(f(b)); !errors.Is(err, ErrBadTransport) {
+			t.Fatalf("%s: want ErrBadTransport, got %v", name, err)
+		}
+	}
+	mutate("truncated version list", func(b []byte) []byte { return b[:len(b)-tail] })
+	mutate("empty version list", func(b []byte) []byte {
+		b[len(b)-tail] = 0
+		return b[:len(b)-tail+1+1+20] // count byte, cipher count, limits
+	})
+	mutate("version zero", func(b []byte) []byte {
+		b[len(b)-tail+1] = 0
+		return b
+	})
+	mutate("truncated limits", func(b []byte) []byte { return b[:len(b)-1] })
+	mutate("zero max payload", func(b []byte) []byte {
+		copy(b[len(b)-20:], []byte{0, 0, 0, 0})
+		return b
+	})
+	mutate("overflow window", func(b []byte) []byte {
+		copy(b[len(b)-16:], []byte{0xFF, 0xFF, 0xFF, 0xFF})
+		return b
+	})
+	mutate("zero ack cadence", func(b []byte) []byte {
+		copy(b[len(b)-12:], []byte{0, 0, 0, 0})
+		return b
+	})
+	mutate("cleartext in cipher list", func(b []byte) []byte {
+		// Rebuild with one cipher whose id is 0.
+		head := b[:len(b)-tail+1+len(SupportedVersions())]
+		out := append([]byte(nil), head...)
+		out = append(out, 1, 0, 0) // 1 cipher: 0x0000
+		return append(out, b[len(b)-20:]...)
+	})
+}
+
+func TestLimitsValidate(t *testing.T) {
+	if err := DefaultLimits().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Limits{
+		{MaxPayload: 0, InitialWindow: 1 << 20, AckFrames: 64, AckBytes: 256 << 10},
+		{MaxPayload: MaxMuxPayload + 1, InitialWindow: 1 << 20, AckFrames: 64, AckBytes: 256 << 10},
+		{MaxPayload: MaxMuxPayload, InitialWindow: 0, AckFrames: 64, AckBytes: 256 << 10},
+		{MaxPayload: MaxMuxPayload, InitialWindow: 1 << 31, AckFrames: 64, AckBytes: 256 << 10},
+		{MaxPayload: MaxMuxPayload, InitialWindow: 1 << 20, AckFrames: 0, AckBytes: 256 << 10},
+		{MaxPayload: MaxMuxPayload, InitialWindow: 1 << 20, AckFrames: 64, AckBytes: 0},
+		{MaxPayload: MaxMuxPayload, InitialWindow: 1 << 20, AckFrames: 64, AckBytes: 256 << 10, KeepaliveMs: 1 << 31},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); !errors.Is(err, ErrBadTransport) {
+			t.Fatalf("case %d: want ErrBadTransport, got %v", i, err)
+		}
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	v2 := func(ciphers []uint16, l Limits) *TransportHello {
+		return &TransportHello{Versions: []uint8{1, 2}, Ciphers: ciphers, Limits: l}
+	}
+	small := Limits{MaxPayload: 16 << 10, InitialWindow: 256 << 10, AckFrames: 16, AckBytes: 64 << 10, KeepaliveMs: 4000}
+	big := DefaultLimits()
+
+	n, err := Negotiate(v2([]uint16{CipherAES256GCM}, big), v2([]uint16{CipherAES256GCM}, small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Version != TransportVersion2 || n.Cipher != CipherAES256GCM {
+		t.Fatalf("negotiated %+v", n)
+	}
+	if n.Limits != small {
+		t.Fatalf("min-of-both limits: %+v", n.Limits)
+	}
+
+	// Highest common cipher wins, regardless of list order.
+	n, _ = Negotiate(v2([]uint16{CipherAES256GCM, 9}, big), v2([]uint16{9, CipherAES256GCM}, big))
+	if n.Cipher != 9 {
+		t.Fatalf("highest common cipher: got %d", n.Cipher)
+	}
+
+	// Either side offering no ciphers yields cleartext.
+	n, _ = Negotiate(v2(nil, big), v2([]uint16{CipherAES256GCM}, big))
+	if n.Cipher != CipherCleartext {
+		t.Fatalf("empty-list negotiation: got cipher %d", n.Cipher)
+	}
+
+	// Insecure mode can never negotiate a cipher.
+	ins := v2([]uint16{CipherAES256GCM}, big)
+	ins.Insecure = true
+	n, _ = Negotiate(ins, v2([]uint16{CipherAES256GCM}, big))
+	if n.Cipher != CipherCleartext {
+		t.Fatalf("insecure negotiation: got cipher %d", n.Cipher)
+	}
+
+	// A version-1 peer pins the session to version-1 semantics: cleartext
+	// and the default limits even if the v2 side advertised smaller ones.
+	v1 := &TransportHello{Versions: []uint8{1}}
+	n, err = Negotiate(v2([]uint16{CipherAES256GCM}, small), v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Version != TransportVersion1 || n.Cipher != CipherCleartext || n.Limits != DefaultLimits() {
+		t.Fatalf("v1 peer negotiation: %+v", n)
+	}
+
+	// No common version is a handshake failure.
+	if _, err := Negotiate(v2(nil, big), &TransportHello{Versions: []uint8{7}}); !errors.Is(err, ErrBadTransport) {
+		t.Fatalf("no common version: %v", err)
+	}
+
+	// Symmetry: both ends compute the identical agreement.
+	a, b := v2([]uint16{9, CipherAES256GCM}, small), v2([]uint16{CipherAES256GCM, 9}, big)
+	na, _ := Negotiate(a, b)
+	nb, _ := Negotiate(b, a)
+	if na != nb {
+		t.Fatalf("asymmetric negotiation: %+v vs %+v", na, nb)
+	}
+}
+
+func TestLimitsMergeKeepalive(t *testing.T) {
+	a := DefaultLimits()
+	a.KeepaliveMs = 0
+	b := DefaultLimits()
+	b.KeepaliveMs = 9000
+	if got := a.Merge(b).KeepaliveMs; got != 9000 {
+		t.Fatalf("zero keepalive merged to %d", got)
+	}
+	a.KeepaliveMs = 3000
+	if got := a.Merge(b).KeepaliveMs; got != 3000 {
+		t.Fatalf("min keepalive merged to %d", got)
 	}
 }
