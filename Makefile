@@ -6,7 +6,7 @@ GO ?= go
 NETEM_SEED ?= 42
 NETEM_LOSS ?= 0.3
 
-.PHONY: build test vet fmt lint race check integration fuzz-smoke bench bench-smoke chaos-smoke naming-smoke storm-smoke
+.PHONY: build test vet fmt lint race check integration fuzz-smoke bench bench-smoke chaos-smoke naming-smoke storm-smoke wan-smoke
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,21 @@ storm-smoke:
 	$(GO) test ./internal/core -run TestGoroutineCountFlatAcrossConns -race -count=1
 	$(GO) run ./cmd/benchgate -c10k-baseline BENCH_c10k.json -c10k-short
 
+# wan-smoke is the CI WAN-robustness gate: the relay rendezvous tests and
+# the NAT'd migration scenario under the race detector (two hosts that
+# cannot dial each other sustain a migrated connection through an
+# untrusted relay), the RTT-adaptive keepalive/backoff regression tests,
+# then benchgate reruns the netem scenario matrix in short mode (metro +
+# intercontinental, 2 breaks) against BENCH_wan.json — any lost resume,
+# false ErrTransportLost, false detector confirm, or false keepalive
+# timeout on a merely-slow path fails the gate.
+wan-smoke:
+	$(GO) test ./internal/relay -race -count=1
+	$(GO) test ./internal/transport -run 'TestRelayFallbackThroughNAT|TestRedialBackoffConfigHonored|TestKeepaliveAdaptsToWANRTT' -race -count=1 -v
+	$(GO) test ./internal/core -run TestMigrationSustainedThroughRelayNAT -race -count=1 -v
+	$(GO) test ./internal/fault -run 'TestRTTHintPreventsFalsePositive|TestSlowPathConfirmedDeadWithoutHint' -race -count=1
+	$(GO) run ./cmd/benchgate -wan -wan-baseline BENCH_wan.json -wan-short
+
 # integration runs only the subprocess tests (two-process deployment and
 # crash recovery), uncached.
 integration:
@@ -96,6 +111,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkFig9_Throughput -benchtime 1x .
 	$(GO) run ./cmd/benchgate -baseline BENCH_fig9.json -tolerance 0.5
 	$(GO) run ./cmd/benchgate -baseline BENCH_fig9.json -tolerance 0.5 -encrypted
+	$(GO) run ./cmd/benchgate -wan -wan-baseline BENCH_wan.json
 
 # check is the gate CI runs: vet, build, and the full suite under the race
 # detector.

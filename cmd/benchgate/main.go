@@ -15,11 +15,18 @@
 // or when goroutine growth across the population exceeds the O(1)
 // ceiling — i.e. a per-connection goroutine crept back in.
 //
+// With -wan it gates WAN robustness: the netem scenario matrix is rerun
+// (reduced with -wan-short) and fails when any break misses its resume,
+// when a false ErrTransportLost / detector confirm / keepalive timeout
+// appears on a merely-slow path, or when resume p99 blows past the
+// baseline by more than the tolerance plus a fixed grace.
+//
 // Usage:
 //
 //	benchgate [-baseline BENCH_fig9.json] [-tolerance 0.5] [-total 16777216]
 //	benchgate -naming-baseline BENCH_naming.json [-naming-short] [-tolerance 0.5]
 //	benchgate -c10k-baseline BENCH_c10k.json [-c10k-short] [-tolerance 0.5]
+//	benchgate -wan [-wan-baseline BENCH_wan.json] [-wan-short] [-tolerance 0.5]
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"naplet/internal/experiments"
+	"naplet/internal/netem"
 )
 
 var (
@@ -42,6 +50,10 @@ var (
 
 	c10kBaseline = flag.String("c10k-baseline", "", "committed storm baseline (BENCH_c10k.json); when set, gate the connection storm instead of Fig 9")
 	c10kShort    = flag.Bool("c10k-short", false, "run the storm at a reduced population (CI smoke: 10k conns, 1k wave)")
+
+	wan         = flag.Bool("wan", false, "gate the WAN scenario matrix: rerun the chaos scenario per profile and fail on any lost resume, false ErrTransportLost, false detector confirm, false keepalive timeout, or resume-p99 blowup")
+	wanBaseline = flag.String("wan-baseline", "BENCH_wan.json", "committed WAN baseline file (used with -wan)")
+	wanShort    = flag.Bool("wan-short", false, "run the WAN gate on a reduced matrix (CI smoke: metro + intercontinental, 2 breaks)")
 )
 
 func namingGate() {
@@ -96,8 +108,47 @@ func c10kGate() {
 		*tolerance*100, *c10kBaseline, experiments.MaxC10KGoroutineGrowth)
 }
 
+func wanGate() {
+	b, err := experiments.LoadBenchWAN(*wanBaseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := experiments.WANMatrixConfig{Breaks: b.Breaks}
+	if *wanShort {
+		cfg.Profiles = []netem.Profile{netem.ProfileMetro, netem.ProfileIntercontinental}
+		cfg.Breaks = 2
+	} else {
+		for _, p := range b.Points {
+			prof, ok := netem.ProfileNamed(p.Profile)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchgate: baseline profile %q is not in the netem matrix\n", p.Profile)
+				os.Exit(1)
+			}
+			cfg.Profiles = append(cfg.Profiles, prof)
+		}
+	}
+	res, err := experiments.RunWANMatrix(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	report, err := experiments.CompareWAN(b, res, *tolerance)
+	fmt.Print(report)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok (wan matrix: every break resumed, zero false positives, p99 within %.0f%% + %.0fms of %s)\n",
+		*tolerance*100, experiments.WANP99GraceMs, *wanBaseline)
+}
+
 func main() {
 	flag.Parse()
+	if *wan {
+		wanGate()
+		return
+	}
 	if *namingBaseline != "" {
 		namingGate()
 		return

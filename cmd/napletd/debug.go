@@ -77,12 +77,20 @@ func startDebugServer(addr string, node *naplet.Node, reg *obs.Registry, cnode *
 		}
 		now := time.Now()
 		fmt.Fprintf(w, "\n%d shared transports\n\n", len(transports))
-		fmt.Fprintf(w, "%-32s %-12s %-22s %-8s %-10s %-24s %7s %-10s %-18s %-15s %-10s\n",
-			"ID", "PEER", "ADDR", "ROLE", "CIPHER", "LIMITS", "STREAMS", "AGE", "STATE", "RESUME-DEADLINE", "LAST-KA")
+		fmt.Fprintf(w, "%-32s %-12s %-22s %-8s %-6s %-10s %-24s %7s %8s %-10s %-18s %-15s %-10s\n",
+			"ID", "PEER", "ADDR", "ROLE", "RELAY", "CIPHER", "LIMITS", "STREAMS", "RTT", "AGE", "STATE", "RESUME-DEADLINE", "LAST-KA")
 		for _, tr := range transports {
 			role := "accept"
 			if tr.Dialer {
 				role = "dial"
+			}
+			via := "-"
+			if tr.Relayed {
+				via = "relay"
+			}
+			rtt := "-"
+			if tr.RTT > 0 {
+				rtt = tr.RTT.Round(100 * time.Microsecond).String()
 			}
 			deadline, lastKA := "-", "-"
 			if !tr.ResumeDeadline.IsZero() {
@@ -93,8 +101,8 @@ func startDebugServer(addr string, node *naplet.Node, reg *obs.Registry, cnode *
 			}
 			limits := fmt.Sprintf("p%d/w%d/a%d/ka%dms",
 				tr.Limits.MaxPayload, tr.Limits.InitialWindow, tr.Limits.AckFrames, tr.Limits.KeepaliveMs)
-			fmt.Fprintf(w, "%-32s %-12s %-22s %-8s %-10s %-24s %7d %-10s %-18s %-15s %-10s\n",
-				tr.ID, tr.PeerHost, tr.PeerAddr, role, tr.Cipher, limits, tr.Streams,
+			fmt.Fprintf(w, "%-32s %-12s %-22s %-8s %-6s %-10s %-24s %7d %8s %-10s %-18s %-15s %-10s\n",
+				tr.ID, tr.PeerHost, tr.PeerAddr, role, via, tr.Cipher, limits, tr.Streams, rtt,
 				time.Since(tr.Opened).Round(time.Second), tr.State, deadline, lastKA)
 			for _, ev := range tr.Events {
 				fmt.Fprintf(w, "    %s %-18s %s\n", ev.At.Format("15:04:05.000"), ev.Kind, ev.Detail)

@@ -327,7 +327,7 @@ func TestConnzTransportState(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	for _, col := range []string{"STATE", "CIPHER", "LIMITS"} {
+	for _, col := range []string{"STATE", "CIPHER", "LIMITS", "RTT", "RELAY"} {
 		if !strings.Contains(table, col) {
 			t.Errorf("/connz transport table missing %s column:\n%s", col, table)
 		}
@@ -356,6 +356,15 @@ func TestConnzTransportState(t *testing.T) {
 		if tr.Limits.MaxPayload == 0 || tr.Limits.InitialWindow == 0 {
 			t.Errorf("transport %s reports zero limits: %+v", tr.ID, tr.Limits)
 		}
+		// The RTT estimator is seeded by the handshake itself, so a live
+		// transport always reports a positive smoothed RTT; this session
+		// was dialed directly, so it must not claim to be relayed.
+		if tr.RTT <= 0 {
+			t.Errorf("transport %s RTT = %v, want > 0 (handshake-seeded)", tr.ID, tr.RTT)
+		}
+		if tr.Relayed {
+			t.Errorf("transport %s marked relayed on a direct dial", tr.ID)
+		}
 	}
 
 	// The encrypted-session counter must reach the Prometheus exposition
@@ -368,6 +377,16 @@ func TestConnzTransportState(t *testing.T) {
 	}
 	if !strings.Contains(prom, "\ntransport_cleartext_legacy 0\n") {
 		t.Errorf("/metrics?format=prom missing transport_cleartext_legacy counter:\n%s", prom)
+	}
+	// The path-RTT gauge and the relay fallback counter reach the
+	// exposition too: rtt_ms is live (nonzero) on an established session,
+	// relay_dials stays 0 because the direct dial succeeded.
+	if !strings.Contains(prom, "# TYPE transport_rtt_ms gauge") ||
+		strings.Contains(prom, "\ntransport_rtt_ms 0\n") {
+		t.Errorf("/metrics?format=prom missing nonzero transport_rtt_ms gauge:\n%s", prom)
+	}
+	if !strings.Contains(prom, "\ntransport_relay_dials 0\n") {
+		t.Errorf("/metrics?format=prom missing transport_relay_dials counter:\n%s", prom)
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"naplet/internal/naming"
 	"naplet/internal/naming/cluster"
 	"naplet/internal/obs"
+	"naplet/internal/relay"
 )
 
 type launchList []string
@@ -59,6 +60,8 @@ var (
 	tpEncrypt    = flag.Bool("transport-encrypt", true, "seal shared-transport frames with the negotiated AEAD cipher (secure mode only; false keeps authenticated-handshake cleartext framing)")
 	tpMaxPayload = flag.Uint("transport-max-payload", 0, "advertised max mux frame payload in bytes, 1KiB..64KiB (0 = wire default 64KiB; the session uses the min of both hosts)")
 	tpWindow     = flag.Uint("transport-window", 0, "advertised per-stream credit window in bytes, 4KiB..1GiB (0 = wire default 1MiB; the session uses the min of both hosts)")
+	relayAddr    = flag.String("relay-addr", "", "also host a rendezvous relay (TCP) on this address, splicing transport sessions between hosts that cannot dial each other (off when empty)")
+	relayVia     = flag.String("relay-via", "", "relay server to keep a registration leg open with; the shared transport also falls back to dialing peers through it when direct dials fail")
 	clusterKey   = flag.String("cluster-secret", "", "shared secret authenticating the docking channel between hosts")
 	debugAddr    = flag.String("debug-addr", "", "serve /metrics, /connz and pprof on this address (off when empty)")
 	logLevel     = flag.String("log-level", "info", "runtime log level: debug, info, warn, error")
@@ -138,6 +141,16 @@ func main() {
 	cfg.Core.DisableTransportEncryption = !*tpEncrypt
 	cfg.Core.TransportLimits.MaxPayload = uint32(*tpMaxPayload)
 	cfg.Core.TransportLimits.InitialWindow = uint32(*tpWindow)
+	cfg.Core.RelayVia = *relayVia
+
+	if *relayAddr != "" {
+		rs, err := relay.New(*relayAddr, log.Printf)
+		if err != nil {
+			log.Fatalf("starting relay: %v", err)
+		}
+		defer rs.Close()
+		log.Printf("relay listening on %s", rs.Addr())
+	}
 
 	tracer := obs.NewTracer(*name)
 	cfg.Tracer = tracer

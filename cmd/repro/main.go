@@ -7,7 +7,7 @@
 //	repro [flags] <experiment>...
 //
 // Experiments: table1, suspres, fig7, fig8, fig9, fig10a, fig10b, fig12a,
-// fig12b, fig13, all.
+// fig12b, fig13, motivation, wan, wanmatrix, ablations, naming, all.
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"naplet/internal/experiments"
+	"naplet/internal/netem"
 )
 
 var (
@@ -29,6 +30,7 @@ var (
 	csvDir     = flag.String("csv", "", "directory to write per-figure CSV files into")
 	benchJSON  = flag.String("bench-json", "", "path to BENCH_fig9.json: fig9 refreshes its After series there (Before is preserved)")
 	namingJSON = flag.String("naming-json", "", "path to BENCH_naming.json: naming refreshes the committed baseline there (Note is preserved)")
+	wanJSON    = flag.String("wan-json", "", "path to BENCH_wan.json: wanmatrix refreshes the committed baseline there (Note is preserved)")
 )
 
 // writeCSV writes one figure's CSV when -csv is set.
@@ -55,7 +57,7 @@ func main() {
 	var list []string
 	for _, a := range args {
 		if a == "all" {
-			list = []string{"table1", "suspres", "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig12a", "fig12b", "fig13", "motivation", "wan", "ablations", "naming"}
+			list = []string{"table1", "suspres", "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig12a", "fig12b", "fig13", "motivation", "wan", "wanmatrix", "ablations", "naming"}
 			break
 		}
 		list = append(list, strings.ToLower(a))
@@ -84,6 +86,7 @@ experiments:
   fig13    Figure 13: connection-migration overhead vs message exchange rate
   motivation  Section 1: round trip over NapletSocket vs the PostOffice mailbox
   wan      Table 1/§4.2 latencies under emulated network delay (1/5/10 ms one-way)
+  wanmatrix resume/detector robustness under the named WAN profiles (lan..lossy-cell)
   ablations design-choice ablations (handoff, control transport, failure-resume)
   naming   sharded location-service lookups under a migration storm (cached vs direct)
   all      everything above
@@ -246,6 +249,30 @@ func run(name string) error {
 			}
 			fmt.Print(w.Table())
 			fmt.Println()
+		}
+
+	case "wanmatrix":
+		header("WAN scenario matrix: resume under break/migrate chaos per netem profile")
+		cfg := experiments.WANMatrixConfig{}
+		if *quick {
+			cfg.Profiles = []netem.Profile{netem.ProfileMetro, netem.ProfileContinental}
+			cfg.Breaks = 2
+		}
+		res, err := experiments.RunWANMatrix(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table())
+		if *wanJSON != "" {
+			b := experiments.BenchWANFrom(res)
+			old, err := experiments.LoadBenchWAN(*wanJSON)
+			if err == nil {
+				b.Note = old.Note
+			}
+			if err := experiments.WriteBenchWAN(*wanJSON, b); err != nil {
+				return fmt.Errorf("writing %s: %w", *wanJSON, err)
+			}
+			fmt.Printf("(bench baseline: %s)\n", *wanJSON)
 		}
 
 	case "motivation":

@@ -20,6 +20,7 @@ import (
 	"naplet/internal/metrics"
 	"naplet/internal/naming"
 	"naplet/internal/obs"
+	"naplet/internal/relay"
 	"naplet/internal/rudp"
 	"naplet/internal/security"
 	"naplet/internal/transport"
@@ -90,6 +91,13 @@ type Config struct {
 	// transport's kernel connection — tests count calls through it to prove
 	// that logical connections share one transport per host pair.
 	DialData func(addr string, timeout time.Duration) (net.Conn, error)
+	// RelayVia, when non-empty, names a relay server (see internal/relay)
+	// used two ways: the controller keeps a registration leg open so peers
+	// that cannot dial this host's redirector directly can still reach it,
+	// and the shared transport falls back to dialing peers through the
+	// relay when the direct dial fails. The relay is untrusted — it sees
+	// only transport hellos and AEAD ciphertext.
+	RelayVia string
 	// DrainTimeout bounds the pre-suspend drain. Default 5s.
 	DrainTimeout time.Duration
 	// TransportKeepaliveInterval / TransportKeepaliveTimeout tune the
@@ -203,6 +211,9 @@ type Controller struct {
 	tm *transport.Manager
 	// det is the peer failure detector; nil unless HeartbeatInterval is set.
 	det *fault.Detector
+	// relayCli keeps this host registered with the RelayVia relay so
+	// un-dialable peers can still call in; nil unless RelayVia is set.
+	relayCli *relay.Client
 	// loc caches Locator results keyed by agent id, guarded by epoch and
 	// proactively invalidated off the control-message path; nil when
 	// disabled by config.
@@ -272,6 +283,15 @@ func NewController(cfg Config) (*Controller, error) {
 			OnEvent:         ctrl.onFaultEvent,
 			Metrics:         cfg.Metrics,
 			Logger:          ctrl.obs.log,
+			// The transport manager does not exist yet (it needs the
+			// redirector address), so the hint resolves it lazily; probing
+			// only starts after NewController returns, when tm is set.
+			RTTHint: func() time.Duration {
+				if tm := ctrl.tm; tm != nil {
+					return tm.MaxRTT()
+				}
+				return 0
+			},
 		})
 		// Every valid control packet from a peer is piggybacked liveness
 		// evidence, suppressing probes on busy connections.
@@ -297,6 +317,7 @@ func NewController(cfg Config) (*Controller, error) {
 		AdvertiseAddr:     red.addr(),
 		Insecure:          cfg.Insecure,
 		Dial:              cfg.DialData,
+		RelayAddr:         cfg.RelayVia,
 		WrapData:          cfg.WrapData,
 		HandshakeTimeout:  cfg.handshakeTimeout(),
 		Authorize:         ctrl.authorizeHandoff,
@@ -310,6 +331,19 @@ func NewController(cfg Config) (*Controller, error) {
 		Metrics:           cfg.Metrics,
 		Tracer:            cfg.Tracer,
 	})
+	if cfg.RelayVia != "" {
+		// Call-in legs delivered by the relay carry the same bytes an
+		// accepted redirector socket would, so they go through the same
+		// sniff-and-dispatch — marked relayed so the transport records how
+		// the session reached us.
+		ctrl.relayCli = relay.NewClient(relay.ClientConfig{
+			RelayAddr: cfg.RelayVia,
+			Advertise: red.addr(),
+			Dial:      cfg.DialData,
+			Handle:    func(conn net.Conn) { red.dispatch(conn, true) },
+			Logf:      ctrl.logf,
+		})
+	}
 	ctrl.registerGauges()
 	if ctrl.det != nil {
 		go ctrl.watchReconciler(cfg.HeartbeatInterval)
@@ -390,6 +424,9 @@ func (ctrl *Controller) Close() error {
 	ctrl.mu.Unlock()
 	conns := ctrl.tab.all()
 	close(ctrl.done)
+	if ctrl.relayCli != nil {
+		ctrl.relayCli.Close()
+	}
 	ctrl.det.Close()
 	ctrl.tm.Close()
 	for _, s := range conns {

@@ -236,7 +236,13 @@ func (r *redirector) acceptLoop() {
 // go to the transport manager, legacy ones through the original
 // authenticate-and-deliver path, kept for mixed-version peers and the
 // low-level protocol tests.
-func (r *redirector) handle(sock net.Conn) {
+func (r *redirector) handle(sock net.Conn) { r.dispatch(sock, false) }
+
+// dispatch is the sniffing half of handle, shared with the relay client:
+// a matched relay call-in leg carries exactly the bytes an accepted
+// redirector socket would, so it enters here with relayed=true and is
+// handed to the transport manager's relayed-accept path.
+func (r *redirector) dispatch(sock net.Conn, relayed bool) {
 	sock.SetDeadline(time.Now().Add(r.ctrl.cfg.handshakeTimeout()))
 	var sniff [2]byte
 	if _, err := io.ReadFull(sock, sniff[:]); err != nil {
@@ -247,7 +253,13 @@ func (r *redirector) handle(sock net.Conn) {
 	pc := &prependConn{Conn: sock, head: sniff[:]}
 	if wire.SniffTransport(sniff[:]) {
 		sock.SetDeadline(time.Time{}) // HandleConn sets its own handshake deadline
-		if err := r.ctrl.tm.HandleConn(pc); err != nil {
+		var err error
+		if relayed {
+			err = r.ctrl.tm.HandleRelayedConn(pc)
+		} else {
+			err = r.ctrl.tm.HandleConn(pc)
+		}
+		if err != nil {
 			r.ctrl.logf("redirector %s: transport handshake: %v", r.ctrl.cfg.HostName, err)
 		}
 		return

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"naplet/internal/netem"
+	"naplet/internal/obs"
+	"naplet/internal/relay"
+)
+
+// TestMigrationSustainedThroughRelayNAT is the WAN acceptance scenario: every
+// host sits behind a default-deny NAT that admits only the relay, so no host
+// can dial another's redirector directly. The logical connection must still
+// establish, survive a migration, and deliver every byte exactly once —
+// entirely over relayed transport legs.
+func TestMigrationSustainedThroughRelayNAT(t *testing.T) {
+	rs, err := relay.New("127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	mets := map[string]*obs.Registry{}
+	env := newEnv(t, []string{"h1", "h2", "h3"}, func(cfg *Config) {
+		nat := netem.NewNAT()
+		nat.Allow(rs.Addr())
+		met := obs.NewRegistry()
+		mets[cfg.HostName] = met
+		cfg.Metrics = met
+		cfg.RelayVia = rs.Addr()
+		cfg.DialData = nat.WrapDial(func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		})
+	})
+	// Registration legs come up asynchronously; the rendezvous only works
+	// once every host holds one.
+	deadline := time.Now().Add(5 * time.Second)
+	for rs.Registrations() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d relay registrations, want 3", rs.Registrations())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	client, server := env.pair("mover", "h1", "anchor", "h2")
+
+	// The h1<->h2 transport cannot exist except through the relay.
+	if got := mets["h1"].Counter("transport.relay_dials").Value(); got < 1 {
+		t.Fatalf("h1 transport.relay_dials = %d, want >= 1", got)
+	}
+	for _, in := range env.hosts["h1"].ctrl.TransportInfos() {
+		if !in.Relayed {
+			t.Fatalf("h1 transport to %s not marked relayed", in.PeerHost)
+		}
+	}
+
+	if _, err := client.Write([]byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	env.migrate("mover", "h1", "h3", 2)
+
+	moved, err := env.hosts["h3"].ctrl.AgentSocket("mover", client.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitEstablished(t, moved, server)
+	if _, err := moved.Write([]byte("-post")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len("pre-post"))
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "pre-post" {
+		t.Fatalf("anchor read %q, want \"pre-post\"", got)
+	}
+	if _, err := server.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	got = make([]byte, 4)
+	if _, err := io.ReadFull(moved, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "back" {
+		t.Fatalf("mover read %q, want \"back\"", got)
+	}
+
+	// The post-migration h3<->h2 transport is also relayed: the NAT never
+	// opened, the rendezvous carried the whole recovery.
+	relayed := 0
+	for _, in := range env.hosts["h3"].ctrl.TransportInfos() {
+		if in.Relayed {
+			relayed++
+		}
+	}
+	if relayed == 0 {
+		t.Fatal("no relayed transport on the migration target")
+	}
+	if got := mets["h3"].Counter("transport.relay_dials").Value(); got < 1 {
+		t.Fatalf("h3 transport.relay_dials = %d, want >= 1", got)
+	}
+}

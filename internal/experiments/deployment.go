@@ -66,6 +66,10 @@ type deployConfig struct {
 	// netemDelay applies one-way latency emulation to the data sockets and
 	// the control channel of every host.
 	netemDelay time.Duration
+	// coreHook, when non-nil, adjusts each host's controller config after
+	// the deployment defaults — the escape hatch experiments use for
+	// per-host fault plans, metrics registries, and detector tuning.
+	coreHook func(hostName string, cfg *core.Config)
 }
 
 func withInsecure() deployOption { return func(c *deployConfig) { c.insecure = true } }
@@ -92,6 +96,13 @@ func withBreakdowns(m map[string]*metrics.Breakdown) deployOption {
 
 func withMigrationDelay(d time.Duration) deployOption {
 	return func(c *deployConfig) { c.migrationDelay = d }
+}
+
+// withCoreHook lets an experiment mutate each host's controller config
+// after the deployment defaults are applied and before the controller
+// starts.
+func withCoreHook(hook func(hostName string, cfg *core.Config)) deployOption {
+	return func(c *deployConfig) { c.coreHook = hook }
 }
 
 func newDeployment(names []string, opts ...deployOption) (*deployment, error) {
@@ -130,6 +141,9 @@ func newDeployment(names []string, opts ...deployOption) (*deployment, error) {
 		if cfg.netemDelay > 0 {
 			ccfg.WrapData = wrapDelay(cfg.netemDelay)
 			ccfg.ControlSendDelay = cfg.netemDelay
+		}
+		if cfg.coreHook != nil {
+			cfg.coreHook(name, &ccfg)
 		}
 		ctrl, err := core.NewController(ccfg)
 		if err != nil {

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// WANPoint is one committed WAN-matrix cell (BENCH_wan.json). The
+// robustness invariants — every break resumed, zero false transport
+// losses, zero false detector confirms, zero false keepalive timeouts —
+// are machine-independent and gated absolutely; the resume p99 is gated
+// relatively, with an absolute grace term for scheduler noise, because it
+// is dominated by the emulated RTT rather than by the hardware.
+type WANPoint struct {
+	Profile           string  `json:"profile"`
+	RTTMs             float64 `json:"rtt_ms"`
+	Breaks            int     `json:"breaks"`
+	ResumeRate        float64 `json:"resume_rate"`
+	ResumeP50Ms       float64 `json:"resume_p50_ms"`
+	ResumeP99Ms       float64 `json:"resume_p99_ms"`
+	FalseLost         int     `json:"false_lost"`
+	FalseConfirms     int     `json:"false_confirms"`
+	KeepaliveTimeouts int     `json:"keepalive_timeouts"`
+	ThroughputMbps    float64 `json:"throughput_mbps"`
+}
+
+// BenchWAN is the committed WAN baseline file.
+type BenchWAN struct {
+	Note   string     `json:"note,omitempty"`
+	Breaks int        `json:"breaks"`
+	Points []WANPoint `json:"points"`
+}
+
+// BenchWANFrom converts a fresh matrix run to a committed baseline.
+func BenchWANFrom(r *WANMatrixResult) *BenchWAN {
+	b := &BenchWAN{}
+	for _, c := range r.Cells {
+		if b.Breaks == 0 {
+			b.Breaks = c.Breaks
+		}
+		b.Points = append(b.Points, WANPoint{
+			Profile:           c.Profile,
+			RTTMs:             round1(c.RTTMs),
+			Breaks:            c.Breaks,
+			ResumeRate:        round3(c.ResumeRate),
+			ResumeP50Ms:       round1(c.ResumeP50Ms),
+			ResumeP99Ms:       round1(c.ResumeP99Ms),
+			FalseLost:         c.TransportLost,
+			FalseConfirms:     c.DetectorConfirms,
+			KeepaliveTimeouts: c.KeepaliveTimeouts,
+			ThroughputMbps:    round1(c.ThroughputMbps),
+		})
+	}
+	return b
+}
+
+// LoadBenchWAN reads a committed WAN baseline.
+func LoadBenchWAN(path string) (*BenchWAN, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b BenchWAN
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBenchWAN writes the baseline in a stable, diff-friendly form.
+func WriteBenchWAN(path string, b *BenchWAN) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WANP99GraceMs is the absolute slack added on top of the relative
+// tolerance when gating resume p99: with only a handful of break samples
+// per cell the p99 is really a max, and a single slow scheduler wakeup
+// should not fail CI.
+const WANP99GraceMs = 500.0
+
+// CompareWAN checks a fresh matrix run against the committed baseline.
+// Profiles absent from the baseline are ignored (and vice versa), so a
+// short smoke run gates only the cells it measured.
+func CompareWAN(baseline *BenchWAN, fresh *WANMatrixResult, tolerance float64) (string, error) {
+	base := make(map[string]WANPoint, len(baseline.Points))
+	for _, p := range baseline.Points {
+		base[p.Profile] = p
+	}
+	report := ""
+	var regressions []string
+	bad := func(format string, args ...any) {
+		regressions = append(regressions, fmt.Sprintf(format, args...))
+	}
+	for _, c := range fresh.Cells {
+		bp, ok := base[c.Profile]
+		if !ok {
+			continue
+		}
+		report += fmt.Sprintf("%-16s resume %d/%d p99 %.1fms (baseline %.1fms) lost=%d confirms=%d ka=%d\n",
+			c.Profile, c.Resumed, c.Broken, c.ResumeP99Ms, bp.ResumeP99Ms,
+			c.TransportLost, c.DetectorConfirms, c.KeepaliveTimeouts)
+		if c.ResumeRate < bp.ResumeRate {
+			bad("%s: resume rate %.3f below baseline %.3f", c.Profile, c.ResumeRate, bp.ResumeRate)
+		}
+		if c.TransportLost > bp.FalseLost {
+			bad("%s: %d false ErrTransportLost (baseline %d)", c.Profile, c.TransportLost, bp.FalseLost)
+		}
+		if c.DetectorConfirms > bp.FalseConfirms {
+			bad("%s: %d false detector confirms (baseline %d)", c.Profile, c.DetectorConfirms, bp.FalseConfirms)
+		}
+		if c.KeepaliveTimeouts > bp.KeepaliveTimeouts {
+			bad("%s: %d false keepalive timeouts (baseline %d)", c.Profile, c.KeepaliveTimeouts, bp.KeepaliveTimeouts)
+		}
+		if bp.ResumeP99Ms > 0 {
+			if allowed := bp.ResumeP99Ms*(1+tolerance) + WANP99GraceMs; c.ResumeP99Ms > allowed {
+				bad("%s: resume p99 %.1fms exceeds %.1fms (baseline %.1fms + %.0f%% + %.0fms grace)",
+					c.Profile, c.ResumeP99Ms, allowed, bp.ResumeP99Ms, tolerance*100, WANP99GraceMs)
+			}
+		}
+	}
+	if len(regressions) > 0 {
+		msg := ""
+		for _, r := range regressions {
+			msg += r + "\n"
+		}
+		return report, fmt.Errorf("wan matrix regressions:\n%s", msg)
+	}
+	return report, nil
+}

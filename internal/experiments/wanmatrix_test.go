@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"naplet/internal/netem"
+)
+
+// TestWANMatrixMetro runs the full chaos scenario on the metro profile:
+// cheap enough for the unit suite, while still covering the break/resume
+// loop, the live migration, and the throughput leg end to end.
+func TestWANMatrixMetro(t *testing.T) {
+	res, err := RunWANMatrix(WANMatrixConfig{
+		Profiles:        []netem.Profile{netem.ProfileMetro},
+		Breaks:          2,
+		ThroughputBytes: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(res.Cells))
+	}
+	c := res.Cells[0]
+	if c.Broken < c.Breaks {
+		t.Fatalf("Broken = %d, want >= %d (one per severed conn)", c.Broken, c.Breaks)
+	}
+	if c.ResumeRate != 1.0 {
+		t.Fatalf("ResumeRate = %.3f (%d/%d), want 1.0", c.ResumeRate, c.Resumed, c.Broken)
+	}
+	if c.TransportLost != 0 || c.DetectorConfirms != 0 || c.KeepaliveTimeouts != 0 {
+		t.Fatalf("false positives: lost=%d confirms=%d ka=%d, want all 0",
+			c.TransportLost, c.DetectorConfirms, c.KeepaliveTimeouts)
+	}
+	if c.ResumeP99Ms <= 0 {
+		t.Fatal("no resume latency samples recorded")
+	}
+	if c.ThroughputMbps <= 0 {
+		t.Fatal("throughput leg measured nothing")
+	}
+	if !strings.Contains(res.Table(), "metro") {
+		t.Fatalf("table missing profile row:\n%s", res.Table())
+	}
+}
+
+// TestCompareWAN pins the gate logic on synthetic data: the invariants are
+// absolute, the p99 is relative with grace.
+func TestCompareWAN(t *testing.T) {
+	baseline := &BenchWAN{Breaks: 4, Points: []WANPoint{
+		{Profile: "metro", ResumeRate: 1, ResumeP99Ms: 100},
+		{Profile: "intercontinental", ResumeRate: 1, ResumeP99Ms: 2000},
+	}}
+	ok := &WANMatrixResult{Cells: []WANCell{
+		{Profile: "metro", ResumeRate: 1, Broken: 8, Resumed: 8, ResumeP99Ms: 120},
+		{Profile: "unknown-profile", ResumeRate: 0.5, TransportLost: 3},
+	}}
+	if report, err := CompareWAN(baseline, ok, 0.5); err != nil {
+		t.Fatalf("CompareWAN(ok) = %v\n%s", err, report)
+	}
+
+	cases := []struct {
+		name string
+		cell WANCell
+		want string
+	}{
+		{"dropped resume", WANCell{Profile: "metro", ResumeRate: 0.9, ResumeP99Ms: 100}, "resume rate"},
+		{"false lost", WANCell{Profile: "metro", ResumeRate: 1, TransportLost: 1}, "ErrTransportLost"},
+		{"false confirm", WANCell{Profile: "metro", ResumeRate: 1, DetectorConfirms: 2}, "detector confirms"},
+		{"false keepalive", WANCell{Profile: "metro", ResumeRate: 1, KeepaliveTimeouts: 1}, "keepalive timeouts"},
+		{"p99 blowup", WANCell{Profile: "metro", ResumeRate: 1, ResumeP99Ms: 100*1.5 + WANP99GraceMs + 1}, "resume p99"},
+	}
+	for _, tc := range cases {
+		fresh := &WANMatrixResult{Cells: []WANCell{tc.cell}}
+		_, err := CompareWAN(baseline, fresh, 0.5)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: CompareWAN error = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Within grace: p99 just under the allowance passes.
+	fresh := &WANMatrixResult{Cells: []WANCell{
+		{Profile: "intercontinental", ResumeRate: 1, ResumeP99Ms: 2000*1.5 + WANP99GraceMs - 1},
+	}}
+	if _, err := CompareWAN(baseline, fresh, 0.5); err != nil {
+		t.Fatalf("p99 inside grace rejected: %v", err)
+	}
+}

@@ -122,6 +122,13 @@ type Config struct {
 	Window int
 	// ProbeTimeout bounds one probe attempt. Default Interval (min 10ms).
 	ProbeTimeout time.Duration
+	// RTTHint, when non-nil, supplies the current worst-path round-trip
+	// estimate (e.g. transport.Manager.MaxRTT). Each probe's timeout is
+	// floored at 4x the hint, so a heartbeat that merely takes a WAN round
+	// trip is never scored as a failure: without this, any path whose RTT
+	// exceeds ProbeTimeout fails every probe and confirms a perfectly
+	// healthy peer as down.
+	RTTHint func() time.Duration
 	// Probe checks a peer's liveness. Required.
 	Probe Probe
 	// OnEvent, when non-nil, receives every state transition. Called from
@@ -384,6 +391,19 @@ func (d *Detector) State(peer string) State {
 	return w.state
 }
 
+// probeTimeout returns the per-probe deadline: the configured ProbeTimeout,
+// floored at 4x the current RTT hint so slow-but-healthy WAN paths get their
+// probe responses awaited rather than scored as failures.
+func (d *Detector) probeTimeout() time.Duration {
+	timeout := d.cfg.ProbeTimeout
+	if d.cfg.RTTHint != nil {
+		if rtt := d.cfg.RTTHint(); rtt > 0 && 4*rtt > timeout {
+			timeout = 4 * rtt
+		}
+	}
+	return timeout
+}
+
 // probeLoop drives one peer's heartbeat probes until unwatch or close.
 func (d *Detector) probeLoop(w *watch) {
 	defer d.wg.Done()
@@ -429,7 +449,7 @@ func (d *Detector) probeLoop(w *watch) {
 			continue
 		}
 
-		ctx, cancel := context.WithTimeout(context.Background(), d.cfg.ProbeTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), d.probeTimeout())
 		err := d.cfg.Probe(ctx, w.peer)
 		cancel()
 		d.ins.probes.Inc()

@@ -1,0 +1,83 @@
+package fault
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"naplet/internal/obs"
+)
+
+// slowProbe answers every probe correctly, but only after a WAN round trip:
+// the peer is perfectly healthy, just far away.
+func slowProbe(rtt time.Duration) func(context.Context, string) error {
+	return func(ctx context.Context, peer string) error {
+		select {
+		case <-time.After(rtt):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// TestSlowPathConfirmedDeadWithoutHint pins the failure mode the RTT hint
+// exists for: with the probe timeout defaulted from a short interval, a
+// healthy peer behind a 60ms round trip fails every probe and is confirmed
+// dead.
+func TestSlowPathConfirmedDeadWithoutHint(t *testing.T) {
+	cfg := Config{
+		Interval: 10 * time.Millisecond,
+		Probe:    slowProbe(60 * time.Millisecond),
+	}
+	ch := collectEvents(&cfg)
+	d := NewDetector(cfg)
+	defer d.Close()
+	d.Watch("far-peer")
+	waitEvent(t, ch, EventConfirm, 5*time.Second)
+}
+
+// TestRTTHintPreventsFalsePositive is the regression test for the fix: the
+// same slow-but-healthy peer, with the detector told the current path RTT,
+// never becomes suspect and never confirms — each probe's timeout is
+// floored at 4x the hint, so its (correct, slow) answer is awaited.
+func TestRTTHintPreventsFalsePositive(t *testing.T) {
+	const rtt = 60 * time.Millisecond
+	met := obs.NewRegistry()
+	cfg := Config{
+		Interval: 10 * time.Millisecond,
+		Probe:    slowProbe(rtt),
+		RTTHint:  func() time.Duration { return rtt },
+		Metrics:  met,
+	}
+	ch := collectEvents(&cfg)
+	d := NewDetector(cfg)
+	defer d.Close()
+	d.Watch("far-peer")
+
+	// Many intervals' worth of wall time; every probe takes a full RTT but
+	// succeeds within the hint-floored timeout.
+	time.Sleep(1 * time.Second)
+
+	if st := d.State("far-peer"); st != Alive {
+		t.Fatalf("State = %v, want Alive", st)
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected detector event on a healthy slow path: %+v", ev)
+	default:
+	}
+	snap := met.Snapshot()
+	if n := snap.Counters["fault.probe_failures"]; n != 0 {
+		t.Fatalf("fault.probe_failures = %d on a healthy slow path, want 0", n)
+	}
+	if n := snap.Counters["fault.suspects"]; n != 0 {
+		t.Fatalf("fault.suspects = %d, want 0", n)
+	}
+	if n := snap.Counters["fault.confirms"]; n != 0 {
+		t.Fatalf("fault.confirms = %d, want 0", n)
+	}
+	if n := snap.Counters["fault.probes"]; n == 0 {
+		t.Fatal("no probes ran; the test proved nothing")
+	}
+}

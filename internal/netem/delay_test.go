@@ -1,0 +1,204 @@
+package netem
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// Two same-seed plans must produce byte-identical delay schedules, and
+// the schedules must be independent per direction and of loss decisions.
+func TestDelayScheduleSeededDeterminism(t *testing.T) {
+	a, b := NewFaults(7), NewFaults(7)
+	for _, f := range []*Faults{a, b} {
+		f.SetDelay(Up, 40*time.Millisecond, 10*time.Millisecond)
+		f.SetDelay(Down, 80*time.Millisecond, 5*time.Millisecond)
+	}
+	// Burning loss decisions on one plan must not perturb its schedule.
+	a.SetLoss(0.5)
+	da := a.DropFn()
+	for i := 0; i < 100; i++ {
+		da(nil)
+	}
+	for i := 0; i < 500; i++ {
+		if x, y := a.SampleDelay(Up), b.SampleDelay(Up); x != y {
+			t.Fatalf("up sample %d diverged: %s vs %s", i, x, y)
+		}
+		if x, y := a.SampleDelay(Down), b.SampleDelay(Down); x != y {
+			t.Fatalf("down sample %d diverged: %s vs %s", i, x, y)
+		}
+	}
+	// A different seed gives a different schedule.
+	c := NewFaults(8)
+	c.SetDelay(Up, 40*time.Millisecond, 10*time.Millisecond)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.SampleDelay(Up) == b.SampleDelay(Up) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// Samples must stay inside [base-jitter, base+jitter] (clamped at 0) and
+// actually use the jitter range rather than collapsing to the base.
+func TestDelaySamplesWithinJitterBounds(t *testing.T) {
+	f := NewFaults(42)
+	base, jit := 50*time.Millisecond, 20*time.Millisecond
+	f.SetDelay(Up, base, jit)
+	var lo, hi time.Duration = base, base
+	for i := 0; i < 2000; i++ {
+		d := f.SampleDelay(Up)
+		if d < base-jit || d > base+jit {
+			t.Fatalf("sample %s outside [%s, %s]", d, base-jit, base+jit)
+		}
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	// The uniform distribution should visit both halves of the range.
+	if lo > base-jit/2 || hi < base+jit/2 {
+		t.Fatalf("samples span only [%s, %s]; jitter not applied", lo, hi)
+	}
+	// Unconfigured direction samples zero; jitter larger than base clamps.
+	if d := f.SampleDelay(Down); d != 0 {
+		t.Fatalf("unconfigured direction sampled %s", d)
+	}
+	f.SetDelay(Down, time.Millisecond, 10*time.Millisecond)
+	for i := 0; i < 200; i++ {
+		if d := f.SampleDelay(Down); d < 0 {
+			t.Fatalf("negative sample %s", d)
+		}
+	}
+}
+
+// End-to-end: traffic through a profile-configured pipe measures added
+// latency consistent with the configured one-way delay and jitter bounds.
+func TestWrapAddsConfiguredLatency(t *testing.T) {
+	f := NewFaults(3)
+	base, jit := 30*time.Millisecond, 5*time.Millisecond
+	f.SetDelay(Up, base, jit)
+
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	wrapped := f.Wrap(cli, Up)
+	defer wrapped.Close()
+
+	type arrival struct {
+		n  int
+		at time.Time
+	}
+	got := make(chan arrival, 16)
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			n, err := srv.Read(buf)
+			if n > 0 {
+				got <- arrival{n, time.Now()}
+			}
+			if err != nil {
+				close(got)
+				return
+			}
+		}
+	}()
+
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		sent := time.Now()
+		if _, err := wrapped.Write([]byte("ping")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		a := <-got
+		elapsed := a.at.Sub(sent)
+		// Lower bound is strict (the queue never delivers early beyond the
+		// jitter floor); upper bound is generous for scheduler noise.
+		if elapsed < base-jit {
+			t.Fatalf("round %d delivered after %s, below floor %s", i, elapsed, base-jit)
+		}
+		if elapsed > base+jit+200*time.Millisecond {
+			t.Fatalf("round %d delivered after %s, way past ceiling", i, elapsed)
+		}
+	}
+}
+
+// The profile matrix must cover the issue's named conditions and apply
+// cleanly onto a plan.
+func TestProfileMatrix(t *testing.T) {
+	want := []string{"lan", "metro", "continental", "intercontinental", "lossy-cell"}
+	ps := WANProfiles()
+	if len(ps) != len(want) {
+		t.Fatalf("matrix has %d profiles, want %d", len(ps), len(want))
+	}
+	for i, name := range want {
+		if ps[i].Name != name {
+			t.Fatalf("profile %d is %q, want %q", i, ps[i].Name, name)
+		}
+		p, ok := ProfileNamed(name)
+		if !ok || p.Name != name {
+			t.Fatalf("ProfileNamed(%q) = %+v, %v", name, p, ok)
+		}
+	}
+	if _, ok := ProfileNamed("dialup"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+	if rtt := ProfileIntercontinental.RTT(); rtt < 200*time.Millisecond {
+		t.Fatalf("intercontinental RTT %s below 200ms", rtt)
+	}
+	f := NewFaults(1)
+	ProfileLossyCell.Apply(f)
+	if d := f.SampleDelay(Up); d <= 0 {
+		t.Fatal("applied profile produced zero delay")
+	}
+	if !f.drop() && !f.drop() {
+		// 3% loss: two decisions rarely both drop; just exercise the path.
+		_ = f.DropFn()
+	}
+	f2 := NewFaults(1)
+	ProfileLAN.Apply(f2)
+	if ProfileLAN.Loss != 0 {
+		t.Fatal("lan profile has loss")
+	}
+}
+
+// NAT model: blocked by default, allow punches through, wrapped dials
+// refuse everything else.
+func TestNATWrapDial(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	nat := NewNAT()
+	dial := nat.WrapDial(func(addr string, timeout time.Duration) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, timeout)
+	})
+	if _, err := dial(ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("dial through default-deny NAT succeeded")
+	}
+	nat.Allow(ln.Addr().String())
+	c, err := dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("allowed dial failed: %v", err)
+	}
+	c.Close()
+	nat.Block(ln.Addr().String())
+	if _, err := dial(ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("dial after Block succeeded")
+	}
+}

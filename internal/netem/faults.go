@@ -16,9 +16,12 @@ import (
 //
 // Fault semantics respect what each layer can survive: datagram paths get
 // probabilistic loss (RUDP retransmits); byte-stream paths get abrupt
-// resets, directional write stalls (one-way partitions), and bandwidth
-// caps — never silent byte removal, which no stream protocol distinguishes
-// from corruption.
+// resets, directional write stalls (one-way partitions), seeded
+// per-direction latency/jitter, and bandwidth caps — never silent byte
+// removal, which no stream protocol distinguishes from corruption. WAN
+// latency on stream paths is modelled as an ordered delay queue (see
+// DelayFunc), so delayed bytes arrive late but intact, exactly like
+// propagation delay on a real path.
 
 // Direction names one flow direction through a Proxy or Wrap: Up is
 // client-to-server (the dial direction), Down is server-to-client.
@@ -40,15 +43,31 @@ type Faults struct {
 	// bandwidth caps paced writes in bytes/second; 0 means unlimited.
 	bandwidth float64
 	nextFree  time.Time
+	// bwDir caps each direction independently (asymmetric links, e.g. a
+	// cell uplink); 0 means that direction is unlimited. Both the shared
+	// and the per-direction cap apply when both are set.
+	bwDir       [2]float64
+	nextFreeDir [2]time.Time
+	// delay/jitter model one-way propagation latency per direction. Each
+	// write's delay is delay[dir] + uniform(-jitter[dir], +jitter[dir]),
+	// clamped at zero, drawn from that direction's own seeded stream so the
+	// schedule is deterministic and independent of loss decisions.
+	delay    [2]time.Duration
+	jitter   [2]time.Duration
+	delayRng [2]*rand.Rand
 	// stall[dir] holds that direction's writes (a one-way partition when
 	// only one is set, a full partition when both are).
 	stall [2]bool
 }
 
 // NewFaults returns a fault plan whose probabilistic decisions come from
-// the given seed, so a chaos schedule replays identically.
+// the given seed, so a chaos schedule replays identically. The loss stream
+// and each direction's jitter stream are derived from the seed but
+// independent: adding loss never perturbs the delay schedule.
 func NewFaults(seed int64) *Faults {
 	f := &Faults{rng: rand.New(rand.NewSource(seed))}
+	f.delayRng[Up] = rand.New(rand.NewSource(seed ^ 0x55AA55AA))
+	f.delayRng[Down] = rand.New(rand.NewSource(seed ^ 0x33CC33CC))
 	f.cond = sync.NewCond(&f.mu)
 	return f
 }
@@ -66,6 +85,53 @@ func (f *Faults) SetBandwidth(bytesPerSec float64) {
 	f.bandwidth = bytesPerSec
 	f.nextFree = time.Time{}
 	f.mu.Unlock()
+}
+
+// SetBandwidthDir caps one direction's paced traffic at bytesPerSec
+// independently of the shared cap; 0 removes that direction's cap.
+func (f *Faults) SetBandwidthDir(dir Direction, bytesPerSec float64) {
+	f.mu.Lock()
+	f.bwDir[dir] = bytesPerSec
+	f.nextFreeDir[dir] = time.Time{}
+	f.mu.Unlock()
+}
+
+// SetDelay sets one direction's one-way propagation delay and jitter
+// half-width. Zero for both removes latency emulation on that direction.
+func (f *Faults) SetDelay(dir Direction, oneWay, jitter time.Duration) {
+	f.mu.Lock()
+	f.delay[dir] = oneWay
+	f.jitter[dir] = jitter
+	f.mu.Unlock()
+}
+
+// SetDelayAll sets both directions to the same one-way delay and jitter
+// (a symmetric path with RTT 2×oneWay).
+func (f *Faults) SetDelayAll(oneWay, jitter time.Duration) {
+	f.SetDelay(Up, oneWay, jitter)
+	f.SetDelay(Down, oneWay, jitter)
+}
+
+// SampleDelay draws the next delay for one write in dir from that
+// direction's seeded jitter stream. With the same seed and the same call
+// sequence the schedule replays identically. A direction with no delay
+// configured samples zero without consuming randomness, so enabling delay
+// mid-run doesn't shift an already-replayed schedule.
+func (f *Faults) SampleDelay(dir Direction) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	base, jit := f.delay[dir], f.jitter[dir]
+	if base <= 0 && jit <= 0 {
+		return 0
+	}
+	d := base
+	if jit > 0 {
+		d += time.Duration((2*f.delayRng[dir].Float64() - 1) * float64(jit))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
 }
 
 // Stall holds or releases one direction's writes. Stalled bytes are
@@ -109,21 +175,29 @@ func (f *Faults) waitClear(dir Direction) {
 	f.mu.Unlock()
 }
 
-// pace delays the caller according to the bandwidth cap, attributing n
-// bytes to the shared budget.
-func (f *Faults) pace(n int) {
+// pace delays the caller according to the bandwidth caps, attributing n
+// bytes to the shared budget and to dir's own budget; the longer of the
+// two waits applies (serialization happens at the slower token bucket).
+func (f *Faults) pace(dir Direction, n int) {
 	f.mu.Lock()
-	bw := f.bandwidth
-	if bw <= 0 {
-		f.mu.Unlock()
-		return
-	}
 	now := time.Now()
-	if f.nextFree.Before(now) {
-		f.nextFree = now
+	var wait time.Duration
+	if bw := f.bandwidth; bw > 0 {
+		if f.nextFree.Before(now) {
+			f.nextFree = now
+		}
+		wait = f.nextFree.Sub(now)
+		f.nextFree = f.nextFree.Add(time.Duration(float64(n) / bw * float64(time.Second)))
 	}
-	wait := f.nextFree.Sub(now)
-	f.nextFree = f.nextFree.Add(time.Duration(float64(n) / bw * float64(time.Second)))
+	if bw := f.bwDir[dir]; bw > 0 {
+		if f.nextFreeDir[dir].Before(now) {
+			f.nextFreeDir[dir] = now
+		}
+		if w := f.nextFreeDir[dir].Sub(now); w > wait {
+			wait = w
+		}
+		f.nextFreeDir[dir] = f.nextFreeDir[dir].Add(time.Duration(float64(n) / bw * float64(time.Second)))
+	}
 	f.mu.Unlock()
 	if wait > 0 {
 		time.Sleep(wait)
@@ -131,6 +205,10 @@ func (f *Faults) pace(n int) {
 }
 
 // faultConn applies a Faults plan to one endpoint connection's writes.
+// Its inner conn is a DelayFunc wrapper sampling the plan's dir-direction
+// latency, so the write path is stall → pace → delay queue: stalls and
+// bandwidth model the sender's serialization (blocking the writer), the
+// delay queue models propagation (bytes in flight, writer not blocked).
 type faultConn struct {
 	net.Conn
 	f   *Faults
@@ -138,16 +216,18 @@ type faultConn struct {
 }
 
 // Wrap returns conn with its writes subject to the plan's dir-direction
-// stalls and bandwidth cap (shape for transport.Config.WrapData /
-// core.Config.WrapData). Reads pass through untouched; CloseWrite is
-// preserved when the underlying connection supports it.
+// stalls, bandwidth caps, and latency/jitter (shape for
+// transport.Config.WrapData / core.Config.WrapData). Reads pass through
+// untouched; CloseWrite is preserved when the underlying connection
+// supports it, flushing any delayed bytes first.
 func (f *Faults) Wrap(conn net.Conn, dir Direction) net.Conn {
-	return &faultConn{Conn: conn, f: f, dir: dir}
+	inner := DelayFunc(conn, func() time.Duration { return f.SampleDelay(dir) })
+	return &faultConn{Conn: inner, f: f, dir: dir}
 }
 
 func (c *faultConn) Write(p []byte) (int, error) {
 	c.f.waitClear(c.dir)
-	c.f.pace(len(p))
+	c.f.pace(c.dir, len(p))
 	return c.Conn.Write(p)
 }
 

@@ -1,0 +1,67 @@
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// NAT models an address-restricted NAT boundary for outbound dials: a host
+// behind the NAT can only reach addresses on its allow list (in practice,
+// a public relay), and every other dial fails the way a filtered path
+// does — an immediate refusal here, standing in for the real world's
+// silent timeout. Wrapping a transport's dial function with WrapDial
+// makes two hosts mutually un-dialable while leaving their outbound
+// connections to a relay intact, which is exactly the topology the relay
+// fallback exists for.
+
+// ErrNATBlocked reports a dial the NAT model refused.
+var ErrNATBlocked = errors.New("netem: dial blocked by NAT model")
+
+// DialFn is the dial shape transport.Config.Dial / core.Config.DialData
+// use.
+type DialFn func(addr string, timeout time.Duration) (net.Conn, error)
+
+// NAT is a runtime-adjustable allow list. The zero value blocks
+// everything; Allow punches holes.
+type NAT struct {
+	mu      sync.Mutex
+	allowed map[string]bool
+}
+
+// NewNAT returns a NAT model that blocks every dial until Allow is called.
+func NewNAT() *NAT { return &NAT{allowed: make(map[string]bool)} }
+
+// Allow permits outbound dials to addr.
+func (n *NAT) Allow(addr string) {
+	n.mu.Lock()
+	n.allowed[addr] = true
+	n.mu.Unlock()
+}
+
+// Block revokes a previously allowed addr.
+func (n *NAT) Block(addr string) {
+	n.mu.Lock()
+	delete(n.allowed, addr)
+	n.mu.Unlock()
+}
+
+// Allowed reports whether addr is dialable through the NAT.
+func (n *NAT) Allowed(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.allowed[addr]
+}
+
+// WrapDial returns a dial function that refuses addresses outside the
+// allow list and delegates the rest to dial.
+func (n *NAT) WrapDial(dial DialFn) DialFn {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		if !n.Allowed(addr) {
+			return nil, fmt.Errorf("%w: %s", ErrNATBlocked, addr)
+		}
+		return dial(addr, timeout)
+	}
+}

@@ -29,12 +29,15 @@ type delayed struct {
 	closeWrite bool
 }
 
-// Conn delays every write by a fixed duration while passing reads through.
-// Writes retain their order. Close and CloseWrite flush queued writes
-// first, so no bytes are lost to the emulation itself.
+// Conn delays every write by a sampled duration while passing reads
+// through. Writes retain their order: a short delay sampled after a long
+// one still delivers after it (FIFO queue), which is how jitter on a
+// single TCP path behaves — reordering happens across paths, not within
+// one. Close and CloseWrite flush queued writes first, so no bytes are
+// lost to the emulation itself.
 type Conn struct {
 	net.Conn
-	delay time.Duration
+	sample func() time.Duration
 
 	mu     sync.Mutex
 	queue  []delayed
@@ -53,15 +56,24 @@ func Delay(conn net.Conn, d time.Duration) net.Conn {
 	if d <= 0 {
 		return conn
 	}
-	c := &Conn{Conn: conn, delay: d, kick: make(chan struct{}, 1)}
+	return DelayFunc(conn, func() time.Duration { return d })
+}
+
+// DelayFunc wraps conn so each write is delivered after a per-write delay
+// drawn from sample (jittered links sample a seeded distribution). A zero
+// sample delivers on the next pump pass, still in order, so a wrapper
+// whose plan has no delay configured stays effectively transparent.
+func DelayFunc(conn net.Conn, sample func() time.Duration) *Conn {
+	c := &Conn{Conn: conn, sample: sample, kick: make(chan struct{}, 1)}
 	c.drained = sync.NewCond(&c.mu)
 	c.wg.Add(1)
 	go c.pump()
 	return c
 }
 
-// Write queues p for delivery after the configured delay.
+// Write queues p for delivery after the sampled delay.
 func (c *Conn) Write(p []byte) (int, error) {
+	d := c.sample()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -72,7 +84,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 	}
 	cp := make([]byte, len(p))
 	copy(cp, p)
-	c.queue = append(c.queue, delayed{due: time.Now().Add(c.delay), data: cp})
+	c.queue = append(c.queue, delayed{due: time.Now().Add(d), data: cp})
 	select {
 	case c.kick <- struct{}{}:
 	default:
@@ -83,12 +95,13 @@ func (c *Conn) Write(p []byte) (int, error) {
 // CloseWrite flushes queued writes (after their delays) and then
 // half-closes the underlying connection.
 func (c *Conn) CloseWrite() error {
+	d := c.sample()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return ErrClosed
 	}
-	c.queue = append(c.queue, delayed{due: time.Now().Add(c.delay), closeWrite: true})
+	c.queue = append(c.queue, delayed{due: time.Now().Add(d), closeWrite: true})
 	select {
 	case c.kick <- struct{}{}:
 	default:

@@ -1,0 +1,103 @@
+package netem
+
+import (
+	"fmt"
+	"time"
+)
+
+// WAN profiles. A Profile names one point in the latency/jitter/loss/
+// bandwidth space, calibrated to a class of real path (ROADMAP item 5).
+// Applying a profile to a Faults plan configures every layer that shares
+// the plan at once: the TCP Proxy and Wrap get the delay queue and
+// bandwidth caps, the RUDP control plane's DropFn gets the loss rate.
+//
+// Loss is a datagram-plane knob only. The stream plane never sees silent
+// byte removal (TCP retransmits below the emulation's abstraction level);
+// what a lossy path does to a TCP stream — latency inflation, stalls,
+// resets — is modelled by the delay/jitter/stall/reset knobs instead.
+
+// Profile is a named WAN condition.
+type Profile struct {
+	Name string
+	// OneWayUp/Down are the base one-way propagation delays per direction;
+	// RTT is their sum.
+	OneWayUp, OneWayDown time.Duration
+	// Jitter is the half-width of the uniform per-write delay variation,
+	// applied to both directions.
+	Jitter time.Duration
+	// Loss is the probabilistic datagram drop rate in [0,1], applied to
+	// the control plane (RUDP retransmits around it).
+	Loss float64
+	// BandwidthUp/Down cap each direction in bytes/second; 0 is unlimited.
+	BandwidthUp, BandwidthDown float64
+}
+
+// RTT returns the profile's base round-trip time.
+func (p Profile) RTT() time.Duration { return p.OneWayUp + p.OneWayDown }
+
+// Apply configures f with the profile's delay, jitter, loss, and
+// bandwidth. The plan's seed (and thus its jitter schedule) is untouched.
+func (p Profile) Apply(f *Faults) {
+	f.SetDelay(Up, p.OneWayUp, p.Jitter)
+	f.SetDelay(Down, p.OneWayDown, p.Jitter)
+	f.SetLoss(p.Loss)
+	f.SetBandwidthDir(Up, p.BandwidthUp)
+	f.SetBandwidthDir(Down, p.BandwidthDown)
+}
+
+// String renders the profile for experiment tables.
+func (p Profile) String() string {
+	return fmt.Sprintf("%s(rtt=%s jitter=%s loss=%.1f%%)", p.Name, p.RTT(), p.Jitter, p.Loss*100)
+}
+
+// The named matrix. RTTs land on the classes the issue calls out: LAN
+// (sub-ms), metro (~5 ms), continental (~80 ms), intercontinental
+// (~250 ms + 1% loss), lossy-cell (~150 ms, 3% loss, heavy jitter,
+// asymmetric bandwidth).
+var (
+	// ProfileLAN is the paper's own regime: one switch, sub-millisecond.
+	ProfileLAN = Profile{Name: "lan", OneWayUp: 100 * time.Microsecond, OneWayDown: 100 * time.Microsecond}
+
+	// ProfileMetro is a same-city path: ~5 ms RTT, slight jitter.
+	ProfileMetro = Profile{
+		Name: "metro", OneWayUp: 2500 * time.Microsecond, OneWayDown: 2500 * time.Microsecond,
+		Jitter: 500 * time.Microsecond,
+	}
+
+	// ProfileContinental is a cross-country path: ~80 ms RTT, mild jitter,
+	// occasional datagram loss.
+	ProfileContinental = Profile{
+		Name: "continental", OneWayUp: 40 * time.Millisecond, OneWayDown: 40 * time.Millisecond,
+		Jitter: 3 * time.Millisecond, Loss: 0.001,
+	}
+
+	// ProfileIntercontinental is a trans-oceanic path: ~250 ms RTT with 1%
+	// datagram loss.
+	ProfileIntercontinental = Profile{
+		Name: "intercontinental", OneWayUp: 125 * time.Millisecond, OneWayDown: 125 * time.Millisecond,
+		Jitter: 8 * time.Millisecond, Loss: 0.01,
+	}
+
+	// ProfileLossyCell is a congested cellular link: ~150 ms RTT, heavy
+	// jitter, 3% datagram loss, and asymmetric bandwidth (slow uplink).
+	ProfileLossyCell = Profile{
+		Name: "lossy-cell", OneWayUp: 75 * time.Millisecond, OneWayDown: 75 * time.Millisecond,
+		Jitter: 25 * time.Millisecond, Loss: 0.03,
+		BandwidthUp: 1.5e6, BandwidthDown: 6e6,
+	}
+)
+
+// WANProfiles returns the full matrix in increasing-severity order.
+func WANProfiles() []Profile {
+	return []Profile{ProfileLAN, ProfileMetro, ProfileContinental, ProfileIntercontinental, ProfileLossyCell}
+}
+
+// ProfileNamed looks a profile up by name.
+func ProfileNamed(name string) (Profile, bool) {
+	for _, p := range WANProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

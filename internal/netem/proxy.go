@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Proxy is a TCP fault-injection proxy: it accepts connections on its own
@@ -130,11 +131,23 @@ func (p *Proxy) handle(client net.Conn) {
 	p.flows[fl] = struct{}{}
 	p.mu.Unlock()
 
+	// Each direction writes through its own ordered delay queue sampling
+	// the plan's latency/jitter, so a WAN profile's propagation delay
+	// applies mid-path without head-of-line blocking the reader. The raw
+	// conns stay in the flow for abort's RST semantics.
+	toServer := DelayFunc(server, func() time.Duration { return p.f.SampleDelay(Up) })
+	toClient := DelayFunc(client, func() time.Duration { return p.f.SampleDelay(Down) })
+
 	var pumps sync.WaitGroup
 	pumps.Add(2)
-	go p.pump(&pumps, fl, server, client, Up)
-	go p.pump(&pumps, fl, client, server, Down)
+	go p.pump(&pumps, fl, toServer, client, Up)
+	go p.pump(&pumps, fl, toClient, server, Down)
 	pumps.Wait()
+
+	// Both pumps are done (flushed or aborted); closing the delay wrappers
+	// drains their queues and stops their goroutines.
+	toServer.Close()
+	toClient.Close()
 
 	p.mu.Lock()
 	delete(p.flows, fl)
@@ -152,7 +165,7 @@ func (p *Proxy) pump(wg *sync.WaitGroup, fl *flow, dst net.Conn, src net.Conn, d
 		n, rerr := src.Read(buf)
 		if n > 0 {
 			p.f.waitClear(dir)
-			p.f.pace(n)
+			p.f.pace(dir, n)
 			if _, werr := dst.Write(buf[:n]); werr != nil {
 				fl.abort()
 				return
@@ -161,8 +174,8 @@ func (p *Proxy) pump(wg *sync.WaitGroup, fl *flow, dst net.Conn, src net.Conn, d
 		if rerr != nil {
 			if rerr == io.EOF {
 				// Propagate the half-close; the other pump keeps running.
-				if tc, ok := dst.(*net.TCPConn); ok {
-					tc.CloseWrite()
+				if cw, ok := dst.(closeWriter); ok {
+					cw.CloseWrite()
 					return
 				}
 			}

@@ -9,6 +9,7 @@ import (
 
 	"naplet/internal/dhkx"
 	"naplet/internal/obs"
+	"naplet/internal/relay"
 	"naplet/internal/security"
 	"naplet/internal/wire"
 )
@@ -69,6 +70,17 @@ type Config struct {
 	// outage fails the transport rather than buffering without bound.
 	// 0 means the 64 MiB default.
 	ResumeLogBudget int
+	// RedialBackoffBase / RedialBackoffCap bound the jittered exponential
+	// backoff between resume redial attempts; 0 means the 25ms / 2s
+	// defaults. These are floors: on a path whose measured RTT exceeds
+	// them, the backoff scales up from the RTT estimate (see rtt.go).
+	RedialBackoffBase time.Duration
+	RedialBackoffCap  time.Duration
+	// RelayAddr is the address of a rendezvous relay (internal/relay) to
+	// fall back to when a direct dial — fresh or resume redial — fails;
+	// "" disables the fallback. The relay sees only the transport
+	// handshake and (on encrypted sessions) AEAD ciphertext.
+	RelayAddr string
 	// Metrics receives the transport.reconnects / transport.resumed_streams
 	// / transport.keepalive_timeouts counters; nil records nothing.
 	Metrics *obs.Registry
@@ -113,6 +125,9 @@ type Manager struct {
 	// peers, insecure mode, or encryption disabled).
 	encrypted       *obs.Counter
 	cleartextLegacy *obs.Counter
+	// relayDials counts connections (fresh or resume redials) established
+	// through the rendezvous relay after a direct dial failed.
+	relayDials *obs.Counter
 
 	mu     sync.Mutex
 	byAddr map[string]*Transport
@@ -159,8 +174,17 @@ func NewManager(cfg Config) *Manager {
 	if cfg.ResumeLogBudget <= 0 {
 		cfg.ResumeLogBudget = 64 << 20
 	}
+	if cfg.RedialBackoffBase <= 0 {
+		cfg.RedialBackoffBase = 25 * time.Millisecond
+	}
+	if cfg.RedialBackoffCap <= 0 {
+		cfg.RedialBackoffCap = 2 * time.Second
+	}
+	if cfg.RedialBackoffCap < cfg.RedialBackoffBase {
+		cfg.RedialBackoffCap = cfg.RedialBackoffBase
+	}
 	cfg.advertised = advertisedLimits(&cfg)
-	return &Manager{
+	m := &Manager{
 		cfg:               cfg,
 		done:              make(chan struct{}),
 		reconnects:        cfg.Metrics.Counter("transport.reconnects"),
@@ -168,11 +192,18 @@ func NewManager(cfg Config) *Manager {
 		keepaliveTimeouts: cfg.Metrics.Counter("transport.keepalive_timeouts"),
 		encrypted:         cfg.Metrics.Counter("transport.encrypted"),
 		cleartextLegacy:   cfg.Metrics.Counter("transport.cleartext_legacy"),
+		relayDials:        cfg.Metrics.Counter("transport.relay_dials"),
 		byAddr:            make(map[string]*Transport),
 		all:               make(map[*Transport]struct{}),
 		pending:           make(map[net.Conn]struct{}),
 		dialMu:            make(map[string]*sync.Mutex),
 	}
+	// The worst-path RTT gauge: evaluated at snapshot time, so dashboards
+	// see the live estimate without the manager pushing samples anywhere.
+	cfg.Metrics.Func("transport.rtt_ms", func() float64 {
+		return float64(m.MaxRTT().Microseconds()) / 1000
+	})
+	return m
 }
 
 // maxAdvertiseKeepaliveMs clamps the keepalive advertisement to the
@@ -290,6 +321,34 @@ func (m *Manager) dial(addr string, timeout time.Duration) (net.Conn, error) {
 	}
 }
 
+// dialTransport opens the underlying connection for a transport to addr:
+// a direct dial first, then — when a relay is configured and addr is not
+// the relay itself — a rendezvous through the relay. Both paths run
+// through m.dial, so cfg.Dial hooks (fault injection, NAT models) and
+// manager-close semantics apply to relay legs too. It reports whether the
+// returned connection is relayed.
+func (m *Manager) dialTransport(addr string, timeout time.Duration) (net.Conn, bool, error) {
+	conn, err := m.dial(addr, timeout)
+	if err == nil {
+		return conn, false, nil
+	}
+	ra := m.cfg.RelayAddr
+	if ra == "" || addr == ra {
+		return nil, false, err
+	}
+	rconn, rerr := relay.DialVia(func(a string, t time.Duration) (net.Conn, error) {
+		return m.dial(a, t)
+	}, ra, addr, timeout)
+	if rerr != nil {
+		return nil, false, fmt.Errorf("transport: direct dial failed (%v); relay via %s failed: %w", err, ra, rerr)
+	}
+	m.relayDials.Inc()
+	if m.cfg.Logf != nil {
+		m.cfg.Logf("transport: direct dial to %s failed (%v); connected via relay %s", addr, err, ra)
+	}
+	return rconn, true, nil
+}
+
 // Transport returns the live shared transport to addr, dialing and
 // handshaking one if none exists. Concurrent callers for the same address
 // share a single dial. Closing the manager fails an in-flight dial or
@@ -328,9 +387,13 @@ func (m *Manager) TransportTraced(addr string, timeout time.Duration, tc obs.Spa
 	if trace == nil {
 		trace = tc.Marshal()
 	}
-	conn, err := m.dial(addr, timeout)
+	dialStart := time.Now()
+	conn, relayed, err := m.dialTransport(addr, timeout)
 	if err != nil {
 		return nil, err
+	}
+	if relayed {
+		sp.Annotate("via=relay")
 	}
 	// Track the handshake so Manager.Close can cut it short by closing the
 	// connection under it.
@@ -349,11 +412,15 @@ func (m *Manager) TransportTraced(addr string, timeout time.Duration, tc obs.Spa
 		return nil, err
 	}
 	conn.SetDeadline(time.Time{})
-	t := m.register(conn, hs, true, addr)
+	t := m.register(conn, hs, true, addr, relayed)
 	if t == nil {
 		return nil, ErrClosed
 	}
 	t.dialAddr = addr
+	// Seed the RTT estimate from what the dial + handshake cost: three
+	// round trips (TCP connect, hello exchange, tag exchange), so a WAN
+	// transport starts with WAN-scaled timeouts before its first pong.
+	t.seedRTT(time.Since(dialStart) / 3)
 	return t, nil
 }
 
@@ -363,6 +430,17 @@ func (m *Manager) TransportTraced(addr string, timeout time.Duration, tc obs.Spa
 // the handshake finishes; the transport's read loop runs on its own
 // goroutine.
 func (m *Manager) HandleConn(conn net.Conn) error {
+	return m.handleConn(conn, false)
+}
+
+// HandleRelayedConn is HandleConn for a connection that arrived through a
+// rendezvous relay call-in (internal/relay.Client) instead of the local
+// listener; the transport is marked relayed for the debug surface.
+func (m *Manager) HandleRelayedConn(conn net.Conn) error {
+	return m.handleConn(conn, true)
+}
+
+func (m *Manager) handleConn(conn net.Conn, relayed bool) error {
 	if !m.trackPending(conn) {
 		conn.Close()
 		return ErrClosed
@@ -375,7 +453,7 @@ func (m *Manager) HandleConn(conn net.Conn) error {
 		return err
 	}
 	if peer.Resume {
-		err := m.handleResume(conn, peer, recvd)
+		err := m.handleResume(conn, peer, recvd, relayed)
 		m.untrackPending(conn)
 		return err
 	}
@@ -397,9 +475,12 @@ func (m *Manager) HandleConn(conn net.Conn) error {
 	// deliberately skips the dial lock: the dialer side may be mid-
 	// handshake holding it (loopback, or crossed simultaneous dials), and
 	// blocking here would deadlock both.
-	if m.register(conn, hs, false, peer.Addr) == nil {
+	t := m.register(conn, hs, false, peer.Addr, relayed)
+	if t == nil {
 		return ErrClosed
 	}
+	// The acceptor's handshake spans one round trip (hello out, tag back).
+	t.seedRTT(time.Since(started))
 	return nil
 }
 
@@ -419,7 +500,7 @@ func (m *Manager) byID(id wire.ConnID) *Transport {
 // addrKey may be "" (peer without a redirector); an existing entry for the
 // same address is left in place — both transports stay usable, the table
 // just keeps steering new opens at the incumbent.
-func (m *Manager) register(conn net.Conn, hs *handshakeResult, dialer bool, addrKey string) *Transport {
+func (m *Manager) register(conn net.Conn, hs *handshakeResult, dialer bool, addrKey string, relayed bool) *Transport {
 	if m.cfg.WrapData != nil {
 		conn = m.cfg.WrapData(conn)
 	}
@@ -456,6 +537,7 @@ func (m *Manager) register(conn net.Conn, hs *handshakeResult, dialer bool, addr
 		opened:     time.Now(),
 		localAddr:  conn.LocalAddr(),
 		remoteAddr: conn.RemoteAddr(),
+		relayed:    relayed,
 		rec:        newFlightRecorder(),
 	}
 	t.kaInterval = m.cfg.KeepaliveInterval
@@ -501,10 +583,14 @@ func (m *Manager) register(conn net.Conn, hs *handshakeResult, dialer bool, addr
 		m.cleartextLegacy.Inc()
 	}
 	t.lastRead.Store(time.Now().UnixNano())
+	path := "direct"
+	if relayed {
+		path = "relay"
+	}
 	if dialer {
-		t.rec.record("dial", "peer=%s remote=%s cipher=%s", hs.peer.Host, conn.RemoteAddr(), wire.CipherName(hs.neg.Cipher))
+		t.rec.record("dial", "peer=%s remote=%s cipher=%s via=%s", hs.peer.Host, conn.RemoteAddr(), wire.CipherName(hs.neg.Cipher), path)
 	} else {
-		t.rec.record("accept", "peer=%s remote=%s cipher=%s", hs.peer.Host, conn.RemoteAddr(), wire.CipherName(hs.neg.Cipher))
+		t.rec.record("accept", "peer=%s remote=%s cipher=%s via=%s", hs.peer.Host, conn.RemoteAddr(), wire.CipherName(hs.neg.Cipher), path)
 	}
 	if dialer {
 		t.nextID = 1
@@ -651,6 +737,11 @@ type Info struct {
 	// LastKeepalive is when the transport last saw any inbound frame
 	// (data or keepalive), feeding the half-open detector.
 	LastKeepalive time.Time
+	// RTT is the smoothed path round-trip estimate (zero before any
+	// sample); Relayed reports whether the current connection runs through
+	// a rendezvous relay instead of a direct dial.
+	RTT     time.Duration
+	Relayed bool
 	// Events is the transport's flight-recorder ring, oldest first;
 	// EventCounts are cumulative per-kind totals that survive ring
 	// eviction.
@@ -679,8 +770,10 @@ func (t *Transport) info() Info {
 		Limits:         t.neg.Limits,
 		State:          state,
 		ResumeDeadline: t.resumeDeadline,
+		Relayed:        t.relayed,
 	}
 	t.mu.Unlock()
+	info.RTT = t.SRTT()
 	if nanos := t.lastRead.Load(); nanos != 0 {
 		info.LastKeepalive = time.Unix(0, nanos)
 	}

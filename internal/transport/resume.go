@@ -42,14 +42,11 @@ import (
 //     waits. If the window expires on either side, the transport fails for
 //     good with ErrTransportLost and the NapletSocket layer's own
 //     SUSPENDED/resume recovery takes over.
-const (
-	// resumeTagLabel domain-separates the resume token HMAC.
-	resumeTagLabel = "naplet-transport-resume-v1"
-	// reconnectBaseDelay / reconnectMaxDelay bound the dialer's jittered
-	// exponential backoff between resume attempts.
-	reconnectBaseDelay = 25 * time.Millisecond
-	reconnectMaxDelay  = 2 * time.Second
-)
+//
+// resumeTagLabel domain-separates the resume token HMAC. The redial
+// backoff bounds live in Config (RedialBackoffBase / RedialBackoffCap)
+// and scale up with the measured path RTT — see redialBackoffBounds.
+const resumeTagLabel = "naplet-transport-resume-v1"
 
 // errResumeDenied reports the peer's final refusal of a resume attempt.
 var errResumeDenied = errors.New("transport: resume denied by peer")
@@ -95,7 +92,9 @@ func (t *Transport) connBroken(conn net.Conn, cause error) {
 	t.attempts = 0
 	gen := t.gen
 	readerDone := t.readerDone
-	window := t.mgr.cfg.ResumeWindow
+	// The window stretches with the measured RTT: a slow path needs more
+	// round trips' worth of redial attempts for a fair chance.
+	window := t.adaptiveResumeWindow()
 	deadline := time.Now().Add(window)
 	t.resumeDeadline = deadline
 	t.mu.Unlock()
@@ -145,7 +144,7 @@ func (t *Transport) reconnectLoop(gen int, readerDone chan struct{}, deadline ti
 	if readerDone != nil {
 		<-readerDone
 	}
-	backoff := reconnectBaseDelay
+	backoff, maxBackoff := t.redialBackoffBounds()
 	for attempt := 1; ; attempt++ {
 		t.mu.Lock()
 		if t.closed || !t.reconnecting || t.gen != gen {
@@ -163,7 +162,7 @@ func (t *Transport) reconnectLoop(gen int, readerDone chan struct{}, deadline ti
 			return
 		}
 		t.rec.record("redial", "attempt=%d addr=%s", attempt, t.dialAddr)
-		conn, err := t.mgr.dial(t.dialAddr, t.mgr.cfg.HandshakeTimeout)
+		conn, relayed, err := t.mgr.dialTransport(t.dialAddr, t.mgr.cfg.HandshakeTimeout)
 		if err == nil {
 			var peer *wire.TransportHello
 			var transcript []byte
@@ -171,7 +170,9 @@ func (t *Transport) reconnectLoop(gen int, readerDone chan struct{}, deadline ti
 			if err == nil {
 				if !t.adopt(conn, peer.RecvSeq, gen, transcript) {
 					conn.Close()
+					return
 				}
+				t.setRelayed(relayed)
 				return
 			}
 			conn.Close()
@@ -183,8 +184,8 @@ func (t *Transport) reconnectLoop(gen int, readerDone chan struct{}, deadline ti
 		}
 		t.logf("transport %s: resume attempt %d failed: %v", t.peerHost, attempt, err)
 		delay := backoff + time.Duration(rand.Int63n(int64(backoff)))
-		if backoff *= 2; backoff > reconnectMaxDelay {
-			backoff = reconnectMaxDelay
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
 		}
 		timer := time.NewTimer(delay)
 		select {
@@ -194,6 +195,14 @@ func (t *Transport) reconnectLoop(gen int, readerDone chan struct{}, deadline ti
 			return
 		}
 	}
+}
+
+// setRelayed records whether the current connection runs through the
+// rendezvous relay (debug surface only).
+func (t *Transport) setRelayed(v bool) {
+	t.mu.Lock()
+	t.relayed = v
+	t.mu.Unlock()
 }
 
 // clientResume runs the dialer's half of the resume handshake on a fresh
@@ -246,14 +255,18 @@ func (t *Transport) clientResume(conn net.Conn) (*wire.TransportHello, []byte, e
 // handleResume routes an inbound resume hello to the transport it names,
 // or sends the (necessarily unauthenticated) final denial when the session
 // is unknown — already failed, resumed elsewhere, or never ours.
-func (m *Manager) handleResume(conn net.Conn, peer *wire.TransportHello, recvd []byte) error {
+func (m *Manager) handleResume(conn net.Conn, peer *wire.TransportHello, recvd []byte, relayed bool) error {
 	t := m.byID(peer.ID)
 	if t == nil {
 		wire.WriteTransportHello(conn, &wire.TransportHello{ID: peer.ID, ResumeDenied: true})
 		conn.Close()
 		return fmt.Errorf("transport: resume for unknown transport %s", peer.ID)
 	}
-	return t.serverResume(conn, peer, recvd)
+	if err := t.serverResume(conn, peer, recvd); err != nil {
+		return err
+	}
+	t.setRelayed(relayed)
+	return nil
 }
 
 // serverResume runs the acceptor's half of the resume handshake and, on
@@ -378,6 +391,10 @@ func (t *Transport) adopt(conn net.Conn, peerRecvSeq uint64, gen int, transcript
 	nstreams := len(t.streams)
 	t.mu.Unlock()
 	t.lastRead.Store(time.Now().UnixNano())
+	// A ping outstanding across the outage would measure outage length,
+	// not path RTT; drop it. The smoothed estimate itself survives — the
+	// path is the same even though the connection is new.
+	t.pingSentAt.Store(0)
 	go t.readLoop(conn, readerDone, opener)
 	go t.keepalive(conn)
 	t.trimSendLogLocked(peerRecvSeq)
@@ -407,14 +424,17 @@ func (t *Transport) adopt(conn net.Conn, peerRecvSeq uint64, gen int, transcript
 	return true
 }
 
-// keepalive probes one connection generation for liveness: after the
-// probe interval of inbound silence it sends a mux ping (whose payload
-// doubles as an ack), and after KeepaliveTimeout of silence it declares
-// the connection half-open and breaks it into the resume path. It exits
-// when its generation is replaced or the manager closes. The probe
-// interval is the negotiated one on version-2 sessions — the min of both
-// sides' advertisements, so it is never slower than the local config and
-// KeepaliveTimeout's semantics are unchanged.
+// keepalive probes one connection generation for liveness: every tick it
+// sends a mux ping (whose payload doubles as an ack, and whose pong
+// doubles as an RTT sample), and after the adaptive keepalive timeout of
+// inbound silence it declares the connection half-open and breaks it into
+// the resume path. The timeout is re-evaluated each tick against the live
+// RTT estimate — the configured KeepaliveTimeout is a floor, stretched on
+// slow paths so a pong that is merely in flight never reads as a dead
+// peer. It exits when its generation is replaced or the manager closes.
+// The probe interval is the negotiated one on version-2 sessions — the
+// min of both sides' advertisements, so it is never slower than the local
+// config asked for.
 func (t *Transport) keepalive(conn net.Conn) {
 	interval := t.kaInterval
 	if interval == 0 {
@@ -423,7 +443,6 @@ func (t *Transport) keepalive(conn net.Conn) {
 	if interval <= 0 {
 		return
 	}
-	timeout := t.mgr.cfg.KeepaliveTimeout
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
@@ -438,14 +457,27 @@ func (t *Transport) keepalive(conn net.Conn) {
 		if closed || cur != conn {
 			return
 		}
+		timeout := t.adaptiveKeepaliveTimeout(interval)
 		idle := time.Since(time.Unix(0, t.lastRead.Load()))
 		if idle >= timeout {
 			t.mgr.keepaliveTimeouts.Inc()
-			t.rec.record("keepalive-timeout", "idle=%v", idle.Round(time.Millisecond))
+			t.rec.record("keepalive-timeout", "idle=%v srtt=%v", idle.Round(time.Millisecond), t.SRTT().Round(time.Millisecond))
 			t.connBroken(conn, fmt.Errorf("transport: keepalive timeout after %v of silence", idle.Round(time.Millisecond)))
 			return
 		}
-		if idle >= interval {
+		// One ping outstanding at a time, so each pong resolves the stamp
+		// of the ping it answers and the RTT samples stay honest — pinging
+		// every tick would pair pongs of old pings with fresh stamps and
+		// collapse the estimate toward zero on slow paths. A stamp older
+		// than half the declare-dead timeout means the ping or its pong was
+		// dropped (both are unreliable frames): restamp and probe again.
+		stamp := t.pingSentAt.Load()
+		switch {
+		case stamp == 0:
+			t.notePingSent()
+			t.writeFrame(wire.MuxPing, 0, seqPayload(t.recvSeq.Load()))
+		case time.Since(time.Unix(0, stamp)) >= timeout/2:
+			t.pingSentAt.Store(time.Now().UnixNano())
 			t.writeFrame(wire.MuxPing, 0, seqPayload(t.recvSeq.Load()))
 		}
 	}

@@ -188,6 +188,18 @@ type Transport struct {
 	recvSeq  atomic.Uint64
 	lastRead atomic.Int64
 
+	// Smoothed path RTT (RFC 6298 estimator, see rtt.go): srttNanos /
+	// rttvarNanos hold the estimate, pingSentAt the unix-nano stamp of the
+	// oldest unanswered keepalive ping (0 when none outstanding). Seeded
+	// from the handshake duration, refined by every ping/pong round.
+	srttNanos   atomic.Int64
+	rttvarNanos atomic.Int64
+	pingSentAt  atomic.Int64
+
+	// relayed records whether the current connection runs through a
+	// rendezvous relay rather than a direct dial; guarded by mu.
+	relayed bool
+
 	// rec is the transport's flight recorder: a bounded ring of lifecycle
 	// events dumped into the log when the session dies with
 	// ErrTransportLost.
@@ -719,7 +731,7 @@ func (t *Transport) readLoop(conn net.Conn, done chan struct{}, opener *security
 	// force an extra copy for almost every data byte.
 	br := bufio.NewReaderSize(conn, 4<<10)
 	rl := muxReadState{recvSeq: t.recvSeq.Load()}
-	rl.ackFrames, rl.ackBytes = t.ackCadence()
+	rl.ackFrames, rl.ackBytes = t.adaptiveAckCadence()
 	if opener != nil {
 		t.readSealed(conn, br, opener, &rl)
 		return
@@ -933,6 +945,10 @@ func (t *Transport) handleFrame(h wire.MuxHeader, payload []byte, owned bool, rl
 		if len(payload) == 8 {
 			t.handleAck(binary.BigEndian.Uint64(payload))
 		}
+		// A pong resolves our oldest outstanding ping into an RTT sample,
+		// and the refined estimate retunes this generation's ack cadence.
+		t.notePongReceived()
+		rl.ackFrames, rl.ackBytes = t.adaptiveAckCadence()
 	case wire.MuxAck:
 		if len(payload) == 8 {
 			t.handleAck(binary.BigEndian.Uint64(payload))

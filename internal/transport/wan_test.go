@@ -1,0 +1,304 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"naplet/internal/netem"
+	"naplet/internal/obs"
+	"naplet/internal/relay"
+)
+
+// waitRelayRegistered polls until the callee's registration leg is live.
+func waitRelayRegistered(t *testing.T, c *relay.Client) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.Registered() {
+		if time.Now().After(deadline) {
+			t.Fatal("relay client never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRelayFallbackThroughNAT proves the full WAN story: host a sits behind
+// a default-deny NAT that admits only the relay, so its direct dial to b
+// fails and the manager falls back to the rendezvous. The session is then
+// killed mid-stream and must resume — again through the relay — with every
+// byte delivered exactly once.
+func TestRelayFallbackThroughNAT(t *testing.T) {
+	rs, err := relay.New("127.0.0.1:0", t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	met := obs.NewRegistry()
+	tap := &connTap{}
+	b := newTestPeerCfg(t, "b", true, resumable(10*time.Second))
+
+	nat := netem.NewNAT()
+	nat.Allow(rs.Addr())
+	a := newTestPeerCfg(t, "a", true, func(cfg *Config) {
+		cfg.ResumeWindow = 10 * time.Second
+		cfg.RelayAddr = rs.Addr()
+		cfg.Metrics = met
+		cfg.WrapData = tap.wrap
+		cfg.Dial = nat.WrapDial(func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		})
+	})
+
+	// b cannot be dialed by a, so it holds a registration leg open with the
+	// relay and treats matched call-ins as relayed accepts.
+	rc := relay.NewClient(relay.ClientConfig{
+		RelayAddr: rs.Addr(),
+		Advertise: b.addr(),
+		Handle:    func(c net.Conn) { b.mgr.HandleRelayedConn(c) },
+		Logf:      t.Logf,
+	})
+	defer rc.Close()
+	waitRelayRegistered(t, rc)
+
+	cs, err := a.mgr.OpenStream(b.addr(), testHeader(t), 5*time.Second)
+	if err != nil {
+		t.Fatalf("OpenStream through NAT: %v", err)
+	}
+	ss := recvStream(t, b)
+
+	if got := met.Counter("transport.relay_dials").Value(); got < 1 {
+		t.Fatalf("transport.relay_dials = %d, want >= 1", got)
+	}
+	for _, peer := range []*testPeer{a, b} {
+		infos := peer.mgr.Infos()
+		if len(infos) != 1 || !infos[0].Relayed {
+			t.Fatalf("peer %s: transport not marked relayed: %+v", peer.mgr.cfg.HostName, infos)
+		}
+	}
+
+	// Stream a deterministic payload — several credit windows, so the
+	// writer is still mid-flight when the spliced connection dies and the
+	// resume must also route through the relay.
+	const total = 4 << 20
+	payload := make([]byte, total)
+	for i := range payload {
+		payload[i] = byte(i*31 + i>>7)
+	}
+	writeErr := make(chan error, 1)
+	go func() {
+		var err error
+		for off := 0; off < total && err == nil; off += 8 << 10 {
+			end := off + 8<<10
+			if end > total {
+				end = total
+			}
+			_, err = cs.Write(payload[off:end])
+		}
+		if err == nil {
+			err = cs.CloseWrite()
+		}
+		writeErr <- err
+	}()
+
+	killed := false
+	got := make([]byte, 0, total)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := ss.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("server read after %d bytes: %v", len(got), err)
+		}
+		if !killed && len(got) > total/4 {
+			killed = true
+			tap.killLatest()
+		}
+	}
+	if err := <-writeErr; err != nil {
+		t.Fatalf("client write: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted across relayed resume: got %d bytes, want %d", len(got), total)
+	}
+	if !killed {
+		t.Fatal("never killed the relayed connection")
+	}
+
+	// The reverse direction still works on the resumed relayed session.
+	if _, err := ss.Write([]byte("over the relay")); err != nil {
+		t.Fatal(err)
+	}
+	rb := make([]byte, 32)
+	n, err := cs.Read(rb)
+	if err != nil || string(rb[:n]) != "over the relay" {
+		t.Fatalf("client read after relayed resume: %q, %v", rb[:n], err)
+	}
+	// By now the resume definitely happened, and the NAT forced it back
+	// through the rendezvous.
+	if got := met.Counter("transport.relay_dials").Value(); got < 2 {
+		t.Fatalf("transport.relay_dials after resume = %d, want >= 2", got)
+	}
+}
+
+// TestRedialBackoffConfigHonored proves the hoisted Config knobs drive the
+// reconnect loop: with a 60ms cap the redial gaps stay tight; the stock 2s
+// cap would open >400ms gaps well inside the observation window.
+func TestRedialBackoffConfigHonored(t *testing.T) {
+	tap := &connTap{}
+	var (
+		mu       sync.Mutex
+		attempts []time.Time
+		blocked  atomic.Bool
+	)
+	b := newTestPeerCfg(t, "b", true, resumable(10*time.Second))
+	a := newTestPeerCfg(t, "a", true, func(cfg *Config) {
+		cfg.ResumeWindow = 10 * time.Second
+		cfg.RedialBackoffBase = 20 * time.Millisecond
+		cfg.RedialBackoffCap = 60 * time.Millisecond
+		cfg.WrapData = tap.wrap
+		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			if blocked.Load() {
+				mu.Lock()
+				attempts = append(attempts, time.Now())
+				mu.Unlock()
+				return nil, net.ErrClosed
+			}
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	})
+
+	cs, err := a.mgr.OpenStream(b.addr(), testHeader(t), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := recvStream(t, b)
+
+	blocked.Store(true)
+	tap.killLatest()
+	time.Sleep(1200 * time.Millisecond)
+	blocked.Store(false)
+
+	// The session must come back once dials succeed again.
+	if _, err := cs.Write([]byte("after outage")); err != nil {
+		t.Fatal(err)
+	}
+	rb := make([]byte, 32)
+	ss.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := ss.Read(rb)
+	if err != nil || string(rb[:n]) != "after outage" {
+		t.Fatalf("post-outage read: %q, %v", rb[:n], err)
+	}
+
+	mu.Lock()
+	times := append([]time.Time(nil), attempts...)
+	mu.Unlock()
+	if len(times) < 6 {
+		t.Fatalf("only %d redial attempts in 1.2s; cap=60ms should keep retrying briskly", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if gap := times[i].Sub(times[i-1]); gap > 400*time.Millisecond {
+			t.Fatalf("redial gap %v exceeds the capped backoff (cap=60ms, jittered max 120ms)", gap)
+		}
+	}
+}
+
+// TestKeepaliveAdaptsToWANRTT pins the false-positive fix: a 300ms-RTT path
+// with jitter, a 50ms keepalive interval, and a configured 150ms timeout —
+// shorter than one round trip. The RTT-adaptive timeout must stretch past
+// the measured path delay, so an idle-but-healthy WAN session is never
+// declared half-open.
+func TestKeepaliveAdaptsToWANRTT(t *testing.T) {
+	met := obs.NewRegistry()
+	fa := netem.NewFaults(1)
+	fa.SetDelay(netem.Up, 150*time.Millisecond, 10*time.Millisecond)
+	fb := netem.NewFaults(2)
+	fb.SetDelay(netem.Up, 150*time.Millisecond, 10*time.Millisecond)
+
+	// The dialer's half of the path delay is installed at dial time, so the
+	// handshake itself crosses the slow path and seeds the RTT estimator —
+	// exactly what a real WAN dial looks like. The acceptor's half wraps its
+	// end post-handshake (WrapData), delaying pongs and acks.
+	a := newTestPeerCfg(t, "a", true, func(cfg *Config) {
+		cfg.ResumeWindow = 10 * time.Second
+		cfg.KeepaliveInterval = 50 * time.Millisecond
+		cfg.KeepaliveTimeout = 150 * time.Millisecond
+		cfg.Metrics = met
+		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			conn, err := net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				return nil, err
+			}
+			return fa.Wrap(conn, netem.Up), nil
+		}
+	})
+	b := newTestPeerCfg(t, "b", true, func(cfg *Config) {
+		cfg.ResumeWindow = 10 * time.Second
+		cfg.KeepaliveInterval = 50 * time.Millisecond
+		cfg.KeepaliveTimeout = 150 * time.Millisecond
+		cfg.WrapData = func(c net.Conn) net.Conn { return fb.Wrap(c, netem.Up) }
+	})
+
+	cs, err := a.mgr.OpenStream(b.addr(), testHeader(t), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := recvStream(t, b)
+	if _, err := cs.Write([]byte("warmup")); err != nil {
+		t.Fatal(err)
+	}
+	wb := make([]byte, 16)
+	if _, err := ss.Read(wb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sit idle for many keepalive intervals: only ping/pong traffic flows,
+	// each taking a full 300ms round trip.
+	time.Sleep(2 * time.Second)
+
+	if got := met.Counter("transport.keepalive_timeouts").Value(); got != 0 {
+		t.Fatalf("transport.keepalive_timeouts = %d on a healthy 300ms path, want 0", got)
+	}
+	for _, peer := range []*testPeer{a, b} {
+		for _, in := range peer.mgr.Infos() {
+			if n := in.EventCounts["keepalive-timeout"]; n != 0 {
+				t.Fatalf("peer %s recorded %d keepalive-timeout events", peer.mgr.cfg.HostName, n)
+			}
+			if n := in.EventCounts["broken"]; n != 0 {
+				t.Fatalf("peer %s transport broke %d times on a healthy path", peer.mgr.cfg.HostName, n)
+			}
+			if in.State != "connected" {
+				t.Fatalf("peer %s transport state %q, want connected", peer.mgr.cfg.HostName, in.State)
+			}
+		}
+	}
+
+	// The estimator must have converged near the real path RTT, and the
+	// exported gauge mirrors it.
+	if rtt := a.mgr.MaxRTT(); rtt < 100*time.Millisecond || rtt > 900*time.Millisecond {
+		t.Fatalf("dialer MaxRTT = %v, want ~300ms", rtt)
+	}
+	snap := met.Snapshot()
+	if g, ok := snap.Gauges["transport.rtt_ms"]; !ok || g < 100 {
+		t.Fatalf("transport.rtt_ms gauge = %v (present=%t), want >= 100", g, ok)
+	}
+
+	// And the path still carries data.
+	if _, err := cs.Write([]byte("still alive")); err != nil {
+		t.Fatal(err)
+	}
+	rb := make([]byte, 16)
+	cs.SetReadDeadline(time.Now().Add(5 * time.Second))
+	ss.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := ss.Read(rb)
+	if err != nil || string(rb[:n]) != "still alive" {
+		t.Fatalf("post-idle read: %q, %v", rb[:n], err)
+	}
+}
